@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Heavy artifacts (the full paper study and its pipeline report) are built
+once per session; individual benches then measure their stage of
+interest with ``benchmark.pedantic`` and attach the paper-vs-measured
+comparison to ``benchmark.extra_info`` so it lands in the JSON output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world.scenarios import kyrgyzstan_world, paper_study
+from repro.world.sim import run_study
+
+
+@pytest.fixture(scope="session")
+def paper():
+    return paper_study()
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper):
+    return paper.run_pipeline()
+
+
+@pytest.fixture(scope="session")
+def kyrgyz_study():
+    return run_study(kyrgyzstan_world())
+
+
+def show(title: str, lines: list[str]) -> None:
+    """Print a paper-vs-measured block (visible with pytest -s)."""
+    print()
+    print(f"=== {title} ===")
+    for line in lines:
+        print(line)

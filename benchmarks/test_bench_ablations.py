@@ -1,0 +1,87 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* the pivot step (Section 4.5): disabling it loses exactly the 13
+  victims with no usable deployment map (P-IP + P-NS);
+* the T1* second pass: disabling it loses the two no-pDNS victims;
+* the three-month transient threshold: loosening it to six months lets
+  long-lived benign changes flood the transient class without finding
+  any new victims — the trade-off the paper tuned;
+* the corroboration window: shrinking the pDNS/CT search radius to two
+  days loses direct confirmations whose DNS evidence sits a few days
+  before the transient's first scan appearance.
+
+Each ablation runs the full pipeline on the paper study with one knob
+turned; the benchmark measures the no-pivot configuration.
+"""
+
+from repro.core.inspection import InspectionConfig
+from repro.core.pipeline import PipelineConfig
+from repro.core.patterns import PatternConfig
+
+from conftest import show
+
+
+def _hijacked_count(report):
+    return len(report.hijacked())
+
+
+def test_ablations(benchmark, paper, paper_report):
+    full = paper_report
+    assert _hijacked_count(full) == 41
+
+    no_pivot = benchmark.pedantic(
+        lambda: paper.run_pipeline(PipelineConfig(enable_pivot=False)),
+        rounds=1,
+        iterations=1,
+    )
+    no_t1_star = paper.run_pipeline(PipelineConfig(enable_t1_star=False))
+    loose_threshold = paper.run_pipeline(
+        PipelineConfig(patterns=PatternConfig(transient_max_days=183))
+    )
+    tight_window = paper.run_pipeline(
+        PipelineConfig(
+            inspection=InspectionConfig(window_days=2, issue_proximity_days=2)
+        )
+    )
+
+    rows = [
+        ("full pipeline", _hijacked_count(full), len(full.targeted())),
+        ("no pivot", _hijacked_count(no_pivot), len(no_pivot.targeted())),
+        ("no T1* pass", _hijacked_count(no_t1_star), len(no_t1_star.targeted())),
+        ("transient<=183d", _hijacked_count(loose_threshold), len(loose_threshold.targeted())),
+        ("window +/-2d", _hijacked_count(tight_window), len(tight_window.targeted())),
+    ]
+    show(
+        "Ablations (hijacked / targeted found)",
+        [f"{name:<16} {h:>3} hijacked, {t:>3} targeted" for name, h, t in rows]
+        + [
+            f"transient maps: full={full.funnel.n_transient} "
+            f"loose-threshold={loose_threshold.funnel.n_transient}"
+        ],
+    )
+
+    # Without the pivot, exactly the 13 pivot-only victims are lost.
+    assert _hijacked_count(no_pivot) == 41 - 13
+    lost = {f.domain for f in full.hijacked()} - {f.domain for f in no_pivot.hijacked()}
+    assert all(
+        full.finding_for(d).detection.value in ("P-IP", "P-NS") for d in lost
+    )
+
+    # Without the T1* pass, the two shared-IP victims are lost (and with
+    # them possibly nothing else).
+    assert _hijacked_count(no_t1_star) <= 41 - 2
+    missing = {f.domain for f in full.hijacked()} - {
+        f.domain for f in no_t1_star.hijacked()
+    }
+    assert {"apc.gov.ae", "moh.gov.kw"} <= missing
+
+    # Doubling the transient threshold inflates the suspicious class
+    # (benign long-lived changes now count) without new true victims.
+    assert loose_threshold.funnel.n_transient >= full.funnel.n_transient
+    assert _hijacked_count(loose_threshold) <= 41
+
+    # A two-day corroboration window misses evidence and loses direct
+    # confirmations.
+    assert _hijacked_count(tight_window) < 41
+
+    benchmark.extra_info["ablation_rows"] = rows

@@ -1,0 +1,60 @@
+"""Section 5.6 — actor attribution from shared infrastructure.
+
+The paper infers campaign structure from reuse: one IP hijacking the
+Cyprus government cluster, the kg-infocom.ru nameservers tying the four
+Kyrgyzstan victims together, and a disjoint 2020 infrastructure pool
+behind the targeted wave ("likely a completely different set of
+attackers").  Clustering the recovered findings over shared attacker
+IPs and nameservers must reassemble those groups with high purity
+against the scenario's ground-truth actors.
+"""
+
+from repro.analysis.attribution import (
+    attribution_accuracy,
+    cluster_campaigns,
+    format_clusters,
+)
+from repro.world.scenarios import HIJACKED_ROWS
+
+from conftest import show
+
+
+def test_attribution_clusters(benchmark, paper, paper_report):
+    clusters = benchmark.pedantic(
+        lambda: cluster_campaigns(paper_report.findings), rounds=5, iterations=1
+    )
+
+    show("Section 5.6 campaign clusters (measured)",
+         format_clusters(clusters, top=8).splitlines())
+
+    by_domain = {}
+    for cluster_index, cluster in enumerate(clusters):
+        for domain in cluster.domains:
+            by_domain[domain] = cluster_index
+
+    # The Kyrgyzstan actor reassembles into one cluster via its rogue NS.
+    kg = {"mfa.gov.kg", "invest.gov.kg", "fiu.gov.kg", "infocom.kg"}
+    assert len({by_domain[d] for d in kg}) == 1
+
+    # The Cyprus wave shares 178.62.218.244.
+    cy = {"govcloud.gov.cy", "owa.gov.cy", "webmail.gov.cy", "sslvpn.gov.cy", "cyta.com.cy"}
+    assert len({by_domain[d] for d in cy}) == 1
+
+    # The 2018 hijack infrastructure and the 2020 targeted infrastructure
+    # never share a cluster — the paper's different-attackers inference.
+    hijack_clusters = {by_domain[r.domain] for r in HIJACKED_ROWS}
+    targeted_2020 = {
+        by_domain[f.domain]
+        for f in paper_report.targeted()
+        if f.first_evidence and f.first_evidence.year >= 2020
+    }
+    assert hijack_clusters.isdisjoint(targeted_2020)
+
+    # Purity against the scenario's actor assignments.
+    actor_of = {r.domain: r.ns_cluster for r in HIJACKED_ROWS if r.ns_cluster}
+    purity, fragmentation = attribution_accuracy(clusters, actor_of)
+    assert purity >= 0.9
+
+    benchmark.extra_info["clusters"] = len(clusters)
+    benchmark.extra_info["purity"] = round(purity, 3)
+    benchmark.extra_info["fragmentation"] = round(fragmentation, 2)

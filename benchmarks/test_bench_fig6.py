@@ -1,0 +1,59 @@
+"""Figure 6 / Appendix A — the evolution of the Kyrgyzstan hijacks.
+
+Using the late-2020 HTTP service context, the paper verified that the
+counterfeit mail.mfa.gov.kg page mimicked the Zimbra login's look while
+differing from the standard code, and that the May 2021 re-redirection
+pointed at a new server whose page injected a social-engineering
+"security update" script (the Tomiris downloader lure).  The benchmark
+measures the counterfeit-page analysis over the extended scenario.
+"""
+
+from datetime import date
+
+from repro.analysis.content import analyze_attacker_content, format_content_verdicts
+from repro.scan.http import HTTP_CONTEXT_START
+from repro.world.scenarios import kyrgyzstan_world
+
+from conftest import show
+
+
+def test_fig6_counterfeit_page_evolution(benchmark):
+    world = kyrgyzstan_world(extended=True, n_background=0)
+    truth = world.ground_truth.record_for("mfa.gov.kg")
+    victim_ip = world.resolver.resolve_a("mail.mfa.gov.kg", __import__("datetime").datetime(2020, 6, 1))[0]
+    attacker_ips = (truth.attacker_ips[0], "178.20.46.22")
+    scan_dates = world.scan_dates
+
+    verdicts = benchmark.pedantic(
+        lambda: analyze_attacker_content(world.http, victim_ip, attacker_ips, scan_dates),
+        rounds=5,
+        iterations=1,
+    )
+
+    show("Appendix A / Figure 6: counterfeit-page analysis (measured)",
+         format_content_verdicts(verdicts).splitlines())
+
+    # HTTP context only exists once Censys started collecting it.
+    assert all(v.day >= HTTP_CONTEXT_START for v in verdicts)
+
+    # December 2020: a counterfeit (same look, different code), no malware.
+    december = [v for v in verdicts if v.day < date(2021, 4, 1)]
+    assert december, "the December counterfeit must be scan-visible"
+    assert all(v.is_counterfeit for v in december)
+    assert not any(v.delivers_malware for v in december)
+
+    # May 2021: still a counterfeit, now with the update-mfa.exe lure.
+    may = [v for v in verdicts if v.day >= date(2021, 5, 1)]
+    assert may, "the May server must be scan-visible"
+    assert all(v.is_counterfeit for v in may)
+    assert all(v.delivers_malware for v in may)
+    assert all("update-mfa.exe" in v.injected_scripts for v in may)
+
+    # The resolver really redirected to the May server during its window.
+    from datetime import datetime
+
+    answers = world.resolver.resolve_a("mail.mfa.gov.kg", datetime(2021, 5, 10, 8, 0))
+    assert answers == ("178.20.46.22",)
+
+    benchmark.extra_info["december_counterfeits"] = len(december)
+    benchmark.extra_info["may_malware_scans"] = len(may)

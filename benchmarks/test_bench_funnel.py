@@ -1,0 +1,57 @@
+"""Section 4.2-4.4 — the classification population and shortlist funnel.
+
+On a pure benign population calibrated to the paper's mix, the measured
+fractions must track the paper's (96.5% stable / 2.95% transition /
+0.13% transient / 0.35% noisy), and nothing may survive to a verdict.
+The benchmark measures the full pipeline over the background world.
+"""
+
+from repro.analysis.funnel import PAPER_FRACTIONS, classification_fractions, funnel_rows
+from repro.net.timeline import DateInterval
+from repro.world.behaviors import populate_background
+from repro.world.sim import run_study
+from repro.world.world import World
+
+from datetime import date
+
+from conftest import show
+
+N_DOMAINS = 1200
+
+
+def test_funnel_population_fractions(benchmark):
+    world = World(seed=31, start=date(2019, 1, 1), end=date(2019, 12, 31))
+    populate_background(world, N_DOMAINS, DateInterval(world.start, world.end))
+    study = run_study(world)
+
+    report = benchmark.pedantic(study.run_pipeline, rounds=1, iterations=1)
+
+    fractions = classification_fractions(report)
+    lines = [
+        f"{'class':<12} {'paper':>8}   {'measured':>8}",
+        f"{'stable':<12} {PAPER_FRACTIONS['stable']:>8.2%}   {fractions.stable:>8.2%}",
+        f"{'transition':<12} {PAPER_FRACTIONS['transition']:>8.2%}   {fractions.transition:>8.2%}",
+        f"{'transient':<12} {PAPER_FRACTIONS['transient']:>8.2%}   {fractions.transient:>8.2%}",
+        f"{'noisy':<12} {PAPER_FRACTIONS['noisy']:>8.2%}   {fractions.noisy:>8.2%}",
+        "",
+        "funnel:",
+    ]
+    lines += [f"  {stage:<18} {count}" for stage, count in funnel_rows(report)]
+    show("Section 4.2 population fractions (paper vs measured)", lines)
+
+    # Shape: same ordering and same order of magnitude per class.
+    assert fractions.stable > 0.90
+    assert 0.005 <= fractions.transition <= 0.08
+    assert fractions.transient <= 0.02
+    assert fractions.noisy <= 0.02
+    assert fractions.stable > fractions.transition > fractions.transient
+
+    # The funnel drains completely on benign data: no verdicts.
+    assert report.findings == []
+    assert report.funnel.n_hijacked == 0
+    assert report.funnel.n_targeted == 0
+    # Shortlist prunes fired (the heuristics did real work).
+    assert report.funnel.prune_reasons
+
+    benchmark.extra_info["fractions"] = fractions.as_dict()
+    benchmark.extra_info["n_maps"] = fractions.n_maps

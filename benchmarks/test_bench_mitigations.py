@@ -1,0 +1,100 @@
+"""Section 7.2 — the mitigation matrix.
+
+The discussion section's central claim: "defenses at any single entity
+are conditional on the defenses of the entities upstream."  We execute
+the same T1 campaign against every (capability path x mitigation)
+combination and record whether the attack completed — 2FA falls to a
+stolen session, Registry Lock gates both the account and registrar
+channels, and nothing below the registry stops a registry compromise.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.core.types import DetectionType
+from repro.world.attacker import (
+    AttackerProfile,
+    CampaignBlocked,
+    CampaignMode,
+    CampaignSpec,
+    Capability,
+    run_campaign,
+)
+from repro.world.entities import Sector
+from repro.world.world import World
+
+from conftest import show
+
+MITIGATIONS = ("none", "2fa", "registry-lock")
+PATHS = (Capability.ACCOUNT, Capability.REGISTRAR, Capability.REGISTRY)
+
+#: What Section 7.2's trust analysis predicts.
+EXPECTED = {
+    ("none", Capability.ACCOUNT): True,
+    ("none", Capability.REGISTRAR): True,
+    ("none", Capability.REGISTRY): True,
+    ("2fa", Capability.ACCOUNT): True,       # stolen session carries the 2FA
+    ("2fa", Capability.REGISTRAR): True,
+    ("2fa", Capability.REGISTRY): True,
+    ("registry-lock", Capability.ACCOUNT): False,
+    ("registry-lock", Capability.REGISTRAR): False,
+    ("registry-lock", Capability.REGISTRY): True,  # upstream compromise wins
+}
+
+
+def _attempt(mitigation: str, capability: Capability) -> bool:
+    """Run one campaign; returns True if the hijack completed."""
+    world = World(seed=29, start=date(2019, 1, 1), end=date(2019, 12, 31))
+    provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+    attacker_provider = world.add_provider("bullet", 64666, [("203.0.113.0/24", "NL")])
+    victim = world.setup_domain("ministry.gr", provider, services=("www", "mail"))
+    if mitigation == "2fa":
+        victim.registrar.account(victim.credential.username).two_factor = True
+    elif mitigation == "registry-lock":
+        world.registry_for("ministry.gr").lock_domain("ministry.gr")
+    spec = CampaignSpec(
+        victim=victim,
+        sector=Sector.GOVERNMENT_MINISTRY,
+        victim_cc="GR",
+        mode=CampaignMode.T1,
+        expected_detection=DetectionType.T1,
+        hijack_date=date(2019, 8, 10),
+        attacker=AttackerProfile(name="actor", ns_domain="rogue.net"),
+        attacker_provider=attacker_provider,
+        target_subdomain="mail",
+        ca_name="Let's Encrypt",
+        capability=capability,
+    )
+    try:
+        record = run_campaign(world, spec)
+    except CampaignBlocked:
+        return False
+    return record.crtsh_id > 0
+
+
+def test_mitigation_matrix(benchmark):
+    def run_matrix():
+        return {
+            (mitigation, path): _attempt(mitigation, path)
+            for mitigation in MITIGATIONS
+            for path in PATHS
+        }
+
+    outcomes = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    lines = [f"{'mitigation':<15}" + "".join(f"{p.value:>12}" for p in PATHS)]
+    for mitigation in MITIGATIONS:
+        cells = "".join(
+            f"{('HIJACKED' if outcomes[(mitigation, p)] else 'blocked'):>12}"
+            for p in PATHS
+        )
+        lines.append(f"{mitigation:<15}{cells}")
+    show("Section 7.2 mitigation matrix (capability path vs defense)", lines)
+
+    for key, expected in EXPECTED.items():
+        assert outcomes[key] == expected, key
+
+    benchmark.extra_info["blocked_cells"] = sum(
+        1 for success in outcomes.values() if not success
+    )

@@ -1,0 +1,53 @@
+"""Section 5.3 — observability statistics.
+
+Paper claims measured on our data:
+* ~51% of hijacked domains show pDNS attack evidence for at most one day;
+* >50% of malicious certificates appear in scans within 8 days of issuance;
+* >50% of malicious certificates appear in exactly one weekly scan and
+  another ~20% in two;
+* daily zone files are blind to nearly all hijacks (pch.net's
+  midnight-crossing redirection being the exception).
+"""
+
+from repro.analysis.observability import observability_stats
+
+from conftest import show
+
+
+def test_observability_statistics(benchmark, paper, paper_report):
+    stats = benchmark.pedantic(
+        lambda: observability_stats(
+            paper.ground_truth, paper.pdns, paper.scan,
+            world=paper.world, report=paper_report,
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    one_scan = stats.frac_cert_seen_in_exactly(1)
+    two_scans = stats.frac_cert_seen_in_exactly(2)
+    lines = [
+        f"{'metric':<46} {'paper':>8}   {'measured':>8}",
+        f"{'pDNS attack evidence <= 1 day':<46} {'51%':>8}   {stats.frac_pdns_at_most_one_day:>8.0%}",
+        f"{'malicious cert in scans <= 8 days':<46} {'>50%':>8}   {stats.frac_cert_visible_within_8_days:>8.0%}",
+        f"{'malicious cert in exactly 1 scan':<46} {'>50%':>8}   {one_scan:>8.0%}",
+        f"{'malicious cert in exactly 2 scans':<46} {'~20%':>8}   {two_scans:>8.0%}",
+        f"{'hijacks invisible to daily zone files':<46} {'~all':>8}   {stats.frac_zone_blind:>8.0%}",
+    ]
+    show("Section 5.3 observability (paper vs measured)", lines)
+
+    # Around half of the attacks are one-day events in pDNS.
+    assert 0.40 <= stats.frac_pdns_at_most_one_day <= 0.85
+    # Certificates deploy quickly: visible within 8 days for most.
+    assert stats.frac_cert_visible_within_8_days >= 0.5
+    # Brief serving windows: one weekly scan dominates, two is next.
+    assert one_scan >= 0.4
+    assert one_scan + two_scans >= 0.7
+    # Zone files blind except midnight-crossing redirections (pch.net).
+    assert stats.frac_zone_blind >= 0.8
+    assert stats.zone_visible_days.get("pch.net", 0) >= 1
+
+    benchmark.extra_info["pdns_le_1_day"] = round(stats.frac_pdns_at_most_one_day, 3)
+    benchmark.extra_info["cert_le_8_days"] = round(stats.frac_cert_visible_within_8_days, 3)
+    benchmark.extra_info["one_scan"] = round(one_scan, 3)
+    benchmark.extra_info["zone_blind"] = round(stats.frac_zone_blind, 3)

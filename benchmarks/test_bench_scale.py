@@ -1,0 +1,59 @@
+"""Pipeline scalability — the feasibility argument.
+
+The paper runs its pipeline over 22M domains of four years of weekly
+scans; our reproduction must demonstrate the same linear-ish scaling on
+the simulator so the approach extrapolates.  Measures end-to-end
+pipeline wall time at two population sizes and checks growth is roughly
+linear (well under quadratic).
+"""
+
+import time
+from datetime import date
+
+from repro.net.timeline import DateInterval
+from repro.world.behaviors import populate_background
+from repro.world.sim import run_study
+from repro.world.world import World
+
+from conftest import show
+
+SMALL, LARGE = 300, 1200
+
+
+def build_study(n_domains: int, seed: int):
+    world = World(seed=seed, start=date(2019, 1, 1), end=date(2019, 12, 31))
+    populate_background(world, n_domains, DateInterval(world.start, world.end))
+    return run_study(world)
+
+
+def test_pipeline_scaling(benchmark):
+    small_study = build_study(SMALL, seed=41)
+    large_study = build_study(LARGE, seed=42)
+
+    t0 = time.perf_counter()
+    small_report = small_study.run_pipeline()
+    small_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    large_report = benchmark.pedantic(large_study.run_pipeline, rounds=1, iterations=1)
+    large_time = time.perf_counter() - t0
+
+    per_map_small = small_time / max(small_report.funnel.n_maps, 1)
+    per_map_large = large_time / max(large_report.funnel.n_maps, 1)
+    show(
+        "Pipeline scaling (measured)",
+        [
+            f"{SMALL:>6} domains: {small_report.funnel.n_maps:>6} maps, "
+            f"{small_time * 1e3:8.1f} ms  ({per_map_small * 1e6:6.1f} us/map)",
+            f"{LARGE:>6} domains: {large_report.funnel.n_maps:>6} maps, "
+            f"{large_time * 1e3:8.1f} ms  ({per_map_large * 1e6:6.1f} us/map)",
+        ],
+    )
+
+    # 4x the domains must cost clearly less than 4x per-map time
+    # (i.e. total growth well below quadratic).
+    assert per_map_large <= per_map_small * 4
+
+    benchmark.extra_info["maps_small"] = small_report.funnel.n_maps
+    benchmark.extra_info["maps_large"] = large_report.funnel.n_maps
+    benchmark.extra_info["us_per_map"] = round(per_map_large * 1e6, 1)

@@ -1,0 +1,33 @@
+"""Table 4 — affected organizations by sector.
+
+The sector breakdown over the 65 identified victims must match the
+paper row-for-row (Government Ministry 12/11, Government Organization
+4/6, ...).  The benchmark measures the table computation.
+"""
+
+from repro.analysis.sectors import PAPER_TABLE4, format_sector_table, sector_table
+
+from conftest import show
+
+
+def test_table4_sector_breakdown(benchmark, paper, paper_report):
+    identified = {f.domain for f in paper_report.findings}
+
+    rows = benchmark.pedantic(
+        lambda: sector_table(paper.ground_truth, identified), rounds=10, iterations=1
+    )
+
+    show("Table 4: affected organizations by sector (measured)",
+         format_sector_table(rows).splitlines())
+
+    measured = {r.sector: (r.hijacked, r.targeted) for r in rows}
+    assert measured == PAPER_TABLE4
+
+    assert sum(r.hijacked for r in rows) == 41
+    assert sum(r.targeted for r in rows) == 24
+    # Governments dominate — the paper's key qualitative observation.
+    government = sum(
+        r.total for r in rows if r.sector.startswith(("Government", "Local Government"))
+    )
+    assert government >= 40
+    benchmark.extra_info["sectors"] = len(rows)

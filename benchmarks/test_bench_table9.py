@@ -1,0 +1,47 @@
+"""Table 9 — suspiciously obtained certificates.
+
+Per hijacked domain: crt.sh id, issuing CA, and retroactive revocation
+status.  The paper's splits: 28 Let's Encrypt + 12 Comodo (embassy.ly
+used no TLS), only 4 revoked, and Let's Encrypt statuses unknowable
+because it publishes no CRL.
+"""
+
+from repro.analysis.certificates import (
+    ca_breakdown,
+    certificate_table,
+    format_certificate_table,
+    revocation_breakdown,
+)
+
+from conftest import show
+
+
+def test_table9_malicious_certificates(benchmark, paper, paper_report):
+    rows = benchmark.pedantic(
+        lambda: certificate_table(paper_report, paper.crtsh), rounds=5, iterations=1
+    )
+
+    show("Table 9: suspiciously obtained certificates (measured)",
+         format_certificate_table(rows).splitlines())
+
+    assert len(rows) == 41
+
+    cas = ca_breakdown(rows)
+    assert cas == {"Let's Encrypt": 28, "Comodo": 12}
+
+    statuses = revocation_breakdown(rows)
+    assert statuses["revoked"] == 4
+    assert statuses["unknown"] == 28      # every LE cert: OCSP-only, expired
+    assert statuses["no-certificate"] == 1  # embassy.ly
+    assert statuses.get("good", 0) == 8   # unrevoked Comodo certs, CRL-visible
+
+    revoked = {r.domain for r in rows if r.revocation and r.revocation.value == "revoked"}
+    assert revoked == {"asp.gov.al", "cyta.com.cy", "netnod.se", "pch.net"}
+
+    # Every certificate-bearing row has a crt.sh id and a DV issuer.
+    for row in rows:
+        if row.issuer:
+            assert row.crtsh_id > 0, row.domain
+
+    benchmark.extra_info["ca_split"] = cas
+    benchmark.extra_info["revoked"] = len(revoked)

@@ -1,0 +1,66 @@
+"""Tables 7 and 8 (Appendix B) — the affected organizations.
+
+The per-domain organization descriptions behind the sector breakdown:
+each victim's country, organization, and sector, for hijacked (Table 7)
+and targeted (Table 8) domains separately.  Counts must agree with
+Tables 2/3 and the Table 4 sector totals.
+"""
+
+from repro.world.entities import Sector
+from repro.world.groundtruth import AttackKind
+
+from conftest import show
+
+
+def _rows(ledger, kind):
+    rows = [r for r in ledger.records if r.kind is kind]
+    rows.sort(key=lambda r: (r.victim_cc, r.domain))
+    return rows
+
+
+def test_tables7_8_affected_organizations(benchmark, paper):
+    ledger = paper.ground_truth
+
+    hijacked = benchmark.pedantic(
+        lambda: _rows(ledger, AttackKind.HIJACKED), rounds=10, iterations=1
+    )
+    targeted = _rows(ledger, AttackKind.TARGETED)
+
+    lines = [f"{'CC':<4} {'Domain':<26} {'Sector'}", "-" * 60]
+    lines += [f"{r.victim_cc:<4} {r.domain:<26} {r.sector.value}" for r in hijacked]
+    show("Table 7: hijacked organizations (measured)", lines)
+
+    lines = [f"{'CC':<4} {'Domain':<26} {'Sector'}", "-" * 60]
+    lines += [f"{r.victim_cc:<4} {r.domain:<26} {r.sector.value}" for r in targeted]
+    show("Table 8: targeted organizations (measured)", lines)
+
+    assert len(hijacked) == 41
+    assert len(targeted) == 24
+
+    # Countries per table, as in the appendix.
+    assert {r.victim_cc for r in hijacked} == {
+        "AE", "AL", "CY", "EG", "GR", "IQ", "JO", "KG", "KW", "LB", "LY",
+        "NL", "SE", "SY", "US",
+    }
+    assert {r.victim_cc for r in targeted} == {
+        "AE", "CH", "GH", "JO", "KZ", "LT", "LV", "MA", "MM", "PL", "SA",
+        "TM", "US", "VN",
+    }
+
+    # Spot-check descriptions that anchor the paper's narrative.
+    by_domain = {r.domain: r for r in ledger.records}
+    assert by_domain["mfa.gov.kg"].sector is Sector.GOVERNMENT_MINISTRY
+    assert by_domain["pch.net"].sector is Sector.INFRASTRUCTURE_PROVIDER
+    assert by_domain["adpolice.gov.ae"].sector is Sector.LAW_ENFORCEMENT
+    assert by_domain["shish.gov.al"].sector is Sector.INTELLIGENCE_SERVICES
+    assert by_domain["cmail.sa"].sector is Sector.IT_FIRM
+    assert by_domain["manchesternh.gov"].sector is Sector.LOCAL_GOVERNMENT
+
+    # Sector totals agree with Table 4 (cross-check the other benchmark).
+    from repro.analysis.sectors import PAPER_TABLE4, sector_table
+
+    measured = {r.sector: (r.hijacked, r.targeted) for r in sector_table(ledger)}
+    assert measured == PAPER_TABLE4
+
+    benchmark.extra_info["hijacked_ccs"] = len({r.victim_cc for r in hijacked})
+    benchmark.extra_info["targeted_ccs"] = len({r.victim_cc for r in targeted})

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Impact assessment: what did the attackers actually steal?
+
+The paper's motivating threat (Section 3) is credential harvesting: a
+counterfeit mail/VPN login server with a valid certificate collects
+cleartext credentials from every user who signs in during a redirection
+window, while ICAP-style tunneling keeps the service working so nobody
+notices.  This example replays a deterministic user population against
+the simulated Internet for every hijacked campaign of the paper scenario
+and measures the harvest — making the paper's "asymmetric threat" point
+concrete: hours of DNS control translate into a durable credential
+foothold.
+
+Run:  python examples/impact_assessment.py    (~20 s)
+"""
+
+from repro.analysis.longitudinal import attacks_by_year, format_yearly
+from repro.world.impact import ImpactModel, format_impact
+from repro.world.scenarios import paper_study
+
+
+def main() -> None:
+    print("Building the full paper scenario...\n")
+    study = paper_study()
+
+    print("Replaying user logins against the hijack windows...\n")
+    model = ImpactModel(study.world, users_per_domain=40, logins_per_user_per_day=2)
+    report = model.assess(study.ground_truth)
+
+    print(format_impact(report, top=20))
+    print()
+
+    hit = report.domains_with_theft
+    print(
+        f"{len(hit)}/{len(report.domains)} hijacked organizations lost credentials; "
+        "every captured login presented a browser-trusted certificate to the user."
+    )
+    print()
+
+    print("Attack timeline (cf. Section 5.2's longitudinal observations):\n")
+    print(format_yearly(attacks_by_year(study.ground_truth)))
+    print(
+        "\nNote the 2018 Sea Turtle wave and the post-disclosure 2020 wave —\n"
+        "public reporting did not end this class of attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The full study: every Table 2/3 victim, Sea Turtle and beyond.
+
+Builds the complete paper scenario — 41 hijacked and 24 targeted domains
+across 25 countries, executed with the real attacker playbook against a
+four-year synthetic Internet — runs the pipeline, scores the verdicts
+against ground truth, and prints the headline tables: the victims
+(Table 2/3 layout), the sector breakdown (Table 4), the attacker
+networks (Table 5), and the malicious-certificate analysis (Table 9).
+
+Run:  python examples/sea_turtle_campaign.py    (~10 s)
+"""
+
+from repro.analysis.attacker_infra import attacker_network_table, format_network_table
+from repro.analysis.certificates import (
+    ca_breakdown,
+    certificate_table,
+    format_certificate_table,
+    revocation_breakdown,
+)
+from repro.analysis.evaluation import evaluate_report
+from repro.analysis.sectors import format_sector_table, sector_table
+from repro.core.report import format_findings_table, format_funnel
+from repro.world.scenarios import paper_study
+
+
+def main() -> None:
+    print("Building the full paper scenario (this takes a few seconds)...\n")
+    study = paper_study()
+    report = study.run_pipeline()
+
+    print(format_funnel(report.funnel))
+    print()
+
+    print("HIJACKED DOMAINS (cf. paper Table 2)\n")
+    print(format_findings_table(report.hijacked()))
+    print()
+    print("TARGETED DOMAINS (cf. paper Table 3)\n")
+    print(format_findings_table(report.targeted()))
+    print()
+
+    identified = {f.domain for f in report.findings}
+    print("AFFECTED ORGANIZATIONS BY SECTOR (cf. paper Table 4)\n")
+    print(format_sector_table(sector_table(study.ground_truth, identified)))
+    print()
+    print("NETWORKS USED BY ATTACKERS (cf. paper Table 5)\n")
+    print(format_network_table(attacker_network_table(study.ground_truth, identified)))
+    print()
+
+    rows = certificate_table(report, study.crtsh)
+    print("SUSPICIOUSLY OBTAINED CERTIFICATES (cf. paper Table 9)\n")
+    print(format_certificate_table(rows))
+    print()
+    print(f"  issuing CAs: {ca_breakdown(rows)}")
+    print(f"  revocation:  {revocation_breakdown(rows)}")
+    print()
+
+    evaluation = evaluate_report(report, study.ground_truth)
+    print(
+        f"SCORE: {evaluation.n_detection_correct}/{evaluation.n_expected} victims "
+        f"recovered with the paper's exact detection type; "
+        f"{len(evaluation.false_positives)} false positives "
+        f"(precision {evaluation.precision:.2f}, recall {evaluation.recall:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

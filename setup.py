@@ -1,0 +1,6 @@
+"""Legacy-compatible shim so `pip install -e .` works without the
+`wheel` package (offline environments with older setuptools)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — retroactive identification of targeted DNS infrastructure hijacking.
+
+A from-scratch reproduction of the IMC 2022 paper's methodology and its
+entire data substrate.  The public API has three layers:
+
+* ``repro.core`` — the detection pipeline (deployment maps, pattern
+  classification, shortlisting, pDNS/CT inspection, pivot analysis).
+* ``repro.world`` — the synthetic Internet that generates causally
+  consistent scan / passive-DNS / CT datasets, including the full paper
+  scenario (``repro.world.scenarios.paper_study``).
+* ``repro.analysis`` — the evaluation analyses reproducing each table
+  and figure of the paper.
+
+Quick start::
+
+    from repro.world.scenarios import small_world
+    from repro.world.sim import run_study
+
+    study = run_study(small_world())
+    report = study.run_pipeline()
+    for finding in report.hijacked():
+        print(finding.domain, finding.detection, finding.attacker_ips)
+"""
+
+from repro.core import HijackPipeline, PipelineConfig, PipelineReport
+
+__version__ = "1.0.0"
+
+__all__ = ["HijackPipeline", "PipelineConfig", "PipelineReport", "__version__"]

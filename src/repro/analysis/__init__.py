@@ -1,0 +1,53 @@
+"""Evaluation analyses: one module per table/figure of the paper.
+
+* ``evaluation`` — score pipeline verdicts against ground truth.
+* ``sectors`` — Table 4 (affected organizations by sector).
+* ``attacker_infra`` — Table 5 (networks used by attackers).
+* ``certificates`` — Table 9 (malicious certificates, CAs, revocation).
+* ``observability`` — Section 5.3 statistics.
+* ``funnel`` — Section 4.2-4.4 population fractions and funnel.
+* ``rendering`` — aligned-text table output shared by benches/examples.
+"""
+
+from repro.analysis.attacker_infra import attacker_network_table
+from repro.analysis.attribution import attribution_accuracy, cluster_campaigns
+from repro.analysis.certificates import certificate_table
+from repro.analysis.content import analyze_attacker_content, compare_pages
+from repro.analysis.evaluation import EvaluationResult, evaluate_report
+from repro.analysis.funnel import classification_fractions
+from repro.analysis.longitudinal import attacks_by_year, tld_campaigns
+from repro.analysis.notification import build_all_notifications, build_notification
+from repro.analysis.observability import ObservabilityStats, observability_stats
+from repro.analysis.sectors import sector_table
+from repro.analysis.robustness import run_trials
+from repro.analysis.sweeps import (
+    sweep_corroboration_window,
+    sweep_transient_threshold,
+    sweep_visibility_floor,
+)
+from repro.analysis.timeline import format_timeline, reconstruct_timeline
+
+__all__ = [
+    "attacker_network_table",
+    "attribution_accuracy",
+    "cluster_campaigns",
+    "certificate_table",
+    "analyze_attacker_content",
+    "compare_pages",
+    "EvaluationResult",
+    "evaluate_report",
+    "classification_fractions",
+    "attacks_by_year",
+    "tld_campaigns",
+    "build_all_notifications",
+    "build_notification",
+    "ObservabilityStats",
+    "observability_stats",
+    "sector_table",
+    "run_trials",
+    "sweep_corroboration_window",
+    "sweep_transient_threshold",
+    "sweep_visibility_floor",
+    "format_timeline",
+    "reconstruct_timeline",
+]

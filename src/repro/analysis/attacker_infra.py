@@ -1,0 +1,74 @@
+"""Table 5 — networks used by attackers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ipintel.asnames import as_name
+from repro.world.groundtruth import AttackKind, GroundTruthLedger
+
+#: The paper's Table 5 (ASN -> (hijacked, targeted) domain counts).
+PAPER_TABLE5: dict[int, tuple[int, int]] = {
+    14061: (15, 1),
+    20473: (7, 4),
+    45102: (0, 9),
+    50673: (7, 1),
+    48282: (4, 0),
+    47220: (0, 4),
+    9009: (2, 0),
+    24961: (2, 0),
+    63949: (2, 0),
+    136574: (0, 2),
+    20860: (1, 0),
+    54825: (1, 0),
+    24940: (0, 1),
+    41436: (0, 1),
+    64022: (0, 1),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkRow:
+    asn: int
+    name: str
+    hijacked: int
+    targeted: int
+
+    @property
+    def total(self) -> int:
+        return self.hijacked + self.targeted
+
+
+def attacker_network_table(
+    ledger: GroundTruthLedger, identified_domains: set[str] | None = None
+) -> list[NetworkRow]:
+    """Attacker-ASN concentration over identified victims (Table 5)."""
+    counts: dict[int, list[int]] = {}
+    for record in ledger.records:
+        if identified_domains is not None and record.domain not in identified_domains:
+            continue
+        row = counts.setdefault(record.attacker_asn, [0, 0])
+        if record.kind is AttackKind.HIJACKED:
+            row[0] += 1
+        else:
+            row[1] += 1
+    rows = [
+        NetworkRow(asn, as_name(asn), hijacked, targeted)
+        for asn, (hijacked, targeted) in counts.items()
+    ]
+    rows.sort(key=lambda r: (-r.total, r.asn))
+    return rows
+
+
+def format_network_table(rows: list[NetworkRow]) -> str:
+    header = f"{'ASN':>7} {'Network':<22} {'Hij.':>5} {'Tar.':>5} {'Total':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.asn:>7} {row.name:<22} {row.hijacked:>5} {row.targeted:>5} {row.total:>6}"
+        )
+    total_h = sum(r.hijacked for r in rows)
+    total_t = sum(r.targeted for r in rows)
+    lines.append("-" * len(header))
+    lines.append(f"{'':>7} {'Total':<22} {total_h:>5} {total_t:>5} {total_h + total_t:>6}")
+    return "\n".join(lines)

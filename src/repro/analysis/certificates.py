@@ -1,0 +1,87 @@
+"""Table 9 — suspiciously obtained certificates.
+
+Reproduces the certificate analysis of Appendix B: per hijacked domain,
+the malicious certificate's crt.sh id and issuing CA, plus the
+retroactively determinable revocation status.  The key asymmetry: CAs
+publishing CRLs leave an auditable record, while an OCSP-only issuer
+(Let's Encrypt) yields UNKNOWN for expired certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import PipelineReport
+from repro.ct.crtsh import CrtShService
+from repro.tls.revocation import RevocationStatus
+
+
+@dataclass(frozen=True, slots=True)
+class CertificateRow:
+    domain: str
+    target: str
+    crtsh_id: int
+    issuer: str
+    revocation: RevocationStatus | None  # None = no certificate at all
+
+
+def certificate_table(
+    report: PipelineReport, crtsh: CrtShService
+) -> list[CertificateRow]:
+    """One row per hijacked domain (cf. Table 9)."""
+    rows: list[CertificateRow] = []
+    for finding in report.hijacked():
+        if finding.crtsh_id:
+            entry = crtsh.lookup_id(finding.crtsh_id)
+            revocation = entry.revocation if entry else None
+            issuer = finding.issuer_ca
+        else:
+            revocation = None
+            issuer = ""
+        rows.append(
+            CertificateRow(
+                domain=finding.domain,
+                target=finding.subdomain,
+                crtsh_id=finding.crtsh_id,
+                issuer=issuer,
+                revocation=revocation,
+            )
+        )
+    rows.sort(key=lambda r: r.domain)
+    return rows
+
+
+def ca_breakdown(rows: list[CertificateRow]) -> dict[str, int]:
+    """Certificates per issuing CA (the 28 Let's Encrypt / 12 Comodo split)."""
+    counts: dict[str, int] = {}
+    for row in rows:
+        if row.issuer:
+            counts[row.issuer] = counts.get(row.issuer, 0) + 1
+    return counts
+
+
+def revocation_breakdown(rows: list[CertificateRow]) -> dict[str, int]:
+    """Revocation statuses across the malicious certificates."""
+    counts: dict[str, int] = {}
+    for row in rows:
+        key = row.revocation.value if row.revocation else "no-certificate"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def format_certificate_table(rows: list[CertificateRow]) -> str:
+    header = f"{'Domain':<26} {'Target':<12} {'crt.sh ID':>10} {'Issuer CA':<16} {'CRL'}"
+    lines = [header, "-" * len(header)]
+    marks = {
+        RevocationStatus.REVOKED: "Y",
+        RevocationStatus.GOOD: "x",
+        RevocationStatus.UNKNOWN: "-",
+        None: ".",
+    }
+    for row in rows:
+        lines.append(
+            f"{row.domain:<26} {(row.target or '-'):<12} "
+            f"{(row.crtsh_id or '-'):>10} {(row.issuer or '-'):<16} "
+            f"{marks[row.revocation]}"
+        )
+    return "\n".join(lines)

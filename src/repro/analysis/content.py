@@ -1,0 +1,91 @@
+"""Counterfeit-page analysis (Appendix A of the paper).
+
+Given HTTP context for a victim's legitimate service and for the
+attacker IPs implicated in its hijack, decide whether the attacker page
+is a counterfeit (same look, different code) and whether it carries
+injected scripts — the signal that escalated the Kyrgyzstan campaign
+from credential harvesting to malware delivery (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.scan.http import HttpContentStore, HttpResponse
+
+
+@dataclass(frozen=True, slots=True)
+class ContentVerdict:
+    """Comparison of a suspect page against the legitimate one."""
+
+    ip: str
+    day: date
+    mimics_look: bool        # same title and forms
+    same_code: bool          # identical body fingerprint
+    injected_scripts: tuple[str, ...]
+
+    @property
+    def is_counterfeit(self) -> bool:
+        """Looks like the real page but is not the real code."""
+        return self.mimics_look and not self.same_code
+
+    @property
+    def delivers_malware(self) -> bool:
+        return bool(self.injected_scripts)
+
+
+def compare_pages(
+    legitimate: HttpResponse, suspect: HttpResponse, ip: str, day: date
+) -> ContentVerdict:
+    """Compare one suspect response against the legitimate page."""
+    extra_scripts = tuple(
+        script for script in suspect.scripts if script not in legitimate.scripts
+    )
+    return ContentVerdict(
+        ip=ip,
+        day=day,
+        mimics_look=(
+            suspect.title == legitimate.title and suspect.forms == legitimate.forms
+        ),
+        same_code=suspect.body_fingerprint == legitimate.body_fingerprint,
+        injected_scripts=extra_scripts,
+    )
+
+
+def analyze_attacker_content(
+    store: HttpContentStore,
+    legitimate_ip: str,
+    attacker_ips: tuple[str, ...],
+    scan_dates: tuple[date, ...],
+) -> list[ContentVerdict]:
+    """Compare every attacker-IP page against the victim's page, per scan.
+
+    Only scans where both sides have archived HTTP context contribute —
+    exactly the paper's situation, where the analysis became possible
+    once Censys added HTTP responses in late 2020.
+    """
+    verdicts: list[ContentVerdict] = []
+    for day in scan_dates:
+        legitimate = store.content_at(legitimate_ip, day)
+        if legitimate is None:
+            continue
+        for ip in attacker_ips:
+            suspect = store.content_at(ip, day)
+            if suspect is None:
+                continue
+            verdicts.append(compare_pages(legitimate, suspect, ip, day))
+    return verdicts
+
+
+def format_content_verdicts(verdicts: list[ContentVerdict]) -> str:
+    header = f"{'Date':<12} {'IP':<16} {'counterfeit':<12} {'malware':<8} scripts"
+    lines = [header, "-" * len(header)]
+    for verdict in verdicts:
+        lines.append(
+            f"{verdict.day.isoformat():<12} {verdict.ip:<16} "
+            f"{'YES' if verdict.is_counterfeit else 'no':<12} "
+            f"{'YES' if verdict.delivers_malware else 'no':<8} "
+            f"{list(verdict.injected_scripts) or '-'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Scoring pipeline verdicts against the world's ground truth.
+
+The central evaluation question of the reproduction: does the pipeline
+recover each attack, and does it recover it through the *same* channel
+the paper reports (T1 / T1* / T2 / P-IP / P-NS / targeted)?  Also counts
+false positives — benign domains the pipeline called hijacked or
+targeted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import PipelineReport
+from repro.core.types import DetectionType, Verdict
+from repro.world.groundtruth import AttackKind, GroundTruthLedger
+
+
+@dataclass
+class DomainScore:
+    domain: str
+    expected_kind: AttackKind
+    expected_detection: DetectionType | None
+    found: bool
+    verdict: Verdict | None
+    detection: DetectionType | None
+
+    @property
+    def kind_correct(self) -> bool:
+        if not self.found or self.verdict is None:
+            return False
+        expected = (
+            Verdict.HIJACKED
+            if self.expected_kind is AttackKind.HIJACKED
+            else Verdict.TARGETED
+        )
+        return self.verdict is expected
+
+    @property
+    def detection_correct(self) -> bool:
+        if not self.kind_correct:
+            return False
+        if self.expected_detection is None:
+            return True
+        if self.expected_detection is DetectionType.T2_TARGETED:
+            return self.verdict is Verdict.TARGETED
+        return self.detection is self.expected_detection
+
+
+@dataclass
+class EvaluationResult:
+    scores: list[DomainScore] = field(default_factory=list)
+    false_positives: list[str] = field(default_factory=list)
+
+    @property
+    def n_expected(self) -> int:
+        return len(self.scores)
+
+    @property
+    def n_found(self) -> int:
+        return sum(1 for s in self.scores if s.found)
+
+    @property
+    def n_kind_correct(self) -> int:
+        return sum(1 for s in self.scores if s.kind_correct)
+
+    @property
+    def n_detection_correct(self) -> int:
+        return sum(1 for s in self.scores if s.detection_correct)
+
+    @property
+    def recall(self) -> float:
+        return self.n_kind_correct / self.n_expected if self.n_expected else 1.0
+
+    @property
+    def precision(self) -> float:
+        n_flagged = self.n_found + len(self.false_positives)
+        return self.n_found / n_flagged if n_flagged else 1.0
+
+    def missed(self) -> list[DomainScore]:
+        return [s for s in self.scores if not s.kind_correct]
+
+    def mislabeled(self) -> list[DomainScore]:
+        return [s for s in self.scores if s.kind_correct and not s.detection_correct]
+
+
+def evaluate_report(
+    report: PipelineReport, ground_truth: GroundTruthLedger
+) -> EvaluationResult:
+    """Score a pipeline report against the ledger."""
+    result = EvaluationResult()
+    truth_domains = ground_truth.domains()
+    for record in ground_truth.records:
+        finding = report.finding_for(record.domain)
+        result.scores.append(
+            DomainScore(
+                domain=record.domain,
+                expected_kind=record.kind,
+                expected_detection=record.expected_detection,
+                found=finding is not None,
+                verdict=finding.verdict if finding else None,
+                detection=finding.detection if finding else None,
+            )
+        )
+    for finding in report.findings:
+        if finding.domain not in truth_domains:
+            result.false_positives.append(finding.domain)
+    return result

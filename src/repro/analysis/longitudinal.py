@@ -1,0 +1,106 @@
+"""Section 5.2 — longitudinal patterns of the hijacks.
+
+The paper's observations: attacks span the whole four-year window with a
+pronounced 2018 uptick (the Sea Turtle campaigns); attackers return to
+the same TLD over months or years; and hijacks continue well after the
+early-2019 public disclosures (the .kg cluster in Dec 2020 / Jan 2021).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.net.names import public_suffix
+from repro.world.groundtruth import AttackKind, GroundTruthLedger
+
+#: Sea Turtle reporting went public in early 2019 (Talos, Crowdstrike).
+DISCLOSURE_DATE = date(2019, 4, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class YearlyRow:
+    year: int
+    hijacked: int
+    targeted: int
+
+    @property
+    def total(self) -> int:
+        return self.hijacked + self.targeted
+
+
+def attacks_by_year(
+    ledger: GroundTruthLedger, identified_domains: set[str] | None = None
+) -> list[YearlyRow]:
+    """Victims per calendar year of first attack evidence."""
+    counts: dict[int, list[int]] = {}
+    for record in ledger.records:
+        if identified_domains is not None and record.domain not in identified_domains:
+            continue
+        row = counts.setdefault(record.hijack_date.year, [0, 0])
+        if record.kind is AttackKind.HIJACKED:
+            row[0] += 1
+        else:
+            row[1] += 1
+    return [
+        YearlyRow(year, hijacked, targeted)
+        for year, (hijacked, targeted) in sorted(counts.items())
+    ]
+
+
+@dataclass(frozen=True, slots=True)
+class TldCampaign:
+    """Repeated attacks under one public suffix."""
+
+    suffix: str
+    domains: tuple[str, ...]
+    first: date
+    last: date
+
+    @property
+    def span_days(self) -> int:
+        return (self.last - self.first).days
+
+    @property
+    def recurring(self) -> bool:
+        return len(self.domains) > 1
+
+
+def tld_campaigns(ledger: GroundTruthLedger) -> list[TldCampaign]:
+    """Group victims by public suffix and order by campaign span."""
+    by_suffix: dict[str, list] = {}
+    for record in ledger.records:
+        by_suffix.setdefault(public_suffix(record.domain), []).append(record)
+    campaigns = []
+    for suffix, records in by_suffix.items():
+        records.sort(key=lambda r: r.hijack_date)
+        campaigns.append(
+            TldCampaign(
+                suffix=suffix,
+                domains=tuple(r.domain for r in records),
+                first=records[0].hijack_date,
+                last=records[-1].hijack_date,
+            )
+        )
+    campaigns.sort(key=lambda c: (-c.span_days, c.suffix))
+    return campaigns
+
+
+def post_disclosure_attacks(
+    ledger: GroundTruthLedger, disclosure: date = DISCLOSURE_DATE
+) -> list[str]:
+    """Victims first attacked after the public Sea Turtle disclosures —
+    evidence the threat remained ongoing."""
+    return sorted(
+        record.domain
+        for record in ledger.records
+        if record.hijack_date >= disclosure
+    )
+
+
+def format_yearly(rows: list[YearlyRow]) -> str:
+    header = f"{'Year':<6} {'Hij.':>5} {'Tar.':>5} {'Total':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row.year:<6} {row.hijacked:>5} {row.targeted:>5} {row.total:>6}")
+    return "\n".join(lines)

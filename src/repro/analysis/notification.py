@@ -1,0 +1,93 @@
+"""Victim notification reports (the Section 6 ethics workflow).
+
+The paper's primary ethical obligation was notifying previously
+unidentified victims, directly and via national CERTs, with "all domains
+and inferred attacker infrastructure to allow for full auditing".  This
+module renders exactly that artifact from a pipeline finding: a per-
+victim plain-text report carrying every piece of evidence an operator
+needs to audit their own logs — the hijack timeframe, the attacker IPs
+and rogue nameservers, and the maliciously obtained certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import DomainFinding
+from repro.core.types import Verdict
+from repro.ipintel.asnames import as_name
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    domain: str
+    cert_contact: str  # e.g. "cert@<cc> national CERT"
+    body: str
+
+
+def _cert_contact(finding: DomainFinding) -> str:
+    cc = finding.victim_ccs[0] if finding.victim_ccs else None
+    if cc:
+        return f"national CERT ({cc})"
+    return "domain operator (no national CERT inferred)"
+
+
+def build_notification(finding: DomainFinding) -> Notification:
+    """Render one victim's notification report."""
+    if finding.verdict not in (Verdict.HIJACKED, Verdict.TARGETED):
+        raise ValueError(f"{finding.domain} is not an identified victim")
+
+    action = (
+        "was HIJACKED: traffic for the subdomain below was redirected to "
+        "attacker-controlled infrastructure, and a browser-trusted TLS "
+        "certificate for it was maliciously obtained"
+        if finding.verdict is Verdict.HIJACKED
+        else "was TARGETED: attacker infrastructure impersonating the domain "
+        "was staged, although we found no evidence the attack completed"
+    )
+    lines = [
+        f"Subject: possible DNS infrastructure compromise of {finding.domain}",
+        "",
+        f"Our retroactive analysis indicates {finding.domain} {action}.",
+        "",
+        f"  first evidence        : {finding.first_evidence or 'unknown'}",
+        f"  targeted name         : "
+        f"{(finding.subdomain + '.') if finding.subdomain else ''}{finding.domain}",
+        f"  detection channel     : {finding.detection.value if finding.detection else '-'}",
+    ]
+    for ip in finding.attacker_ips:
+        asn = finding.attacker_asn
+        lines.append(
+            f"  attacker IP           : {ip}"
+            + (f" (AS{asn} {as_name(asn)}, {finding.attacker_cc})" if asn else "")
+        )
+    for ns in finding.attacker_ns:
+        lines.append(f"  rogue nameserver      : {ns}")
+    if finding.crtsh_id:
+        lines.append(
+            f"  malicious certificate : crt.sh id {finding.crtsh_id} "
+            f"issued by {finding.issuer_ca}"
+        )
+        lines.append(
+            "  recommended action    : audit DNS change logs around the date "
+            "above, revoke the certificate, rotate all credentials for the "
+            "targeted service, and enable registry lock."
+        )
+    else:
+        lines.append(
+            "  recommended action    : audit DNS change logs around the date "
+            "above and rotate credentials for the targeted service."
+        )
+    body = "\n".join(lines)
+    return Notification(
+        domain=finding.domain, cert_contact=_cert_contact(finding), body=body
+    )
+
+
+def build_all_notifications(findings: list[DomainFinding]) -> list[Notification]:
+    """Reports for every identified victim, ready for CERT outreach."""
+    return [
+        build_notification(finding)
+        for finding in findings
+        if finding.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
+    ]

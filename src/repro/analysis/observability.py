@@ -1,0 +1,130 @@
+"""Section 5.3 — observability statistics.
+
+Measures, on this run's data, the quantities the paper reports:
+
+* the fraction of hijacked domains whose pDNS attack evidence
+  (resolutions to malicious infrastructure) spans at most one day;
+* how quickly malicious certificates became visible to the weekly scans
+  after issuance (the ≤8-days median claim);
+* how many weekly scans each malicious certificate appeared in (the
+  "one scan for >50%, two for another ~20%" claim);
+* zone-file blindness: for how many hijacks a daily delegation snapshot
+  ever shows the rogue nameservers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+from repro.core.pipeline import PipelineReport
+from repro.net.timeline import iter_days
+from repro.pdns.database import PassiveDNSDatabase
+from repro.scan.dataset import ScanDataset
+from repro.world.groundtruth import AttackKind, GroundTruthLedger
+from repro.world.world import World
+
+
+@dataclass
+class ObservabilityStats:
+    pdns_spans_days: dict[str, int] = field(default_factory=dict)
+    cert_first_scan_lag_days: dict[str, int] = field(default_factory=dict)
+    cert_scan_appearances: dict[str, int] = field(default_factory=dict)
+    zone_visible_days: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def frac_pdns_at_most_one_day(self) -> float:
+        if not self.pdns_spans_days:
+            return 0.0
+        hits = sum(1 for span in self.pdns_spans_days.values() if span <= 1)
+        return hits / len(self.pdns_spans_days)
+
+    @property
+    def frac_cert_visible_within_8_days(self) -> float:
+        if not self.cert_first_scan_lag_days:
+            return 0.0
+        hits = sum(1 for lag in self.cert_first_scan_lag_days.values() if lag <= 8)
+        return hits / len(self.cert_first_scan_lag_days)
+
+    def frac_cert_seen_in_exactly(self, n_scans: int) -> float:
+        if not self.cert_scan_appearances:
+            return 0.0
+        hits = sum(1 for n in self.cert_scan_appearances.values() if n == n_scans)
+        return hits / len(self.cert_scan_appearances)
+
+    @property
+    def frac_zone_blind(self) -> float:
+        """Fraction of hijacks never visible in daily zone snapshots."""
+        if not self.zone_visible_days:
+            return 0.0
+        hits = sum(1 for days in self.zone_visible_days.values() if days == 0)
+        return hits / len(self.zone_visible_days)
+
+
+def observability_stats(
+    ledger: GroundTruthLedger,
+    pdns: PassiveDNSDatabase,
+    scan: ScanDataset,
+    world: World | None = None,
+    report: PipelineReport | None = None,
+) -> ObservabilityStats:
+    """Compute the Section 5.3 statistics for all hijacked domains."""
+    stats = ObservabilityStats()
+    for record in ledger.records:
+        if record.kind is not AttackKind.HIJACKED:
+            continue
+        attacker_ips = set(record.attacker_ips)
+        if report is not None:
+            finding = report.finding_for(record.domain)
+            if finding is not None:
+                attacker_ips.update(finding.attacker_ips)
+
+        # pDNS attack-evidence span.
+        malicious_rows = [
+            row
+            for row in pdns.query_domain(record.domain)
+            if (row.rtype.value == "A" and row.rdata in attacker_ips)
+            or (row.rtype.value == "NS" and row.rdata in record.attacker_ns)
+        ]
+        if malicious_rows:
+            first = min(r.first_seen for r in malicious_rows)
+            last = max(r.last_seen for r in malicious_rows)
+            stats.pdns_spans_days[record.domain] = (last - first).days + 1
+
+        # Malicious-certificate scan visibility.
+        if record.crtsh_id:
+            matching = [
+                r
+                for r in scan.records_for(record.domain)
+                if r.certificate.crtsh_id == record.crtsh_id
+            ]
+            seen_dates = sorted({r.scan_date for r in matching})
+            if seen_dates:
+                issued_on = matching[0].certificate.not_before
+                stats.cert_first_scan_lag_days[record.domain] = (
+                    seen_dates[0] - issued_on
+                ).days
+                stats.cert_scan_appearances[record.domain] = len(seen_dates)
+
+        # Zone-file visibility of the rogue delegation.
+        if world is not None and record.attacker_ns:
+            visible = _zone_visible_days(world, record)
+            stats.zone_visible_days[record.domain] = visible
+    return stats
+
+
+def _zone_visible_days(world: World, record) -> int:
+    """Days on which a daily snapshot shows the rogue NS for the victim."""
+    from repro.net.names import public_suffix
+
+    registry = world.registry_for(record.domain)
+    suffix = public_suffix(record.domain)
+    rogue = set(record.attacker_ns)
+    visible = 0
+    start = record.hijack_date - timedelta(days=5)
+    end = record.hijack_date + timedelta(days=max(record.redirect_days, 1) + 5)
+    for day in iter_days(start, min(end, world.end)):
+        snapshot = registry.zone_snapshot(suffix, day)
+        if set(snapshot.ns_of(record.domain)) & rogue:
+            visible += 1
+    return visible

@@ -1,0 +1,72 @@
+"""Table 4 — affected organizations by sector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.world.entities import Sector
+from repro.world.groundtruth import AttackKind, GroundTruthLedger
+
+#: The paper's Table 4, for comparison in benches and EXPERIMENTS.md.
+PAPER_TABLE4: dict[str, tuple[int, int]] = {
+    "Government Ministry": (12, 11),
+    "Government Organization": (4, 6),
+    "Government Internet Services": (7, 0),
+    "Infrastructure Provider": (6, 0),
+    "Law Enforcement": (3, 1),
+    "Energy Company": (3, 0),
+    "Intelligence Services": (3, 0),
+    "Postal Service": (0, 3),
+    "Civil Aviation": (2, 0),
+    "Local Government": (0, 2),
+    "Insurance": (1, 0),
+    "IT Firm": (0, 1),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SectorRow:
+    sector: str
+    hijacked: int
+    targeted: int
+
+    @property
+    def total(self) -> int:
+        return self.hijacked + self.targeted
+
+
+def sector_table(
+    ledger: GroundTruthLedger, identified_domains: set[str] | None = None
+) -> list[SectorRow]:
+    """Sector breakdown of identified victims (Table 4).
+
+    With ``identified_domains`` the table covers only domains the
+    pipeline actually found; without it, the full ground truth.
+    """
+    counts: dict[Sector, list[int]] = {}
+    for record in ledger.records:
+        if identified_domains is not None and record.domain not in identified_domains:
+            continue
+        row = counts.setdefault(record.sector, [0, 0])
+        if record.kind is AttackKind.HIJACKED:
+            row[0] += 1
+        else:
+            row[1] += 1
+    rows = [
+        SectorRow(sector.value, hijacked, targeted)
+        for sector, (hijacked, targeted) in counts.items()
+    ]
+    rows.sort(key=lambda r: (-r.total, r.sector))
+    return rows
+
+
+def format_sector_table(rows: list[SectorRow]) -> str:
+    header = f"{'Sector':<30} {'Hij.':>5} {'Tar.':>5} {'Total':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row.sector:<30} {row.hijacked:>5} {row.targeted:>5} {row.total:>6}")
+    total_h = sum(r.hijacked for r in rows)
+    total_t = sum(r.targeted for r in rows)
+    lines.append("-" * len(header))
+    lines.append(f"{'Total':<30} {total_h:>5} {total_t:>5} {total_h + total_t:>6}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Parameter-sensitivity sweeps over the pipeline's design knobs.
+
+The paper fixes several thresholds by judgment (three-month transients,
+the 80% visibility floor, the corroboration window).  A sweep runs the
+full pipeline once per candidate value and tabulates recall against
+ground truth plus the noise indicators (shortlist size, inconclusive
+count), making the trade-off each threshold balances visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.analysis.evaluation import evaluate_report
+from repro.core.inspection import InspectionConfig
+from repro.core.patterns import PatternConfig
+from repro.core.pipeline import PipelineConfig
+from repro.core.shortlist import ShortlistConfig
+from repro.core.types import Verdict
+from repro.world.sim import StudyDatasets
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One configuration's outcome."""
+
+    label: str
+    value: float
+    hijacked_found: int
+    targeted_found: int
+    recall: float
+    false_positives: int
+    shortlisted: int
+    inconclusive: int
+
+
+@dataclass
+class SweepResult:
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best(self) -> SweepPoint:
+        return max(self.points, key=lambda p: (p.recall, -p.shortlisted))
+
+
+def _run_point(
+    study: StudyDatasets, config: PipelineConfig, label: str, value: float
+) -> SweepPoint:
+    report = study.pipeline(config).run()
+    evaluation = evaluate_report(report, study.ground_truth)
+    inconclusive = sum(
+        1 for r in report.inspections if r.verdict is Verdict.INCONCLUSIVE
+    )
+    return SweepPoint(
+        label=label,
+        value=value,
+        hijacked_found=len(report.hijacked()),
+        targeted_found=len(report.targeted()),
+        recall=evaluation.recall,
+        false_positives=len(evaluation.false_positives),
+        shortlisted=len(report.shortlist),
+        inconclusive=inconclusive,
+    )
+
+
+def sweep(
+    study: StudyDatasets,
+    parameter: str,
+    values: list[float],
+    make_config: Callable[[float], PipelineConfig],
+) -> SweepResult:
+    """Generic sweep: one pipeline run per candidate value."""
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        result.points.append(
+            _run_point(study, make_config(value), f"{parameter}={value}", value)
+        )
+    return result
+
+
+def sweep_transient_threshold(
+    study: StudyDatasets, values: list[int] | None = None
+) -> SweepResult:
+    """Sweep the three-month transient threshold (Section 4.2.3)."""
+    values = values or [30, 60, 91, 120, 183]
+    return sweep(
+        study,
+        "transient_max_days",
+        [float(v) for v in values],
+        lambda v: PipelineConfig(patterns=PatternConfig(transient_max_days=int(v))),
+    )
+
+
+def sweep_visibility_floor(
+    study: StudyDatasets, values: list[float] | None = None
+) -> SweepResult:
+    """Sweep the 80% scan-presence floor (Section 4.3)."""
+    values = values or [0.5, 0.65, 0.8, 0.9, 0.95]
+    return sweep(
+        study,
+        "min_presence",
+        values,
+        lambda v: PipelineConfig(shortlist=ShortlistConfig(min_presence=v)),
+    )
+
+
+def sweep_corroboration_window(
+    study: StudyDatasets, values: list[int] | None = None
+) -> SweepResult:
+    """Sweep the pDNS/CT corroboration radius (Section 4.4)."""
+    values = values or [3, 7, 14, 30, 60]
+    return sweep(
+        study,
+        "window_days",
+        [float(v) for v in values],
+        lambda v: PipelineConfig(
+            inspection=InspectionConfig(
+                window_days=int(v), issue_proximity_days=max(int(v) - 9, 2)
+            )
+        ),
+    )
+
+
+def format_sweep(result: SweepResult) -> str:
+    header = (
+        f"{result.parameter:<20} {'hij.':>5} {'tar.':>5} {'recall':>7} "
+        f"{'FP':>4} {'shortlist':>10} {'inconcl.':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for point in result.points:
+        lines.append(
+            f"{point.value:<20g} {point.hijacked_found:>5} {point.targeted_found:>5} "
+            f"{point.recall:>7.2f} {point.false_positives:>4} "
+            f"{point.shortlisted:>10} {point.inconclusive:>9}"
+        )
+    return "\n".join(lines)

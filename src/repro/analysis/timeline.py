@@ -1,0 +1,127 @@
+"""Per-victim incident timeline reconstruction.
+
+Assembles, for one identified victim, the ordered forensic narrative the
+paper walks through for mfa.gov.kg in Section 5.1: when the malicious
+certificate was issued and CT-logged, when the weekly scans first and
+last saw it deployed, when passive DNS observed the rogue delegation and
+the redirections, and (if ever) when the certificate was revoked.  This
+is the artifact an analyst or a notified victim actually reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.core.report import DomainFinding
+from repro.ct.crtsh import CrtShService
+from repro.dns.records import RRType
+from repro.pdns.database import PassiveDNSDatabase
+from repro.scan.dataset import ScanDataset
+from repro.tls.revocation import RevocationStatus
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineEvent:
+    day: date
+    source: str   # "ct" | "scan" | "pdns" | "crl"
+    description: str
+
+
+def reconstruct_timeline(
+    finding: DomainFinding,
+    scan: ScanDataset,
+    pdns: PassiveDNSDatabase,
+    crtsh: CrtShService,
+) -> list[TimelineEvent]:
+    """The ordered evidence trail for one victim."""
+    events: list[TimelineEvent] = []
+
+    # Certificate issuance and logging (CT).
+    entry = crtsh.lookup_id(finding.crtsh_id) if finding.crtsh_id else None
+    if entry is not None:
+        cert = entry.certificate
+        events.append(
+            TimelineEvent(
+                cert.not_before, "ct",
+                f"{cert.issuer} issues certificate for {cert.common_name} "
+                f"(crt.sh id {cert.crtsh_id})",
+            )
+        )
+        if entry.logged_at != cert.not_before:
+            events.append(
+                TimelineEvent(entry.logged_at, "ct", "certificate appears in CT log")
+            )
+
+    # Scan sightings of the malicious certificate.
+    if finding.crtsh_id:
+        sightings = sorted(
+            {
+                r.scan_date
+                for r in scan.records_for(finding.domain)
+                if r.certificate.crtsh_id == finding.crtsh_id
+            }
+        )
+        if sightings:
+            ips = sorted(
+                {
+                    r.ip
+                    for r in scan.records_for(finding.domain)
+                    if r.certificate.crtsh_id == finding.crtsh_id
+                }
+            )
+            events.append(
+                TimelineEvent(
+                    sightings[0], "scan",
+                    f"certificate first seen deployed at {', '.join(ips)}",
+                )
+            )
+            if len(sightings) > 1:
+                events.append(
+                    TimelineEvent(
+                        sightings[-1], "scan",
+                        f"certificate last seen in scans ({len(sightings)} sweeps total)",
+                    )
+                )
+
+    # Passive DNS: rogue delegations and redirections.
+    attacker_ips = set(finding.attacker_ips)
+    attacker_ns = set(finding.attacker_ns)
+    for row in pdns.query_domain(finding.domain):
+        if row.rtype is RRType.NS and row.rdata in attacker_ns:
+            events.append(
+                TimelineEvent(
+                    row.first_seen, "pdns",
+                    f"delegation observed pointing at {row.rdata} "
+                    f"(until {row.last_seen})",
+                )
+            )
+        elif row.rtype is RRType.A and row.rdata in attacker_ips:
+            events.append(
+                TimelineEvent(
+                    row.first_seen, "pdns",
+                    f"{row.rrname} observed resolving to {row.rdata} "
+                    f"(until {row.last_seen})",
+                )
+            )
+
+    # Revocation, where retroactively knowable.
+    if entry is not None and entry.revocation is RevocationStatus.REVOKED:
+        events.append(
+            TimelineEvent(
+                entry.certificate.not_after, "crl",
+                "certificate appears revoked in the issuer's CRL",
+            )
+        )
+
+    events.sort(key=lambda e: (e.day, e.source))
+    return events
+
+
+def format_timeline(domain: str, events: list[TimelineEvent]) -> str:
+    lines = [f"incident timeline: {domain}", "-" * (20 + len(domain))]
+    if not events:
+        lines.append("(no recorded evidence)")
+    for event in events:
+        lines.append(f"{event.day.isoformat()}  [{event.source:<4}] {event.description}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Logistic regression from scratch (numpy).
+
+Small, dependency-light implementation: standardized features, L2
+regularization, full-batch gradient descent, and class weighting to
+cope with the extreme imbalance of hijack detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularization."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        iterations: int = 2000,
+        l2: float = 1e-3,
+        balance_classes: bool = True,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.balance_classes = balance_classes
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+    def _standardize(self, features: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._mean = features.mean(axis=0)
+            std = features.std(axis=0)
+            std[std == 0.0] = 1.0
+            self._std = std
+        assert self._mean is not None and self._std is not None
+        return (features - self._mean) / self._std
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+            raise ValueError("features must be (n, d) with matching labels")
+        if set(np.unique(labels)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary 0/1")
+
+        x = self._standardize(features, fit=True)
+        n, d = x.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+
+        if self.balance_classes:
+            n_pos = max(labels.sum(), 1.0)
+            n_neg = max(n - labels.sum(), 1.0)
+            sample_weight = np.where(labels == 1.0, n / (2 * n_pos), n / (2 * n_neg))
+        else:
+            sample_weight = np.ones(n)
+
+        for _ in range(self.iterations):
+            predictions = self._sigmoid(x @ self.weights + self.bias)
+            error = (predictions - labels) * sample_weight
+            grad_w = (x.T @ error) / n + self.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        x = self._standardize(np.asarray(features, dtype=float), fit=False)
+        return self._sigmoid(x @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(int)

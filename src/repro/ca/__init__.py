@@ -1,0 +1,35 @@
+"""Certificate authorities and ACME domain validation.
+
+CA profiles encode the issuance policies the paper's Table 9 analysis
+depends on (Let's Encrypt: 90-day ACME DV, OCSP-only; Comodo/Sectigo:
+free 90-day trial DV with a CRL; DigiCert: year-long OV), and the
+:class:`AcmeServer` performs the DNS-01 domain-validation check against
+the live recursive resolver — so a certificate request succeeds exactly
+when the requester controls the domain's resolution *at that instant*,
+which is what lets a DNS infrastructure hijacker obtain a browser-trusted
+certificate.
+"""
+
+from repro.ca.authority import (
+    CAProfile,
+    CertificateAuthority,
+    default_authorities,
+    COMODO,
+    DIGICERT,
+    INTERNAL_CA,
+    LETS_ENCRYPT,
+)
+from repro.ca.acme import AcmeError, AcmeServer, ChallengePublisher
+
+__all__ = [
+    "CAProfile",
+    "CertificateAuthority",
+    "default_authorities",
+    "COMODO",
+    "DIGICERT",
+    "INTERNAL_CA",
+    "LETS_ENCRYPT",
+    "AcmeError",
+    "AcmeServer",
+    "ChallengePublisher",
+]

@@ -1,0 +1,110 @@
+"""ACME domain validation against the live resolver.
+
+The DNS-01 flow: the requester asks for a certificate, the CA hands back
+a challenge token per name, the requester publishes the token as a TXT
+record at ``_acme-challenge.<name>``, and the CA resolves that record
+*through the public DNS as it stands at that instant*.  A hijacker who
+controls the domain's delegation during the validation window therefore
+passes; the legitimate owner's unrelated infrastructure is never
+consulted.  This is the mechanism that turns a DNS hijack into a
+browser-trusted certificate (Section 3, "Adversary-in-the-Middle
+Capability").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.ca.authority import CertificateAuthority
+from repro.ct.log import CTLog
+from repro.dns.nameserver import NameserverHost
+from repro.dns.records import RRType
+from repro.dns.resolver import RecursiveResolver
+from repro.tls.certificate import Certificate
+
+
+class AcmeError(Exception):
+    """Domain validation failed."""
+
+
+def challenge_token(ca_name: str, fqdn: str, at: datetime) -> str:
+    """Deterministic challenge token (stands in for a random nonce)."""
+    seed = f"{ca_name}|{fqdn}|{at.isoformat()}"
+    return hashlib.sha256(seed.encode()).hexdigest()[:32]
+
+
+@dataclass
+class ChallengePublisher:
+    """The requester's side of DNS-01: a host they can publish TXT on.
+
+    For the legitimate owner this is their authoritative nameserver; for
+    the attacker it is the rogue nameserver their hijacked delegation
+    points at.  The publisher is given the token and installs it for the
+    validation window.
+    """
+
+    host: NameserverHost
+    window_minutes: int = 60
+
+    def publish(self, fqdn: str, token: str, at: datetime) -> None:
+        name = f"_acme-challenge.{fqdn}"
+        self.host.add_record(
+            name, RRType.TXT, token, start=at, end=at + timedelta(minutes=self.window_minutes)
+        )
+
+
+class AcmeServer:
+    """A CA's ACME endpoint: order → challenge → validate → issue → log."""
+
+    def __init__(
+        self,
+        ca: CertificateAuthority,
+        resolver: RecursiveResolver,
+        ct_log: CTLog,
+    ) -> None:
+        if not ca.profile.acme:
+            raise ValueError(f"{ca.name} does not offer ACME issuance")
+        self._ca = ca
+        self._resolver = resolver
+        self._ct_log = ct_log
+
+    @property
+    def ca(self) -> CertificateAuthority:
+        return self._ca
+
+    def request_certificate(
+        self,
+        names: tuple[str, ...],
+        publisher: ChallengePublisher,
+        at: datetime,
+    ) -> Certificate:
+        """Run DNS-01 for every name; issue and CT-log on success.
+
+        Raises :class:`AcmeError` if any name fails validation — i.e. if
+        the public resolution of ``_acme-challenge.<name>`` TXT at ``at``
+        does not return the token the CA handed to this requester.
+        """
+        if not names:
+            raise AcmeError("order contains no names")
+        tokens: dict[str, str] = {}
+        for fqdn in names:
+            token = challenge_token(self._ca.name, fqdn, at)
+            tokens[fqdn] = token
+            publisher.publish(fqdn, token, at)
+
+        validate_at = at + timedelta(minutes=5)
+        for fqdn, token in tokens.items():
+            resolution = self._resolver.resolve(
+                f"_acme-challenge.{fqdn}", RRType.TXT, validate_at
+            )
+            if not resolution.ok or token not in resolution.answers:
+                raise AcmeError(
+                    f"DNS-01 validation failed for {fqdn}: "
+                    f"status={resolution.status.value} answers={resolution.answers}"
+                )
+
+        cert = self._ca.issue(names, on=validate_at.date())
+        logged, _sct = self._ct_log.submit(cert, timestamp=validate_at.date())
+        return logged

@@ -1,0 +1,123 @@
+"""Certificate-authority profiles and the issuing CA object."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.tls.certificate import Certificate, ValidationLevel
+from repro.tls.revocation import RevocationMechanism, RevocationRegistry
+from repro.tls.truststore import ALL_PROGRAMS, RootProgram, TrustStore
+
+
+@dataclass(frozen=True, slots=True)
+class CAProfile:
+    """Issuance policy of one certificate authority."""
+
+    name: str
+    validity_days: int
+    validation: ValidationLevel
+    revocation: RevocationMechanism
+    free: bool
+    acme: bool
+    trusted_programs: frozenset[RootProgram]
+
+    @property
+    def browser_trusted(self) -> bool:
+        return bool(self.trusted_programs)
+
+
+LETS_ENCRYPT = CAProfile(
+    name="Let's Encrypt",
+    validity_days=90,
+    validation=ValidationLevel.DV,
+    revocation=RevocationMechanism.OCSP,
+    free=True,
+    acme=True,
+    trusted_programs=ALL_PROGRAMS,
+)
+
+COMODO = CAProfile(
+    name="Comodo",
+    validity_days=90,  # free trial certificates
+    validation=ValidationLevel.DV,
+    revocation=RevocationMechanism.CRL,
+    free=True,
+    acme=True,
+    trusted_programs=ALL_PROGRAMS,
+)
+
+DIGICERT = CAProfile(
+    name="DigiCert Inc",
+    validity_days=365,
+    validation=ValidationLevel.OV,
+    revocation=RevocationMechanism.CRL,
+    free=False,
+    acme=False,
+    trusted_programs=ALL_PROGRAMS,
+)
+
+INTERNAL_CA = CAProfile(
+    name="Internal Enterprise CA",
+    validity_days=730,
+    validation=ValidationLevel.OV,
+    revocation=RevocationMechanism.CRL,
+    free=True,
+    acme=False,
+    trusted_programs=frozenset(),
+)
+
+_DEFAULT_PROFILES = (LETS_ENCRYPT, COMODO, DIGICERT, INTERNAL_CA)
+
+_serials = itertools.count(1)
+
+
+class CertificateAuthority:
+    """An issuing CA: mints certificates under its profile's policy."""
+
+    def __init__(self, profile: CAProfile, revocations: RevocationRegistry) -> None:
+        self.profile = profile
+        self._revocations = revocations
+        revocations.set_mechanism(profile.name, profile.revocation)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def issue(
+        self,
+        names: tuple[str, ...],
+        on: date,
+        validity_days: int | None = None,
+    ) -> Certificate:
+        """Mint a certificate (validation is the ACME server's job)."""
+        if not names:
+            raise ValueError("cannot issue a certificate with no names")
+        return Certificate(
+            serial=next(_serials),
+            common_name=names[0],
+            sans=tuple(names),
+            issuer=self.profile.name,
+            not_before=on,
+            not_after=on + timedelta(days=validity_days or self.profile.validity_days),
+            validation=self.profile.validation,
+        )
+
+    def revoke(self, cert: Certificate, on: date, reason: str = "unspecified") -> None:
+        if cert.issuer != self.profile.name:
+            raise ValueError(f"{self.name} did not issue {cert}")
+        self._revocations.revoke(cert, on, reason)
+
+
+def default_authorities(
+    revocations: RevocationRegistry,
+    trust_store: TrustStore | None = None,
+) -> dict[str, CertificateAuthority]:
+    """Build the study's CA population; registers trust as a side effect."""
+    authorities: dict[str, CertificateAuthority] = {}
+    for profile in _DEFAULT_PROFILES:
+        authorities[profile.name] = CertificateAuthority(profile, revocations)
+        if trust_store is not None and profile.browser_trusted:
+            trust_store.include(profile.name, profile.trusted_programs)
+    return authorities

@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+    repro-hunt paper [--seed N] [--background N] [--save DIR]
+        Build the full paper scenario, run the pipeline, print every
+        analysis table, and optionally export the datasets + findings.
+
+    repro-hunt quickstart
+        The one-hijack demo world.
+
+    repro-hunt hunt --dir DIR
+        Run the pipeline over a previously exported study directory
+        (scan.jsonl / pdns.jsonl / ct.jsonl / as2org.jsonl).
+
+    repro-hunt gallery
+        Render the canonical deployment-map patterns (Figures 3-5).
+
+    repro-hunt monitor [--seed N]
+        The Section 7.1 reactive-monitoring demo over the paper world.
+
+    repro-hunt sweep [--parameter P]
+        Threshold-sensitivity sweeps over the paper study.
+
+    repro-hunt robustness [--trials N]
+        Randomized-world trials: recall/precision across fresh worlds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime
+from pathlib import Path
+
+from repro.analysis.attacker_infra import attacker_network_table, format_network_table
+from repro.analysis.certificates import certificate_table, format_certificate_table
+from repro.analysis.evaluation import evaluate_report
+from repro.analysis.sectors import format_sector_table, sector_table
+from repro.core.pipeline import HijackPipeline
+from repro.core.report import format_findings_table, format_funnel
+from repro.io import (
+    load_as2org,
+    load_ct,
+    load_pdns,
+    load_scan_dataset,
+    save_as2org,
+    save_ct,
+    save_findings,
+    save_pdns,
+    save_scan_dataset,
+)
+from repro.net.timeline import study_periods
+
+
+def _cmd_paper(args: argparse.Namespace) -> int:
+    from repro.world.scenarios import paper_study
+
+    print(f"building paper scenario (seed={args.seed}, background={args.background})...")
+    study = paper_study(seed=args.seed, n_background=args.background)
+    report = study.run_pipeline()
+
+    print()
+    print(format_funnel(report.funnel))
+    print()
+    print(format_findings_table(report.findings))
+    print()
+    identified = {f.domain for f in report.findings}
+    print(format_sector_table(sector_table(study.ground_truth, identified)))
+    print()
+    print(format_network_table(attacker_network_table(study.ground_truth, identified)))
+    print()
+    print(format_certificate_table(certificate_table(report, study.crtsh)))
+    print()
+    evaluation = evaluate_report(report, study.ground_truth)
+    print(
+        f"score: {evaluation.n_detection_correct}/{evaluation.n_expected} exact, "
+        f"precision={evaluation.precision:.2f} recall={evaluation.recall:.2f}"
+    )
+
+    if args.save:
+        directory = Path(args.save)
+        save_scan_dataset(study.scan, directory / "scan.jsonl")
+        save_pdns(study.pdns, directory / "pdns.jsonl")
+        save_ct(study.ct_log, study.revocations, directory / "ct.jsonl")
+        save_as2org(study.as2org, directory / "as2org.jsonl")
+        save_findings(report.findings, directory / "findings.jsonl")
+        print(f"study exported to {directory}/")
+    return 0
+
+
+def _cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro.world.scenarios import small_world
+    from repro.world.sim import run_study
+
+    study = run_study(small_world())
+    report = study.run_pipeline()
+    print(format_funnel(report.funnel))
+    print()
+    print(format_findings_table(report.findings))
+    return 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    required = ["scan.jsonl", "pdns.jsonl", "ct.jsonl", "as2org.jsonl"]
+    missing = [name for name in required if not (directory / name).exists()]
+    if missing:
+        print(f"error: {directory}/ is missing {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    print(f"loading study from {directory}/ ...")
+    scan = load_scan_dataset(directory / "scan.jsonl")
+    pdns = load_pdns(directory / "pdns.jsonl")
+    _log, _revocations, crtsh = load_ct(directory / "ct.jsonl")
+    as2org = load_as2org(directory / "as2org.jsonl")
+
+    first, last = scan.scan_dates[0], scan.scan_dates[-1]
+    periods = study_periods(first, last)
+    pipeline = HijackPipeline(
+        scan=scan, pdns=pdns, crtsh=crtsh, as2org=as2org, periods=periods
+    )
+    report = pipeline.run()
+    print(format_funnel(report.funnel))
+    print()
+    print(format_findings_table(report.findings))
+    if args.out:
+        save_findings(report.findings, args.out)
+        print(f"\nfindings written to {args.out}")
+    return 0
+
+
+def _cmd_gallery(_args: argparse.Namespace) -> int:
+    import importlib.util
+
+    path = Path(__file__).resolve().parents[2] / "examples" / "pattern_gallery.py"
+    if path.exists():
+        spec = importlib.util.spec_from_file_location("pattern_gallery", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.main()
+        return 0
+    print("error: examples/pattern_gallery.py not found", file=sys.stderr)
+    return 2
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.reactive import ReactiveMonitor
+    from repro.world.scenarios import paper_study
+
+    study = paper_study(seed=args.seed)
+    monitor = ReactiveMonitor(study.world.resolver)
+    baseline_at = datetime(2017, 2, 1)
+    for record in study.ground_truth.records:
+        monitor.watch_from_current_state(record.domain, baseline_at)
+    alerts = monitor.scan_log(study.world.ct_log)
+    for alert in sorted(alerts, key=lambda a: a.issued_on):
+        print(
+            f"{alert.issued_on} ALERT {alert.domain:<24} {alert.reason:<18} "
+            f"crt.sh={alert.crtsh_id}"
+        )
+    malicious = {r.crtsh_id for r in study.ground_truth.records if r.crtsh_id}
+    caught = malicious & {a.crtsh_id for a in alerts}
+    print(f"\ncaught {len(caught)}/{len(malicious)} malicious issuances, "
+          f"{len(alerts) - len(caught)} false alarms")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import format_timeline, reconstruct_timeline
+    from repro.world.scenarios import paper_study
+
+    study = paper_study(seed=args.seed)
+    report = study.run_pipeline()
+    finding = report.finding_for(args.domain)
+    if finding is None:
+        print(f"error: {args.domain} is not an identified victim", file=sys.stderr)
+        known = ", ".join(sorted(f.domain for f in report.findings)[:8])
+        print(f"hint: try one of {known}, ...", file=sys.stderr)
+        return 2
+    events = reconstruct_timeline(finding, study.scan, study.pdns, study.crtsh)
+    print(format_timeline(args.domain, events))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import (
+        format_sweep,
+        sweep_corroboration_window,
+        sweep_transient_threshold,
+        sweep_visibility_floor,
+    )
+    from repro.world.scenarios import paper_study
+
+    sweeps = {
+        "transient": sweep_transient_threshold,
+        "visibility": sweep_visibility_floor,
+        "window": sweep_corroboration_window,
+    }
+    study = paper_study(seed=args.seed)
+    selected = sweeps if args.parameter == "all" else {args.parameter: sweeps[args.parameter]}
+    for runner in selected.values():
+        print(format_sweep(runner(study)))
+        print()
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.analysis.robustness import format_robustness, run_trials
+    from repro.world.randomized import RandomWorldConfig
+
+    config = RandomWorldConfig(n_victims=args.victims)
+    summary = run_trials(n_trials=args.trials, first_seed=args.seed, config=config)
+    print(format_robustness(summary))
+    return 0 if summary.min_recall == 1.0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hunt",
+        description="Retroactive identification of targeted DNS infrastructure hijacking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    paper = sub.add_parser("paper", help="run the full paper scenario")
+    paper.add_argument("--seed", type=int, default=7)
+    paper.add_argument("--background", type=int, default=150)
+    paper.add_argument("--save", metavar="DIR", help="export datasets + findings")
+    paper.set_defaults(func=_cmd_paper)
+
+    quickstart = sub.add_parser("quickstart", help="one-hijack demo world")
+    quickstart.set_defaults(func=_cmd_quickstart)
+
+    hunt = sub.add_parser("hunt", help="run the pipeline over an exported study")
+    hunt.add_argument("--dir", required=True, help="directory with *.jsonl exports")
+    hunt.add_argument("--out", help="write findings JSONL here")
+    hunt.set_defaults(func=_cmd_hunt)
+
+    gallery = sub.add_parser("gallery", help="render the pattern gallery")
+    gallery.set_defaults(func=_cmd_gallery)
+
+    monitor = sub.add_parser("monitor", help="reactive CT monitoring demo")
+    monitor.add_argument("--seed", type=int, default=7)
+    monitor.set_defaults(func=_cmd_monitor)
+
+    timeline = sub.add_parser(
+        "timeline", help="incident timeline for one identified victim"
+    )
+    timeline.add_argument("--domain", required=True)
+    timeline.add_argument("--seed", type=int, default=7)
+    timeline.set_defaults(func=_cmd_timeline)
+
+    sweep = sub.add_parser("sweep", help="threshold-sensitivity sweeps")
+    sweep.add_argument(
+        "--parameter", choices=["transient", "visibility", "window", "all"],
+        default="all",
+    )
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    robustness = sub.add_parser(
+        "robustness", help="randomized-world recall/precision trials"
+    )
+    robustness.add_argument("--trials", type=int, default=5)
+    robustness.add_argument("--victims", type=int, default=6)
+    robustness.add_argument("--seed", type=int, default=100)
+    robustness.set_defaults(func=_cmd_robustness)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,202 @@
+"""Step 1 — building deployment maps (Section 4.1).
+
+A *deployment group* is the observable infrastructure (IPs + the
+certificates they return) of one ASN for one domain on one scan date.
+Groups of the same ASN clustered longitudinally form a *deployment*;
+all deployments of a domain within one six-month period form its
+*deployment map*.  A long gap in an ASN's presence splits it into two
+deployments, so a provider that disappears for months and returns reads
+as two events rather than one continuous deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+
+from repro.net.timeline import DateInterval, Period
+from repro.scan.annotate import AnnotatedScanRecord
+from repro.scan.dataset import ScanDataset
+
+
+@dataclass(frozen=True, slots=True)
+class DeploymentGroup:
+    """One (domain, scan-date, ASN) cell of observable infrastructure."""
+
+    domain: str
+    scan_date: date
+    asn: int
+    ips: frozenset[str]
+    cert_fingerprints: frozenset[str]
+    countries: frozenset[str]
+
+
+@dataclass
+class Deployment:
+    """A deployment group seen longitudinally: one ASN over time."""
+
+    domain: str
+    asn: int
+    groups: list[DeploymentGroup] = field(default_factory=list)
+
+    @property
+    def first_seen(self) -> date:
+        return self.groups[0].scan_date
+
+    @property
+    def last_seen(self) -> date:
+        return self.groups[-1].scan_date
+
+    @property
+    def span_days(self) -> int:
+        return (self.last_seen - self.first_seen).days + 1
+
+    @property
+    def scan_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def ips(self) -> frozenset[str]:
+        return frozenset().union(*(g.ips for g in self.groups))
+
+    @property
+    def cert_fingerprints(self) -> frozenset[str]:
+        return frozenset().union(*(g.cert_fingerprints for g in self.groups))
+
+    @property
+    def countries(self) -> frozenset[str]:
+        return frozenset().union(*(g.countries for g in self.groups))
+
+    @property
+    def interval(self) -> DateInterval:
+        return DateInterval(self.first_seen, self.last_seen)
+
+    def dates(self) -> tuple[date, ...]:
+        return tuple(g.scan_date for g in self.groups)
+
+
+@dataclass
+class DeploymentMap:
+    """All deployments of one domain within one analysis period."""
+
+    domain: str
+    period: Period
+    deployments: list[Deployment]
+    scan_dates_in_period: tuple[date, ...]
+    records: list[AnnotatedScanRecord] = field(default_factory=list, repr=False)
+
+    @property
+    def visible_dates(self) -> tuple[date, ...]:
+        seen = sorted({g.scan_date for d in self.deployments for g in d.groups})
+        return tuple(seen)
+
+    @property
+    def presence(self) -> float:
+        """Fraction of the period's scans in which the domain appears."""
+        if not self.scan_dates_in_period:
+            return 0.0
+        return len(self.visible_dates) / len(self.scan_dates_in_period)
+
+    @property
+    def asns(self) -> frozenset[int]:
+        return frozenset(d.asn for d in self.deployments)
+
+    def deployments_for_asn(self, asn: int) -> list[Deployment]:
+        return [d for d in self.deployments if d.asn == asn]
+
+    def __len__(self) -> int:
+        return len(self.deployments)
+
+
+def _cluster(
+    domain: str,
+    groups: list[DeploymentGroup],
+    scan_dates: tuple[date, ...],
+    max_gap_scans: int,
+) -> list[Deployment]:
+    """Cluster same-ASN groups, splitting on gaps > ``max_gap_scans``."""
+    index_of = {d: i for i, d in enumerate(scan_dates)}
+    by_asn: dict[int, list[DeploymentGroup]] = {}
+    for group in groups:
+        by_asn.setdefault(group.asn, []).append(group)
+
+    deployments: list[Deployment] = []
+    for asn, asn_groups in by_asn.items():
+        asn_groups.sort(key=lambda g: g.scan_date)
+        current = Deployment(domain=domain, asn=asn, groups=[asn_groups[0]])
+        for group in asn_groups[1:]:
+            gap = index_of[group.scan_date] - index_of[current.groups[-1].scan_date]
+            if gap > max_gap_scans:
+                deployments.append(current)
+                current = Deployment(domain=domain, asn=asn, groups=[group])
+            else:
+                current.groups.append(group)
+        deployments.append(current)
+    deployments.sort(key=lambda d: (d.first_seen, d.asn))
+    return deployments
+
+
+def build_deployment_map(
+    domain: str,
+    records: list[AnnotatedScanRecord],
+    period: Period,
+    scan_dates_in_period: tuple[date, ...],
+    max_gap_scans: int = 6,
+) -> DeploymentMap:
+    """Build one domain's deployment map for one period."""
+    in_period = [r for r in records if period.contains(r.scan_date)]
+    cells: dict[tuple[date, int], dict[str, set]] = {}
+    for record in in_period:
+        cell = cells.setdefault(
+            (record.scan_date, record.asn), {"ips": set(), "certs": set(), "ccs": set()}
+        )
+        cell["ips"].add(record.ip)
+        cell["certs"].add(record.certificate.fingerprint)
+        cell["ccs"].add(record.country)
+
+    groups = [
+        DeploymentGroup(
+            domain=domain,
+            scan_date=scan_date,
+            asn=asn,
+            ips=frozenset(cell["ips"]),
+            cert_fingerprints=frozenset(cell["certs"]),
+            countries=frozenset(cell["ccs"]),
+        )
+        for (scan_date, asn), cell in cells.items()
+    ]
+    deployments = _cluster(domain, groups, scan_dates_in_period, max_gap_scans)
+    return DeploymentMap(
+        domain=domain,
+        period=period,
+        deployments=deployments,
+        scan_dates_in_period=scan_dates_in_period,
+        records=in_period,
+    )
+
+
+def build_deployment_maps(
+    dataset: ScanDataset,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+) -> dict[tuple[str, int], DeploymentMap]:
+    """Build maps for every (domain, period) with any scan visibility.
+
+    Keys are (domain, period.index).  Periods with no scan dates (or in
+    which the domain never appears) produce no map, mirroring the paper:
+    a deployment map exists only for domains with a publicly visible
+    certificate in that period.
+    """
+    maps: dict[tuple[str, int], DeploymentMap] = {}
+    for domain in dataset.domains():
+        records = dataset.records_for(domain)
+        for period in periods:
+            dates_in_period = dataset.scan_dates_in(period)
+            if not dates_in_period:
+                continue
+            if not any(period.contains(r.scan_date) for r in records):
+                continue
+            maps[(domain, period.index)] = build_deployment_map(
+                domain, records, period, dates_in_period, max_gap_scans
+            )
+    return maps

@@ -1,0 +1,334 @@
+"""Step 4 — inspecting suspicious deployments (Section 4.4).
+
+Codifies the paper's manual corroboration rules against passive DNS and
+CT data:
+
+* **Worth examining.**  A transient whose certificate was issued many
+  weeks before the deployment became visible, with no pDNS or CT
+  activity in the timeframe, is a legitimate deployment briefly visible
+  to scans — dropped (the paper's 8143 → 1256 prune).
+* **Pattern T1** (transient returns a NEW certificate): hijacked when
+  pDNS shows a short-lived nameserver-delegation change or a resolution
+  of a secured subdomain to the transient's IPs, with the certificate
+  issued near that change.  With no pDNS at all, the entry is deferred:
+  if its IP was used to hijack another confirmed victim it becomes T1*.
+* **Pattern T2** (transient returns the STABLE certificate — the proxy
+  prelude): hijacked when pDNS shows the redirection AND CT shows a new
+  certificate for a sensitive subdomain in the window; with redirection
+  but no certificate the domain is *targeted*; truly anomalous maps with
+  no corroboration at all are likewise *targeted* (attack never
+  launched, or our data missed it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from repro.core.shortlist import ShortlistEntry
+from repro.core.types import DetectionType, SubPattern, Verdict
+from repro.ct.crtsh import CrtShEntry, CrtShService
+from repro.net.names import is_sensitive_name, registered_domain
+from repro.net.timeline import DateInterval
+from repro.pdns.database import PassiveDNSDatabase, PdnsRecord
+from repro.tls.certificate import Certificate
+
+
+@dataclass(frozen=True, slots=True)
+class InspectionConfig:
+    """Windows and proximities for corroboration."""
+
+    window_days: int = 30           # search radius around the transient
+    issue_proximity_days: int = 21  # cert issuance vs. DNS-change proximity
+    stale_cert_days: int = 45       # cert older than this at first sight = stale
+    anomalous_ns_max_span: int = 60 # short-lived delegation threshold
+    pivot_max_span: int = 60        # (used by pivot) short-lived resolution
+
+
+@dataclass
+class Evidence:
+    """What the data sources said about one suspicious deployment."""
+
+    window: DateInterval
+    ns_changes: list[PdnsRecord] = field(default_factory=list)
+    a_redirects: list[PdnsRecord] = field(default_factory=list)
+    ct_entries: list[CrtShEntry] = field(default_factory=list)
+    stale_certificate: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def has_pdns(self) -> bool:
+        return bool(self.ns_changes or self.a_redirects)
+
+    @property
+    def has_ct(self) -> bool:
+        return bool(self.ct_entries)
+
+
+@dataclass
+class InspectionResult:
+    """The verdict for one shortlisted entry."""
+
+    entry: ShortlistEntry
+    verdict: Verdict
+    detection: DetectionType | None
+    evidence: Evidence
+    malicious_cert: CrtShEntry | None = None
+    attacker_ips: frozenset[str] = frozenset()
+    attacker_ns: frozenset[str] = frozenset()
+    pending_t1_star: bool = False
+
+    @property
+    def domain(self) -> str:
+        return self.entry.domain
+
+
+class Inspector:
+    """Corroborates shortlisted transients against pDNS and CT."""
+
+    def __init__(
+        self,
+        pdns: PassiveDNSDatabase,
+        crtsh: CrtShService,
+        config: InspectionConfig | None = None,
+    ) -> None:
+        self._pdns = pdns
+        self._crtsh = crtsh
+        self._config = config or InspectionConfig()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _window_for(self, entry: ShortlistEntry) -> DateInterval:
+        radius = timedelta(days=self._config.window_days)
+        start = entry.transient.first_seen - radius
+        end = entry.transient.last_seen + radius
+        for cert in self._transient_certs(entry):
+            if abs((cert.not_before - entry.transient.first_seen).days) <= 90:
+                start = min(start, cert.not_before - radius)
+        return DateInterval(start, end)
+
+    @staticmethod
+    def _transient_certs(entry: ShortlistEntry) -> list[Certificate]:
+        certs: dict[str, Certificate] = {}
+        for record in entry.transient_records:
+            certs[record.certificate.fingerprint] = record.certificate
+        return list(certs.values())
+
+    def _anomalous_ns_changes(
+        self, domain: str, window: DateInterval
+    ) -> list[PdnsRecord]:
+        """Short-lived NS rows that differ from the long-term delegation."""
+        rows = self._pdns.ns_history(domain)
+        if not rows:
+            return []
+        longest = max(r.span_days for r in rows)
+        stable_ns = {r.rdata for r in rows if r.span_days == longest}
+        anomalous = [
+            r
+            for r in rows
+            if r.rdata not in stable_ns
+            and r.span_days <= self._config.anomalous_ns_max_span
+            and r.overlaps(window)
+        ]
+        return anomalous
+
+    def _redirects_to(
+        self, entry: ShortlistEntry, window: DateInterval, extra_names: tuple[str, ...] = ()
+    ) -> list[PdnsRecord]:
+        """pDNS A rows pointing names under the domain at the transient IPs."""
+        transient_ips = entry.transient.ips
+        redirects: list[PdnsRecord] = []
+        for row in self._pdns.query_domain(entry.domain, window):
+            if row.rtype.value != "A":
+                continue
+            if row.rdata in transient_ips:
+                redirects.append(row)
+        for name in extra_names:
+            for row in self._pdns.a_history(name, window):
+                if row.rdata in transient_ips and row not in redirects:
+                    redirects.append(row)
+        return redirects
+
+    def _suspicious_ct_certs(
+        self, entry: ShortlistEntry, window: DateInterval
+    ) -> list[CrtShEntry]:
+        """New, trusted, sensitive-subdomain certs logged in the window.
+
+        A routine renewal re-issues an already-seen (SAN-set, issuer)
+        combination and is not suspicious; only a first-time combination
+        (new name coverage or a new CA) counts — e.g. a bare
+        ``mail.victim.gov`` certificate from a free CA where the domain
+        always bought multi-SAN certificates from another.
+        """
+        stable_fps = entry.classification.stable_cert_fingerprints()
+        history = self._crtsh.search(entry.domain)
+        seen_combos = {
+            (frozenset(e.certificate.sans), e.certificate.issuer)
+            for e in history
+            if e.certificate.not_before < window.start
+        }
+        suspicious: list[CrtShEntry] = []
+        for ct_entry in history:
+            cert = ct_entry.certificate
+            if not (window.start <= cert.not_before <= (window.end or cert.not_before)):
+                continue
+            if cert.fingerprint in stable_fps:
+                continue
+            if (frozenset(cert.sans), cert.issuer) in seen_combos:
+                continue
+            if not any(is_sensitive_name(name) for name in cert.sans):
+                continue
+            suspicious.append(ct_entry)
+        return suspicious
+
+    # -- the verdict -----------------------------------------------------------
+
+    def inspect(self, entry: ShortlistEntry) -> InspectionResult:
+        window = self._window_for(entry)
+        evidence = Evidence(window=window)
+
+        transient_certs = self._transient_certs(entry)
+        stale = bool(transient_certs) and all(
+            (entry.transient.first_seen - c.not_before).days > self._config.stale_cert_days
+            for c in transient_certs
+        )
+
+        evidence.ns_changes = self._anomalous_ns_changes(entry.domain, window)
+        secured_names = tuple(
+            name for cert in transient_certs for name in cert.sans
+            if not name.startswith("*.")
+        )
+        evidence.a_redirects = self._redirects_to(entry, window, secured_names)
+        evidence.ct_entries = self._suspicious_ct_certs(entry, window)
+        # The stale-certificate prune applies only to T1-pattern entries: a
+        # T1 transient showing a certificate issued many weeks earlier is a
+        # legitimate deployment briefly visible to scans.  A T2 transient
+        # serves the victim's long-lived stable certificate BY DEFINITION,
+        # so its age says nothing.
+        evidence.stale_certificate = (
+            stale and not evidence.has_pdns and entry.subpattern is SubPattern.T1
+        )
+
+        if evidence.stale_certificate and not evidence.has_ct:
+            evidence.notes.append(
+                "certificate predates the transient deployment and no pDNS/CT "
+                "activity in the timeframe: legitimate deployment briefly visible"
+            )
+            return InspectionResult(entry, Verdict.BENIGN, None, evidence)
+
+        if entry.subpattern is SubPattern.T1:
+            return self._inspect_t1(entry, evidence)
+        return self._inspect_t2(entry, evidence)
+
+    def _issued_near_change(
+        self, cert: Certificate, evidence: Evidence
+    ) -> bool:
+        """Was the certificate issued close to an observed DNS change?"""
+        proximity = self._config.issue_proximity_days
+        change_dates: list[date] = []
+        change_dates.extend(r.first_seen for r in evidence.ns_changes)
+        change_dates.extend(r.first_seen for r in evidence.a_redirects)
+        return any(abs((d - cert.not_before).days) <= proximity for d in change_dates)
+
+    def _attacker_infra(
+        self, entry: ShortlistEntry, evidence: Evidence
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        ips = set(entry.transient.ips)
+        ips.update(r.rdata for r in evidence.a_redirects)
+        ns = {r.rdata for r in evidence.ns_changes}
+        return frozenset(ips), frozenset(ns)
+
+    def _inspect_t1(self, entry: ShortlistEntry, evidence: Evidence) -> InspectionResult:
+        transient_certs = self._transient_certs(entry)
+        corroborated = evidence.has_pdns and any(
+            self._issued_near_change(cert, evidence) for cert in transient_certs
+        )
+        if corroborated:
+            ips, ns = self._attacker_infra(entry, evidence)
+            malicious = self._lookup_ct(transient_certs)
+            return InspectionResult(
+                entry, Verdict.HIJACKED, DetectionType.T1, evidence,
+                malicious_cert=malicious, attacker_ips=ips, attacker_ns=ns,
+            )
+        if not evidence.has_pdns:
+            # No pDNS corroboration: defer for the shared-infrastructure
+            # second pass (T1*).  Requires the suspicious cert to be fresh.
+            fresh = any(
+                abs((entry.transient.first_seen - c.not_before).days)
+                <= self._config.stale_cert_days
+                for c in transient_certs
+            )
+            if fresh and entry.sensitive_names:
+                evidence.notes.append("no pDNS corroboration; candidate for T1*")
+                return InspectionResult(
+                    entry, Verdict.INCONCLUSIVE, None, evidence,
+                    malicious_cert=self._lookup_ct(transient_certs),
+                    attacker_ips=entry.transient.ips,
+                    pending_t1_star=True,
+                )
+        evidence.notes.append("T1 without convincing corroboration")
+        return InspectionResult(entry, Verdict.INCONCLUSIVE, None, evidence)
+
+    def _inspect_t2(self, entry: ShortlistEntry, evidence: Evidence) -> InspectionResult:
+        if evidence.has_pdns and evidence.has_ct:
+            malicious = min(
+                evidence.ct_entries,
+                key=lambda e: abs((e.issued_on - entry.transient.first_seen).days),
+            )
+            ips, ns = self._attacker_infra(entry, evidence)
+            return InspectionResult(
+                entry, Verdict.HIJACKED, DetectionType.T2, evidence,
+                malicious_cert=malicious, attacker_ips=ips, attacker_ns=ns,
+            )
+        if evidence.has_pdns and not evidence.has_ct:
+            # Redirection observed but no suspicious certificate issued:
+            # the ais.gov.vn rule — targeted, not hijacked.
+            ips, ns = self._attacker_infra(entry, evidence)
+            evidence.notes.append("pDNS redirection without a suspicious certificate")
+            return InspectionResult(
+                entry, Verdict.TARGETED, DetectionType.T2_TARGETED, evidence,
+                attacker_ips=ips, attacker_ns=ns,
+            )
+        if entry.truly_anomalous:
+            evidence.notes.append(
+                "truly anomalous transient (stable before and after) with no "
+                "corroboration: targeted but not hijacked"
+            )
+            return InspectionResult(
+                entry, Verdict.TARGETED, DetectionType.T2_TARGETED, evidence,
+                attacker_ips=entry.transient.ips,
+            )
+        evidence.notes.append("T2 without corroboration and not truly anomalous")
+        return InspectionResult(entry, Verdict.INCONCLUSIVE, None, evidence)
+
+    def _lookup_ct(self, certs: list[Certificate]) -> CrtShEntry | None:
+        for cert in certs:
+            if cert.crtsh_id:
+                found = self._crtsh.lookup_id(cert.crtsh_id)
+                if found is not None:
+                    return found
+        return None
+
+    # -- second pass ------------------------------------------------------------
+
+    @staticmethod
+    def resolve_t1_star(
+        pending: list[InspectionResult],
+        confirmed_attacker_ips: frozenset[str],
+    ) -> list[InspectionResult]:
+        """Upgrade deferred T1 entries whose IPs hijacked other domains."""
+        upgraded: list[InspectionResult] = []
+        for result in pending:
+            if not result.pending_t1_star:
+                continue
+            shared = result.entry.transient.ips & confirmed_attacker_ips
+            if shared:
+                result.verdict = Verdict.HIJACKED
+                result.detection = DetectionType.T1_STAR
+                result.attacker_ips = frozenset(result.entry.transient.ips)
+                result.evidence.notes.append(
+                    f"transient IP(s) {sorted(shared)} shared with confirmed hijacks"
+                )
+                result.pending_t1_star = False
+                upgraded.append(result)
+        return upgraded

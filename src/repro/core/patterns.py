@@ -1,0 +1,212 @@
+"""Step 2 — classifying deployment maps (Section 4.2, Figures 3-5).
+
+The classifier decides, per deployment, whether it is the *stable*
+background (present from the start of the domain's visibility and still
+present at the end), a *transition* (appears mid-period and persists —
+a migration or expansion), or a *transient* (appears and disappears
+within the three-month threshold).  The map's top-level kind follows:
+any transient makes it TRANSIENT; otherwise any transition makes it
+TRANSITION; otherwise STABLE — unless no deployment qualifies as stable
+at all, in which case the map is NOISY ("domains that move deployments
+continually and have no stable deployment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deployment import Deployment, DeploymentMap
+from repro.core.types import PatternKind, SubPattern
+from repro.net.timeline import TRANSIENT_MAX_DAYS
+
+
+@dataclass(frozen=True, slots=True)
+class PatternConfig:
+    """Thresholds of the classifier.
+
+    ``transient_max_days`` is the paper's three-month threshold ("the
+    typical validity period of free certificates").  ``edge_scans``
+    controls how close to the domain's first/last visible scan a
+    deployment must reach to count as spanning the period's edge.
+    ``stable_min_scans`` keeps a two-sample blip from qualifying as the
+    stable background.
+    """
+
+    transient_max_days: int = TRANSIENT_MAX_DAYS
+    edge_scans: int = 2
+    stable_min_scans: int = 3
+    noisy_min_deployments: int = 3
+
+
+@dataclass
+class Classification:
+    """The classifier's output for one deployment map."""
+
+    map: DeploymentMap
+    kind: PatternKind
+    subpatterns: tuple[SubPattern, ...]
+    stable: list[Deployment] = field(default_factory=list)
+    transitions: list[Deployment] = field(default_factory=list)
+    transients: list[Deployment] = field(default_factory=list)
+
+    @property
+    def domain(self) -> str:
+        return self.map.domain
+
+    @property
+    def period_index(self) -> int:
+        return self.map.period.index
+
+    def stable_cert_fingerprints(self) -> frozenset[str]:
+        if not self.stable:
+            return frozenset()
+        return frozenset().union(*(d.cert_fingerprints for d in self.stable))
+
+    def stable_asns(self) -> frozenset[int]:
+        return frozenset(d.asn for d in self.stable)
+
+    def stable_countries(self) -> frozenset[str]:
+        if not self.stable:
+            return frozenset()
+        return frozenset().union(*(d.countries for d in self.stable))
+
+
+def _spans_start(deployment: Deployment, visible: tuple, edge_scans: int) -> bool:
+    return deployment.first_seen <= visible[min(edge_scans, len(visible) - 1)]
+
+def _spans_end(deployment: Deployment, visible: tuple, edge_scans: int) -> bool:
+    return deployment.last_seen >= visible[max(-1 - edge_scans, -len(visible))]
+
+
+def _stable_subpatterns(stable: list[Deployment]) -> list[SubPattern]:
+    """Which of Figure 3's shapes does the stable background exhibit?"""
+    subpatterns: list[SubPattern] = []
+    for deployment in stable:
+        certs_by_date: list[frozenset[str]] = [g.cert_fingerprints for g in deployment.groups]
+        all_certs = deployment.cert_fingerprints
+        multi_country = len(deployment.countries) > 1
+        if len(all_certs) == 1:
+            subpatterns.append(SubPattern.S3 if multi_country else SubPattern.S1)
+            continue
+        # Multiple certificates: rollover (S2) when at most a short overlap
+        # between consecutive certificates; otherwise an added certificate
+        # on the same infrastructure (S4).
+        overlap_scans = sum(1 for certs in certs_by_date if len(certs) > 1)
+        if overlap_scans <= 2:
+            subpatterns.append(SubPattern.S2)
+        else:
+            subpatterns.append(SubPattern.S4)
+        if multi_country:
+            subpatterns.append(SubPattern.S3)
+    return subpatterns
+
+
+def _transition_subpattern(
+    transition: Deployment, stable: list[Deployment], visible: tuple, edge_scans: int
+) -> SubPattern:
+    """Which of Figure 4's shapes is this transition?"""
+    new_certs = transition.cert_fingerprints
+    for old in stable:
+        if old.asn == transition.asn:
+            continue
+        old_runs_to_end = _spans_end(old, visible, edge_scans)
+        if old_runs_to_end:
+            shares_cert = bool(new_certs & old.cert_fingerprints)
+            return SubPattern.X1 if shares_cert else SubPattern.X2
+    return SubPattern.X3
+
+
+def classify(map_: DeploymentMap, config: PatternConfig | None = None) -> Classification:
+    """Classify one deployment map."""
+    config = config or PatternConfig()
+    visible = map_.visible_dates
+    if not visible:
+        return Classification(map_, PatternKind.NO_DATA, ())
+
+    stable: list[Deployment] = []
+    transitions: list[Deployment] = []
+    transients: list[Deployment] = []
+    for deployment in map_.deployments:
+        starts = _spans_start(deployment, visible, config.edge_scans)
+        ends = _spans_end(deployment, visible, config.edge_scans)
+        if starts and ends and deployment.scan_count >= config.stable_min_scans:
+            stable.append(deployment)
+        elif ends and not starts:
+            transitions.append(deployment)
+        elif deployment.span_days <= config.transient_max_days:
+            transients.append(deployment)
+        else:
+            # Long-lived but neither edge-spanning nor short: treat as a
+            # transition that also ended (an X3 whose old deployment this
+            # is, or generally unstable behaviour).
+            transitions.append(deployment)
+
+    subpatterns: list[SubPattern] = []
+    if not stable:
+        # An X3 migration has no single edge-to-edge deployment: accept the
+        # special case of exactly one early deployment handing off to one
+        # late deployment with minimal overlap.
+        if len(map_.deployments) == 2:
+            first, second = sorted(map_.deployments, key=lambda d: d.first_seen)
+            # The paper allows a small overlap between old and new (the
+            # shaded region of Figure 4), so only edge coverage matters —
+            # but both halves must be substantial: for a domain visible in
+            # a handful of scans, "spans the edges" is trivially true and
+            # says nothing.
+            handoff = (
+                _spans_start(first, visible, config.edge_scans)
+                and _spans_end(second, visible, config.edge_scans)
+                and first.scan_count >= config.stable_min_scans
+                and second.scan_count >= config.stable_min_scans
+                and len(visible) >= 4 * config.stable_min_scans
+            )
+            if handoff:
+                # Neither half is a *stable* background (the old one ends,
+                # the new one starts mid-period); report both as the
+                # transition pair.
+                return Classification(
+                    map_, PatternKind.TRANSITION, (SubPattern.X3,),
+                    transitions=[first, second],
+                )
+        if len(map_.deployments) >= config.noisy_min_deployments:
+            return Classification(
+                map_, PatternKind.NOISY, (), transients=list(map_.deployments)
+            )
+        # A single short-lived deployment with nothing else: too little
+        # signal to call anything; the paper's "too noisy or unstable".
+        return Classification(map_, PatternKind.NOISY, (), transients=list(map_.deployments))
+
+    if transients:
+        stable_certs = frozenset().union(*(d.cert_fingerprints for d in stable))
+        for transient in transients:
+            if transient.cert_fingerprints <= stable_certs:
+                subpatterns.append(SubPattern.T2)
+            else:
+                subpatterns.append(SubPattern.T1)
+        return Classification(
+            map_, PatternKind.TRANSIENT, tuple(dict.fromkeys(subpatterns)),
+            stable=stable, transitions=transitions, transients=transients,
+        )
+
+    if transitions:
+        for transition in transitions:
+            subpatterns.append(
+                _transition_subpattern(transition, stable, visible, config.edge_scans)
+            )
+        return Classification(
+            map_, PatternKind.TRANSITION, tuple(dict.fromkeys(subpatterns)),
+            stable=stable, transitions=transitions,
+        )
+
+    subpatterns = _stable_subpatterns(stable)
+    return Classification(
+        map_, PatternKind.STABLE, tuple(dict.fromkeys(subpatterns)), stable=stable
+    )
+
+
+def transient_subpattern_of(classification: Classification, transient: Deployment) -> SubPattern:
+    """T1 or T2 for a specific transient deployment within a map."""
+    stable_certs = classification.stable_cert_fingerprints()
+    if transient.cert_fingerprints and transient.cert_fingerprints <= stable_certs:
+        return SubPattern.T2
+    return SubPattern.T1

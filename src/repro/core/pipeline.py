@@ -1,0 +1,358 @@
+"""The five-step pipeline orchestrator (Figure 1).
+
+Wires the stages together: build deployment maps over every six-month
+period, classify, shortlist, inspect with pDNS + CT corroboration, run
+the T1* shared-infrastructure second pass, pivot on confirmed attacker
+infrastructure, and assemble per-domain findings plus the funnel stats.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from datetime import date
+
+logger = logging.getLogger(__name__)
+
+from repro.core.deployment import build_deployment_maps
+from repro.core.inspection import InspectionConfig, InspectionResult, Inspector
+from repro.core.patterns import Classification, PatternConfig, classify
+from repro.core.pivot import PivotAnalyzer, PivotFinding
+from repro.core.report import DomainFinding, FunnelStats
+from repro.core.shortlist import ShortlistConfig, ShortlistEntry, Shortlister
+from repro.core.types import DetectionType, PatternKind, Verdict
+from repro.ct.crtsh import CrtShService
+from repro.ipintel.as2org import AS2Org
+from repro.ipintel.geo import GeoDB
+from repro.ipintel.pfx2as import RoutingTable
+from repro.net.timeline import Period
+from repro.pdns.database import PassiveDNSDatabase
+from repro.scan.dataset import ScanDataset
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    patterns: PatternConfig = field(default_factory=PatternConfig)
+    shortlist: ShortlistConfig = field(default_factory=ShortlistConfig)
+    inspection: InspectionConfig = field(default_factory=InspectionConfig)
+    max_gap_scans: int = 6
+    enable_pivot: bool = True
+    enable_t1_star: bool = True
+
+
+@dataclass
+class PipelineReport:
+    """Everything the run produced."""
+
+    funnel: FunnelStats
+    findings: list[DomainFinding]
+    classifications: dict[tuple[str, int], Classification]
+    shortlist: list[ShortlistEntry]
+    inspections: list[InspectionResult]
+    pivots: list[PivotFinding]
+    attacker_ips: frozenset[str] = frozenset()
+    attacker_ns: frozenset[str] = frozenset()
+
+    def finding_for(self, domain: str) -> DomainFinding | None:
+        for finding in self.findings:
+            if finding.domain == domain:
+                return finding
+        return None
+
+    def hijacked(self) -> list[DomainFinding]:
+        return [f for f in self.findings if f.verdict is Verdict.HIJACKED]
+
+    def targeted(self) -> list[DomainFinding]:
+        return [f for f in self.findings if f.verdict is Verdict.TARGETED]
+
+
+class HijackPipeline:
+    """End-to-end retroactive hijack identification."""
+
+    def __init__(
+        self,
+        scan: ScanDataset,
+        pdns: PassiveDNSDatabase,
+        crtsh: CrtShService,
+        as2org: AS2Org,
+        periods: tuple[Period, ...],
+        routing: RoutingTable | None = None,
+        geo: GeoDB | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self._scan = scan
+        self._pdns = pdns
+        self._crtsh = crtsh
+        self._as2org = as2org
+        self._periods = periods
+        self._routing = routing
+        self._geo = geo
+        self._config = config or PipelineConfig()
+
+    # -- annotation helpers ----------------------------------------------------
+
+    def _locate_ip(self, ip: str) -> tuple[int | None, str | None]:
+        asn = self._routing.lookup(ip) if self._routing else None
+        cc = self._geo.lookup(ip) if self._geo else None
+        return asn, cc
+
+    def _victim_infra(
+        self, classifications: dict[tuple[str, int], Classification], domain: str
+    ) -> tuple[tuple[int, ...], tuple[str, ...]]:
+        asns: list[int] = []
+        ccs: list[str] = []
+        for (d, _), classification in sorted(classifications.items()):
+            if d != domain:
+                continue
+            for deployment in classification.stable:
+                if deployment.asn not in asns:
+                    asns.append(deployment.asn)
+                for cc in sorted(deployment.countries):
+                    if cc not in ccs:
+                        ccs.append(cc)
+        return tuple(asns), tuple(ccs)
+
+    # -- finding assembly --------------------------------------------------------
+
+    def _finding_from_inspection(
+        self,
+        result: InspectionResult,
+        classifications: dict[tuple[str, int], Classification],
+    ) -> DomainFinding:
+        entry = result.entry
+        first_evidence: date | None = None
+        if result.evidence.a_redirects:
+            first_evidence = min(r.first_seen for r in result.evidence.a_redirects)
+        elif result.evidence.ns_changes:
+            first_evidence = min(r.first_seen for r in result.evidence.ns_changes)
+        else:
+            first_evidence = entry.transient.first_seen
+
+        attacker_ip = sorted(result.attacker_ips)
+        asn, cc = (None, None)
+        if attacker_ip:
+            asn, cc = self._locate_ip(attacker_ip[0])
+        if asn is None:
+            asn = entry.transient.asn
+        if cc is None:
+            ccs = sorted(entry.transient.countries)
+            cc = ccs[0] if ccs else None
+
+        subdomain = ""
+        target_names = list(entry.sensitive_names)
+        if result.malicious_cert is not None:
+            target_names = [
+                n for n in result.malicious_cert.certificate.sans if not n.startswith("*.")
+            ]
+        if target_names:
+            name = sorted(target_names, key=len)[0]
+            if name != entry.domain and name.endswith("." + entry.domain):
+                subdomain = name[: -(len(entry.domain) + 1)]
+
+        victim_asns, victim_ccs = self._victim_infra(classifications, entry.domain)
+        return DomainFinding(
+            domain=entry.domain,
+            verdict=result.verdict,
+            detection=result.detection,
+            first_evidence=first_evidence,
+            subdomain=subdomain,
+            pdns_corroborated=result.evidence.has_pdns,
+            ct_corroborated=result.malicious_cert is not None or result.evidence.has_ct,
+            attacker_ips=tuple(attacker_ip),
+            attacker_asn=asn,
+            attacker_cc=cc,
+            attacker_ns=tuple(sorted(result.attacker_ns)),
+            victim_asns=victim_asns,
+            victim_ccs=victim_ccs,
+            crtsh_id=result.malicious_cert.crtsh_id if result.malicious_cert else 0,
+            issuer_ca=result.malicious_cert.issuer if result.malicious_cert else "",
+            notes=tuple(result.evidence.notes),
+        )
+
+    def _finding_from_pivot(
+        self,
+        pivot: PivotFinding,
+        classifications: dict[tuple[str, int], Classification],
+    ) -> DomainFinding:
+        a_rows = [r for r in pivot.pdns_rows if r.rtype.value == "A"]
+        first_evidence = (
+            min(r.first_seen for r in pivot.pdns_rows) if pivot.pdns_rows else None
+        )
+        attacker_ips = tuple(sorted(pivot.attacker_ips or {r.rdata for r in a_rows}))
+        asn, cc = (None, None)
+        if attacker_ips:
+            asn, cc = self._locate_ip(attacker_ips[0])
+
+        subdomain = ""
+        named = [r.rrname for r in a_rows if r.rrname != pivot.domain]
+        if pivot.malicious_cert is not None:
+            sans = [
+                n
+                for n in pivot.malicious_cert.certificate.sans
+                if not n.startswith("*.") and n != pivot.domain
+            ]
+            named = sans or named
+        if named:
+            name = sorted(named, key=len)[0]
+            if name.endswith("." + pivot.domain):
+                subdomain = name[: -(len(pivot.domain) + 1)]
+
+        victim_asns, victim_ccs = self._victim_infra(classifications, pivot.domain)
+        return DomainFinding(
+            domain=pivot.domain,
+            verdict=pivot.verdict,
+            detection=pivot.detection,
+            first_evidence=first_evidence,
+            subdomain=subdomain,
+            pdns_corroborated=bool(pivot.pdns_rows),
+            ct_corroborated=pivot.malicious_cert is not None,
+            attacker_ips=attacker_ips,
+            attacker_asn=asn,
+            attacker_cc=cc,
+            attacker_ns=tuple(sorted(pivot.attacker_ns)),
+            victim_asns=victim_asns,
+            victim_ccs=victim_ccs,
+            crtsh_id=pivot.malicious_cert.crtsh_id if pivot.malicious_cert else 0,
+            issuer_ca=pivot.malicious_cert.issuer if pivot.malicious_cert else "",
+            notes=(f"pivot via {pivot.via}",),
+        )
+
+    # -- the run -------------------------------------------------------------------
+
+    def run(self) -> PipelineReport:
+        config = self._config
+
+        # Step 1: deployment maps.
+        maps = build_deployment_maps(self._scan, self._periods, config.max_gap_scans)
+        logger.info(
+            "step 1: %d deployment maps over %d domains",
+            len(maps), len({d for d, _ in maps}),
+        )
+
+        # Step 2: classification.
+        classifications = {
+            key: classify(map_, config.patterns) for key, map_ in maps.items()
+        }
+        n_transient = sum(
+            1 for c in classifications.values() if c.kind is PatternKind.TRANSIENT
+        )
+        logger.info("step 2: %d transient maps", n_transient)
+
+        # Step 3: shortlist.
+        shortlister = Shortlister(self._as2org, config.shortlist)
+        shortlist, decisions = shortlister.evaluate(classifications)
+        logger.info(
+            "step 3: %d shortlisted (%d pruned)",
+            len(shortlist), sum(1 for d in decisions if not d.kept),
+        )
+
+        # Step 4: inspection.
+        inspector = Inspector(self._pdns, self._crtsh, config.inspection)
+        inspections = [inspector.inspect(entry) for entry in shortlist]
+        logger.info(
+            "step 4: %d hijacked, %d targeted from direct inspection",
+            sum(1 for r in inspections if r.verdict is Verdict.HIJACKED),
+            sum(1 for r in inspections if r.verdict is Verdict.TARGETED),
+        )
+
+        confirmed_ips: set[str] = set()
+        confirmed_ns: set[str] = set()
+        for result in inspections:
+            if result.verdict is Verdict.HIJACKED:
+                confirmed_ips.update(result.attacker_ips)
+                confirmed_ns.update(result.attacker_ns)
+
+        # Step 4b: T1* second pass on shared attacker infrastructure.
+        if config.enable_t1_star:
+            pending = [r for r in inspections if r.pending_t1_star]
+            upgraded = Inspector.resolve_t1_star(pending, frozenset(confirmed_ips))
+            for result in upgraded:
+                confirmed_ips.update(result.attacker_ips)
+                confirmed_ns.update(result.attacker_ns)
+
+        # Step 5: pivot.
+        pivots: list[PivotFinding] = []
+        if config.enable_pivot and (confirmed_ips or confirmed_ns):
+            known = {
+                r.domain
+                for r in inspections
+                if r.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
+            }
+            analyzer = PivotAnalyzer(self._pdns, self._crtsh, config.inspection)
+            pivots = analyzer.pivot(
+                frozenset(confirmed_ips), frozenset(confirmed_ns), known
+            )
+            logger.info(
+                "step 5: pivot on %d IPs / %d nameservers found %d more victims",
+                len(confirmed_ips), len(confirmed_ns), len(pivots),
+            )
+
+        # Findings: inspection verdicts first, pivots after, one per domain.
+        findings: list[DomainFinding] = []
+        seen: set[str] = set()
+        for result in inspections:
+            if result.verdict in (Verdict.HIJACKED, Verdict.TARGETED):
+                if result.domain in seen:
+                    continue
+                findings.append(self._finding_from_inspection(result, classifications))
+                seen.add(result.domain)
+        for pivot in pivots:
+            if pivot.domain in seen:
+                continue
+            findings.append(self._finding_from_pivot(pivot, classifications))
+            seen.add(pivot.domain)
+        findings.sort(key=lambda f: ((f.victim_ccs[0] if f.victim_ccs else "zz"), f.domain))
+
+        funnel = self._funnel(classifications, shortlist, decisions, inspections, pivots)
+        return PipelineReport(
+            funnel=funnel,
+            findings=findings,
+            classifications=classifications,
+            shortlist=shortlist,
+            inspections=inspections,
+            pivots=pivots,
+            attacker_ips=frozenset(confirmed_ips),
+            attacker_ns=frozenset(confirmed_ns),
+        )
+
+    def _funnel(self, classifications, shortlist, decisions, inspections, pivots) -> FunnelStats:
+        stats = FunnelStats()
+        stats.n_maps = len(classifications)
+        stats.n_domains = len({d for d, _ in classifications})
+        for classification in classifications.values():
+            if classification.kind is PatternKind.STABLE:
+                stats.n_stable += 1
+            elif classification.kind is PatternKind.TRANSITION:
+                stats.n_transition += 1
+            elif classification.kind is PatternKind.TRANSIENT:
+                stats.n_transient += 1
+            elif classification.kind is PatternKind.NOISY:
+                stats.n_noisy += 1
+        stats.n_shortlisted = len(shortlist)
+        stats.n_truly_anomalous = sum(1 for e in shortlist if e.truly_anomalous)
+        stats.n_worth_examining = sum(
+            1
+            for r in inspections
+            if not (r.verdict is Verdict.BENIGN and r.evidence.stale_certificate)
+        )
+        for decision in decisions:
+            if not decision.kept:
+                stats.prune_reasons[decision.reason] = (
+                    stats.prune_reasons.get(decision.reason, 0) + 1
+                )
+        for result in inspections:
+            if result.verdict is Verdict.HIJACKED:
+                if result.detection is DetectionType.T1:
+                    stats.n_t1_hijacked += 1
+                elif result.detection is DetectionType.T2:
+                    stats.n_t2_hijacked += 1
+                elif result.detection is DetectionType.T1_STAR:
+                    stats.n_t1_star += 1
+            elif result.verdict is Verdict.TARGETED:
+                stats.n_targeted += 1
+        for pivot in pivots:
+            if pivot.detection is DetectionType.P_IP:
+                stats.n_pivot_ip += 1
+            else:
+                stats.n_pivot_ns += 1
+        return stats

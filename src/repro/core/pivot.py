@@ -1,0 +1,186 @@
+"""Step 5 — pivot analysis (Section 4.5).
+
+Confirmed hijacks reveal attacker infrastructure: the IPs their victims
+were redirected to and the rogue nameservers the delegations briefly
+pointed at.  The pivot asks passive DNS the inverse questions — which
+*other* domains were ever delegated to those nameservers (P-NS) or had
+names resolving to those IPs (P-IP)?  This catches victims invisible to
+deployment maps: domains with no scan-visible stable infrastructure, no
+TLS at all, or maps too noisy to classify.  The nameserver pass runs
+first, matching the paper's per-domain attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+from repro.core.inspection import InspectionConfig
+from repro.core.types import DetectionType, Verdict
+from repro.ct.crtsh import CrtShEntry, CrtShService
+from repro.net.names import is_sensitive_name, registered_domain
+from repro.net.timeline import DateInterval
+from repro.pdns.database import PassiveDNSDatabase, PdnsRecord
+
+
+@dataclass
+class PivotFinding:
+    """A victim discovered through shared attacker infrastructure."""
+
+    domain: str
+    detection: DetectionType  # P_IP or P_NS
+    verdict: Verdict
+    via: str                  # the IP or NS pivoted on
+    pdns_rows: list[PdnsRecord] = field(default_factory=list)
+    malicious_cert: CrtShEntry | None = None
+    attacker_ips: frozenset[str] = frozenset()
+    attacker_ns: frozenset[str] = frozenset()
+
+
+class PivotAnalyzer:
+    """Expands a set of confirmed attacker infrastructure into new victims."""
+
+    def __init__(
+        self,
+        pdns: PassiveDNSDatabase,
+        crtsh: CrtShService,
+        config: InspectionConfig | None = None,
+    ) -> None:
+        self._pdns = pdns
+        self._crtsh = crtsh
+        self._config = config or InspectionConfig()
+
+    def _attacker_owned(self, attacker_ns: frozenset[str]) -> set[str]:
+        """Domains the attacker registered for their nameservers."""
+        return {registered_domain(ns) for ns in attacker_ns}
+
+    def _short_lived(self, row: PdnsRecord) -> bool:
+        return row.span_days <= self._config.pivot_max_span
+
+    def _find_cert(self, domain: str, rows: list[PdnsRecord]) -> CrtShEntry | None:
+        """Locate the maliciously obtained certificate for a pivoted victim."""
+        if not rows:
+            return None
+        center = min(r.first_seen for r in rows)
+        window = DateInterval(
+            center - timedelta(days=self._config.window_days),
+            max(r.last_seen for r in rows) + timedelta(days=self._config.window_days),
+        )
+        candidates = [
+            e
+            for e in self._crtsh.search(
+                domain, issued_after=window.start, issued_before=window.end
+            )
+            if any(is_sensitive_name(name) for name in e.certificate.sans)
+            or any(
+                name == r.rrname
+                for name in e.certificate.sans
+                for r in rows
+            )
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: abs((e.issued_on - center).days))
+
+    def pivot(
+        self,
+        attacker_ips: frozenset[str],
+        attacker_ns: frozenset[str],
+        known_victims: set[str],
+    ) -> list[PivotFinding]:
+        """Run the NS pass then the IP pass; returns newly found victims."""
+        findings: list[PivotFinding] = []
+        found: set[str] = set(known_victims)
+        excluded = self._attacker_owned(attacker_ns)
+
+        # Pass 1: domains briefly delegated to attacker nameservers.
+        for ns in sorted(attacker_ns):
+            rows = [
+                r
+                for r in self._pdns.query_rdata(ns)
+                if r.rtype.value == "NS" and self._short_lived(r)
+            ]
+            for row in rows:
+                domain = registered_domain(row.rrname)
+                if domain in found or domain in excluded:
+                    continue
+                victim_rows = self._victim_rows(domain, attacker_ips, ns)
+                cert = self._find_cert(domain, victim_rows or rows)
+                findings.append(
+                    PivotFinding(
+                        domain=domain,
+                        detection=DetectionType.P_NS,
+                        verdict=Verdict.HIJACKED,
+                        via=ns,
+                        pdns_rows=victim_rows or [row],
+                        malicious_cert=cert,
+                        attacker_ips=frozenset(
+                            r.rdata for r in victim_rows if r.rtype.value == "A"
+                        ),
+                        attacker_ns=frozenset({ns}),
+                    )
+                )
+                found.add(domain)
+
+        # Pass 2: domains with names briefly resolving to attacker IPs.
+        for ip in sorted(attacker_ips):
+            rows = [
+                r
+                for r in self._pdns.query_rdata(ip)
+                if r.rtype.value == "A" and self._short_lived(r)
+            ]
+            for row in rows:
+                domain = registered_domain(row.rrname)
+                if domain in found or domain in excluded:
+                    continue
+                victim_rows = [
+                    r
+                    for r in self._pdns.query_domain(domain)
+                    if r.rtype.value == "A"
+                    and r.rdata in attacker_ips
+                    and self._short_lived(r)
+                ]
+                cert = self._find_cert(domain, victim_rows or [row])
+                findings.append(
+                    PivotFinding(
+                        domain=domain,
+                        detection=DetectionType.P_IP,
+                        verdict=Verdict.HIJACKED,
+                        via=ip,
+                        pdns_rows=victim_rows or [row],
+                        malicious_cert=cert,
+                        attacker_ips=frozenset(
+                            r.rdata for r in (victim_rows or [row])
+                        ),
+                    )
+                )
+                found.add(domain)
+
+        findings.sort(key=lambda f: f.domain)
+        return findings
+
+    def _victim_rows(
+        self, domain: str, attacker_ips: frozenset[str], ns: str
+    ) -> list[PdnsRecord]:
+        """pDNS rows tying ``domain`` to the attacker's infrastructure.
+
+        The rogue delegation rows themselves, resolutions to already-known
+        attacker IPs, and short-lived A rows that appeared while the rogue
+        delegation was live (the rogue nameserver's answers — possibly IPs
+        not previously implicated, as with the fiu.gov.kg case).
+        """
+        all_rows = self._pdns.query_domain(domain)
+        ns_rows = [r for r in all_rows if r.rtype.value == "NS" and r.rdata == ns]
+        radius = timedelta(days=self._config.window_days)
+        hijack_windows = [
+            DateInterval(r.first_seen - radius, r.last_seen + radius) for r in ns_rows
+        ]
+        rows: list[PdnsRecord] = list(ns_rows)
+        for row in all_rows:
+            if row.rtype.value != "A":
+                continue
+            if row.rdata in attacker_ips:
+                rows.append(row)
+            elif self._short_lived(row) and any(row.overlaps(w) for w in hijack_windows):
+                rows.append(row)
+        return rows

@@ -1,0 +1,175 @@
+"""Reactive monitoring on certificate issuance (Section 7.1 future work).
+
+The paper's proposed intervention: "automatically triggering reactive
+DNS measurements on certificate issuance ... cross-referenced with
+historical deployment maps to flag suspicious certificate issuance" in
+near real time, instead of retroactively.
+
+:class:`ReactiveMonitor` watches a CT log for certificates naming a
+registered set of domains.  On each issuance it immediately measures the
+domain's delegation and the certified names' resolutions through the
+live resolver and compares against the domain's baseline (its known
+nameservers and address space).  A DV certificate whose issuance-time
+measurement shows a foreign delegation or foreign addresses is exactly
+the attacker-workflow signature — the hijack window must be open for
+domain validation to have passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, time, timedelta
+from typing import Callable
+
+from repro.ct.log import CTLog
+from repro.dns.dnssec import DnssecStatus
+from repro.dns.resolver import RecursiveResolver
+from repro.net.names import registered_domain
+from repro.tls.certificate import Certificate
+
+#: Signature of an optional DNSSEC chain validator: (domain, instant) -> status.
+ChainValidator = Callable[[str, datetime], DnssecStatus]
+
+
+@dataclass(frozen=True, slots=True)
+class DomainBaseline:
+    """What the monitor expects the domain's DNS to look like."""
+
+    domain: str
+    nameservers: frozenset[str]
+    address_space: frozenset[str]  # legitimate service IPs
+    dnssec_secure: bool = False    # chain validated SECURE at baseline time
+
+
+@dataclass(frozen=True, slots=True)
+class ReactiveAlert:
+    """A suspicious issuance caught at certificate-issuance time."""
+
+    domain: str
+    names: tuple[str, ...]
+    crtsh_id: int
+    issued_on: date
+    reason: str  # "rogue-delegation" | "foreign-resolution" | "dnssec-stripped"
+    observed_ns: tuple[str, ...]
+    observed_ips: tuple[str, ...]
+
+
+class ReactiveMonitor:
+    """Flags suspicious certificate issuance in near real time."""
+
+    def __init__(
+        self,
+        resolver: RecursiveResolver,
+        measurement_delay_minutes: int = 30,
+        chain_validator: ChainValidator | None = None,
+    ) -> None:
+        self._resolver = resolver
+        self._baselines: dict[str, DomainBaseline] = {}
+        self._delay = timedelta(minutes=measurement_delay_minutes)
+        self._chain_validator = chain_validator
+        self._processed = 0
+
+    # -- registration -----------------------------------------------------------
+
+    def watch(
+        self,
+        domain: str,
+        nameservers: tuple[str, ...] | frozenset[str],
+        address_space: tuple[str, ...] | frozenset[str],
+        dnssec_secure: bool = False,
+    ) -> None:
+        """Register a domain with its known-good delegation and IPs."""
+        base = registered_domain(domain)
+        self._baselines[base] = DomainBaseline(
+            domain=base,
+            nameservers=frozenset(ns.lower().rstrip(".") for ns in nameservers),
+            address_space=frozenset(address_space),
+            dnssec_secure=dnssec_secure,
+        )
+
+    def watch_from_current_state(self, domain: str, asof: datetime) -> None:
+        """Learn the baseline by measuring the domain right now."""
+        base = registered_domain(domain)
+        delegation = self._resolver.delegation_of(base, asof)
+        ips: set[str] = set()
+        for prefix in ("www", "mail", ""):
+            fqdn = f"{prefix}.{base}" if prefix else base
+            ips.update(self._resolver.resolve_a(fqdn, asof))
+        secure = False
+        if self._chain_validator is not None:
+            secure = self._chain_validator(base, asof) is DnssecStatus.SECURE
+        self.watch(base, tuple(delegation), tuple(ips), dnssec_secure=secure)
+
+    def watched(self) -> tuple[str, ...]:
+        return tuple(sorted(self._baselines))
+
+    # -- the reactive measurement -------------------------------------------------
+
+    def on_certificate(self, cert: Certificate, logged_at: date) -> ReactiveAlert | None:
+        """React to one CT entry: measure and compare against baseline.
+
+        Only certificates naming a watched domain are examined.  The
+        measurement happens ``measurement_delay_minutes`` after the
+        (simulated) issuance instant — CT log monitors see entries within
+        minutes, while attacker hijack windows last hours.
+        """
+        concrete = [n for n in cert.sans if not n.startswith("*.")]
+        bases = {registered_domain(n) for n in concrete}
+        watched = [b for b in bases if b in self._baselines]
+        if not watched:
+            return None
+        base = watched[0]
+        baseline = self._baselines[base]
+
+        # Issuance happens at 02:00 in the simulation's attack playbook;
+        # measure shortly after the certificate hits the log.
+        measure_at = datetime.combine(logged_at, time(2, 0)) + self._delay
+
+        observed_ns = tuple(
+            ns.lower().rstrip(".") for ns in self._resolver.delegation_of(base, measure_at)
+        )
+        observed_ips: list[str] = []
+        for name in concrete:
+            if registered_domain(name) == base:
+                observed_ips.extend(self._resolver.resolve_a(name, measure_at))
+        observed_ips = list(dict.fromkeys(observed_ips))
+
+        if observed_ns and not set(observed_ns) <= baseline.nameservers:
+            reason = "rogue-delegation"
+        elif observed_ips and not set(observed_ips) <= baseline.address_space:
+            reason = "foreign-resolution"
+        elif (
+            baseline.dnssec_secure
+            and self._chain_validator is not None
+            and self._chain_validator(base, measure_at) is not DnssecStatus.SECURE
+        ):
+            # Delegation and addresses look right, but the chain that was
+            # SECURE at baseline no longer validates at issuance time —
+            # the attacker stripped the DS records (Section 7.1's "changes
+            # in DNSSEC status" signal).
+            reason = "dnssec-stripped"
+        else:
+            return None
+        return ReactiveAlert(
+            domain=base,
+            names=tuple(concrete),
+            crtsh_id=cert.crtsh_id,
+            issued_on=cert.not_before,
+            reason=reason,
+            observed_ns=observed_ns,
+            observed_ips=tuple(observed_ips),
+        )
+
+    def scan_log(self, log: CTLog, since_index: int = 0) -> list[ReactiveAlert]:
+        """Process a CT log's entries (optionally incrementally)."""
+        alerts: list[ReactiveAlert] = []
+        for entry in log.entries()[since_index:]:
+            alert = self.on_certificate(entry.certificate, entry.timestamp)
+            if alert is not None:
+                alerts.append(alert)
+        self._processed = len(log)
+        return alerts
+
+    @property
+    def processed(self) -> int:
+        return self._processed

@@ -1,0 +1,196 @@
+"""Step 3 — shortlisting suspicious transient deployments (Section 4.3).
+
+Four pruning checks, then the keep rule:
+
+1. prune when the transient's ASN is organizationally related to any
+   stable deployment's ASN (CAIDA AS2Org);
+2. prune when the transient geolocates to the same country as any
+   stable deployment;
+3. prune when visibility is too unstable to judge — the domain misses
+   more than 20% of the period's scans, or shows similar transients in
+   three or more consecutive periods;
+4. keep only transients whose certificate is browser-trusted and
+   secures a *sensitive* subdomain — unless the transient is *truly
+   anomalous* (the domain was fully stable the entire period before and
+   after), which is kept regardless of naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deployment import Deployment, DeploymentMap
+from repro.core.patterns import Classification, transient_subpattern_of
+from repro.core.types import PatternKind, SubPattern
+from repro.ipintel.as2org import AS2Org
+from repro.net.names import is_sensitive_name
+from repro.scan.annotate import AnnotatedScanRecord
+
+
+@dataclass(frozen=True, slots=True)
+class ShortlistConfig:
+    min_presence: float = 0.80
+    recurring_periods: int = 3
+
+
+@dataclass
+class ShortlistEntry:
+    """One shortlisted (domain, period, transient deployment)."""
+
+    domain: str
+    period_index: int
+    classification: Classification
+    transient: Deployment
+    subpattern: SubPattern
+    truly_anomalous: bool
+    sensitive_names: tuple[str, ...]
+    transient_records: list[AnnotatedScanRecord]
+
+    @property
+    def transient_ips(self) -> frozenset[str]:
+        return self.transient.ips
+
+    @property
+    def transient_asn(self) -> int:
+        return self.transient.asn
+
+
+@dataclass
+class PruneDecision:
+    """Why a transient was dropped (kept entries have ``kept=True``)."""
+
+    domain: str
+    period_index: int
+    kept: bool
+    reason: str
+
+
+class Shortlister:
+    """Applies the Section 4.3 heuristics across all classified maps."""
+
+    def __init__(self, as2org: AS2Org, config: ShortlistConfig | None = None) -> None:
+        self._as2org = as2org
+        self._config = config or ShortlistConfig()
+
+    # -- individual checks ---------------------------------------------------
+
+    def org_related(self, classification: Classification, transient: Deployment) -> bool:
+        return any(
+            self._as2org.related(transient.asn, stable_asn)
+            for stable_asn in classification.stable_asns()
+        )
+
+    def same_country(self, classification: Classification, transient: Deployment) -> bool:
+        stable_ccs = classification.stable_countries()
+        return bool(transient.countries & stable_ccs)
+
+    def low_visibility(self, map_: DeploymentMap) -> bool:
+        return map_.presence < self._config.min_presence
+
+    def chronically_transient(
+        self,
+        domain: str,
+        classifications: dict[tuple[str, int], Classification],
+    ) -> bool:
+        """Similar transients in >= N consecutive six-month periods."""
+        indices = sorted(
+            idx
+            for (d, idx), c in classifications.items()
+            if d == domain and c.kind is PatternKind.TRANSIENT
+        )
+        run = best = 1 if indices else 0
+        for previous, current in zip(indices, indices[1:]):
+            run = run + 1 if current == previous + 1 else 1
+            best = max(best, run)
+        return best >= self._config.recurring_periods
+
+    @staticmethod
+    def truly_anomalous(
+        domain: str,
+        period_index: int,
+        classifications: dict[tuple[str, int], Classification],
+    ) -> bool:
+        """Stable for the full six-month period before AND after."""
+        before = classifications.get((domain, period_index - 1))
+        after = classifications.get((domain, period_index + 1))
+        return (
+            before is not None
+            and after is not None
+            and before.kind is PatternKind.STABLE
+            and after.kind is PatternKind.STABLE
+        )
+
+    # -- the full shortlist --------------------------------------------------
+
+    def _transient_records(
+        self, classification: Classification, transient: Deployment
+    ) -> list[AnnotatedScanRecord]:
+        dates = set(transient.dates())
+        return [
+            r
+            for r in classification.map.records
+            if r.scan_date in dates
+            and r.asn == transient.asn
+            and r.ip in transient.ips
+        ]
+
+    def _sensitive_trusted_names(
+        self, classification: Classification, transient: Deployment
+    ) -> tuple[str, ...]:
+        names: list[str] = []
+        for record in self._transient_records(classification, transient):
+            if not record.trusted:
+                continue
+            names.extend(n for n in record.names if is_sensitive_name(n))
+        return tuple(dict.fromkeys(names))
+
+    def evaluate(
+        self,
+        classifications: dict[tuple[str, int], Classification],
+    ) -> tuple[list[ShortlistEntry], list[PruneDecision]]:
+        """Shortlist every transient deployment across all maps."""
+        entries: list[ShortlistEntry] = []
+        decisions: list[PruneDecision] = []
+
+        for (domain, period_index), classification in sorted(classifications.items()):
+            if classification.kind is not PatternKind.TRANSIENT:
+                continue
+
+            def prune(reason: str) -> None:
+                decisions.append(PruneDecision(domain, period_index, False, reason))
+
+            if self.low_visibility(classification.map):
+                prune("low-visibility")
+                continue
+            if self.chronically_transient(domain, classifications):
+                prune("recurring-transients")
+                continue
+
+            for transient in classification.transients:
+                if self.org_related(classification, transient):
+                    prune("org-related-asn")
+                    continue
+                if self.same_country(classification, transient):
+                    prune("same-country")
+                    continue
+                anomalous = self.truly_anomalous(domain, period_index, classifications)
+                sensitive = self._sensitive_trusted_names(classification, transient)
+                if not sensitive and not anomalous:
+                    prune("no-sensitive-name")
+                    continue
+                entries.append(
+                    ShortlistEntry(
+                        domain=domain,
+                        period_index=period_index,
+                        classification=classification,
+                        transient=transient,
+                        subpattern=transient_subpattern_of(classification, transient),
+                        truly_anomalous=anomalous,
+                        sensitive_names=sensitive,
+                        transient_records=self._transient_records(
+                            classification, transient
+                        ),
+                    )
+                )
+                decisions.append(PruneDecision(domain, period_index, True, "shortlisted"))
+        return entries, decisions

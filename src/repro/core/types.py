@@ -1,0 +1,49 @@
+"""Shared vocabulary of the methodology: patterns, verdicts, detections."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PatternKind(Enum):
+    """Top-level categorization of a deployment map (Section 4.2)."""
+
+    STABLE = "stable"
+    TRANSITION = "transition"
+    TRANSIENT = "transient"
+    NOISY = "noisy"
+    NO_DATA = "no-data"
+
+
+class SubPattern(Enum):
+    """The representative patterns of Figures 3-5."""
+
+    S1 = "S1"  # single stable deployment, single certificate
+    S2 = "S2"  # stable deployment with certificate rollover
+    S3 = "S3"  # stable AS, new geography
+    S4 = "S4"  # stable infrastructure, additional certificate
+    X1 = "X1"  # expansion into a new AS, same certificate
+    X2 = "X2"  # expansion into a new AS with an additional certificate
+    X3 = "X3"  # migration to entirely new infrastructure
+    T1 = "T1"  # transient deployment with a NEW certificate
+    T2 = "T2"  # transient deployment serving the STABLE certificate
+
+
+class Verdict(Enum):
+    """Final per-domain outcome of inspection + pivot (Sections 4.4-4.5)."""
+
+    HIJACKED = "hijacked"
+    TARGETED = "targeted"
+    INCONCLUSIVE = "inconclusive"
+    BENIGN = "benign"
+
+
+class DetectionType(Enum):
+    """How a hijacked/targeted domain was identified (Table 2 "Type")."""
+
+    T1 = "T1"
+    T1_STAR = "T1*"
+    T2 = "T2"
+    P_IP = "P-IP"
+    P_NS = "P-NS"
+    T2_TARGETED = "T2-targeted"

@@ -1,0 +1,21 @@
+"""Certificate Transparency substrate.
+
+An RFC 6962-style append-only Merkle-tree log (`CTLog`, with inclusion
+and consistency proofs over the `MerkleTree`), and a crt.sh-style search
+service (`CrtShService`) that indexes logged certificates by domain and
+answers the "was a certificate for this name issued in this window, by
+whom, and was it revoked?" queries the inspection stage performs.
+"""
+
+from repro.ct.crtsh import CrtShService, CrtShEntry
+from repro.ct.log import CTLog, LogEntry, SignedCertificateTimestamp
+from repro.ct.merkle import MerkleTree
+
+__all__ = [
+    "CrtShService",
+    "CrtShEntry",
+    "CTLog",
+    "LogEntry",
+    "SignedCertificateTimestamp",
+    "MerkleTree",
+]

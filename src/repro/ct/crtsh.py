@@ -1,0 +1,139 @@
+"""crt.sh-style certificate search service.
+
+Indexes logged certificates by the registered domain of every SAN and
+answers the inspection stage's queries: all certificates ever issued for
+names under a domain, optionally restricted to a date window or to a
+specific FQDN, each annotated with issuer and retroactively determinable
+revocation status (CRL-backed issuers only — the Table 9 asymmetry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.ct.log import CTLog
+from repro.net.names import registered_domain
+from repro.tls.certificate import Certificate
+from repro.tls.matching import san_matches
+from repro.tls.revocation import RevocationRegistry, RevocationStatus
+
+
+@dataclass(frozen=True, slots=True)
+class CrtShEntry:
+    """One search result row, as crt.sh would render it."""
+
+    crtsh_id: int
+    certificate: Certificate
+    logged_at: date
+    revocation: RevocationStatus
+
+    @property
+    def issuer(self) -> str:
+        return self.certificate.issuer
+
+    @property
+    def issued_on(self) -> date:
+        return self.certificate.not_before
+
+
+class CrtShService:
+    """Search interface over one or more CT logs."""
+
+    def __init__(
+        self,
+        logs: list[CTLog] | None = None,
+        revocations: RevocationRegistry | None = None,
+        asof: date | None = None,
+    ) -> None:
+        self._logs = list(logs) if logs is not None else []
+        # Note: `or` would discard an EMPTY registry (it has __len__ == 0).
+        self._revocations = revocations if revocations is not None else RevocationRegistry()
+        self._asof = asof
+        # registered domain -> list of (cert, logged_at); rebuilt lazily.
+        self._index: dict[str, list[tuple[Certificate, date]]] = {}
+        self._indexed_counts: dict[int, int] = {}
+
+    def attach_log(self, log: CTLog) -> None:
+        self._logs.append(log)
+
+    def _refresh_index(self) -> None:
+        for log_pos, log in enumerate(self._logs):
+            seen = self._indexed_counts.get(log_pos, 0)
+            entries = log.entries()
+            for entry in entries[seen:]:
+                for san in entry.certificate.sans:
+                    name = san[2:] if san.startswith("*.") else san
+                    try:
+                        base = registered_domain(name)
+                    except ValueError:
+                        continue
+                    self._index.setdefault(base, []).append(
+                        (entry.certificate, entry.timestamp)
+                    )
+            self._indexed_counts[log_pos] = len(entries)
+
+    def _status(self, cert: Certificate) -> RevocationStatus:
+        asof = self._asof or (cert.not_after + timedelta(days=365))
+        return self._revocations.retroactive_status(cert, asof)
+
+    def search(
+        self,
+        domain: str,
+        issued_after: date | None = None,
+        issued_before: date | None = None,
+    ) -> list[CrtShEntry]:
+        """All certificates securing names under ``domain``'s registered domain."""
+        self._refresh_index()
+        base = registered_domain(domain)
+        results: list[CrtShEntry] = []
+        for cert, logged_at in self._index.get(base, []):
+            if issued_after is not None and cert.not_before < issued_after:
+                continue
+            if issued_before is not None and cert.not_before > issued_before:
+                continue
+            results.append(
+                CrtShEntry(
+                    crtsh_id=cert.crtsh_id,
+                    certificate=cert,
+                    logged_at=logged_at,
+                    revocation=self._status(cert),
+                )
+            )
+        results.sort(key=lambda e: (e.issued_on, e.crtsh_id))
+        return results
+
+    def search_exact(
+        self,
+        fqdn: str,
+        issued_after: date | None = None,
+        issued_before: date | None = None,
+    ) -> list[CrtShEntry]:
+        """Certificates whose SANs cover exactly this FQDN."""
+        return [
+            entry
+            for entry in self.search(fqdn, issued_after, issued_before)
+            if any(san_matches(san, fqdn) for san in entry.certificate.sans)
+        ]
+
+    def lookup_id(self, crtsh_id: int) -> CrtShEntry | None:
+        """Fetch a single entry by its crt.sh identifier."""
+        self._refresh_index()
+        for certs in self._index.values():
+            for cert, logged_at in certs:
+                if cert.crtsh_id == crtsh_id:
+                    return CrtShEntry(crtsh_id, cert, logged_at, self._status(cert))
+        return None
+
+    def issued_in_window(
+        self, fqdn: str, center: date, window_days: int
+    ) -> list[CrtShEntry]:
+        """Certificates for ``fqdn`` issued within ±``window_days`` of ``center``.
+
+        This is the inspection stage's core question: "was a new
+        certificate issued for this sensitive subdomain around the time
+        of the transient deployment?"
+        """
+        lo = center - timedelta(days=window_days)
+        hi = center + timedelta(days=window_days)
+        return self.search_exact(fqdn, issued_after=lo, issued_before=hi)

@@ -1,0 +1,113 @@
+"""The Certificate Transparency log.
+
+CAs submit every certificate here before issuance (the paper's footnote:
+CT participation is a de-facto browser requirement), receiving a signed
+certificate timestamp.  Entries are append-only and backed by the Merkle
+tree, and each logged certificate is assigned its crt.sh-style numeric
+identifier at logging time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.ct.merkle import MerkleTree
+from repro.tls.certificate import Certificate
+
+
+@dataclass(frozen=True, slots=True)
+class SignedCertificateTimestamp:
+    """Promise-to-log handed back to the submitting CA."""
+
+    log_name: str
+    entry_index: int
+    timestamp: date
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    index: int
+    certificate: Certificate
+    timestamp: date
+
+
+class CTLog:
+    """An append-only certificate log with Merkle-tree backing."""
+
+    def __init__(self, name: str = "repro-ct-log", first_crtsh_id: int = 100_000_000) -> None:
+        self.name = name
+        self._entries: list[LogEntry] = []
+        self._tree = MerkleTree()
+        self._next_crtsh_id = first_crtsh_id
+        self._by_fingerprint: dict[str, int] = {}
+
+    def submit(self, cert: Certificate, timestamp: date) -> tuple[Certificate, SignedCertificateTimestamp]:
+        """Log ``cert``; returns the cert (with crt.sh id stamped) + SCT.
+
+        Submitting the same certificate twice returns the existing entry's
+        SCT, as real logs deduplicate by certificate hash.  (Entry order,
+        not timestamp, defines the Merkle sequence; the simulation batches
+        submissions out of wall-clock order while building scenarios.)
+        """
+        existing = self._by_fingerprint.get(cert.fingerprint)
+        if existing is not None:
+            entry = self._entries[existing]
+            sct = SignedCertificateTimestamp(self.name, entry.index, entry.timestamp)
+            return entry.certificate, sct
+
+        if cert.crtsh_id == 0:
+            logged = Certificate(
+                serial=cert.serial,
+                common_name=cert.common_name,
+                sans=cert.sans,
+                issuer=cert.issuer,
+                not_before=cert.not_before,
+                not_after=cert.not_after,
+                validation=cert.validation,
+                crtsh_id=self._next_crtsh_id,
+                key_id=cert.key_id,
+            )
+            self._next_crtsh_id += 1
+        else:
+            logged = cert
+        index = self._tree.append(logged.fingerprint.encode())
+        entry = LogEntry(index=index, certificate=logged, timestamp=timestamp)
+        self._entries.append(entry)
+        self._by_fingerprint[cert.fingerprint] = index
+        self._by_fingerprint[logged.fingerprint] = index
+        return logged, SignedCertificateTimestamp(self.name, index, timestamp)
+
+    def entry(self, index: int) -> LogEntry:
+        return self._entries[index]
+
+    def entries(self) -> tuple[LogEntry, ...]:
+        return tuple(self._entries)
+
+    def root(self) -> bytes:
+        return self._tree.root()
+
+    def prove_inclusion(self, index: int) -> list[bytes]:
+        return self._tree.inclusion_proof(index)
+
+    def prove_consistency(self, old_size: int) -> list[bytes]:
+        """Prove the first ``old_size`` entries are an unchanged prefix."""
+        return self._tree.consistency_proof(old_size)
+
+    def root_at(self, size: int) -> bytes:
+        """The tree root as it stood after ``size`` entries."""
+        return self._tree.root(size)
+
+    def verify_entry(self, entry: LogEntry) -> bool:
+        """Audit: verify the entry is included under the current root."""
+        proof = self._tree.inclusion_proof(entry.index)
+        return MerkleTree.verify_inclusion(
+            entry.certificate.fingerprint.encode(),
+            entry.index,
+            len(self._tree),
+            proof,
+            self._tree.root(),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

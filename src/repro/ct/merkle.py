@@ -1,0 +1,169 @@
+"""RFC 6962-style Merkle hash tree.
+
+The CT log's tamper-evidence comes from this structure: leaves are hashed
+with a 0x00 prefix and interior nodes with 0x01 (domain separation), the
+tree over n leaves splits at the largest power of two smaller than n, and
+auditors verify membership via inclusion proofs and append-only behaviour
+via consistency proofs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return hashlib.sha256(_LEAF_PREFIX + data).digest()
+
+
+def _hash_children(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(_NODE_PREFIX + left + right).digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """Append-only Merkle tree over byte-string leaves."""
+
+    def __init__(self) -> None:
+        self._leaves: list[bytes] = []
+
+    def append(self, data: bytes) -> int:
+        """Append a leaf; returns its index."""
+        self._leaves.append(_hash_leaf(data))
+        return len(self._leaves) - 1
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def root(self, size: int | None = None) -> bytes:
+        """Root hash over the first ``size`` leaves (default: all).
+
+        The empty tree hashes to SHA-256 of the empty string, per RFC 6962.
+        """
+        size = len(self._leaves) if size is None else size
+        if not 0 <= size <= len(self._leaves):
+            raise ValueError(f"tree has {len(self._leaves)} leaves, asked for {size}")
+        if size == 0:
+            return hashlib.sha256(b"").digest()
+        return self._subtree_root(0, size)
+
+    def _subtree_root(self, start: int, size: int) -> bytes:
+        if size == 1:
+            return self._leaves[start]
+        split = _largest_power_of_two_below(size)
+        left = self._subtree_root(start, split)
+        right = self._subtree_root(start + split, size - split)
+        return _hash_children(left, right)
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        """Audit path proving leaf ``index`` is in the ``size``-leaf tree."""
+        size = len(self._leaves) if size is None else size
+        if not 0 <= index < size <= len(self._leaves):
+            raise ValueError(f"index {index} outside tree of size {size}")
+        return self._proof(index, 0, size)
+
+    def _proof(self, index: int, start: int, size: int) -> list[bytes]:
+        if size == 1:
+            return []
+        split = _largest_power_of_two_below(size)
+        if index - start < split:
+            path = self._proof(index, start, split)
+            path.append(self._subtree_root(start + split, size - split))
+        else:
+            path = self._proof(index, start + split, size - split)
+            path.append(self._subtree_root(start, split))
+        return path
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """Prove the ``old_size``-leaf tree is a prefix of the current one
+        (RFC 9162 §2.1.4.1)."""
+        new_size = len(self._leaves) if new_size is None else new_size
+        if not 0 < old_size <= new_size <= len(self._leaves):
+            raise ValueError(f"invalid sizes: {old_size}, {new_size}")
+        if old_size == new_size:
+            return []
+        return self._subproof(old_size, 0, new_size, True)
+
+    def _subproof(self, m: int, start: int, size: int, complete: bool) -> list[bytes]:
+        if m == size:
+            return [] if complete else [self._subtree_root(start, size)]
+        split = _largest_power_of_two_below(size)
+        if m <= split:
+            path = self._subproof(m, start, split, complete)
+            path.append(self._subtree_root(start + split, size - split))
+        else:
+            path = self._subproof(m - split, start + split, size - split, False)
+            path.append(self._subtree_root(start, split))
+        return path
+
+    @staticmethod
+    def verify_consistency(
+        old_size: int,
+        new_size: int,
+        old_root: bytes,
+        new_root: bytes,
+        proof: list[bytes],
+    ) -> bool:
+        """Verify a consistency proof (RFC 9162 §2.1.4.2)."""
+        if old_size > new_size or old_size <= 0:
+            return False
+        if old_size == new_size:
+            return not proof and old_root == new_root
+        if not proof:
+            return False
+        # When old_size is a power of two, the old root is implicit.
+        if old_size & (old_size - 1) == 0:
+            proof = [old_root] + proof
+        fn, sn = old_size - 1, new_size - 1
+        while fn % 2 == 1:
+            fn >>= 1
+            sn >>= 1
+        fr = sr = proof[0]
+        for sibling in proof[1:]:
+            if sn == 0:
+                return False
+            if fn % 2 == 1 or fn == sn:
+                fr = _hash_children(sibling, fr)
+                sr = _hash_children(sibling, sr)
+                while fn % 2 == 0 and fn != 0:
+                    fn >>= 1
+                    sn >>= 1
+            else:
+                sr = _hash_children(sr, sibling)
+            fn >>= 1
+            sn >>= 1
+        return sn == 0 and fr == old_root and sr == new_root
+
+    @staticmethod
+    def verify_inclusion(
+        leaf_data: bytes, index: int, size: int, proof: list[bytes], root: bytes
+    ) -> bool:
+        """Verify an inclusion proof against a known root (RFC 9162 §2.1.3.2)."""
+        if not 0 <= index < size:
+            return False
+        fn, sn = index, size - 1
+        node = _hash_leaf(leaf_data)
+        for sibling in proof:
+            if sn == 0:
+                return False
+            if fn % 2 == 1 or fn == sn:
+                node = _hash_children(sibling, node)
+                if fn % 2 == 0:
+                    while fn % 2 == 0 and fn != 0:
+                        fn >>= 1
+                        sn >>= 1
+            else:
+                node = _hash_children(node, sibling)
+            fn >>= 1
+            sn >>= 1
+        return sn == 0 and node == root

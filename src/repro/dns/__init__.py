@@ -1,0 +1,44 @@
+"""DNS ecosystem substrate.
+
+Models the chain of authority a DNS infrastructure hijack subverts:
+TLD registries hold delegations (NS records) that registrars update on
+behalf of account holders; authoritative nameserver hosts serve the zone
+data; a time-aware recursive resolver walks the chain exactly as it stood
+at any instant of the study window.  Delegations and records are interval
+timelines, so an attacker's few-hour hijack window is faithfully visible
+to a resolution at 02:00 and invisible to the daily zone-file snapshot —
+the observability asymmetry Section 5.3 of the paper measures.
+"""
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.timelinemap import TimelineMap
+from repro.dns.registry import Registry, ZoneSnapshot
+from repro.dns.registrar import Account, Credential, Registrar, RegistrarError
+from repro.dns.nameserver import NameserverDirectory, NameserverHost
+from repro.dns.resolver import RecursiveResolver, Resolution, ResolutionStatus
+from repro.dns.cache import CachingResolver, poisoned_tail_seconds
+from repro.dns.dnssec import DnssecStatus, validate_chain
+from repro.dns.zonearchive import DelegationChange, ZoneArchive
+
+__all__ = [
+    "CachingResolver",
+    "poisoned_tail_seconds",
+    "DelegationChange",
+    "ZoneArchive",
+    "RRType",
+    "ResourceRecord",
+    "TimelineMap",
+    "Registry",
+    "ZoneSnapshot",
+    "Account",
+    "Credential",
+    "Registrar",
+    "RegistrarError",
+    "NameserverDirectory",
+    "NameserverHost",
+    "RecursiveResolver",
+    "Resolution",
+    "ResolutionStatus",
+    "DnssecStatus",
+    "validate_chain",
+]

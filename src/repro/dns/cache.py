@@ -1,0 +1,114 @@
+"""A TTL-honoring caching recursive resolver.
+
+The pipeline itself consumes authoritative state, but the *victims'
+users* sit behind caching resolvers — and caching stretches a hijack
+beyond its window: an answer fetched at 06:59 from the rogue nameserver
+keeps steering clients to the attacker until its TTL runs out, even
+after the delegation has reverted.  This wrapper models that effect so
+the impact analysis can quantify the TTL tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.dns.records import RRType
+from repro.dns.resolver import RecursiveResolver, Resolution, ResolutionStatus
+
+#: Default cache TTL applied to positive answers (seconds).
+DEFAULT_TTL = 3600
+#: Negative answers are cached briefly (RFC 2308 style).
+NEGATIVE_TTL = 300
+
+
+@dataclass
+class _CacheEntry:
+    resolution: Resolution
+    expires: datetime
+    hits: int = 0
+
+
+class CachingResolver:
+    """Wraps a :class:`RecursiveResolver` with a per-(name, type) cache.
+
+    Queries must be issued in non-decreasing time order per resolver
+    instance (a cache is a stateful artifact of one vantage point's
+    query history).
+    """
+
+    def __init__(
+        self,
+        upstream: RecursiveResolver,
+        ttl_seconds: int = DEFAULT_TTL,
+        negative_ttl_seconds: int = NEGATIVE_TTL,
+    ) -> None:
+        if ttl_seconds <= 0 or negative_ttl_seconds <= 0:
+            raise ValueError("TTLs must be positive")
+        self._upstream = upstream
+        self._ttl = timedelta(seconds=ttl_seconds)
+        self._negative_ttl = timedelta(seconds=negative_ttl_seconds)
+        self._cache: dict[tuple[str, RRType], _CacheEntry] = {}
+        self._last_query: datetime | None = None
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, fqdn: str, rtype: RRType, at: datetime) -> Resolution:
+        if self._last_query is not None and at < self._last_query:
+            raise ValueError("cache queries must move forward in time")
+        self._last_query = at
+        key = (fqdn.lower().rstrip("."), rtype)
+        entry = self._cache.get(key)
+        if entry is not None and at < entry.expires:
+            entry.hits += 1
+            self.hits += 1
+            return entry.resolution
+        resolution = self._upstream.resolve(fqdn, rtype, at)
+        self.misses += 1
+        ttl = self._ttl if resolution.ok else self._negative_ttl
+        self._cache[key] = _CacheEntry(resolution=resolution, expires=at + ttl)
+        return resolution
+
+    def resolve_a(self, fqdn: str, at: datetime) -> tuple[str, ...]:
+        return self.resolve(fqdn, RRType.A, at).answers
+
+    def flush(self) -> None:
+        self._cache.clear()
+        self._last_query = None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def poisoned_tail_seconds(
+    upstream: RecursiveResolver,
+    fqdn: str,
+    attacker_ips: set[str],
+    window_end: datetime,
+    ttl_seconds: int = DEFAULT_TTL,
+    probe_interval_seconds: int = 60,
+) -> int:
+    """How long after the hijack window a cache keeps serving the attacker.
+
+    Simulates a resolver that cached the rogue answer at the last moment
+    of the window, then probes it every ``probe_interval_seconds``.
+    Returns the number of seconds past ``window_end`` during which the
+    cached answer still pointed at attacker infrastructure.
+    """
+    cache = CachingResolver(upstream, ttl_seconds=ttl_seconds)
+    last_in_window = window_end - timedelta(seconds=1)
+    primed = cache.resolve(fqdn, RRType.A, last_in_window)
+    if not set(primed.answers) & attacker_ips:
+        return 0
+    elapsed = 0
+    probe = window_end
+    while True:
+        answers = cache.resolve_a(fqdn, probe)
+        if not set(answers) & attacker_ips:
+            return elapsed
+        elapsed += probe_interval_seconds
+        probe += timedelta(seconds=probe_interval_seconds)
+        if elapsed > 10 * ttl_seconds:  # safety: cannot linger past TTL
+            raise RuntimeError("cache never recovered; TTL logic broken")

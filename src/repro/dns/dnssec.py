@@ -1,0 +1,43 @@
+"""DNSSEC chain validation (minimal model).
+
+DNSSEC is of limited help against infrastructure hijacks because the
+compromised authority can remove the DS records along with the NS
+records (Section 2.2).  We model the chain at the granularity the paper
+reasons about: a domain is SECURE when the registry publishes DS records
+and the answering host signs the zone, BOGUS when DS exists but the host
+does not sign (a hijack that forgot to strip DS), and INSECURE when no
+DS is published — which is the state attackers induce.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from enum import Enum
+
+from repro.dns.nameserver import NameserverDirectory
+from repro.dns.registry import Registry
+from repro.net.names import registered_domain
+
+
+class DnssecStatus(Enum):
+    SECURE = "secure"
+    INSECURE = "insecure"
+    BOGUS = "bogus"
+
+
+def validate_chain(
+    registry: Registry,
+    directory: NameserverDirectory,
+    domain: str,
+    at: datetime,
+) -> DnssecStatus:
+    """Validate the DNSSEC chain for ``domain`` at instant ``at``."""
+    base = registered_domain(domain)
+    ds = registry.ds_at(base, at)
+    if not ds:
+        return DnssecStatus.INSECURE
+    for ns_fqdn in registry.delegation_at(base, at):
+        host = directory.host_for(ns_fqdn, at)
+        if host is not None:
+            return DnssecStatus.SECURE if host.signs(base, at) else DnssecStatus.BOGUS
+    return DnssecStatus.BOGUS

@@ -1,0 +1,85 @@
+"""Authoritative nameserver hosts and the glue directory.
+
+A :class:`NameserverHost` is a server (identified by the operator that
+controls it) that serves zone data for whatever names are pointed at it.
+The :class:`NameserverDirectory` plays the role of glue records: it maps
+a nameserver's FQDN to the host object answering for it over time, so a
+hijacker who registers ``ns1.kg-infocom.ru`` simply binds that name to a
+host they control.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.dns.records import RRType
+from repro.dns.timelinemap import TimelineMap
+
+
+class NameserverHost:
+    """A server answering authoritatively from its record timeline."""
+
+    def __init__(self, operator: str, ip: str | None = None) -> None:
+        self.operator = operator
+        self.ip = ip
+        self._records: TimelineMap[tuple[str, RRType], tuple[str, ...]] = TimelineMap()
+        self._signed_zones: TimelineMap[str, bool] = TimelineMap()
+
+    def add_record(
+        self,
+        name: str,
+        rtype: RRType,
+        rdata: str | tuple[str, ...],
+        start: datetime,
+        end: datetime | None = None,
+    ) -> None:
+        """Serve ``rdata`` for ``(name, rtype)`` over ``[start, end)``."""
+        values = (rdata,) if isinstance(rdata, str) else tuple(rdata)
+        if not values:
+            raise ValueError("rdata set must be non-empty")
+        self._records.set((name.lower().rstrip("."), rtype), values, start, end)
+
+    def answer(self, name: str, rtype: RRType, at: datetime) -> tuple[str, ...]:
+        """Authoritative answer for ``(name, rtype)`` at instant ``at``.
+
+        An empty tuple means NODATA/NXDOMAIN from this host.
+        """
+        values = self._records.at((name.lower().rstrip("."), rtype), at)
+        return values or ()
+
+    def record_changes(
+        self, name: str, rtype: RRType, start: datetime, end: datetime
+    ) -> list[tuple[datetime, tuple[str, ...]]]:
+        """Observable answer changes in a window (for pDNS generation)."""
+        return self._records.effective_changes(
+            (name.lower().rstrip("."), rtype), start, end
+        )
+
+    def sign_zone(self, domain: str, start: datetime, end: datetime | None = None) -> None:
+        """Mark the host as serving signed (DNSSEC) answers for ``domain``."""
+        self._signed_zones.set(domain.lower(), True, start, end)
+
+    def signs(self, domain: str, at: datetime) -> bool:
+        return bool(self._signed_zones.at(domain.lower(), at))
+
+
+class NameserverDirectory:
+    """Glue: which host answers for a given nameserver FQDN over time."""
+
+    def __init__(self) -> None:
+        self._hosts: TimelineMap[str, NameserverHost] = TimelineMap()
+
+    def bind(
+        self,
+        ns_fqdn: str,
+        host: NameserverHost,
+        start: datetime,
+        end: datetime | None = None,
+    ) -> None:
+        self._hosts.set(ns_fqdn.lower().rstrip("."), host, start, end)
+
+    def host_for(self, ns_fqdn: str, at: datetime) -> NameserverHost | None:
+        return self._hosts.at(ns_fqdn.lower().rstrip("."), at)
+
+    def __contains__(self, ns_fqdn: str) -> bool:
+        return ns_fqdn.lower().rstrip(".") in self._hosts

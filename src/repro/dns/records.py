@@ -1,0 +1,37 @@
+"""DNS resource records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RRType(Enum):
+    A = "A"
+    NS = "NS"
+    TXT = "TXT"
+    CNAME = "CNAME"
+    MX = "MX"
+    SOA = "SOA"
+    DS = "DS"
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A single owner-name / type / rdata triple."""
+
+    name: str
+    rtype: RRType
+    rdata: str
+    ttl: int = 3600
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("record owner name must be non-empty")
+        if not self.rdata:
+            raise ValueError("record rdata must be non-empty")
+        if self.ttl < 0:
+            raise ValueError("TTL must be non-negative")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ttl} IN {self.rtype.value} {self.rdata}"

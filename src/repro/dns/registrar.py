@@ -1,0 +1,159 @@
+"""Registrars: the privileged gateway to the registry database.
+
+Registrants hold accounts here; the registrar validates credentials and
+forwards delegation updates to the registry.  The attack's "develop
+capability" stage is modeled explicitly: compromise a registrant account
+(path a), compromise the registrar wholesale (path b), or go straight to
+the registry (path c) — all three let the attacker move NS records, and
+both (a) and (b) bypass registrar-side protections such as 2FA unless a
+registry lock is in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.dns.registry import Registry
+from repro.net.names import registered_domain
+
+
+class RegistrarError(Exception):
+    """Authentication or authorization failure at the registrar."""
+
+
+@dataclass(frozen=True, slots=True)
+class Credential:
+    username: str
+    password: str
+
+
+@dataclass
+class Account:
+    username: str
+    password: str
+    domains: set[str] = field(default_factory=set)
+    two_factor: bool = False
+    registry_lock: bool = False
+
+
+class Registrar:
+    """A registrar fronting one or more registries."""
+
+    def __init__(self, name: str, registries: list[Registry]) -> None:
+        self.name = name
+        # Keep the caller's list object: the world grows it lazily as new
+        # TLD registries come into existence.
+        self._registries = registries
+        self._accounts: dict[str, Account] = {}
+        self._fully_compromised = False
+
+    # -- account management -------------------------------------------------
+
+    def create_account(
+        self, username: str, password: str, two_factor: bool = False
+    ) -> Account:
+        if username in self._accounts:
+            raise RegistrarError(f"account {username!r} already exists")
+        account = Account(username=username, password=password, two_factor=two_factor)
+        self._accounts[username] = account
+        return account
+
+    def account(self, username: str) -> Account:
+        try:
+            return self._accounts[username]
+        except KeyError as exc:
+            raise RegistrarError(f"no such account: {username!r}") from exc
+
+    def _registry_for(self, domain: str) -> Registry:
+        for registry in self._registries:
+            if registry.administers(domain):
+                return registry
+        raise RegistrarError(f"{self.name} fronts no registry for {domain}")
+
+    def _authenticate(self, credential: Credential, second_factor: bool) -> Account:
+        account = self._accounts.get(credential.username)
+        if account is None or account.password != credential.password:
+            raise RegistrarError("invalid credentials")
+        if account.two_factor and not second_factor:
+            raise RegistrarError("second factor required")
+        return account
+
+    # -- registrant operations ----------------------------------------------
+
+    def register_domain(
+        self,
+        credential: Credential,
+        domain: str,
+        nameservers: tuple[str, ...],
+        at: datetime,
+        second_factor: bool = False,
+    ) -> None:
+        account = self._authenticate(credential, second_factor)
+        base = registered_domain(domain)
+        registry = self._registry_for(base)
+        registry.register(base, nameservers, registrar=self.name, at=at)
+        account.domains.add(base)
+
+    def update_delegation(
+        self,
+        credential: Credential,
+        domain: str,
+        nameservers: tuple[str, ...],
+        start: datetime,
+        end: datetime | None = None,
+        second_factor: bool = False,
+    ) -> None:
+        """The registrant-facing (and attacker-facing) NS update."""
+        account = self._authenticate(credential, second_factor)
+        base = registered_domain(domain)
+        if base not in account.domains:
+            raise RegistrarError(f"{credential.username} does not hold {base}")
+        if account.registry_lock:
+            raise RegistrarError(f"{base} is registry-locked")
+        self._registry_for(base).set_delegation(base, nameservers, start, end)
+
+    def remove_ds(
+        self,
+        credential: Credential,
+        domain: str,
+        start: datetime,
+        end: datetime | None = None,
+        second_factor: bool = False,
+    ) -> None:
+        account = self._authenticate(credential, second_factor)
+        base = registered_domain(domain)
+        if base not in account.domains:
+            raise RegistrarError(f"{credential.username} does not hold {base}")
+        self._registry_for(base).remove_ds(base, start, end)
+
+    # -- compromise paths (Section 3, "Develop Capability") ------------------
+
+    def compromise_account(self, username: str) -> Credential:
+        """Path (a): the attacker phishes/steals the account credential.
+
+        A stolen credential carries the session's second factor with it
+        (the paper's attackers bypassed 2FA by compromising the registrar
+        or the session, so the simulation treats a stolen credential as a
+        fully authenticated one).
+        """
+        account = self.account(username)
+        account.two_factor = False
+        return Credential(account.username, account.password)
+
+    def compromise_registrar(self) -> None:
+        """Path (b): the registrar's own systems are compromised."""
+        self._fully_compromised = True
+
+    def privileged_update(
+        self,
+        domain: str,
+        nameservers: tuple[str, ...],
+        start: datetime,
+        end: datetime | None = None,
+    ) -> None:
+        """NS update using registrar-level access (requires compromise)."""
+        if not self._fully_compromised:
+            raise RegistrarError("registrar systems are not compromised")
+        base = registered_domain(domain)
+        self._registry_for(base).set_delegation(base, nameservers, start, end)

@@ -1,0 +1,158 @@
+"""TLD registries, delegations, and daily zone-file snapshots.
+
+The registry database is the root of authority the attack ultimately
+corrupts: it maps each registered domain to its authoritative nameserver
+set (and optional DS records for DNSSEC).  Registrars hold privileged
+write access.  ``zone_snapshot`` reproduces the daily zone-file view that
+CAIDA-DZDB archives — its midnight granularity is why sub-day hijacks are
+invisible there (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, time
+
+from repro.dns.timelinemap import TimelineMap
+from repro.net.names import public_suffix, registered_domain
+
+
+@dataclass(frozen=True, slots=True)
+class ZoneSnapshot:
+    """A daily zone-file snapshot: domain → NS set at local midnight."""
+
+    suffix: str
+    day: date
+    delegations: dict[str, tuple[str, ...]]
+
+    def ns_of(self, domain: str) -> tuple[str, ...]:
+        return self.delegations.get(registered_domain(domain), ())
+
+    def __contains__(self, domain: str) -> bool:
+        return registered_domain(domain) in self.delegations
+
+
+class Registry:
+    """Registry database for one or more public suffixes."""
+
+    def __init__(self, suffixes: set[str] | frozenset[str] | tuple[str, ...] | str) -> None:
+        if isinstance(suffixes, str):
+            suffixes = {suffixes}
+        self.suffixes = frozenset(s.lower() for s in suffixes)
+        if not self.suffixes:
+            raise ValueError("registry must administer at least one suffix")
+        self._delegations: TimelineMap[str, tuple[str, ...]] = TimelineMap()
+        self._ds_records: TimelineMap[str, tuple[str, ...]] = TimelineMap()
+        self._registrar_of: dict[str, str] = {}
+        self._locked: set[str] = set()
+
+    def administers(self, domain: str) -> bool:
+        return public_suffix(domain) in self.suffixes
+
+    def _check(self, domain: str) -> str:
+        base = registered_domain(domain)
+        if not self.administers(base):
+            raise ValueError(f"{base} is not under this registry's suffixes")
+        return base
+
+    def register(
+        self,
+        domain: str,
+        nameservers: tuple[str, ...],
+        registrar: str,
+        at: datetime,
+    ) -> None:
+        """Create the initial delegation for a domain."""
+        base = self._check(domain)
+        if not nameservers:
+            raise ValueError("delegation requires at least one nameserver")
+        if base in self._registrar_of:
+            raise ValueError(f"{base} is already registered")
+        self._registrar_of[base] = registrar
+        self._delegations.set(base, tuple(nameservers), at)
+
+    def registrar_of(self, domain: str) -> str | None:
+        return self._registrar_of.get(registered_domain(domain))
+
+    def lock_domain(self, domain: str) -> None:
+        """Enable Registry Lock: delegation changes require the registry's
+        out-of-band manual process (Section 7.2's strongest practical
+        mitigation — Verisign-style)."""
+        self._locked.add(self._check(domain))
+
+    def unlock_domain(self, domain: str) -> None:
+        self._locked.discard(self._check(domain))
+
+    def is_locked(self, domain: str) -> bool:
+        return registered_domain(domain) in self._locked
+
+    def set_delegation(
+        self,
+        domain: str,
+        nameservers: tuple[str, ...],
+        start: datetime,
+        end: datetime | None = None,
+        force: bool = False,
+    ) -> None:
+        """Privileged write (reached via a registrar, or an attacker who
+        compromised the registry itself).  ``end`` bounds a temporary
+        change; the previous delegation resumes afterwards.
+
+        Registry Lock blocks every registrar-channel write; only a
+        ``force`` write — direct manipulation of the registry database,
+        i.e. a registry compromise — bypasses it.  Defenses at one entity
+        are conditional on the entities upstream (Section 7.2).
+        """
+        base = self._check(domain)
+        if base not in self._registrar_of:
+            raise ValueError(f"{base} is not registered")
+        if base in self._locked and not force:
+            raise PermissionError(f"{base} is registry-locked")
+        if not nameservers:
+            raise ValueError("delegation requires at least one nameserver")
+        self._delegations.set(base, tuple(nameservers), start, end)
+
+    def delegation_at(self, domain: str, at: datetime) -> tuple[str, ...]:
+        return self._delegations.at(registered_domain(domain), at) or ()
+
+    def delegation_changes(
+        self, domain: str, start: datetime, end: datetime
+    ) -> list[tuple[datetime, tuple[str, ...]]]:
+        """Observable NS-set changes (for pDNS NS-record generation)."""
+        return self._delegations.effective_changes(registered_domain(domain), start, end)
+
+    def set_ds(
+        self,
+        domain: str,
+        ds: tuple[str, ...],
+        start: datetime,
+        end: datetime | None = None,
+    ) -> None:
+        self._check(domain)
+        self._ds_records.set(registered_domain(domain), tuple(ds), start, end)
+
+    def remove_ds(self, domain: str, start: datetime, end: datetime | None = None) -> None:
+        """Model an attacker (or operator) dropping DNSSEC for a window."""
+        self._check(domain)
+        self._ds_records.set(registered_domain(domain), (), start, end)
+
+    def ds_at(self, domain: str, at: datetime) -> tuple[str, ...]:
+        return self._ds_records.at(registered_domain(domain), at) or ()
+
+    def domains(self) -> tuple[str, ...]:
+        return tuple(self._registrar_of)
+
+    def zone_snapshot(self, suffix: str, day: date) -> ZoneSnapshot:
+        """The zone file for ``suffix`` as published at midnight of ``day``."""
+        suffix = suffix.lower()
+        if suffix not in self.suffixes:
+            raise ValueError(f"registry does not administer {suffix}")
+        midnight = datetime.combine(day, time(0, 0))
+        delegations: dict[str, tuple[str, ...]] = {}
+        for domain in self._registrar_of:
+            if public_suffix(domain) != suffix:
+                continue
+            ns = self._delegations.at(domain, midnight)
+            if ns:
+                delegations[domain] = ns
+        return ZoneSnapshot(suffix=suffix, day=day, delegations=delegations)

@@ -1,0 +1,102 @@
+"""Interval timelines for DNS state.
+
+Every piece of mutable DNS configuration (delegations, zone records, DS
+records) is stored as a timeline of intervals rather than a mutable cell,
+so the world can be queried *as of* any instant.  Later-added intervals
+shadow earlier ones wherever they overlap, which makes a temporary hijack
+window a single ``set_window`` call: the baseline open-ended interval
+resumes by itself when the window ends.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class _Interval(Generic[V]):
+    __slots__ = ("start", "end", "value")
+
+    def __init__(self, start: datetime, end: datetime | None, value: V) -> None:
+        self.start = start
+        self.end = end
+        self.value = value
+
+    def contains(self, at: datetime) -> bool:
+        if at < self.start:
+            return False
+        return self.end is None or at < self.end
+
+
+class TimelineMap(Generic[K, V]):
+    """Map from key to a shadowing timeline of values."""
+
+    def __init__(self) -> None:
+        self._intervals: dict[K, list[_Interval[V]]] = {}
+
+    def set(self, key: K, value: V, start: datetime, end: datetime | None = None) -> None:
+        """Record that ``key`` has ``value`` over ``[start, end)``.
+
+        ``end=None`` leaves the interval open.  Overlaps with previously
+        recorded intervals are resolved in favour of this (newer) one.
+        """
+        if end is not None and end <= start:
+            raise ValueError("interval must have positive duration")
+        self._intervals.setdefault(key, []).append(_Interval(start, end, value))
+
+    def set_window(self, key: K, value: V, start: datetime, end: datetime) -> None:
+        """Alias of :meth:`set` with a mandatory end — reads better at call
+        sites that express temporary overrides such as hijack windows."""
+        self.set(key, value, start, end)
+
+    def at(self, key: K, when: datetime) -> V | None:
+        """Value of ``key`` at instant ``when`` (newest shadowing wins)."""
+        intervals = self._intervals.get(key)
+        if not intervals:
+            return None
+        for interval in reversed(intervals):
+            if interval.contains(when):
+                return interval.value
+        return None
+
+    def history(self, key: K) -> list[tuple[datetime, datetime | None, V]]:
+        """Raw intervals for ``key`` in insertion (i.e. priority) order."""
+        return [(i.start, i.end, i.value) for i in self._intervals.get(key, [])]
+
+    def effective_changes(
+        self, key: K, start: datetime, end: datetime
+    ) -> list[tuple[datetime, V]]:
+        """Observable value changes for ``key`` within ``[start, end]``.
+
+        Returns (instant, new-value) pairs at each boundary where the
+        shadow-resolved value changes, including the value in force at
+        ``start``.  This is what a perfectly-sampled passive observer
+        would see.
+        """
+        boundaries = {start, end}
+        for interval in self._intervals.get(key, []):
+            if start <= interval.start <= end:
+                boundaries.add(interval.start)
+            if interval.end is not None and start <= interval.end <= end:
+                boundaries.add(interval.end)
+        changes: list[tuple[datetime, V]] = []
+        previous: V | None = None
+        for instant in sorted(boundaries):
+            value = self.at(key, instant)
+            if not changes or value != previous:
+                if value is not None:
+                    changes.append((instant, value))
+                previous = value
+        return changes
+
+    def keys(self) -> Iterator[K]:
+        return iter(self._intervals)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)

@@ -1,0 +1,101 @@
+"""Daily zone-file archive and delegation diffing (CAIDA-DZDB stand-in).
+
+Zone files are snapshotted once a day at midnight; the archive diffs
+consecutive snapshots to surface delegation changes and can summarize,
+per domain, how many archive days a given (rogue) nameserver set was
+ever visible — the Section 5.3 question of whether zone files could have
+caught a hijack at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+from repro.dns.registry import Registry, ZoneSnapshot
+from repro.net.names import public_suffix, registered_domain
+from repro.net.timeline import iter_days
+
+
+@dataclass(frozen=True, slots=True)
+class DelegationChange:
+    """One observed day-over-day NS-set change for a domain."""
+
+    domain: str
+    day: date
+    before: tuple[str, ...]
+    after: tuple[str, ...]
+
+    @property
+    def added(self) -> frozenset[str]:
+        return frozenset(self.after) - frozenset(self.before)
+
+    @property
+    def removed(self) -> frozenset[str]:
+        return frozenset(self.before) - frozenset(self.after)
+
+
+class ZoneArchive:
+    """An archive of daily snapshots for one registry suffix."""
+
+    def __init__(self, registry: Registry, suffix: str) -> None:
+        suffix = suffix.lower()
+        if suffix not in registry.suffixes:
+            raise ValueError(f"registry does not administer {suffix}")
+        self._registry = registry
+        self.suffix = suffix
+        self._snapshots: dict[date, ZoneSnapshot] = {}
+
+    def snapshot(self, day: date) -> ZoneSnapshot:
+        """The zone file for ``day`` (archived on first access)."""
+        cached = self._snapshots.get(day)
+        if cached is None:
+            cached = self._registry.zone_snapshot(self.suffix, day)
+            self._snapshots[day] = cached
+        return cached
+
+    def collect(self, start: date, end: date) -> int:
+        """Archive every day in the range; returns number of snapshots."""
+        count = 0
+        for day in iter_days(start, end):
+            self.snapshot(day)
+            count += 1
+        return count
+
+    def diff(self, earlier: date, later: date) -> list[DelegationChange]:
+        """Delegation differences between two archived days."""
+        before = self.snapshot(earlier).delegations
+        after = self.snapshot(later).delegations
+        changes: list[DelegationChange] = []
+        for domain in sorted(set(before) | set(after)):
+            old_ns = before.get(domain, ())
+            new_ns = after.get(domain, ())
+            if old_ns != new_ns:
+                changes.append(DelegationChange(domain, later, old_ns, new_ns))
+        return changes
+
+    def changes_over(self, start: date, end: date) -> list[DelegationChange]:
+        """All day-over-day delegation changes in the range."""
+        changes: list[DelegationChange] = []
+        previous = start
+        for day in iter_days(start + timedelta(days=1), end):
+            changes.extend(self.diff(previous, day))
+            previous = day
+        return changes
+
+    def days_delegated_to(
+        self, domain: str, nameservers: frozenset[str] | set[str], start: date, end: date
+    ) -> int:
+        """On how many archive days did the domain's NS set intersect
+        ``nameservers``?  (Zero for every sub-day hijack — the paper's
+        transparency gap.)"""
+        base = registered_domain(domain)
+        if public_suffix(base) != self.suffix:
+            raise ValueError(f"{base} is not under .{self.suffix}")
+        wanted = {ns.lower().rstrip(".") for ns in nameservers}
+        days = 0
+        for day in iter_days(start, end):
+            observed = {ns.lower().rstrip(".") for ns in self.snapshot(day).ns_of(base)}
+            if observed & wanted:
+                days += 1
+        return days

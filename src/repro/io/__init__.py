@@ -1,0 +1,34 @@
+"""Persistence: JSONL round-trips for datasets and reports.
+
+Generating a four-year study takes seconds, but downstream analysis
+sessions shouldn't have to regenerate it — and real deployments of this
+pipeline would consume *recorded* scan/pDNS/CT data.  This package
+serializes each dataset to line-delimited JSON (one record per line,
+stable field order) and loads it back into the exact objects the
+pipeline consumes, so a saved study replays bit-identically.
+"""
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.datasets import (
+    load_pdns,
+    load_scan_dataset,
+    save_pdns,
+    save_scan_dataset,
+)
+from repro.io.intel import load_as2org, load_ct, save_as2org, save_ct
+from repro.io.reports import load_findings, save_findings
+
+__all__ = [
+    "read_jsonl",
+    "write_jsonl",
+    "load_pdns",
+    "load_scan_dataset",
+    "save_pdns",
+    "save_scan_dataset",
+    "load_as2org",
+    "load_ct",
+    "save_as2org",
+    "save_ct",
+    "load_findings",
+    "save_findings",
+]

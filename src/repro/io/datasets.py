@@ -1,0 +1,136 @@
+"""Dataset serialization: annotated scans and passive DNS.
+
+Certificates are embedded in each scan row (denormalized but
+self-contained — the same trade crt.sh makes); a loaded dataset
+reconstructs shared :class:`Certificate` objects by fingerprint so that
+deployment-map cert-identity comparisons keep working.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from pathlib import Path
+from typing import Any
+
+from repro.dns.records import RRType
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.pdns.database import PassiveDNSDatabase
+from repro.scan.annotate import AnnotatedScanRecord
+from repro.scan.dataset import ScanDataset
+from repro.tls.certificate import Certificate, ValidationLevel
+
+
+def _cert_to_dict(cert: Certificate) -> dict[str, Any]:
+    return {
+        "serial": cert.serial,
+        "cn": cert.common_name,
+        "sans": list(cert.sans),
+        "issuer": cert.issuer,
+        "not_before": cert.not_before.isoformat(),
+        "not_after": cert.not_after.isoformat(),
+        "validation": cert.validation.name,
+        "crtsh_id": cert.crtsh_id,
+        "key_id": cert.key_id,
+    }
+
+
+def _cert_from_dict(data: dict[str, Any]) -> Certificate:
+    return Certificate(
+        serial=data["serial"],
+        common_name=data["cn"],
+        sans=tuple(data["sans"]),
+        issuer=data["issuer"],
+        not_before=date.fromisoformat(data["not_before"]),
+        not_after=date.fromisoformat(data["not_after"]),
+        validation=ValidationLevel[data["validation"]],
+        crtsh_id=data["crtsh_id"],
+        key_id=data["key_id"],
+    )
+
+
+def save_scan_dataset(dataset: ScanDataset, path: str | Path) -> int:
+    """Persist a scan dataset (header line + one line per record)."""
+    def rows():
+        yield {"kind": "header", "scan_dates": [d.isoformat() for d in dataset.scan_dates]}
+        for record in dataset.records():
+            yield {
+                "kind": "record",
+                "scan_date": record.scan_date.isoformat(),
+                "ip": record.ip,
+                "ports": list(record.ports),
+                "asn": record.asn,
+                "country": record.country,
+                "trusted": record.trusted,
+                "sensitive": record.sensitive,
+                "names": list(record.names),
+                "base_domains": list(record.base_domains),
+                "certificate": _cert_to_dict(record.certificate),
+            }
+
+    return write_jsonl(path, rows())
+
+
+def load_scan_dataset(path: str | Path) -> ScanDataset:
+    """Load a scan dataset saved by :func:`save_scan_dataset`."""
+    scan_dates: tuple[date, ...] | None = None
+    records: list[AnnotatedScanRecord] = []
+    cert_cache: dict[str, Certificate] = {}
+    for row in read_jsonl(path):
+        if row["kind"] == "header":
+            scan_dates = tuple(date.fromisoformat(d) for d in row["scan_dates"])
+            continue
+        cert = _cert_from_dict(row["certificate"])
+        cert = cert_cache.setdefault(cert.fingerprint, cert)
+        records.append(
+            AnnotatedScanRecord(
+                scan_date=date.fromisoformat(row["scan_date"]),
+                ip=row["ip"],
+                ports=tuple(row["ports"]),
+                asn=row["asn"],
+                country=row["country"],
+                certificate=cert,
+                trusted=row["trusted"],
+                sensitive=row["sensitive"],
+                names=tuple(row["names"]),
+                base_domains=tuple(row["base_domains"]),
+            )
+        )
+    if scan_dates is None:
+        raise ValueError(f"{path}: missing header line")
+    return ScanDataset(records, scan_dates)
+
+
+def save_pdns(db: PassiveDNSDatabase, path: str | Path) -> int:
+    """Persist a passive-DNS database (one aggregated row per line)."""
+    def rows():
+        for record in db.all_records():
+            yield {
+                "rrname": record.rrname,
+                "rtype": record.rtype.value,
+                "rdata": record.rdata,
+                "first_seen": record.first_seen.isoformat(),
+                "last_seen": record.last_seen.isoformat(),
+                "count": record.count,
+            }
+
+    return write_jsonl(path, rows())
+
+
+def load_pdns(path: str | Path) -> PassiveDNSDatabase:
+    """Load a passive-DNS database saved by :func:`save_pdns`.
+
+    The aggregate (first, last, count) is replayed exactly: first-seen
+    and last-seen observations plus synthetic middle hits.
+    """
+    db = PassiveDNSDatabase()
+    for row in read_jsonl(path):
+        rtype = RRType(row["rtype"])
+        first = date.fromisoformat(row["first_seen"])
+        last = date.fromisoformat(row["last_seen"])
+        count = int(row["count"])
+        db.add_observation(row["rrname"], rtype, row["rdata"], first)
+        if count > 1:
+            db.add_observation(row["rrname"], rtype, row["rdata"], last)
+        for _ in range(count - 2):
+            db.add_observation(row["rrname"], rtype, row["rdata"], last)
+    return db

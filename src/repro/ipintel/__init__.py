@@ -1,0 +1,17 @@
+"""IP-intelligence substrates.
+
+Stand-ins for the research-access data sets the paper annotates scan
+records with: CAIDA Routeviews prefix-to-AS mappings (`RoutingTable`),
+the CAIDA AS-to-Organization inference (`AS2Org`), NetAcuity geolocation
+(`GeoDB`), and a directory of AS names (`AS_NAMES`).  In this
+reproduction the tables are populated by the world builder from the same
+hosting-provider inventory that allocates simulated IP addresses, so the
+annotations are consistent with the scan data by construction.
+"""
+
+from repro.ipintel.as2org import AS2Org
+from repro.ipintel.asnames import AS_NAMES, as_name
+from repro.ipintel.geo import GeoDB
+from repro.ipintel.pfx2as import RoutingTable
+
+__all__ = ["AS2Org", "AS_NAMES", "as_name", "GeoDB", "RoutingTable"]

@@ -1,0 +1,60 @@
+"""AS-to-Organization mapping.
+
+Equivalent of the CAIDA AS2Org inference: groups ASNs operated by the
+same organization (e.g. AS16509 and AS14618 are both Amazon).  The
+shortlisting stage uses this to discard transient deployments whose ASN
+is organizationally related to the domain's stable deployment — the
+paper's first pruning heuristic (Section 4.3).
+"""
+
+from __future__ import annotations
+
+
+class AS2Org:
+    """Mapping from ASN to an opaque organization identifier."""
+
+    def __init__(self) -> None:
+        self._org_of: dict[int, str] = {}
+        self._org_names: dict[str, str] = {}
+
+    def assign(self, asn: int, org_id: str, org_name: str | None = None) -> None:
+        """Record that ``asn`` is operated by organization ``org_id``."""
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive: {asn}")
+        if not org_id:
+            raise ValueError("org_id must be non-empty")
+        self._org_of[asn] = org_id
+        if org_name:
+            self._org_names[org_id] = org_name
+
+    def org_of(self, asn: int) -> str | None:
+        return self._org_of.get(asn)
+
+    def org_name(self, org_id: str) -> str | None:
+        return self._org_names.get(org_id)
+
+    def related(self, asn_a: int, asn_b: int) -> bool:
+        """True if both ASNs map to the same organization.
+
+        Identical ASNs are trivially related.  ASNs absent from the
+        mapping are only related to themselves — an unknown AS cannot be
+        assumed to belong to anyone, so the shortlist keeps it suspicious.
+        """
+        if asn_a == asn_b:
+            return True
+        org_a, org_b = self._org_of.get(asn_a), self._org_of.get(asn_b)
+        return org_a is not None and org_a == org_b
+
+    def siblings(self, asn: int) -> frozenset[int]:
+        """All ASNs sharing ``asn``'s organization (including itself)."""
+        org = self._org_of.get(asn)
+        if org is None:
+            return frozenset({asn})
+        return frozenset(a for a, o in self._org_of.items() if o == org)
+
+    def items(self) -> list[tuple[int, str]]:
+        """All (ASN, org-id) pairs, sorted by ASN."""
+        return sorted(self._org_of.items())
+
+    def __len__(self) -> int:
+        return len(self._org_of)

@@ -1,0 +1,37 @@
+"""IP geolocation database (NetAcuity stand-in).
+
+Maps prefixes to ISO-3166 alpha-2 country codes.  Shortlisting prunes
+transient deployments that geolocate to the same country as any stable
+deployment (Section 4.3), so country-level resolution is all we need.
+"""
+
+from __future__ import annotations
+
+from repro.net.ipv4 import IPv4Prefix, ip_to_int
+
+_VALID_CC_LEN = 2
+
+
+class GeoDB:
+    """Longest-prefix-match IP → country-code database."""
+
+    def __init__(self) -> None:
+        self._by_length: dict[int, dict[int, str]] = {}
+        self._lengths_desc: tuple[int, ...] = ()
+
+    def add(self, prefix: str | IPv4Prefix, country: str) -> None:
+        if len(country) != _VALID_CC_LEN or not country.isalpha():
+            raise ValueError(f"not an ISO alpha-2 country code: {country!r}")
+        parsed = prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix.parse(prefix)
+        self._by_length.setdefault(parsed.length, {})[parsed.network] = country.upper()
+        self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
+
+    def lookup(self, ip: str | int) -> str | None:
+        """Country code of the most-specific prefix covering ``ip``."""
+        value = ip if isinstance(ip, int) else ip_to_int(ip)
+        for length in self._lengths_desc:
+            mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            country = self._by_length[length].get(value & mask)
+            if country is not None:
+                return country
+        return None

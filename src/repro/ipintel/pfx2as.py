@@ -1,0 +1,53 @@
+"""Prefix-to-AS mapping with longest-prefix matching.
+
+Equivalent of the CAIDA Routeviews pfx2as data set: given an IP address
+observed in a scan, return the origin ASN of the most-specific covering
+prefix.  Lookups are hot (every scan record is annotated), so prefixes
+are bucketed by length and matched by masked-integer dictionary lookup —
+O(#distinct-lengths) per query with no per-query allocation.
+"""
+
+from __future__ import annotations
+
+from repro.net.ipv4 import IPv4Prefix, ip_to_int
+
+
+class RoutingTable:
+    """Longest-prefix-match IP → origin-ASN table."""
+
+    def __init__(self) -> None:
+        # length -> {masked network int -> asn}
+        self._by_length: dict[int, dict[int, int]] = {}
+        self._lengths_desc: tuple[int, ...] = ()
+        self._count = 0
+
+    def add(self, prefix: str | IPv4Prefix, asn: int) -> None:
+        """Announce ``prefix`` as originated by ``asn``.
+
+        Re-announcing an existing prefix overwrites the previous origin,
+        matching how a pfx2as snapshot keeps only the latest mapping.
+        """
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive: {asn}")
+        parsed = prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix.parse(prefix)
+        bucket = self._by_length.setdefault(parsed.length, {})
+        if parsed.network not in bucket:
+            self._count += 1
+        bucket[parsed.network] = asn
+        self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
+
+    def lookup(self, ip: str | int) -> int | None:
+        """Origin ASN of the most-specific prefix covering ``ip``."""
+        value = ip if isinstance(ip, int) else ip_to_int(ip)
+        for length in self._lengths_desc:
+            mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+            asn = self._by_length[length].get(value & mask)
+            if asn is not None:
+                return asn
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, ip: str) -> bool:
+        return self.lookup(ip) is not None

@@ -1,0 +1,45 @@
+"""Network fundamentals shared by every substrate.
+
+This package holds the small, dependency-free building blocks the rest of
+the library is written in terms of: domain-name parsing against an embedded
+public-suffix list, the sensitive-subdomain matcher from the paper's
+shortlisting stage, IPv4 address and prefix arithmetic, and the study
+calendar (weekly scan dates and the nine six-month analysis periods).
+"""
+
+from repro.net.ipv4 import IPv4Prefix, int_to_ip, ip_in_prefix, ip_to_int
+from repro.net.names import (
+    SENSITIVE_SUBSTRINGS,
+    DomainName,
+    is_sensitive_name,
+    registered_domain,
+    sensitive_substring,
+)
+from repro.net.timeline import (
+    STUDY_END,
+    STUDY_START,
+    DateInterval,
+    Period,
+    period_of,
+    study_periods,
+    weekly_scan_dates,
+)
+
+__all__ = [
+    "IPv4Prefix",
+    "int_to_ip",
+    "ip_in_prefix",
+    "ip_to_int",
+    "SENSITIVE_SUBSTRINGS",
+    "DomainName",
+    "is_sensitive_name",
+    "registered_domain",
+    "sensitive_substring",
+    "STUDY_END",
+    "STUDY_START",
+    "DateInterval",
+    "Period",
+    "period_of",
+    "study_periods",
+    "weekly_scan_dates",
+]

@@ -1,0 +1,83 @@
+"""IPv4 address and prefix arithmetic.
+
+The simulator and the IP-intelligence substrates (prefix-to-AS mapping,
+geolocation) work with plain dotted-quad strings at their edges and with
+integers internally.  These helpers are deliberately tiny and allocation
+free so that longest-prefix matching over large scan datasets stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert a dotted-quad IPv4 address to its 32-bit integer value."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {ip!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {ip!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 address."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"value out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """A CIDR prefix, e.g. ``IPv4Prefix.parse("94.103.88.0/21")``."""
+
+    network: int
+    length: int
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        try:
+            base, length_text = text.split("/")
+        except ValueError as exc:
+            raise ValueError(f"not a CIDR prefix: {text!r}") from exc
+        length = int(length_text)
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length out of range: {text!r}")
+        network = ip_to_int(base) & cls._mask(length)
+        return cls(network=network, length=length)
+
+    @staticmethod
+    def _mask(length: int) -> int:
+        return 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+
+    @property
+    def mask(self) -> int:
+        return self._mask(self.length)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, ip: str | int) -> bool:
+        value = ip if isinstance(ip, int) else ip_to_int(ip)
+        return (value & self.mask) == self.network
+
+    def address_at(self, offset: int) -> str:
+        """Return the dotted-quad address ``offset`` into the prefix."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside /{self.length} prefix")
+        return int_to_ip(self.network + offset)
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+def ip_in_prefix(ip: str, prefix: str) -> bool:
+    """Convenience wrapper: is ``ip`` inside CIDR ``prefix``?"""
+    return IPv4Prefix.parse(prefix).contains(ip)

@@ -1,0 +1,200 @@
+"""Domain-name parsing and the sensitive-subdomain matcher.
+
+The pipeline reasons about three layers of a fully-qualified domain name
+(FQDN): the *public suffix* (e.g. ``gov.kg``), the *registered domain* one
+label below it (``mfa.gov.kg``), and the *subdomain* labels to its left
+(``mail``).  Real deployments consult the Mozilla Public Suffix List; we
+embed the subset of suffixes the study's TLDs need (plus common generic
+ones) which is exactly what the methodology requires.
+
+``SENSITIVE_SUBSTRINGS`` is the paper's hand-compiled list (Section 4.3) of
+substrings that mark a subdomain as credential-bearing and therefore a
+worthwhile hijack target (mail, vpn, owa, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Multi-label public suffixes relevant to the study TLDs, plus generic
+# second-level suffixes used by the scenarios.  Single-label TLDs are
+# handled by the fallback rule (last label is always a public suffix).
+_MULTI_LABEL_SUFFIXES: frozenset[str] = frozenset(
+    {
+        "gov.ae",
+        "gov.al",
+        "com.cy",
+        "gov.cy",
+        "gov.eg",
+        "gov.gh",
+        "gov.iq",
+        "gov.jo",
+        "gov.kg",
+        "gov.kw",
+        "com.kw",
+        "gov.kz",
+        "gov.lb",
+        "com.lb",
+        "gov.lt",
+        "gov.lv",
+        "gov.ly",
+        "gov.ma",
+        "gov.mm",
+        "gov.pl",
+        "gov.sa",
+        "gov.tm",
+        "gov.tr",
+        "gov.vn",
+        "co.uk",
+        "ac.uk",
+        "gov.uk",
+        "com.au",
+        "co.jp",
+        "com.br",
+        "com.cn",
+        "gov.cn",
+    }
+)
+
+# Substring list from Section 4.3 of the paper, verbatim.
+SENSITIVE_SUBSTRINGS: tuple[str, ...] = (
+    "secure",
+    "mail",
+    "remote",
+    "login",
+    "logon",
+    "portal",
+    "admin",
+    "owa",
+    "vpn",
+    "connect",
+    "cloud",
+    "signin",
+    "citrix",
+    "box",
+    "account",
+    "intranet",
+    "imap",
+    "smtp",
+    "pop",
+    "ftp",
+    "api",
+)
+
+
+def _normalize(name: str) -> str:
+    name = name.strip().rstrip(".").lower()
+    if not name:
+        raise ValueError("empty domain name")
+    for label in name.split("."):
+        if not label:
+            raise ValueError(f"empty label in domain name: {name!r}")
+        if len(label) > 63:
+            raise ValueError(f"label too long in domain name: {name!r}")
+    if len(name) > 253:
+        raise ValueError(f"domain name too long: {name!r}")
+    return name
+
+
+def public_suffix(name: str) -> str:
+    """Return the public suffix of ``name`` (e.g. ``gov.kg`` or ``com``)."""
+    name = _normalize(name)
+    labels = name.split(".")
+    if len(labels) >= 2 and ".".join(labels[-2:]) in _MULTI_LABEL_SUFFIXES:
+        return ".".join(labels[-2:])
+    return labels[-1]
+
+
+def registered_domain(name: str) -> str:
+    """Return the registrable domain: one label below the public suffix.
+
+    For a name that *is* a public suffix (or a bare TLD) the name itself is
+    returned, mirroring how the paper treats apex-level scan entries.
+    """
+    name = _normalize(name)
+    suffix = public_suffix(name)
+    if name == suffix:
+        return name
+    prefix_labels = name[: -(len(suffix) + 1)].split(".")
+    return f"{prefix_labels[-1]}.{suffix}"
+
+
+def subdomain_labels(name: str) -> tuple[str, ...]:
+    """Labels of ``name`` to the left of its registered domain."""
+    name = _normalize(name)
+    base = registered_domain(name)
+    if name == base:
+        return ()
+    return tuple(name[: -(len(base) + 1)].split("."))
+
+
+def sensitive_substring(name: str) -> str | None:
+    """Return the first sensitive substring matched by the subdomain part.
+
+    Only the subdomain labels are examined: ``mail.mfa.gov.kg`` matches
+    ``mail`` but ``mailchimp.com`` (no subdomain) does not.  Names whose
+    registered-domain label itself is sensitive (e.g. ``webmail.gov.cy``,
+    where ``gov.cy`` is the suffix) are matched as well, since the paper
+    flags those (Table 2 lists webmail.gov.cy with an empty Sub column).
+    """
+    name = _normalize(name)
+    labels = subdomain_labels(name)
+    base = registered_domain(name)
+    base_label = base.split(".")[0]
+    candidates = list(labels)
+    if base != public_suffix(name):
+        candidates.append(base_label)
+    for label in candidates:
+        for substring in SENSITIVE_SUBSTRINGS:
+            if substring in label:
+                return substring
+    return None
+
+
+def is_sensitive_name(name: str) -> bool:
+    """True if any subdomain (or registrable) label matches the list."""
+    return sensitive_substring(name) is not None
+
+
+@dataclass(frozen=True, slots=True)
+class DomainName:
+    """A parsed, normalized FQDN with cached structural accessors."""
+
+    fqdn: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fqdn", _normalize(self.fqdn))
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self.fqdn.split("."))
+
+    @property
+    def public_suffix(self) -> str:
+        return public_suffix(self.fqdn)
+
+    @property
+    def registered_domain(self) -> str:
+        return registered_domain(self.fqdn)
+
+    @property
+    def subdomain(self) -> str:
+        return ".".join(subdomain_labels(self.fqdn))
+
+    @property
+    def is_registered_domain(self) -> bool:
+        return self.fqdn == self.registered_domain
+
+    @property
+    def is_sensitive(self) -> bool:
+        return is_sensitive_name(self.fqdn)
+
+    def is_subdomain_of(self, other: "str | DomainName") -> bool:
+        other_fqdn = other.fqdn if isinstance(other, DomainName) else _normalize(other)
+        return self.fqdn == other_fqdn or self.fqdn.endswith("." + other_fqdn)
+
+    def child(self, label: str) -> "DomainName":
+        return DomainName(f"{label}.{self.fqdn}")
+
+    def __str__(self) -> str:
+        return self.fqdn

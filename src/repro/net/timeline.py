@@ -1,0 +1,168 @@
+"""Study calendar: weekly scans, six-month periods, and date intervals.
+
+The paper analyzes January 2017 through March 2021, broken into nine
+six-month periods, against weekly Censys scans.  Everything downstream
+(deployment maps, transient thresholds, the 20 %-missing-scans visibility
+check) is expressed against this calendar, so it lives here in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import Iterator
+
+STUDY_START = date(2017, 1, 1)
+STUDY_END = date(2021, 3, 31)
+
+#: The paper's three-month transient threshold, "~12 scans".
+TRANSIENT_MAX_DAYS = 91
+TRANSIENT_MAX_SCANS = 12
+
+
+@dataclass(frozen=True, slots=True)
+class DateInterval:
+    """A closed date interval ``[start, end]``; ``end=None`` means open."""
+
+    start: date
+    end: date | None = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end < self.start:
+            raise ValueError(f"interval ends before it starts: {self}")
+
+    def contains(self, day: date) -> bool:
+        if day < self.start:
+            return False
+        return self.end is None or day <= self.end
+
+    def overlaps(self, other: "DateInterval") -> bool:
+        if other.end is not None and other.end < self.start:
+            return False
+        if self.end is not None and self.end < other.start:
+            return False
+        return True
+
+    @property
+    def days(self) -> int | None:
+        """Length in days (inclusive), or None for an open interval."""
+        if self.end is None:
+            return None
+        return (self.end - self.start).days + 1
+
+    def clipped(self, start: date, end: date) -> "DateInterval | None":
+        """Intersection with ``[start, end]``, or None if disjoint."""
+        new_start = max(self.start, start)
+        new_end = end if self.end is None else min(self.end, end)
+        if new_end < new_start:
+            return None
+        return DateInterval(new_start, new_end)
+
+    def __str__(self) -> str:
+        end = self.end.isoformat() if self.end else "..."
+        return f"[{self.start.isoformat()} .. {end}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Period:
+    """One of the study's six-month analysis periods."""
+
+    index: int
+    start: date
+    end: date
+
+    @property
+    def label(self) -> str:
+        half = 1 if self.start.month <= 6 else 2
+        return f"{self.start.year}H{half}"
+
+    def contains(self, day: date) -> bool:
+        return self.start <= day <= self.end
+
+    def interval(self) -> DateInterval:
+        return DateInterval(self.start, self.end)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _half_bounds(year: int, half: int) -> tuple[date, date]:
+    if half == 1:
+        return date(year, 1, 1), date(year, 6, 30)
+    return date(year, 7, 1), date(year, 12, 31)
+
+
+def study_periods(start: date = STUDY_START, end: date = STUDY_END) -> tuple[Period, ...]:
+    """Six-month periods covering ``[start, end]``; the last may be partial.
+
+    For the paper's window this yields nine periods: 2017H1 ... 2021H1
+    (the final one truncated to March 2021).
+    """
+    periods: list[Period] = []
+    year, half = start.year, 1 if start.month <= 6 else 2
+    index = 0
+    while True:
+        half_start, half_end = _half_bounds(year, half)
+        period_start = max(half_start, start)
+        period_end = min(half_end, end)
+        if period_start > end:
+            break
+        periods.append(Period(index=index, start=period_start, end=period_end))
+        index += 1
+        if half == 1:
+            half = 2
+        else:
+            half = 1
+            year += 1
+    return tuple(periods)
+
+
+def period_of(day: date, periods: tuple[Period, ...] | None = None) -> Period:
+    """Return the study period containing ``day``."""
+    for period in periods or study_periods():
+        if period.contains(day):
+            return period
+    raise ValueError(f"{day.isoformat()} is outside the study window")
+
+
+def scan_dates_every(
+    start: date, end: date, every_days: int
+) -> tuple[date, ...]:
+    """Scan dates from ``start`` through ``end`` at a fixed cadence.
+
+    The study era was weekly (``every_days=7``); Censys moved to daily
+    scans in April 2021 (paper footnote 9), i.e. ``every_days=1``.
+    """
+    if end < start:
+        raise ValueError("scan window ends before it starts")
+    if every_days < 1:
+        raise ValueError("cadence must be at least one day")
+    dates: list[date] = []
+    day = start
+    while day <= end:
+        dates.append(day)
+        day += timedelta(days=every_days)
+    return tuple(dates)
+
+
+def weekly_scan_dates(start: date = STUDY_START, end: date = STUDY_END) -> tuple[date, ...]:
+    """Weekly scan dates from ``start`` through ``end`` (inclusive)."""
+    return scan_dates_every(start, end, 7)
+
+
+def scan_dates_in(period: Period, scan_dates: tuple[date, ...]) -> tuple[date, ...]:
+    """Subset of ``scan_dates`` falling inside ``period``."""
+    return tuple(d for d in scan_dates if period.contains(d))
+
+
+def days_between(first: date, last: date) -> int:
+    """Inclusive span in days between two dates."""
+    return abs((last - first).days) + 1
+
+
+def iter_days(start: date, end: date) -> Iterator[date]:
+    """Yield every date from ``start`` through ``end`` inclusive."""
+    day = start
+    while day <= end:
+        yield day
+        day += timedelta(days=1)

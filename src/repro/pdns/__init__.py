@@ -1,0 +1,21 @@
+"""Passive DNS substrate (DomainTools-style).
+
+A sensor network observes a fraction of real resolutions — driven
+through the same time-aware resolver the rest of the world uses — and a
+collector aggregates them into the classic passive-DNS tuple: (rrname,
+rrtype, rdata) with first-seen / last-seen timestamps and a hit count.
+The database answers the inspection stage's forward queries ("what did
+mail.mfa.gov.kg resolve to around the transient deployment?") and the
+pivot stage's inverse queries ("which other domains ever resolved to
+this attacker IP / were delegated to this rogue nameserver?").
+
+Coverage is necessarily partial: names nobody queries on monitored
+networks never appear, reproducing the paper's missing-corroboration
+cases (the T1* rows of Table 2).
+"""
+
+from repro.pdns.database import PassiveDNSDatabase, PdnsRecord
+from repro.pdns.sensor import SensorNetwork
+from repro.pdns.traffic import ObservationPlan
+
+__all__ = ["PassiveDNSDatabase", "PdnsRecord", "SensorNetwork", "ObservationPlan"]

@@ -1,0 +1,139 @@
+"""The aggregated passive-DNS database."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.dns.records import RRType
+from repro.net.names import registered_domain
+from repro.net.timeline import DateInterval
+
+
+@dataclass(frozen=True, slots=True)
+class PdnsRecord:
+    """One aggregated (rrname, rrtype, rdata) observation row."""
+
+    rrname: str
+    rtype: RRType
+    rdata: str
+    first_seen: date
+    last_seen: date
+    count: int
+
+    @property
+    def span_days(self) -> int:
+        return (self.last_seen - self.first_seen).days + 1
+
+    def overlaps(self, interval: DateInterval) -> bool:
+        return interval.overlaps(DateInterval(self.first_seen, self.last_seen))
+
+
+class PassiveDNSDatabase:
+    """Aggregation + query API over sensor observations."""
+
+    def __init__(self) -> None:
+        # (rrname, rtype, rdata) -> [first_seen, last_seen, count]
+        self._rows: dict[tuple[str, RRType, str], list] = {}
+        self._by_name: dict[str, set[tuple[str, RRType, str]]] = {}
+        self._by_rdata: dict[str, set[tuple[str, RRType, str]]] = {}
+
+    def add_observation(self, rrname: str, rtype: RRType, rdata: str, day: date) -> None:
+        """Fold one observed resolution into the aggregate."""
+        rrname = rrname.lower().rstrip(".")
+        rdata = rdata.lower().rstrip(".") if rtype is RRType.NS else rdata
+        key = (rrname, rtype, rdata)
+        row = self._rows.get(key)
+        if row is None:
+            self._rows[key] = [day, day, 1]
+            self._by_name.setdefault(rrname, set()).add(key)
+            self._by_rdata.setdefault(rdata, set()).add(key)
+        else:
+            if day < row[0]:
+                row[0] = day
+            if day > row[1]:
+                row[1] = day
+            row[2] += 1
+
+    def _materialize(self, key: tuple[str, RRType, str]) -> PdnsRecord:
+        first, last, count = self._rows[key]
+        return PdnsRecord(key[0], key[1], key[2], first, last, count)
+
+    # -- forward queries ------------------------------------------------------
+
+    def query_name(
+        self,
+        rrname: str,
+        rtype: RRType | None = None,
+        window: DateInterval | None = None,
+    ) -> list[PdnsRecord]:
+        """All aggregated rows for an exact rrname."""
+        rrname = rrname.lower().rstrip(".")
+        records = [self._materialize(k) for k in self._by_name.get(rrname, ())]
+        if rtype is not None:
+            records = [r for r in records if r.rtype is rtype]
+        if window is not None:
+            records = [r for r in records if r.overlaps(window)]
+        records.sort(key=lambda r: (r.first_seen, r.rdata))
+        return records
+
+    def query_domain(
+        self, domain: str, window: DateInterval | None = None
+    ) -> list[PdnsRecord]:
+        """All rows for any rrname under the registered domain."""
+        base = registered_domain(domain)
+        records: list[PdnsRecord] = []
+        for rrname, keys in self._by_name.items():
+            if rrname == base or rrname.endswith("." + base):
+                records.extend(self._materialize(k) for k in keys)
+        if window is not None:
+            records = [r for r in records if r.overlaps(window)]
+        records.sort(key=lambda r: (r.rrname, r.first_seen, r.rdata))
+        return records
+
+    def a_history(self, fqdn: str, window: DateInterval | None = None) -> list[PdnsRecord]:
+        return self.query_name(fqdn, RRType.A, window)
+
+    def ns_history(self, domain: str, window: DateInterval | None = None) -> list[PdnsRecord]:
+        """NS rows observed for the registered domain."""
+        return self.query_name(registered_domain(domain), RRType.NS, window)
+
+    # -- inverse (pivot) queries ----------------------------------------------
+
+    def query_rdata(
+        self, rdata: str, rtype: RRType | None = None, window: DateInterval | None = None
+    ) -> list[PdnsRecord]:
+        """All rows whose rdata equals ``rdata`` (IP or NS hostname)."""
+        rdata_key = rdata.lower().rstrip(".")
+        keys = set(self._by_rdata.get(rdata_key, ()))
+        if rtype is not RRType.NS:
+            keys |= self._by_rdata.get(rdata, set())
+        records = [self._materialize(k) for k in keys]
+        if rtype is not None:
+            records = [r for r in records if r.rtype is rtype]
+        if window is not None:
+            records = [r for r in records if r.overlaps(window)]
+        records.sort(key=lambda r: (r.rrname, r.first_seen))
+        return records
+
+    def domains_resolving_to(self, ip: str, window: DateInterval | None = None) -> set[str]:
+        """Registered domains with any name that resolved to ``ip``."""
+        return {
+            registered_domain(r.rrname)
+            for r in self.query_rdata(ip, RRType.A, window)
+        }
+
+    def domains_delegated_to(self, ns_fqdn: str, window: DateInterval | None = None) -> set[str]:
+        """Registered domains ever observed delegated to ``ns_fqdn``."""
+        return {
+            registered_domain(r.rrname)
+            for r in self.query_rdata(ns_fqdn, RRType.NS, window)
+        }
+
+    def all_records(self) -> list[PdnsRecord]:
+        """Every aggregated row, in (rrname, rtype, rdata) order."""
+        keys = sorted(self._rows, key=lambda k: (k[0], k[1].value, k[2]))
+        return [self._materialize(k) for k in keys]
+
+    def __len__(self) -> int:
+        return len(self._rows)

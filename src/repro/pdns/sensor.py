@@ -1,0 +1,94 @@
+"""The sensor network: turns planned query days into observations.
+
+For every planned (fqdn, day) pair the network decides — with its
+coverage probability — whether monitored recursive resolvers saw queries
+for the name that day, and if so resolves it a few times at random
+instants through the real resolver, recording both the A answer and the
+domain's NS delegation.  A hijack window of a few hours is captured only
+when a sampled query instant lands inside it, which is exactly the
+partial-visibility property the paper leans on.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, datetime, time, timedelta
+
+from repro.dns.records import RRType
+from repro.dns.resolver import RecursiveResolver
+from repro.net.names import registered_domain
+from repro.pdns.database import PassiveDNSDatabase
+from repro.pdns.traffic import ObservationPlan
+
+
+class SensorNetwork:
+    """Samples resolutions according to an observation plan."""
+
+    def __init__(
+        self,
+        resolver: RecursiveResolver,
+        rng: random.Random,
+        coverage: float = 0.85,
+        queries_per_day: int = 3,
+        dense_ignores_coverage: bool = True,
+    ) -> None:
+        """``dense_ignores_coverage=True`` (default) models DomainTools-
+        grade visibility: a name under dense observation is always seen.
+        Set it False to study degraded sensor networks, where even an
+        actively-queried name is only observed with the coverage
+        probability (the paper's §4.6 coverage limitation)."""
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError("coverage must be a probability")
+        if queries_per_day < 1:
+            raise ValueError("queries_per_day must be >= 1")
+        self._resolver = resolver
+        self._rng = rng
+        self._coverage = coverage
+        self._queries_per_day = queries_per_day
+        self._dense_ignores_coverage = dense_ignores_coverage
+
+    def _query_instants(self, day: date, dense: bool) -> list[datetime]:
+        base = datetime.combine(day, time(0, 0))
+        if dense:
+            # High query volume: samples every two hours around the clock.
+            # Any resolution state lasting >= 2 hours on a dense day is
+            # guaranteed to be observed.
+            return [base + timedelta(hours=2 * k, minutes=30) for k in range(12)]
+        return sorted(
+            base + timedelta(seconds=self._rng.randrange(86_400))
+            for _ in range(self._queries_per_day)
+        )
+
+    def observe_day(
+        self, db: PassiveDNSDatabase, fqdn: str, day: date, dense: bool = False
+    ) -> int:
+        """Observe one (fqdn, day); returns number of rows recorded.
+
+        Dense days (high real-world query volume) are always covered and
+        sampled on a fixed two-hour grid; background days are covered with
+        the network's coverage probability and a few random instants.
+        """
+        covered = dense and self._dense_ignores_coverage
+        if not covered and self._rng.random() > self._coverage:
+            return 0
+        recorded = 0
+        base = registered_domain(fqdn)
+        for instant in self._query_instants(day, dense):
+            resolution = self._resolver.resolve(fqdn, RRType.A, instant)
+            if resolution.ok:
+                for answer in resolution.answers:
+                    db.add_observation(fqdn, RRType.A, answer, day)
+                    recorded += 1
+            # Monitored resolvers also expose the delegation they used.
+            for ns in resolution.delegation or self._resolver.delegation_of(base, instant):
+                db.add_observation(base, RRType.NS, ns, day)
+                recorded += 1
+        return recorded
+
+    def run(self, db: PassiveDNSDatabase, plan: ObservationPlan) -> int:
+        """Execute the whole plan; returns total rows recorded."""
+        total = 0
+        for fqdn in plan.fqdns():
+            for day in plan.days_for(fqdn):
+                total += self.observe_day(db, fqdn, day, dense=plan.is_dense(fqdn, day))
+        return total

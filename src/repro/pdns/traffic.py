@@ -1,0 +1,68 @@
+"""Observation planning: which names get queried on which days.
+
+DomainTools-style sensors only see names that are actively queried on
+monitored networks.  The world builder translates "this domain is in
+active use" into an :class:`ObservationPlan`: a weekly background of
+query days per FQDN, densified around configuration-change boundaries
+(sensors see *more* queries than we can afford to simulate; dense
+sampling near events approximates that without resolving every name
+every day).  Attack windows explicitly marked invisible get no extra
+density — those become the paper's no-pDNS-corroboration cases.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+from repro.net.timeline import DateInterval, iter_days
+
+
+class ObservationPlan:
+    """fqdn → sorted set of days on which sensors may observe queries."""
+
+    def __init__(self) -> None:
+        self._days: dict[str, set[date]] = {}
+        self._dense: dict[str, set[date]] = {}
+
+    def add_background(
+        self, fqdn: str, interval: DateInterval, every_days: int = 7
+    ) -> None:
+        """Sparse steady-state coverage for an actively used name."""
+        if interval.end is None:
+            raise ValueError("background coverage needs a bounded interval")
+        if every_days < 1:
+            raise ValueError("every_days must be >= 1")
+        days = self._days.setdefault(fqdn.lower(), set())
+        day = interval.start
+        while day <= interval.end:
+            days.add(day)
+            day += timedelta(days=every_days)
+
+    def add_dense_window(self, fqdn: str, center: date, radius_days: int = 10) -> None:
+        """Daily, high-volume coverage around an event boundary.
+
+        Dense days model what commercial pDNS really provides for an
+        actively used name: enough query volume spread across the day
+        that any resolution state lasting a couple of hours is observed.
+        """
+        days = self._days.setdefault(fqdn.lower(), set())
+        dense = self._dense.setdefault(fqdn.lower(), set())
+        for day in iter_days(center - timedelta(days=radius_days), center + timedelta(days=radius_days)):
+            days.add(day)
+            dense.add(day)
+
+    def is_dense(self, fqdn: str, day: date) -> bool:
+        return day in self._dense.get(fqdn.lower(), ())
+
+    def days_for(self, fqdn: str) -> tuple[date, ...]:
+        return tuple(sorted(self._days.get(fqdn.lower(), ())))
+
+    def fqdns(self) -> tuple[str, ...]:
+        return tuple(sorted(self._days))
+
+    def merge(self, other: "ObservationPlan") -> None:
+        for fqdn, days in other._days.items():
+            self._days.setdefault(fqdn, set()).update(days)
+
+    def __len__(self) -> int:
+        return len(self._days)

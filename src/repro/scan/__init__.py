@@ -1,0 +1,24 @@
+"""Internet-wide TLS scan substrate (Censys CUIDS stand-in).
+
+A host population binds certificates to (IP, port) endpoints over time;
+the scan engine visits every endpoint on each weekly scan date with
+realistic liveness noise; the annotator joins each raw observation with
+the IP-intelligence tables and certificate metadata to produce records
+with the Table 1 schema; and the dataset indexes annotated records by
+the registered domains their SANs secure — the input to deployment maps.
+"""
+
+from repro.scan.annotate import AnnotatedScanRecord, Annotator
+from repro.scan.dataset import ScanDataset
+from repro.scan.engine import RawScanObservation, ScanEngine
+from repro.scan.host import HostPopulation, TLS_PORTS
+
+__all__ = [
+    "AnnotatedScanRecord",
+    "Annotator",
+    "ScanDataset",
+    "RawScanObservation",
+    "ScanEngine",
+    "HostPopulation",
+    "TLS_PORTS",
+]

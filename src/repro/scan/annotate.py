@@ -1,0 +1,126 @@
+"""Scan-record annotation (the Table 1 schema).
+
+Joins each raw observation with origin ASN (pfx2as), country
+(geolocation), and certificate metadata: crt.sh id, issuing CA,
+browser-trust, whether any secured name is sensitive, and the set of
+names secured.  Observations for the same (date, ip, certificate) are
+aggregated across ports into a single record, which is how the paper's
+Table 1 presents the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.ipintel.geo import GeoDB
+from repro.ipintel.pfx2as import RoutingTable
+from repro.net.names import is_sensitive_name
+from repro.scan.engine import RawScanObservation
+from repro.tls.certificate import Certificate
+from repro.tls.matching import base_domains_secured, names_secured
+from repro.tls.truststore import TrustStore
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedScanRecord:
+    """One annotated scan row (cf. Table 1 of the paper)."""
+
+    scan_date: date
+    ip: str
+    ports: tuple[int, ...]
+    asn: int
+    country: str
+    certificate: Certificate
+    trusted: bool
+    sensitive: bool
+    names: tuple[str, ...]
+    base_domains: tuple[str, ...]
+
+    @property
+    def crtsh_id(self) -> int:
+        return self.certificate.crtsh_id
+
+    @property
+    def issuer(self) -> str:
+        return self.certificate.issuer
+
+
+class Annotator:
+    """Joins raw scan observations with the IP-intelligence tables."""
+
+    def __init__(
+        self,
+        routing: RoutingTable,
+        geo: GeoDB,
+        trust: TrustStore,
+        unknown_asn: int = 0,
+        unknown_country: str = "ZZ",
+    ) -> None:
+        self._routing = routing
+        self._geo = geo
+        self._trust = trust
+        self._unknown_asn = unknown_asn
+        self._unknown_country = unknown_country
+        # Per-certificate metadata is invariant; memoize it.
+        self._cert_cache: dict[str, tuple[bool, bool, tuple[str, ...], tuple[str, ...]]] = {}
+        self._ip_cache: dict[str, tuple[int, str]] = {}
+
+    def _ip_info(self, ip: str) -> tuple[int, str]:
+        cached = self._ip_cache.get(ip)
+        if cached is None:
+            asn = self._routing.lookup(ip) or self._unknown_asn
+            country = self._geo.lookup(ip) or self._unknown_country
+            cached = (asn, country)
+            self._ip_cache[ip] = cached
+        return cached
+
+    def _cert_info(
+        self, cert: Certificate
+    ) -> tuple[bool, bool, tuple[str, ...], tuple[str, ...]]:
+        cached = self._cert_cache.get(cert.fingerprint)
+        if cached is None:
+            names = tuple(sorted(names_secured(cert)))
+            cached = (
+                self._trust.is_browser_trusted(cert),
+                any(is_sensitive_name(n) for n in names),
+                names,
+                tuple(sorted(base_domains_secured(cert))),
+            )
+            self._cert_cache[cert.fingerprint] = cached
+        return cached
+
+    def annotate(self, observations: list[RawScanObservation]) -> list[AnnotatedScanRecord]:
+        """Aggregate per (date, ip, cert) and annotate."""
+        grouped: dict[tuple[date, str, str], list[RawScanObservation]] = {}
+        order: list[tuple[date, str, str]] = []
+        for obs in observations:
+            key = (obs.scan_date, obs.ip, obs.certificate.fingerprint)
+            bucket = grouped.get(key)
+            if bucket is None:
+                grouped[key] = [obs]
+                order.append(key)
+            else:
+                bucket.append(obs)
+
+        records: list[AnnotatedScanRecord] = []
+        for key in order:
+            bucket = grouped[key]
+            first = bucket[0]
+            asn, country = self._ip_info(first.ip)
+            trusted, sensitive, names, bases = self._cert_info(first.certificate)
+            records.append(
+                AnnotatedScanRecord(
+                    scan_date=first.scan_date,
+                    ip=first.ip,
+                    ports=tuple(sorted({o.port for o in bucket})),
+                    asn=asn,
+                    country=country,
+                    certificate=first.certificate,
+                    trusted=trusted,
+                    sensitive=sensitive,
+                    names=names,
+                    base_domains=bases,
+                )
+            )
+        return records

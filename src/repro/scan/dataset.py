@@ -1,0 +1,60 @@
+"""The annotated scan dataset (CUIDS stand-in).
+
+Indexes annotated records by the registered domains their certificates
+secure, and knows the full scan calendar, so downstream stages can ask
+both "what did we see for this domain?" and "in how many scans of this
+period was the domain visible at all?" — the denominator of the
+shortlist's visibility check.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+from repro.net.timeline import Period
+from repro.scan.annotate import AnnotatedScanRecord
+
+
+class ScanDataset:
+    """All annotated records of a study, indexed for deployment mapping."""
+
+    def __init__(
+        self,
+        records: list[AnnotatedScanRecord],
+        scan_dates: tuple[date, ...],
+    ) -> None:
+        self._records = list(records)
+        self.scan_dates = tuple(sorted(scan_dates))
+        self._by_domain: dict[str, list[AnnotatedScanRecord]] = {}
+        for record in self._records:
+            for base in record.base_domains:
+                self._by_domain.setdefault(base, []).append(record)
+        for bucket in self._by_domain.values():
+            bucket.sort(key=lambda r: (r.scan_date, r.ip))
+
+    def domains(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_domain))
+
+    def records_for(self, domain: str) -> list[AnnotatedScanRecord]:
+        return list(self._by_domain.get(domain, ()))
+
+    def records(self) -> list[AnnotatedScanRecord]:
+        return list(self._records)
+
+    def scan_dates_in(self, period: Period) -> tuple[date, ...]:
+        return tuple(d for d in self.scan_dates if period.contains(d))
+
+    def presence(self, domain: str, period: Period) -> float:
+        """Fraction of the period's scans in which the domain appears."""
+        dates_in_period = self.scan_dates_in(period)
+        if not dates_in_period:
+            return 0.0
+        seen = {
+            r.scan_date
+            for r in self._by_domain.get(domain, ())
+            if period.contains(r.scan_date)
+        }
+        return len(seen) / len(dates_in_period)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,96 @@
+"""The weekly scan engine.
+
+Visits every endpoint in the host population on each scan date and
+records the certificate returned.  Noise is deterministic per (seed, ip,
+date): a host either answers the whole scan or is down for it, plus a
+small independent per-port loss — so repeated runs are reproducible and
+a domain's presence pattern does not depend on iteration order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date
+
+from repro.scan.host import HostPopulation
+from repro.tls.certificate import Certificate
+
+
+@dataclass(frozen=True, slots=True)
+class RawScanObservation:
+    """One (scan-date, endpoint, certificate) hit."""
+
+    scan_date: date
+    ip: str
+    port: int
+    certificate: Certificate
+
+
+def _unit_hash(seed: int, *parts: str) -> float:
+    """Deterministic uniform-[0,1) draw keyed by arbitrary strings."""
+    digest = hashlib.sha256(("|".join((str(seed),) + parts)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class ScanEngine:
+    """Deterministic weekly scanner over a host population."""
+
+    def __init__(
+        self,
+        hosts: HostPopulation,
+        seed: int = 0,
+        port_loss: float = 0.02,
+    ) -> None:
+        if not 0.0 <= port_loss < 1.0:
+            raise ValueError("port_loss must be in [0, 1)")
+        self._hosts = hosts
+        self._seed = seed
+        self._port_loss = port_loss
+
+    def host_responsive(self, ip: str, scan_date: date) -> bool:
+        reliability = self._hosts.reliability_of(ip)
+        if reliability >= 1.0:
+            return True
+        return _unit_hash(self._seed, "host", ip, scan_date.isoformat()) < reliability
+
+    def _port_answers(self, ip: str, port: int, scan_date: date) -> bool:
+        if self._port_loss <= 0.0:
+            return True
+        draw = _unit_hash(self._seed, "port", ip, str(port), scan_date.isoformat())
+        return draw >= self._port_loss
+
+    def scan(self, scan_date: date) -> list[RawScanObservation]:
+        """One full sweep of the population on ``scan_date``."""
+        observations: list[RawScanObservation] = []
+        down_hosts: set[str] = set()
+        up_hosts: set[str] = set()
+        for ip, port in self._hosts.endpoints():
+            if ip in down_hosts:
+                continue
+            if ip not in up_hosts:
+                if self.host_responsive(ip, scan_date):
+                    up_hosts.add(ip)
+                else:
+                    down_hosts.add(ip)
+                    continue
+            certs = self._hosts.serving_all(ip, port, scan_date)
+            if not certs:
+                continue
+            if not self._port_answers(ip, port, scan_date):
+                continue
+            for cert in certs:
+                observations.append(RawScanObservation(scan_date, ip, port, cert))
+        return observations
+
+    def run(self, scan_dates: tuple[date, ...]) -> list[RawScanObservation]:
+        """Sweep every scan date in order."""
+        observations: list[RawScanObservation] = []
+        for scan_date in scan_dates:
+            observations.extend(self.scan(scan_date))
+        return observations
+
+
+def certificate_of(observation: RawScanObservation) -> Certificate:
+    """Accessor used by pipelines that only need the certificate."""
+    return observation.certificate

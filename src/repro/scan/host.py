@@ -1,0 +1,106 @@
+"""The scannable host population.
+
+Binds certificates to (IP, port) endpoints over date intervals.  The
+paper scans the ports typically fronting TLS services attackers target:
+443 (HTTPS), 465/587 (SMTP), 993 (IMAPS), 995 (POP3S) — footnote 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.net.timeline import DateInterval
+from repro.tls.certificate import Certificate
+
+#: Ports the study scans (paper footnote 4).
+TLS_PORTS: tuple[int, ...] = (443, 465, 587, 993, 995)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceBinding:
+    """One certificate served at one endpoint over an interval."""
+
+    ip: str
+    port: int
+    certificate: Certificate
+    interval: DateInterval
+
+    def active_on(self, day: date) -> bool:
+        return self.interval.contains(day)
+
+
+class HostPopulation:
+    """All certificate-serving endpoints in the simulated IPv4 space."""
+
+    def __init__(self) -> None:
+        self._bindings: dict[tuple[str, int], list[ServiceBinding]] = {}
+        self._host_reliability: dict[str, float] = {}
+
+    def add_service(
+        self,
+        ip: str,
+        ports: tuple[int, ...],
+        certificate: Certificate,
+        interval: DateInterval,
+        reliability: float = 1.0,
+    ) -> None:
+        """Serve ``certificate`` on ``ports`` of ``ip`` over ``interval``.
+
+        ``reliability`` is the per-scan probability the host answers at
+        all; flaky hosts create the visibility gaps the shortlist's
+        20 %-missing-scans check prunes on.
+        """
+        if not ports:
+            raise ValueError("service must listen on at least one port")
+        if not 0.0 < reliability <= 1.0:
+            raise ValueError("reliability must be in (0, 1]")
+        for port in ports:
+            if port not in TLS_PORTS:
+                raise ValueError(f"port {port} is not scanned by the study")
+            self._bindings.setdefault((ip, port), []).append(
+                ServiceBinding(ip, port, certificate, interval)
+            )
+        existing = self._host_reliability.get(ip, 1.0)
+        self._host_reliability[ip] = min(existing, reliability)
+
+    def reliability_of(self, ip: str) -> float:
+        return self._host_reliability.get(ip, 1.0)
+
+    def serving(self, ip: str, port: int, day: date) -> Certificate | None:
+        """Most recently bound certificate active at the endpoint on ``day``."""
+        bindings = self._bindings.get((ip, port))
+        if not bindings:
+            return None
+        for binding in reversed(bindings):
+            if binding.active_on(day):
+                return binding.certificate
+        return None
+
+    def serving_all(self, ip: str, port: int, day: date) -> list[Certificate]:
+        """All certificates active at the endpoint on ``day``.
+
+        An endpoint can expose several certificates to a scan (SNI-aware
+        handshakes, certificate rollover overlap, or an attacker host
+        mimicking several victims at once); each distinct certificate is
+        returned once, newest binding first.
+        """
+        bindings = self._bindings.get((ip, port))
+        if not bindings:
+            return []
+        seen: set[str] = set()
+        certs: list[Certificate] = []
+        for binding in reversed(bindings):
+            if binding.active_on(day) and binding.certificate.fingerprint not in seen:
+                seen.add(binding.certificate.fingerprint)
+                certs.append(binding.certificate)
+        return certs
+
+    def endpoints(self) -> tuple[tuple[str, int], ...]:
+        return tuple(self._bindings)
+
+    def ips(self) -> tuple[str, ...]:
+        return tuple({ip for ip, _ in self._bindings})
+
+    def __len__(self) -> int:
+        return len(self._bindings)

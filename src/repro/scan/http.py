@@ -1,0 +1,121 @@
+"""HTTP service content (Censys Search 2.0 context, Appendix A).
+
+From late 2020 Censys began collecting service context including HTTP
+responses, which is what let the paper's authors verify that the
+counterfeit mail.mfa.gov.kg page "mimicked the Zimbra login page's look
+and feel, but differed from the standard Zimbra code" — and later catch
+the injected JavaScript social-engineering users into installing the
+Tomiris downloader (Figure 6).
+
+The model captures what that analysis needs: a page title (the look),
+a body fingerprint (the actual code), the login forms present, and any
+injected scripts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date
+
+from repro.net.timeline import DateInterval
+
+#: Censys started collecting HTTP response context in late 2020.
+HTTP_CONTEXT_START = date(2020, 11, 1)
+
+
+@dataclass(frozen=True, slots=True)
+class HttpResponse:
+    """One endpoint's HTTP response as a scan would archive it."""
+
+    title: str
+    body_fingerprint: str
+    forms: tuple[str, ...] = ()
+    scripts: tuple[str, ...] = ()
+
+    @classmethod
+    def login_page(
+        cls,
+        product: str,
+        operator: str,
+        forms: tuple[str, ...] = ("username", "password"),
+        scripts: tuple[str, ...] = (),
+    ) -> "HttpResponse":
+        """A product login page as deployed by ``operator``.
+
+        The body fingerprint hashes product *and* operator: two Zimbra
+        installs share a title but never a byte-identical page.
+        """
+        digest = hashlib.sha256(f"{product}|{operator}".encode()).hexdigest()[:16]
+        return cls(
+            title=f"{product} Sign In",
+            body_fingerprint=digest,
+            forms=forms,
+            scripts=scripts,
+        )
+
+    def mimicked_by(self, attacker: str, scripts: tuple[str, ...] = ()) -> "HttpResponse":
+        """The attacker's counterfeit: same look, different code.
+
+        The counterfeit reproduces the title and forms but is a re-
+        implementation — its body fingerprint differs — and may carry
+        injected scripts (the update-mfa.exe lure of Figure 6).
+        """
+        digest = hashlib.sha256(
+            f"counterfeit|{self.title}|{attacker}".encode()
+        ).hexdigest()[:16]
+        return HttpResponse(
+            title=self.title,
+            body_fingerprint=digest,
+            forms=self.forms,
+            scripts=self.scripts + scripts,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HttpObservation:
+    """One (scan date, ip, response) row of HTTP context."""
+
+    scan_date: date
+    ip: str
+    response: HttpResponse
+
+
+class HttpContentStore:
+    """HTTP content served per IP over time (port 443 implied)."""
+
+    def __init__(self) -> None:
+        self._content: dict[str, list[tuple[DateInterval, HttpResponse]]] = {}
+
+    def serve(self, ip: str, response: HttpResponse, interval: DateInterval) -> None:
+        self._content.setdefault(ip, []).append((interval, response))
+
+    def content_at(self, ip: str, day: date) -> HttpResponse | None:
+        for interval, response in reversed(self._content.get(ip, [])):
+            if interval.contains(day):
+                return response
+        return None
+
+    def scan(self, day: date) -> list[HttpObservation]:
+        """Collect HTTP context for one scan date.
+
+        Returns nothing before :data:`HTTP_CONTEXT_START`, mirroring the
+        real data set's coverage.
+        """
+        if day < HTTP_CONTEXT_START:
+            return []
+        observations: list[HttpObservation] = []
+        for ip in sorted(self._content):
+            response = self.content_at(ip, day)
+            if response is not None:
+                observations.append(HttpObservation(day, ip, response))
+        return observations
+
+    def scan_range(self, scan_dates: tuple[date, ...]) -> list[HttpObservation]:
+        observations: list[HttpObservation] = []
+        for day in scan_dates:
+            observations.extend(self.scan(day))
+        return observations
+
+    def __len__(self) -> int:
+        return len(self._content)

@@ -1,0 +1,24 @@
+"""TLS certificate substrate.
+
+Models the parts of X.509 the methodology consumes: subject alternative
+names, validity windows, the issuing CA, browser root-program trust
+(Apple / Microsoft / Mozilla, as in the paper's footnote 5), wildcard SAN
+matching, and revocation status via CRL or OCSP.
+"""
+
+from repro.tls.certificate import Certificate, ValidationLevel
+from repro.tls.matching import names_secured, san_matches
+from repro.tls.revocation import RevocationMechanism, RevocationRegistry, RevocationStatus
+from repro.tls.truststore import RootProgram, TrustStore
+
+__all__ = [
+    "Certificate",
+    "ValidationLevel",
+    "names_secured",
+    "san_matches",
+    "RevocationMechanism",
+    "RevocationRegistry",
+    "RevocationStatus",
+    "RootProgram",
+    "TrustStore",
+]

@@ -1,0 +1,51 @@
+"""SAN matching and the names-secured relation.
+
+Deployment maps are keyed by registered domain; a scan record belongs to
+a domain's observable infrastructure when any SAN on the returned
+certificate secures a name under that domain.  Wildcard SANs follow the
+usual single-left-label rule (``*.example.com`` matches
+``mail.example.com`` but neither ``example.com`` nor ``a.b.example.com``).
+"""
+
+from __future__ import annotations
+
+from repro.net.names import registered_domain
+from repro.tls.certificate import Certificate
+
+
+def san_matches(san: str, fqdn: str) -> bool:
+    """Does a single SAN entry cover ``fqdn``?"""
+    san = san.lower().rstrip(".")
+    fqdn = fqdn.lower().rstrip(".")
+    if san.startswith("*."):
+        suffix = san[2:]
+        if not fqdn.endswith("." + suffix):
+            return False
+        return "." not in fqdn[: -(len(suffix) + 1)]
+    return san == fqdn
+
+
+def cert_covers(cert: Certificate, fqdn: str) -> bool:
+    """Does any SAN on ``cert`` cover ``fqdn``?"""
+    return any(san_matches(san, fqdn) for san in cert.sans)
+
+
+def names_secured(cert: Certificate) -> frozenset[str]:
+    """Concrete (non-wildcard) FQDNs listed on the certificate."""
+    return frozenset(s for s in cert.sans if not s.startswith("*."))
+
+
+def base_domains_secured(cert: Certificate) -> frozenset[str]:
+    """Registered domains the certificate asserts authority over.
+
+    Wildcard SANs count toward their registered domain: a scan hit for
+    ``*.example.com`` is observable infrastructure for ``example.com``.
+    """
+    bases: set[str] = set()
+    for san in cert.sans:
+        name = san[2:] if san.startswith("*.") else san
+        try:
+            bases.add(registered_domain(name))
+        except ValueError:
+            continue
+    return frozenset(bases)

@@ -1,0 +1,82 @@
+"""Certificate revocation: CRLs and OCSP.
+
+The paper's Table 9 analysis hinges on an asymmetry between CAs: Comodo
+publishes CRLs that crt.sh indexes, so revocations are retroactively
+visible; Let's Encrypt only serves OCSP, so revocation status of expired
+certificates is unknowable after the fact.  We model both mechanisms so
+the certificate analysis reproduces that asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from enum import Enum
+
+from repro.tls.certificate import Certificate
+
+
+class RevocationMechanism(Enum):
+    CRL = "crl"
+    OCSP = "ocsp"
+
+
+class RevocationStatus(Enum):
+    """Retroactive revocation verdict for a certificate."""
+
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"  # OCSP-only issuer; status unrecoverable post-expiry
+
+
+@dataclass(frozen=True, slots=True)
+class RevocationEntry:
+    fingerprint: str
+    revoked_on: date
+    reason: str = "unspecified"
+
+
+class RevocationRegistry:
+    """Per-CA revocation records plus each CA's publication mechanism."""
+
+    def __init__(self) -> None:
+        self._mechanism: dict[str, RevocationMechanism] = {}
+        self._entries: dict[str, RevocationEntry] = {}
+
+    def set_mechanism(self, ca_name: str, mechanism: RevocationMechanism) -> None:
+        self._mechanism[ca_name] = mechanism
+
+    def mechanism_of(self, ca_name: str) -> RevocationMechanism:
+        return self._mechanism.get(ca_name, RevocationMechanism.CRL)
+
+    def revoke(self, cert: Certificate, on: date, reason: str = "unspecified") -> None:
+        if not cert.valid_on(on):
+            raise ValueError("cannot revoke a certificate outside its validity window")
+        self._entries[cert.fingerprint] = RevocationEntry(cert.fingerprint, on, reason)
+
+    def live_status(self, cert: Certificate, on: date) -> RevocationStatus:
+        """Status as a client checking at time ``on`` would see it."""
+        entry = self._entries.get(cert.fingerprint)
+        if entry is not None and entry.revoked_on <= on:
+            return RevocationStatus.REVOKED
+        return RevocationStatus.GOOD
+
+    def retroactive_status(self, cert: Certificate, asof: date) -> RevocationStatus:
+        """Status a *retroactive* auditor (crt.sh style) can determine.
+
+        CRL-publishing issuers leave a durable record.  OCSP-only issuers
+        stop answering for expired certificates, so once the certificate
+        has expired the status is UNKNOWN — the Let's Encrypt case in
+        Table 9.
+        """
+        if self.mechanism_of(cert.issuer) is RevocationMechanism.OCSP:
+            if asof > cert.not_after:
+                return RevocationStatus.UNKNOWN
+            return self.live_status(cert, asof)
+        entry = self._entries.get(cert.fingerprint)
+        if entry is not None and entry.revoked_on <= asof:
+            return RevocationStatus.REVOKED
+        return RevocationStatus.GOOD
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,48 @@
+"""Browser root-program trust.
+
+The paper marks a certificate as trusted "if it is trusted by either
+Apple, Microsoft, or Mozilla" (footnote 5; the Chrome root store
+postdates the study window).  We model trust at the granularity of the
+issuing CA: each CA is included in zero or more root programs, and a
+certificate is browser-trusted when its issuer is in at least one.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.tls.certificate import Certificate
+
+
+class RootProgram(Enum):
+    APPLE = "apple"
+    MICROSOFT = "microsoft"
+    MOZILLA = "mozilla"
+
+
+ALL_PROGRAMS = frozenset(RootProgram)
+
+
+class TrustStore:
+    """Which CAs are included in which browser root programs."""
+
+    def __init__(self) -> None:
+        self._programs: dict[str, frozenset[RootProgram]] = {}
+
+    def include(self, ca_name: str, programs: frozenset[RootProgram] = ALL_PROGRAMS) -> None:
+        if not programs:
+            raise ValueError("a trusted CA must be in at least one program")
+        self._programs[ca_name] = frozenset(programs)
+
+    def programs_of(self, ca_name: str) -> frozenset[RootProgram]:
+        return self._programs.get(ca_name, frozenset())
+
+    def is_trusted_ca(self, ca_name: str) -> bool:
+        return bool(self._programs.get(ca_name))
+
+    def is_browser_trusted(self, cert: Certificate) -> bool:
+        """True if any of Apple / Microsoft / Mozilla trust the issuer."""
+        return self.is_trusted_ca(cert.issuer)
+
+    def __contains__(self, ca_name: str) -> bool:
+        return self.is_trusted_ca(ca_name)

@@ -1,0 +1,52 @@
+"""The synthetic Internet and its attackers.
+
+This package generates every data set the detection pipeline consumes
+from one causally-consistent simulation: organizations register domains
+through registrars, host services with certificates issued by real CA
+objects, and a population of benign behaviours (stable S1-S4, transition
+X1-X3, noisy, and transient-but-innocent lookalikes) forms the
+background.  Attackers execute the paper's playbook against chosen
+victims — compromise the registrar path, stage infrastructure, pass ACME
+domain validation during a hijack window, redirect briefly — and a
+ground-truth ledger records what "really happened" so the pipeline's
+verdicts can be scored.
+"""
+
+from repro.world.attacker import (
+    AttackerProfile,
+    CampaignMode,
+    CampaignSpec,
+    Capability,
+    run_campaign,
+)
+from repro.world.behaviors import BackgroundMix, populate_background
+from repro.world.entities import Organization, Sector
+from repro.world.groundtruth import AttackKind, AttackRecord, GroundTruthLedger
+from repro.world.hosting import HostingProvider
+from repro.world.impact import ImpactModel, ImpactReport
+from repro.world.randomized import RandomWorldConfig, random_world
+from repro.world.sim import StudyDatasets
+from repro.world.world import DomainDeployment, World
+
+__all__ = [
+    "AttackerProfile",
+    "CampaignMode",
+    "CampaignSpec",
+    "Capability",
+    "run_campaign",
+    "ImpactModel",
+    "ImpactReport",
+    "RandomWorldConfig",
+    "random_world",
+    "BackgroundMix",
+    "populate_background",
+    "Organization",
+    "Sector",
+    "AttackKind",
+    "AttackRecord",
+    "GroundTruthLedger",
+    "HostingProvider",
+    "StudyDatasets",
+    "DomainDeployment",
+    "World",
+]

@@ -1,0 +1,329 @@
+"""The attacker playbook (Section 3 of the paper), executed for real.
+
+A campaign walks the stages the paper describes: develop capability
+(compromise the victim's registrar account), stage infrastructure (a
+rogue nameserver host plus a serving host in a bulletproof-ish cloud),
+obtain a browser-trusted certificate by hijacking the delegation for a
+couple of hours so the CA's DNS-01 check lands on attacker
+infrastructure, deploy the certificate on the serving host where weekly
+scans can spot it, and finally run short redirection windows that divert
+the sensitive subdomain to the counterfeit server.
+
+Campaign *modes* select which observable side effects exist, matching
+the detection types of Tables 2 and 3 — e.g. a T2 prelude serves the
+victim's own certificate (proxying to the legitimate host), and pivot
+victims have no scan-visible stable infrastructure at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timedelta
+from enum import Enum
+
+from repro.core.types import DetectionType
+from repro.dns.nameserver import NameserverHost
+from repro.dns.registrar import RegistrarError
+from repro.dns.records import RRType
+from repro.net.timeline import DateInterval
+from repro.tls.certificate import Certificate
+from repro.world.entities import Sector
+from repro.world.groundtruth import AttackKind, AttackRecord
+from repro.world.hosting import HostingProvider
+from repro.world.world import DomainDeployment, World
+
+
+class CampaignBlocked(Exception):
+    """The attack could not proceed — a mitigation held.
+
+    Raised when the capability path the attacker developed cannot move
+    the delegation (e.g. Registry Lock blocking the registrar channel).
+    """
+
+
+class CampaignMode(Enum):
+    """How the attack manifests in the observable data."""
+
+    T1 = "t1"                    # new cert served from transient deployment
+    T1_NO_PDNS = "t1-no-pdns"    # same, but sensors never saw the domain (T1*)
+    T2 = "t2"                    # proxy prelude + hijack (stable cert in scans)
+    PIVOT = "pivot"              # no scan-visible victim infra; found via pivot
+    PRELUDE_ONLY = "prelude"     # staged proxy, attack never launched (targeted)
+    PRELUDE_REDIRECT = "prelude-redirect"  # redirection but no cert (targeted)
+
+
+class Capability(Enum):
+    """How the attacker develops the ability to change DNS (Section 3).
+
+    Path (a) compromises the registrant's account with their registrar;
+    path (b) compromises the registrar's own systems (every domain it
+    sponsors becomes reachable); path (c) compromises the registry's
+    configuration database directly.  All three end at the same place —
+    the delegation moves — so detection is identical; what differs is
+    whose logs would show the intrusion.
+    """
+
+    ACCOUNT = "account"
+    REGISTRAR = "registrar"
+    REGISTRY = "registry"
+
+
+@dataclass
+class AttackerProfile:
+    """One actor: shared nameserver infrastructure and hosting pool."""
+
+    name: str
+    ns_domain: str | None = None           # e.g. "kg-infocom.ru"
+    ns_host: NameserverHost | None = None
+    active_from: date | None = None
+
+    def nameservers(self) -> tuple[str, ...]:
+        if self.ns_domain is None:
+            return ()
+        return (f"ns1.{self.ns_domain}", f"ns2.{self.ns_domain}")
+
+    def ensure_staged(self, world: World, by: date) -> None:
+        """Bind the rogue nameserver names to a host the actor controls."""
+        if self.ns_domain is None or self.ns_host is not None:
+            return
+        self.ns_host = NameserverHost(operator=self.name)
+        start = datetime.combine(by - timedelta(days=30), time(0, 0))
+        for ns_name in self.nameservers():
+            world.directory.bind(ns_name, self.ns_host, start=start)
+        self.active_from = by
+
+
+@dataclass
+class CampaignSpec:
+    """Everything needed to execute one victim's campaign."""
+
+    victim: DomainDeployment
+    sector: Sector
+    victim_cc: str
+    mode: CampaignMode
+    expected_detection: DetectionType | None
+    hijack_date: date
+    attacker: AttackerProfile
+    attacker_provider: HostingProvider
+    attacker_ip: str | None = None      # pin the paper's exact IP
+    attacker_country: str | None = None  # allocate from a specific geography
+    target_subdomain: str = "mail"      # "" = the registered domain itself
+    ca_name: str | None = "Let's Encrypt"
+    serve_days: int = 6                 # how long the counterfeit host serves
+    redirect_windows: int = 2
+    redirect_hours: int = 6
+    redirect_span_days: int = 1         # windows spread over this many days
+    pdns_visible: bool = True
+    revoked_after_days: int | None = None
+    use_own_ns_names: bool = False      # A-record-only hijack via victim account
+    capability: Capability = Capability.ACCOUNT
+    notes: str = ""
+
+    @property
+    def target_fqdn(self) -> str:
+        if not self.target_subdomain:
+            return self.victim.domain
+        return f"{self.target_subdomain}.{self.victim.domain}"
+
+
+def _window_starts(spec: CampaignSpec) -> list[datetime]:
+    """Deterministic start instants for the redirection windows.
+
+    Windows begin at 05:00 so they never overlap the 02:00 certificate-
+    issuance window; a one-day campaign keeps all its windows inside the
+    hijack date itself (the paper: most hijacks redirect for less than a
+    day at a time).
+    """
+    starts: list[datetime] = []
+    span = max(spec.redirect_span_days, 1)
+    for i in range(spec.redirect_windows):
+        day_offset = (i * span) // max(spec.redirect_windows, 1)
+        starts.append(
+            datetime.combine(spec.hijack_date + timedelta(days=day_offset), time(5, 0))
+            + timedelta(hours=3 * i)
+        )
+    return starts
+
+
+def run_campaign(world: World, spec: CampaignSpec) -> AttackRecord:
+    """Execute the campaign and record the ground truth."""
+    victim = spec.victim
+    attacker = spec.attacker
+    attacker.ensure_staged(world, spec.hijack_date)
+    provider = spec.attacker_provider
+    attacker_ip = (
+        provider.claim(spec.attacker_ip)
+        if spec.attacker_ip
+        else provider.allocate(spec.attacker_country)
+    )
+    attacker_cc = world.geo.lookup(attacker_ip) or "ZZ"
+
+    # Stage: a host the rogue NS can point the target at, and that the
+    # rogue NS itself serves challenge/answer records from.
+    rogue_ns = attacker.ns_host
+    rogue_ns_names = attacker.nameservers()
+    if spec.use_own_ns_names or rogue_ns is None:
+        # A-record-only hijack: manipulate records on a host bound to the
+        # victim's own NS names via the compromised account/provider.
+        rogue_ns = victim.ns_host
+        rogue_ns_names = ()
+
+    # Develop capability (Section 3): account theft, registrar compromise,
+    # or registry compromise — all yield delegation-write ability.
+    registry = world.registry_for(victim.domain)
+    if spec.capability is Capability.ACCOUNT:
+        credential = victim.registrar.compromise_account(victim.credential.username)
+
+        def set_delegation(ns: tuple[str, ...], start: datetime, end: datetime) -> None:
+            try:
+                victim.registrar.update_delegation(
+                    credential, victim.domain, ns, start, end
+                )
+            except (PermissionError, RegistrarError) as exc:
+                raise CampaignBlocked(str(exc)) from exc
+
+        def remove_ds(start: datetime, end: datetime) -> None:
+            victim.registrar.remove_ds(credential, victim.domain, start, end)
+
+    elif spec.capability is Capability.REGISTRAR:
+        victim.registrar.compromise_registrar()
+
+        def set_delegation(ns: tuple[str, ...], start: datetime, end: datetime) -> None:
+            try:
+                victim.registrar.privileged_update(victim.domain, ns, start, end)
+            except (PermissionError, RegistrarError) as exc:
+                raise CampaignBlocked(str(exc)) from exc
+
+        def remove_ds(start: datetime, end: datetime) -> None:
+            registry.remove_ds(victim.domain, start, end)
+
+    else:  # Capability.REGISTRY: straight into the registry database —
+        # the one channel Registry Lock cannot gate.
+
+        def set_delegation(ns: tuple[str, ...], start: datetime, end: datetime) -> None:
+            registry.set_delegation(victim.domain, ns, start, end, force=True)
+
+        def remove_ds(start: datetime, end: datetime) -> None:
+            registry.remove_ds(victim.domain, start, end)
+
+    # If the victim deploys DNSSEC, the same capability strips the DS
+    # records for the duration of each manipulation (Section 2.2: "the
+    # attacker can also typically disable protections provided by DNSSEC").
+    victim_has_dnssec = bool(
+        registry.ds_at(victim.domain, datetime.combine(spec.hijack_date, time(0, 0)))
+    )
+
+    def strip_ds(start: datetime, end: datetime) -> None:
+        if victim_has_dnssec:
+            remove_ds(start, end)
+
+    malicious_cert: Certificate | None = None
+    issue_day: date | None = None
+    wants_cert = spec.ca_name is not None and spec.mode in (
+        CampaignMode.T1,
+        CampaignMode.T1_NO_PDNS,
+        CampaignMode.T2,
+        CampaignMode.PIVOT,
+    )
+    if wants_cert:
+        # Certificates are obtained in the small hours of the hijack day
+        # itself, so pDNS evidence of the whole attack concentrates on as
+        # few days as the redirect span allows (Section 5.3).
+        issue_day = spec.hijack_date
+        issue_at = datetime.combine(issue_day, time(2, 0))
+        window_end = issue_at + timedelta(hours=2)
+        if rogue_ns_names:
+            set_delegation(rogue_ns_names, issue_at, window_end)
+        strip_ds(issue_at, window_end)
+        rogue_ns.add_record(
+            spec.target_fqdn, RRType.A, attacker_ip, start=issue_at, end=window_end
+        )
+        malicious_cert = world.acme_order(
+            spec.ca_name, (spec.target_fqdn,), rogue_ns, at=issue_at
+        )
+
+    # Deploy on the counterfeit host where scans can observe it.
+    serve_cert: Certificate | None = None
+    if spec.mode in (CampaignMode.T1, CampaignMode.T1_NO_PDNS, CampaignMode.PIVOT):
+        serve_cert = malicious_cert
+    elif spec.mode in (CampaignMode.T2, CampaignMode.PRELUDE_ONLY, CampaignMode.PRELUDE_REDIRECT):
+        # The proxy tunnels to the legitimate host, so scans see the
+        # certificate the victim is serving *at hijack time*.
+        serve_cert = victim.cert_at(spec.hijack_date)
+    if serve_cert is not None:
+        serve_from = (issue_day or spec.hijack_date) + timedelta(days=1)
+        world.hosts.add_service(
+            attacker_ip,
+            (443, 993, 995),
+            serve_cert,
+            DateInterval(serve_from, serve_from + timedelta(days=spec.serve_days)),
+        )
+
+    # Active hijack: short redirection windows.
+    redirects = spec.mode in (
+        CampaignMode.T1,
+        CampaignMode.T1_NO_PDNS,
+        CampaignMode.T2,
+        CampaignMode.PIVOT,
+        CampaignMode.PRELUDE_REDIRECT,
+    )
+    if redirects:
+        for start in _window_starts(spec):
+            end = start + timedelta(hours=spec.redirect_hours)
+            if rogue_ns_names:
+                set_delegation(rogue_ns_names, start, end)
+            strip_ds(start, end)
+            rogue_ns.add_record(
+                spec.target_fqdn, RRType.A, attacker_ip, start=start, end=end
+            )
+
+    # Passive-DNS visibility of the attack.
+    if spec.pdns_visible and redirects:
+        world.plan.add_dense_window(spec.target_fqdn, spec.hijack_date, radius_days=10)
+        if issue_day is not None:
+            world.plan.add_dense_window(spec.target_fqdn, issue_day, radius_days=5)
+    elif not spec.pdns_visible:
+        blackout = DateInterval(
+            spec.hijack_date - timedelta(days=45),
+            spec.hijack_date + timedelta(days=45),
+        )
+        world.pdns_blackout(victim.domain, blackout)
+
+    # Post hijack: the rare case where the victim notices and revokes.
+    revoked = False
+    if malicious_cert is not None and spec.revoked_after_days is not None:
+        revoke_on = (issue_day or spec.hijack_date) + timedelta(days=spec.revoked_after_days)
+        world.authorities[malicious_cert.issuer].revoke(
+            malicious_cert, revoke_on, reason="hijack discovered"
+        )
+        revoked = True
+
+    kind = (
+        AttackKind.TARGETED
+        if spec.mode in (CampaignMode.PRELUDE_ONLY, CampaignMode.PRELUDE_REDIRECT)
+        else AttackKind.HIJACKED
+    )
+    record = AttackRecord(
+        domain=victim.domain,
+        target_fqdn=spec.target_fqdn,
+        kind=kind,
+        expected_detection=spec.expected_detection,
+        hijack_date=spec.hijack_date,
+        victim_cc=spec.victim_cc,
+        sector=spec.sector,
+        attacker_ips=(attacker_ip,),
+        attacker_asn=provider.asn,
+        attacker_cc=attacker_cc,
+        attacker_ns=rogue_ns_names,
+        legit_asns=tuple(p.asn for p in victim.providers),
+        legit_ccs=tuple(dict.fromkeys(c for p in victim.providers for c in p.countries)),
+        ca=malicious_cert.issuer if malicious_cert else None,
+        crtsh_id=malicious_cert.crtsh_id if malicious_cert else 0,
+        pdns_visible=spec.pdns_visible,
+        ct_visible=malicious_cert is not None,
+        revoked=revoked,
+        redirect_days=spec.redirect_span_days,
+        notes=spec.notes,
+    )
+    world.ground_truth.add(record)
+    return record

@@ -1,0 +1,371 @@
+"""Benign background behaviours.
+
+Generates the population the pipeline must *not* flag: the stable
+patterns of Figure 3, the transitions of Figure 4, noisy movers, and —
+most importantly for validating the shortlist — transient-but-innocent
+lookalikes that each exercise one pruning heuristic (organizationally
+related ASN, same country, low visibility, stale certificate,
+non-sensitive naming).  Background domains skip the DNS/pDNS machinery
+entirely: sensors only matter for shortlisted domains, and an empty
+passive-DNS answer is itself the realistic outcome for a random benign
+domain.
+
+Mix fractions default to the paper's measured population (Section 4.2):
+96.5% stable, 2.95% transition, 0.13% transient, 0.35% noisy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import timedelta
+
+from repro.net.timeline import DateInterval
+from repro.world.hosting import HostingProvider
+from repro.world.world import World
+
+PORTS = (443,)
+
+
+@dataclass(frozen=True, slots=True)
+class BackgroundMix:
+    """Population fractions; must sum to ~1."""
+
+    stable: float = 0.965
+    transition: float = 0.0295
+    transient: float = 0.0013
+    noisy: float = 0.0035
+
+    def counts(self, n: int) -> dict[str, int]:
+        counts = {
+            "transition": round(n * self.transition),
+            "transient": round(n * self.transient),
+            "noisy": round(n * self.noisy),
+        }
+        counts["stable"] = n - sum(counts.values())
+        return counts
+
+
+@dataclass
+class BackgroundProviders:
+    """The provider pool background generators draw from."""
+
+    generic: list[HostingProvider]       # single-country, distinct orgs
+    sibling_a: HostingProvider           # two ASNs, one organization
+    sibling_b: HostingProvider
+    multi_country: HostingProvider       # one ASN, two countries
+    same_country_pair: tuple[HostingProvider, HostingProvider]
+
+
+def standard_background_providers(world: World, base_asn: int = 60000) -> BackgroundProviders:
+    """Register a realistic provider pool for background population."""
+    generic = [
+        world.add_provider("bg-cloud-us", base_asn + 1, [("10.0.0.0/14", "US")]),
+        world.add_provider("bg-cloud-fr", base_asn + 2, [("10.8.0.0/14", "FR")]),
+        world.add_provider("bg-cloud-jp", base_asn + 3, [("10.16.0.0/14", "JP")]),
+        world.add_provider("bg-cloud-br", base_asn + 4, [("10.24.0.0/14", "BR")]),
+        world.add_provider("bg-cloud-in", base_asn + 5, [("10.32.0.0/14", "IN")]),
+        world.add_provider("bg-cloud-gb", base_asn + 6, [("10.40.0.0/14", "GB")]),
+    ]
+    sibling_a = world.add_provider(
+        "bg-mega-cloud", base_asn + 7, [("10.48.0.0/14", "US")], org_id="mega-cloud"
+    )
+    sibling_b = world.add_provider(
+        "bg-mega-cloud-2", base_asn + 8, [("10.56.0.0/14", "US")], org_id="mega-cloud"
+    )
+    multi_country = world.add_provider(
+        "bg-global-cdn",
+        base_asn + 9,
+        [("10.64.0.0/15", "US"), ("10.66.0.0/15", "DE")],
+    )
+    same_a = world.add_provider("bg-host-de-1", base_asn + 10, [("10.72.0.0/14", "DE")])
+    same_b = world.add_provider("bg-host-de-2", base_asn + 11, [("10.80.0.0/14", "DE")])
+    return BackgroundProviders(
+        generic=generic,
+        sibling_a=sibling_a,
+        sibling_b=sibling_b,
+        multi_country=multi_country,
+        same_country_pair=(same_a, same_b),
+    )
+
+
+def _serve(
+    world: World,
+    provider: HostingProvider,
+    names: tuple[str, ...],
+    ca: str,
+    interval: DateInterval,
+    country: str | None = None,
+    reliability: float = 1.0,
+) -> str:
+    """Allocate an IP and serve a cert chain over the interval."""
+    ip = provider.allocate(country)
+    for cert in world.issue_chain(ca, names, interval):
+        bound = DateInterval(
+            max(cert.not_before, interval.start),
+            min(cert.not_after, interval.end),
+        )
+        world.hosts.add_service(ip, PORTS, cert, bound, reliability=reliability)
+    return ip
+
+
+def _single_cert_serve(
+    world: World,
+    provider: HostingProvider,
+    names: tuple[str, ...],
+    ca: str,
+    interval: DateInterval,
+    reliability: float = 1.0,
+) -> str:
+    ip = provider.allocate()
+    cert = world.issue_direct(
+        ca, names, interval.start, validity_days=(interval.end - interval.start).days + 30
+    )
+    world.hosts.add_service(ip, PORTS, cert, interval, reliability=reliability)
+    return ip
+
+
+def _change_point(interval: DateInterval, rng: random.Random):
+    """A date where a mid-life infrastructure change happens.
+
+    Deliberately avoids the exact midpoint: for year-aligned intervals
+    that is the six-month period boundary, where a transition degenerates
+    into two per-period stable maps and the pattern disappears.  Changes
+    land around 1/4 or 3/4 of the interval, safely inside a period.
+    """
+    fraction = rng.choice((0.25, 0.75)) + rng.uniform(-0.05, 0.05)
+    return interval.start + (interval.end - interval.start) * fraction
+
+
+def _mid(interval: DateInterval, rng: random.Random | None = None) -> DateInterval:
+    if rng is None:
+        point = interval.start + (interval.end - interval.start) / 2
+    else:
+        point = _change_point(interval, rng)
+    return DateInterval(point, interval.end)
+
+
+# -- stable patterns (Figure 3) -----------------------------------------------
+
+def stable_s1(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+              interval: DateInterval) -> None:
+    provider = rng.choice(pool.generic)
+    _single_cert_serve(world, provider, (f"www.{domain}", domain), "DigiCert Inc", interval)
+
+
+def stable_s2(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+              interval: DateInterval) -> None:
+    provider = rng.choice(pool.generic)
+    _serve(world, provider, (f"www.{domain}", domain), "Let's Encrypt", interval)
+
+
+def stable_s3(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+              interval: DateInterval) -> None:
+    provider = pool.multi_country
+    names = (f"www.{domain}", domain)
+    _serve(world, provider, names, "Let's Encrypt", interval, country="US")
+    _serve(world, provider, names, "Let's Encrypt", _mid(interval, rng), country="DE")
+
+
+def stable_s4(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+              interval: DateInterval) -> None:
+    provider = rng.choice(pool.generic)
+    ip = _single_cert_serve(world, provider, (f"www.{domain}", domain), "DigiCert Inc", interval)
+    extra_interval = _mid(interval, rng)
+    extra = world.issue_direct(
+        "DigiCert Inc",
+        (f"app.{domain}", domain),
+        extra_interval.start,
+        validity_days=(extra_interval.end - extra_interval.start).days + 30,
+    )
+    world.hosts.add_service(ip, PORTS, extra, extra_interval)
+
+
+# -- transition patterns (Figure 4) ----------------------------------------------
+
+def transition_x1(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+                  interval: DateInterval) -> None:
+    old, new = rng.sample(pool.generic, 2)
+    names = (f"www.{domain}", domain)
+    cert_interval = interval
+    ip_old = old.allocate()
+    ip_new = new.allocate()
+    cert = world.issue_direct(
+        "DigiCert Inc", names, interval.start,
+        validity_days=(interval.end - interval.start).days + 30,
+    )
+    world.hosts.add_service(ip_old, PORTS, cert, cert_interval)
+    world.hosts.add_service(ip_new, PORTS, cert, _mid(interval, rng))
+
+
+def transition_x2(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+                  interval: DateInterval) -> None:
+    old, new = rng.sample(pool.generic, 2)
+    _single_cert_serve(world, old, (f"www.{domain}", domain), "DigiCert Inc", interval)
+    expansion = _mid(interval, rng)
+    _serve(world, new, (f"cdn.{domain}", domain), "Let's Encrypt", expansion)
+
+
+def transition_x3(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+                  interval: DateInterval) -> None:
+    old, new = rng.sample(pool.generic, 2)
+    mid = _change_point(interval, rng)
+    _single_cert_serve(
+        world, old, (f"www.{domain}", domain), "DigiCert Inc",
+        DateInterval(interval.start, mid + timedelta(days=10)),
+    )
+    _serve(world, new, (f"www.{domain}", domain), "Let's Encrypt",
+           DateInterval(mid, interval.end))
+
+
+# -- noisy ------------------------------------------------------------------------
+
+def noisy(world: World, domain: str, pool: BackgroundProviders, rng: random.Random,
+          interval: DateInterval) -> None:
+    """Continually moving infrastructure with no stable deployment."""
+    names = (f"www.{domain}", domain)
+    hops = 5
+    total_days = (interval.end - interval.start).days
+    hop_days = max(total_days // hops, 14)
+    start = interval.start
+    for _ in range(hops):
+        end = min(start + timedelta(days=hop_days - 3), interval.end)
+        if end <= start:
+            break
+        provider = rng.choice(pool.generic)
+        cert = world.issue_direct("Let's Encrypt", names, start)
+        ip = provider.allocate()
+        world.hosts.add_service(
+            ip, PORTS, cert, DateInterval(start, min(end, cert.not_after))
+        )
+        start = end + timedelta(days=3)
+
+
+# -- benign transients (one per pruning heuristic) ----------------------------------
+
+def transient_org_related(world: World, domain: str, pool: BackgroundProviders,
+                          rng: random.Random, interval: DateInterval) -> None:
+    """Brief sibling-ASN appearance — pruned by the AS2Org check."""
+    names = (f"mail.{domain}", domain)
+    _single_cert_serve(world, pool.sibling_a, names, "DigiCert Inc", interval)
+    mid = _change_point(interval, rng)
+    burst = world.issue_direct("Let's Encrypt", names, mid)
+    world.hosts.add_service(
+        pool.sibling_b.allocate(), PORTS, burst, DateInterval(mid, mid + timedelta(days=14))
+    )
+
+
+def transient_same_country(world: World, domain: str, pool: BackgroundProviders,
+                           rng: random.Random, interval: DateInterval) -> None:
+    """Brief different-ASN, same-country appearance — pruned by geo."""
+    a, b = pool.same_country_pair
+    names = (f"mail.{domain}", domain)
+    _single_cert_serve(world, a, names, "DigiCert Inc", interval)
+    mid = _change_point(interval, rng)
+    burst = world.issue_direct("Let's Encrypt", names, mid)
+    world.hosts.add_service(
+        b.allocate(), PORTS, burst, DateInterval(mid, mid + timedelta(days=14))
+    )
+
+
+def transient_low_visibility(world: World, domain: str, pool: BackgroundProviders,
+                             rng: random.Random, interval: DateInterval) -> None:
+    """Flaky host missing >20% of scans — pruned by the visibility check."""
+    old, new = rng.sample(pool.generic, 2)
+    names = (f"mail.{domain}", domain)
+    _single_cert_serve(world, old, names, "DigiCert Inc", interval, reliability=0.6)
+    mid = _change_point(interval, rng)
+    burst = world.issue_direct("Let's Encrypt", names, mid)
+    world.hosts.add_service(
+        new.allocate(), PORTS, burst, DateInterval(mid, mid + timedelta(days=14))
+    )
+
+
+def transient_stale_cert(world: World, domain: str, pool: BackgroundProviders,
+                         rng: random.Random, interval: DateInterval) -> None:
+    """Sensitive name + different ASN/country, but the certificate is months
+    old and nothing happens in pDNS/CT — shortlisted, then discarded during
+    inspection (the paper's 8143 -> 1256 prune)."""
+    old, new = rng.sample(pool.generic, 2)
+    names = (f"mail.{domain}", domain)
+    _single_cert_serve(world, old, names, "DigiCert Inc", interval)
+    mid = _change_point(interval, rng)
+    stale = world.issue_direct(
+        "DigiCert Inc", names, interval.start - timedelta(days=120), validity_days=400
+    )
+    world.hosts.add_service(
+        new.allocate(), PORTS, stale, DateInterval(mid, mid + timedelta(days=14))
+    )
+
+
+def transient_nonsensitive(world: World, domain: str, pool: BackgroundProviders,
+                           rng: random.Random, interval: DateInterval) -> None:
+    """New cert, different ASN/country, but no sensitive name and not truly
+    anomalous — dropped by the sensitive-subdomain keep rule."""
+    old, new = rng.sample(pool.generic, 2)
+    _single_cert_serve(world, old, (f"www.{domain}", domain), "DigiCert Inc", interval)
+    mid = _change_point(interval, rng)
+    burst = world.issue_direct("Let's Encrypt", (f"www.{domain}", domain), mid)
+    world.hosts.add_service(
+        new.allocate(), PORTS, burst, DateInterval(mid, mid + timedelta(days=14))
+    )
+
+
+_STABLE = (stable_s1, stable_s2, stable_s3, stable_s4)
+_STABLE_WEIGHTS = (0.40, 0.45, 0.07, 0.08)
+_TRANSITIONS = (transition_x1, transition_x2, transition_x3)
+_TRANSITION_WEIGHTS = (0.35, 0.25, 0.40)
+_TRANSIENTS = (
+    transient_org_related,
+    transient_same_country,
+    transient_low_visibility,
+    transient_stale_cert,
+    transient_nonsensitive,
+)
+
+
+def populate_background(
+    world: World,
+    n_domains: int,
+    interval: DateInterval,
+    pool: BackgroundProviders | None = None,
+    mix: BackgroundMix | None = None,
+    tld: str = "com",
+    name_prefix: str = "bg",
+) -> dict[str, str]:
+    """Generate ``n_domains`` benign domains; returns domain -> behaviour."""
+    if interval.end is None:
+        raise ValueError("background population needs a bounded interval")
+    pool = pool or standard_background_providers(world)
+    mix = mix or BackgroundMix()
+    rng = random.Random(world.seed ^ 0xBACC)
+    counts = mix.counts(n_domains)
+
+    assigned: dict[str, str] = {}
+    index = 0
+
+    def next_domain() -> str:
+        nonlocal index
+        index += 1
+        return f"{name_prefix}{index:06d}.{tld}"
+
+    for _ in range(counts["stable"]):
+        behaviour = rng.choices(_STABLE, weights=_STABLE_WEIGHTS)[0]
+        domain = next_domain()
+        behaviour(world, domain, pool, rng, interval)
+        assigned[domain] = behaviour.__name__
+    for _ in range(counts["transition"]):
+        behaviour = rng.choices(_TRANSITIONS, weights=_TRANSITION_WEIGHTS)[0]
+        domain = next_domain()
+        behaviour(world, domain, pool, rng, interval)
+        assigned[domain] = behaviour.__name__
+    for i in range(counts["transient"]):
+        behaviour = _TRANSIENTS[i % len(_TRANSIENTS)]
+        domain = next_domain()
+        behaviour(world, domain, pool, rng, interval)
+        assigned[domain] = behaviour.__name__
+    for _ in range(counts["noisy"]):
+        domain = next_domain()
+        noisy(world, domain, pool, rng, interval)
+        assigned[domain] = "noisy"
+    return assigned

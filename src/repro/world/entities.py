@@ -1,0 +1,37 @@
+"""Organizations and the paper's sector taxonomy (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Sector(Enum):
+    GOVERNMENT_MINISTRY = "Government Ministry"
+    GOVERNMENT_ORGANIZATION = "Government Organization"
+    GOVERNMENT_INTERNET_SERVICES = "Government Internet Services"
+    INFRASTRUCTURE_PROVIDER = "Infrastructure Provider"
+    LAW_ENFORCEMENT = "Law Enforcement"
+    ENERGY_COMPANY = "Energy Company"
+    INTELLIGENCE_SERVICES = "Intelligence Services"
+    POSTAL_SERVICE = "Postal Service"
+    CIVIL_AVIATION = "Civil Aviation"
+    LOCAL_GOVERNMENT = "Local Government"
+    INSURANCE = "Insurance"
+    IT_FIRM = "IT Firm"
+    COMMERCIAL = "Commercial"  # generic benign background
+
+
+@dataclass
+class Organization:
+    """The entity behind one or more domains."""
+
+    name: str
+    sector: Sector
+    country: str
+    domains: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if len(self.country) != 2:
+            raise ValueError(f"country must be ISO alpha-2: {self.country!r}")
+        self.country = self.country.upper()

@@ -1,0 +1,85 @@
+"""Ground truth: what actually happened in the simulated world.
+
+Every executed campaign writes an :class:`AttackRecord` mirroring one
+row of the paper's Table 2 (hijacked) or Table 3 (targeted), including
+the attacker infrastructure used and which evidence channels the
+simulation left visible.  Evaluation compares the pipeline's verdicts
+against this ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from enum import Enum
+
+from repro.core.types import DetectionType
+from repro.world.entities import Sector
+
+
+class AttackKind(Enum):
+    HIJACKED = "hijacked"
+    TARGETED = "targeted"
+
+
+@dataclass
+class AttackRecord:
+    """One victim domain's ground truth."""
+
+    domain: str
+    target_fqdn: str
+    kind: AttackKind
+    expected_detection: DetectionType | None
+    hijack_date: date
+    victim_cc: str
+    sector: Sector
+    attacker_ips: tuple[str, ...]
+    attacker_asn: int
+    attacker_cc: str
+    attacker_ns: tuple[str, ...] = ()
+    legit_asns: tuple[int, ...] = ()
+    legit_ccs: tuple[str, ...] = ()
+    ca: str | None = None
+    crtsh_id: int = 0
+    pdns_visible: bool = True
+    ct_visible: bool = True
+    revoked: bool = False
+    redirect_days: int = 1
+    notes: str = ""
+
+    @property
+    def subdomain(self) -> str:
+        base = self.domain
+        if self.target_fqdn == base:
+            return ""
+        return self.target_fqdn[: -(len(base) + 1)]
+
+
+@dataclass
+class GroundTruthLedger:
+    """All attacks executed in a world."""
+
+    records: list[AttackRecord] = field(default_factory=list)
+
+    def add(self, record: AttackRecord) -> None:
+        if any(r.domain == record.domain for r in self.records):
+            raise ValueError(f"duplicate ground-truth entry for {record.domain}")
+        self.records.append(record)
+
+    def record_for(self, domain: str) -> AttackRecord | None:
+        for record in self.records:
+            if record.domain == domain:
+                return record
+        return None
+
+    def hijacked(self) -> list[AttackRecord]:
+        return [r for r in self.records if r.kind is AttackKind.HIJACKED]
+
+    def targeted(self) -> list[AttackRecord]:
+        return [r for r in self.records if r.kind is AttackKind.TARGETED]
+
+    def domains(self) -> set[str]:
+        return {r.domain for r in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,84 @@
+"""Hosting providers and deterministic IP allocation.
+
+A provider owns one or more prefixes (each geolocated to a country) under
+one ASN; registering it with the world populates the routing table,
+geolocation database, and AS-to-Org mapping so scan annotation agrees
+with where services were actually placed.  Allocation is a simple bump
+counter per prefix, which keeps worlds reproducible without tracking an
+RNG through provider setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.ipv4 import IPv4Prefix
+
+
+@dataclass
+class _PrefixPool:
+    prefix: IPv4Prefix
+    country: str
+    next_offset: int = 1  # skip the network address
+
+
+@dataclass
+class HostingProvider:
+    """One AS-worth of allocatable hosting capacity."""
+
+    name: str
+    asn: int
+    org_id: str
+    pools: list[_PrefixPool] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        asn: int,
+        prefixes: list[tuple[str, str]],
+        org_id: str | None = None,
+    ) -> "HostingProvider":
+        """``prefixes`` is a list of (CIDR, country-code) pairs."""
+        if not prefixes:
+            raise ValueError("provider needs at least one prefix")
+        provider = cls(name=name, asn=asn, org_id=org_id or name)
+        for cidr, country in prefixes:
+            provider.pools.append(
+                _PrefixPool(prefix=IPv4Prefix.parse(cidr), country=country.upper())
+            )
+        return provider
+
+    @property
+    def countries(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(pool.country for pool in self.pools))
+
+    def allocate(self, country: str | None = None) -> str:
+        """Hand out the next unused address (optionally in a country)."""
+        for pool in self.pools:
+            if country is not None and pool.country != country.upper():
+                continue
+            if pool.next_offset < pool.prefix.size - 1:
+                ip = pool.prefix.address_at(pool.next_offset)
+                pool.next_offset += 1
+                return ip
+        raise RuntimeError(f"provider {self.name} has no free addresses"
+                           + (f" in {country}" if country else ""))
+
+    def claim(self, ip: str) -> str:
+        """Reserve a specific address (used to pin paper-exact attacker IPs).
+
+        The address must fall inside one of the provider's prefixes; the
+        pool cursor is advanced past it when needed so later ``allocate``
+        calls cannot hand the same address out again.
+        """
+        from repro.net.ipv4 import ip_to_int
+
+        value = ip_to_int(ip)
+        for pool in self.pools:
+            if pool.prefix.contains(value):
+                offset = value - pool.prefix.network
+                if offset >= pool.next_offset:
+                    pool.next_offset = offset + 1
+                return ip
+        raise ValueError(f"{ip} is not inside any prefix of {self.name}")

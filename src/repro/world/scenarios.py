@@ -1,0 +1,649 @@
+"""Prebuilt scenarios, including the full paper scenario.
+
+``paper_world()`` encodes the study's findings (Tables 2 and 3 of the
+paper) as ground truth: every hijacked and targeted domain with its
+country, sector, targeted subdomain, attack month, attacker IP/ASN and
+geolocation, issuing CA, corroboration visibility, and pivot-cluster
+membership.  Executing the scenario runs the actual attacker playbook
+against each victim, so the evaluation measures whether the pipeline
+*recovers* these facts from the generated data — they are inputs to the
+simulation, not to the detector.
+
+Smaller scenarios (``small_world``, ``kyrgyzstan_world``) support tests
+and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+from repro.core.types import DetectionType
+from repro.net.timeline import STUDY_END, STUDY_START, DateInterval
+from repro.world.attacker import AttackerProfile, CampaignMode, CampaignSpec, run_campaign
+from repro.world.behaviors import populate_background, standard_background_providers
+from repro.world.entities import Organization, Sector
+from repro.world.sim import StudyDatasets, run_study
+from repro.world.world import DomainDeployment, World
+
+_MONTHS = {
+    "Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+    "Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+
+
+def _month_to_date(label: str) -> date:
+    """Parse "May'18" into the campaign date used in the simulation.
+
+    June and December campaigns run on the 1st so the attacker's brief
+    deployment cannot brush the six-month period boundary (weekly scans
+    would otherwise see it 'persisting to the period edge').
+    """
+    month = _MONTHS[label[:3]]
+    year = 2000 + int(label[-2:])
+    day = 1 if month in (6, 12) else 10
+    return date(year, month, day)
+
+
+@dataclass(frozen=True)
+class VictimRow:
+    """One row of Table 2 (hijacked) or Table 3 (targeted)."""
+
+    detection: str          # "T1" / "T1*" / "T2" / "P-IP" / "P-NS" / "TAR"
+    month: str              # e.g. "May'18"
+    cc: str
+    domain: str
+    sub: str                # "" = the registered domain itself
+    pdns: bool
+    ct: bool
+    ip: str
+    asn: int
+    attacker_cc: str
+    legit_asns: tuple[int, ...]
+    legit_ccs: tuple[str, ...]
+    ca: str | None
+    sector: Sector
+    ns_cluster: str | None = None
+    revoked: bool = False
+    scannable: bool = True
+    noisy_map: bool = False
+    redirect_span_days: int = 1
+    internal_ca: bool = False
+    dnssec: bool = False
+
+
+_S = Sector
+
+# Table 2 of the paper: the 41 hijacked domains.  NS-cluster membership is
+# a simulation choice consistent with the reported shared infrastructure
+# (P-NS victims share a cluster with at least one directly-detected one).
+HIJACKED_ROWS: tuple[VictimRow, ...] = (
+    VictimRow("T1", "May'18", "AE", "mofa.gov.ae", "webmail", True, True,
+              "146.185.143.158", 14061, "NL", (5384, 202024), ("AE",), "Comodo",
+              _S.GOVERNMENT_MINISTRY, "st-a"),
+    VictimRow("T1", "Sep'18", "AE", "adpolice.gov.ae", "advpn", True, True,
+              "185.20.187.8", 50673, "NL", (5384,), ("AE",), "Let's Encrypt",
+              _S.LAW_ENFORCEMENT, "st-a"),
+    VictimRow("T1*", "Sep'18", "AE", "apc.gov.ae", "mail", False, True,
+              "185.20.187.8", 50673, "NL", (5384,), ("AE",), "Let's Encrypt",
+              _S.LAW_ENFORCEMENT, "st-a"),
+    VictimRow("T2", "Sep'18", "AE", "mgov.ae", "mail", True, True,
+              "185.20.187.8", 50673, "NL", (202024,), ("AE",), "Let's Encrypt",
+              _S.GOVERNMENT_ORGANIZATION, "st-a"),
+    VictimRow("T1", "Jan'18", "AL", "e-albania.al", "owa", True, True,
+              "185.15.247.140", 24961, "DE", (5576,), ("AL",), "Let's Encrypt",
+              _S.GOVERNMENT_INTERNET_SERVICES, "st-a", redirect_span_days=2),
+    VictimRow("T2", "Nov'18", "AL", "asp.gov.al", "mail", True, True,
+              "199.247.3.191", 20473, "DE", (201524,), ("AL",), "Comodo",
+              _S.LAW_ENFORCEMENT, "st-a", revoked=True),
+    VictimRow("T1", "Nov'18", "AL", "shish.gov.al", "mail", True, True,
+              "37.139.11.155", 14061, "NL", (5576,), ("AL",), "Let's Encrypt",
+              _S.INTELLIGENCE_SERVICES, "st-a", internal_ca=True),
+    VictimRow("T1", "Dec'18", "CY", "govcloud.gov.cy", "personal", True, True,
+              "178.62.218.244", 14061, "NL", (50233,), ("CY",), "Comodo",
+              _S.GOVERNMENT_INTERNET_SERVICES, "st-b", redirect_span_days=2),
+    VictimRow("P-IP", "Dec'18", "CY", "owa.gov.cy", "", True, True,
+              "178.62.218.244", 14061, "NL", (50233,), ("CY",), "Comodo",
+              _S.GOVERNMENT_INTERNET_SERVICES, None, noisy_map=True),
+    VictimRow("T1", "Dec'18", "CY", "webmail.gov.cy", "", True, True,
+              "178.62.218.244", 14061, "NL", (50233,), ("CY",), "Comodo",
+              _S.GOVERNMENT_INTERNET_SERVICES, "st-b"),
+    VictimRow("P-IP", "Jan'19", "CY", "cyta.com.cy", "mbox", True, True,
+              "178.62.218.244", 14061, "NL", (), (), "Comodo",
+              _S.INFRASTRUCTURE_PROVIDER, None, revoked=True, scannable=False),
+    VictimRow("T1", "Jan'19", "CY", "sslvpn.gov.cy", "", True, True,
+              "178.62.218.244", 14061, "NL", (50233,), ("CY",), "Comodo",
+              _S.GOVERNMENT_INTERNET_SERVICES, "st-b", redirect_span_days=3),
+    VictimRow("T1", "Feb'19", "CY", "defa.com.cy", "mail", True, True,
+              "108.61.123.149", 20473, "FR", (35432,), ("CY",), "Comodo",
+              _S.ENERGY_COMPANY, "st-b"),
+    VictimRow("T1", "Nov'18", "EG", "mfa.gov.eg", "mail", True, True,
+              "188.166.119.57", 14061, "NL", (37066,), ("EG",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a", redirect_span_days=4),
+    VictimRow("T2", "Nov'18", "EG", "mod.gov.eg", "mail", True, True,
+              "188.166.119.57", 14061, "NL", (25576,), ("EG",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a"),
+    VictimRow("T2", "Nov'18", "EG", "nmi.gov.eg", "mail", True, True,
+              "188.166.119.57", 14061, "NL", (31065,), ("EG",), "Comodo",
+              _S.GOVERNMENT_ORGANIZATION, "st-a"),
+    VictimRow("T1", "Nov'18", "EG", "petroleum.gov.eg", "mail", True, True,
+              "206.221.184.133", 20473, "US", (24835, 37191), ("EG",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a", redirect_span_days=2),
+    VictimRow("T1", "Apr'19", "GR", "kyvernisi.gr", "mail", True, True,
+              "95.179.131.225", 20473, "NL", (35506,), ("GR",), "Let's Encrypt",
+              _S.GOVERNMENT_INTERNET_SERVICES, "st-b"),
+    VictimRow("T1", "Apr'19", "GR", "mfa.gr", "pop3", True, True,
+              "95.179.131.225", 20473, "NL", (35506, 6799), ("GR",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-b", redirect_span_days=2),
+    VictimRow("T2", "Sep'18", "IQ", "mofa.gov.iq", "mail", True, True,
+              "82.196.9.10", 14061, "NL", (50710,), ("IQ",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a"),
+    VictimRow("P-IP", "Nov'18", "IQ", "inc-vrdl.iq", "", True, True,
+              "199.247.3.191", 20473, "DE", (50710,), ("IQ",), "Let's Encrypt",
+              _S.GOVERNMENT_INTERNET_SERVICES, None, scannable=False),
+    VictimRow("P-NS", "Dec'18", "JO", "gid.gov.jo", "", True, True,
+              "139.162.144.139", 63949, "DE", (), (), "Let's Encrypt",
+              _S.INTELLIGENCE_SERVICES, "st-a", scannable=False),
+    VictimRow("P-NS", "Dec'20", "KG", "fiu.gov.kg", "mail", True, True,
+              "178.20.41.140", 48282, "RU", (), (), "Let's Encrypt",
+              _S.INTELLIGENCE_SERVICES, "kg", scannable=False),
+    VictimRow("T1", "Dec'20", "KG", "invest.gov.kg", "mail", True, True,
+              "94.103.90.182", 48282, "RU", (39659,), ("KG",), "Let's Encrypt",
+              _S.GOVERNMENT_ORGANIZATION, "kg", redirect_span_days=7),
+    VictimRow("T1", "Dec'20", "KG", "mfa.gov.kg", "mail", True, True,
+              "94.103.91.159", 48282, "RU", (39659,), ("KG",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "kg", redirect_span_days=7),
+    VictimRow("P-NS", "Jan'21", "KG", "infocom.kg", "mail", True, True,
+              "195.2.84.10", 48282, "RU", (), (), "Let's Encrypt",
+              _S.INFRASTRUCTURE_PROVIDER, "kg", scannable=False),
+    VictimRow("T1", "Dec'17", "KW", "csb.gov.kw", "mail", True, True,
+              "82.102.14.232", 20860, "GB", (6412,), ("KW",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a", internal_ca=True),
+    VictimRow("P-IP", "Dec'18", "KW", "dgca.gov.kw", "mail", True, True,
+              "185.15.247.140", 24961, "DE", (), (), "Let's Encrypt",
+              _S.CIVIL_AVIATION, None, scannable=False),
+    VictimRow("T1*", "Apr'19", "KW", "moh.gov.kw", "webmail", False, True,
+              "91.132.139.200", 9009, "AT", (21050,), ("KW",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-b"),
+    VictimRow("T2", "May'19", "KW", "kotc.com.kw", "mail2010", True, True,
+              "91.132.139.200", 9009, "AT", (57719,), ("KW",), "Let's Encrypt",
+              _S.ENERGY_COMPANY, "st-b", redirect_span_days=2),
+    VictimRow("P-IP", "Nov'18", "LB", "finance.gov.lb", "webmail", True, True,
+              "185.20.187.8", 50673, "NL", (), (), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, None, scannable=False),
+    VictimRow("P-IP", "Nov'18", "LB", "mea.com.lb", "memail", True, True,
+              "185.20.187.8", 50673, "NL", (), (), "Let's Encrypt",
+              _S.CIVIL_AVIATION, None, scannable=False),
+    VictimRow("T1", "Nov'18", "LB", "medgulf.com.lb", "mail", True, True,
+              "185.161.209.147", 50673, "NL", (31126,), ("LB",), "Let's Encrypt",
+              _S.INSURANCE, "st-a"),
+    VictimRow("T1", "Nov'18", "LB", "pcm.gov.lb", "mail1", True, True,
+              "185.20.187.8", 50673, "NL", (51167,), ("DE",), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a", redirect_span_days=2),
+    VictimRow("P-IP", "Oct'18", "LY", "embassy.ly", "", True, False,
+              "188.166.119.57", 14061, "NL", (), (), None,
+              _S.GOVERNMENT_ORGANIZATION, None, scannable=False),
+    VictimRow("P-NS", "Oct'18", "LY", "foreign.ly", "", True, True,
+              "188.166.119.57", 14061, "NL", (), (), "Let's Encrypt",
+              _S.GOVERNMENT_MINISTRY, "st-a", scannable=False),
+    VictimRow("T1", "Oct'18", "LY", "noc.ly", "mail", True, True,
+              "188.166.119.57", 14061, "NL", (37284,), ("LY",), "Let's Encrypt",
+              _S.ENERGY_COMPANY, "st-a", redirect_span_days=3),
+    VictimRow("T1", "Jan'18", "NL", "ocom.com", "connect", True, True,
+              "147.75.205.145", 54825, "US", (60781,), ("NL",), "Comodo",
+              _S.INFRASTRUCTURE_PROVIDER, "st-a", dnssec=True),
+    VictimRow("P-NS", "Jan'19", "SE", "netnod.se", "dnsnodeapi", True, True,
+              "139.59.134.216", 14061, "DE", (), (), "Comodo",
+              _S.INFRASTRUCTURE_PROVIDER, "st-b", revoked=True, noisy_map=True,
+              dnssec=True),
+    VictimRow("T1", "Mar'19", "SY", "syriatel.sy", "mail", True, True,
+              "45.77.137.65", 20473, "NL", (29256,), ("SY",), "Let's Encrypt",
+              _S.INFRASTRUCTURE_PROVIDER, "st-b", internal_ca=True),
+    VictimRow("P-NS", "Dec'18", "US", "pch.net", "keriomail", True, True,
+              "159.89.101.204", 14061, "DE", (), (), "Comodo",
+              _S.INFRASTRUCTURE_PROVIDER, "st-b", revoked=True,
+              redirect_span_days=20, scannable=False, dnssec=True),
+)
+
+# Table 3 of the paper: the 24 targeted (prelude-only) domains.
+TARGETED_ROWS: tuple[VictimRow, ...] = (
+    VictimRow("TAR", "Apr'20", "AE", "milmail.ae", "", False, False,
+              "194.152.42.16", 47220, "RO", (5384,), ("AE",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Apr'20", "AE", "mocaf.gov.ae", "", False, False,
+              "194.152.42.16", 47220, "RO", (5384,), ("AE",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Apr'20", "AE", "moi.gov.ae", "", False, False,
+              "194.152.42.16", 47220, "RO", (5384,), ("AE",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Dec'20", "AE", "epg.gov.ae", "", False, False,
+              "159.69.193.152", 24940, "DE", (202024,), ("AE",), None,
+              _S.POSTAL_SERVICE),
+    VictimRow("TAR", "Jun'20", "CH", "parlament.ch", "", False, False,
+              "8.210.146.182", 45102, "SG", (61098, 3303), ("CH",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+    VictimRow("TAR", "Nov'20", "GH", "nita.gov.gh", "", False, False,
+              "78.141.218.158", 20473, "NL", (37313,), ("GH",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+    VictimRow("TAR", "Sep'17", "JO", "psd.gov.jo", "mail", False, False,
+              "185.162.235.106", 50673, "NL", (8934,), ("JO",), None,
+              _S.LAW_ENFORCEMENT),
+    VictimRow("TAR", "Jun'20", "KZ", "zerde.gov.kz", "", False, False,
+              "8.210.190.81", 45102, "SG", (48716, 15549), ("KZ",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+    VictimRow("TAR", "Nov'20", "LT", "stat.gov.lt", "", False, False,
+              "8.210.190.214", 45102, "SG", (6769,), ("LT",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Jul'20", "LV", "iem.gov.lv", "", False, False,
+              "8.210.199.85", 45102, "SG", (8194, 25241), ("LV",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Nov'20", "LV", "zva.gov.lv", "", False, False,
+              "8.210.36.66", 45102, "SG", (8194, 199300), ("LV",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+    VictimRow("TAR", "Apr'18", "MA", "justice.gov.ma", "micj", True, False,
+              "188.166.160.110", 14061, "DE", (6713,), ("MA",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Apr'20", "MA", "mem.gov.ma", "", False, False,
+              "47.75.34.153", 45102, "HK", (6713,), ("MA",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Oct'20", "MM", "mofa.gov.mm", "", False, False,
+              "47.242.150.18", 45102, "US", (136465,), ("MM",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Nov'20", "PL", "knf.gov.pl", "", False, False,
+              "103.195.6.231", 64022, "HK", (34986,), ("PL",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "May'20", "SA", "cmail.sa", "", False, False,
+              "194.152.42.16", 47220, "RO", (49474,), ("SA",), None,
+              _S.IT_FIRM),
+    VictimRow("TAR", "Sep'20", "TM", "turkmenpost.gov.tm", "", False, False,
+              "185.229.225.228", 41436, "NL", (20661,), ("TM",), None,
+              _S.POSTAL_SERVICE),
+    VictimRow("TAR", "Aug'20", "US", "manchesternh.gov", "", False, False,
+              "8.210.210.235", 45102, "SG", (13977,), ("US",), None,
+              _S.LOCAL_GOVERNMENT),
+    VictimRow("TAR", "Dec'20", "US", "batesvillearkansas.gov", "host", False, False,
+              "95.179.153.176", 20473, "NL", (32244,), ("US",), None,
+              _S.LOCAL_GOVERNMENT),
+    VictimRow("TAR", "Apr'19", "VN", "ais.gov.vn", "intranet", True, False,
+              "45.77.45.193", 20473, "SG", (131375, 63748), ("VN",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+    VictimRow("TAR", "Dec'20", "VN", "mofa.gov.vn", "", False, False,
+              "45.77.27.9", 20473, "JP", (24035,), ("VN",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Mar'20", "VN", "cpt.gov.vn", "", False, False,
+              "103.213.244.205", 136574, "JP", (63747,), ("VN",), None,
+              _S.POSTAL_SERVICE),
+    VictimRow("TAR", "Mar'20", "VN", "most.gov.vn", "", False, False,
+              "103.213.244.205", 136574, "JP", (38731, 131373), ("VN",), None,
+              _S.GOVERNMENT_MINISTRY),
+    VictimRow("TAR", "Sep'20", "VN", "vass.gov.vn", "", False, False,
+              "47.74.3.121", 45102, "JP", (18403,), ("VN",), None,
+              _S.GOVERNMENT_ORGANIZATION),
+)
+
+_NS_CLUSTERS = {
+    "st-a": "rogue-dns-a.net",
+    "st-b": "rogue-dns-b.net",
+    "kg": "kg-infocom.ru",
+}
+
+_DETECTION_OF = {
+    "T1": DetectionType.T1,
+    "T1*": DetectionType.T1_STAR,
+    "T2": DetectionType.T2,
+    "P-IP": DetectionType.P_IP,
+    "P-NS": DetectionType.P_NS,
+    "TAR": DetectionType.T2_TARGETED,
+}
+
+
+def _attacker_prefixes(rows: tuple[VictimRow, ...]) -> dict[int, list[tuple[str, str]]]:
+    """Per-ASN /24 prefixes covering every attacker IP, geo-tagged per IP.
+
+    Real clouds announce many prefixes geolocating to different countries;
+    per-/24 granularity reproduces the per-row attacker country codes.
+    """
+    prefixes: dict[int, dict[str, str]] = {}
+    for row in rows:
+        octets = row.ip.split(".")
+        cidr = f"{octets[0]}.{octets[1]}.{octets[2]}.0/24"
+        per_asn = prefixes.setdefault(row.asn, {})
+        per_asn.setdefault(cidr, row.attacker_cc)
+    return {
+        asn: [(cidr, cc) for cidr, cc in per_asn.items()]
+        for asn, per_asn in prefixes.items()
+    }
+
+
+def _mode_of(row: VictimRow) -> CampaignMode:
+    if row.detection == "T1":
+        return CampaignMode.T1
+    if row.detection == "T1*":
+        return CampaignMode.T1_NO_PDNS
+    if row.detection == "T2":
+        return CampaignMode.T2
+    if row.detection in ("P-IP", "P-NS"):
+        return CampaignMode.PIVOT
+    if row.pdns:  # targeted with pDNS evidence: redirection, no certificate
+        return CampaignMode.PRELUDE_REDIRECT
+    return CampaignMode.PRELUDE_ONLY
+
+
+class _AuxAllocator:
+    """Deterministic allocator for scenario-internal providers (unseen
+    victim hosting, noisy-map hop providers).  Hands out unique ASNs and
+    /16 prefixes in the 10.176.0.0/12 block, clear of the victim-provider
+    (10.128+) and background (10.0-10.87) ranges."""
+
+    def __init__(self) -> None:
+        self._next_asn = 90_001
+        self._next_octet = 176
+
+    def asn(self) -> int:
+        asn = self._next_asn
+        self._next_asn += 1
+        return asn
+
+    def prefix(self) -> str:
+        if self._next_octet > 255:
+            raise RuntimeError("auxiliary prefix space exhausted")
+        octet = self._next_octet
+        self._next_octet += 1
+        return f"10.{octet}.0.0/16"
+
+
+def _setup_victim(
+    world: World, row: VictimRow, provider_of: dict[int, object], aux: _AuxAllocator
+) -> DomainDeployment:
+    services: tuple[str, ...] = ("www", row.sub) if row.sub else ("",)
+    if not row.legit_asns:
+        # No stable scan-visible infrastructure: give the victim a private
+        # (unregistered-in-scan) hosting slot for DNS only.
+        provider = world.add_provider(
+            f"unseen-{row.domain.replace('.', '-')}",
+            aux.asn(),
+            [(aux.prefix(), row.cc)],
+        )
+        providers = [provider]
+    else:
+        providers = [provider_of[asn] for asn in row.legit_asns]
+    organization = Organization(
+        name=row.domain, sector=row.sector, country=row.cc
+    )
+    ca_name = "Internal Enterprise CA" if row.internal_ca else "DigiCert Inc"
+    deployment = world.setup_domain(
+        row.domain,
+        providers,  # type: ignore[arg-type]
+        organization=organization,
+        services=services,
+        ca_name=ca_name,
+        scannable=row.scannable and not row.noisy_map,
+        dnssec=row.dnssec,
+    )
+    if row.noisy_map:
+        _make_noisy(world, deployment, row, aux)
+    return deployment
+
+
+def _make_noisy(
+    world: World, victim: DomainDeployment, row: VictimRow, aux: _AuxAllocator
+) -> None:
+    """Scatter the victim across many short-lived deployments (owa.gov.cy,
+    netnod.se: maps with too many deployments to classify)."""
+    from datetime import timedelta
+
+    hop_providers = [
+        world.add_provider(
+            f"hop-{row.domain.replace('.', '-')}-{i}", aux.asn(), [(aux.prefix(), cc)]
+        )
+        for i, cc in enumerate(("US", "DE", "FR", "GB", "NL"))
+    ]
+    start = world.start
+    i = 0
+    while start < world.end:
+        end = min(start + timedelta(days=45), world.end)
+        provider = hop_providers[i % len(hop_providers)]
+        cert = victim.cert_at(start) or victim.certificates[0]
+        world.hosts.add_service(provider.allocate(), (443,), cert, DateInterval(start, end))
+        start = end + timedelta(days=20)
+        i += 1
+
+
+def paper_world(seed: int = 7, n_background: int = 150) -> World:
+    """Build the full paper scenario (Tables 2 + 3 as ground truth)."""
+    world = World(seed=seed)
+    all_rows = HIJACKED_ROWS + TARGETED_ROWS
+
+    # Attacker-side providers with the paper's exact IPs.
+    from repro.ipintel.asnames import AS_NAMES
+
+    attacker_providers = {
+        asn: world.add_provider(AS_NAMES.get(asn, f"AS{asn}"), asn, prefixes)
+        for asn, prefixes in _attacker_prefixes(all_rows).items()
+    }
+
+    # Victim-side providers.
+    victim_asns: list[tuple[int, str]] = []
+    for row in all_rows:
+        for asn, cc in zip(row.legit_asns, row.legit_ccs * len(row.legit_asns)):
+            if asn not in dict(victim_asns):
+                victim_asns.append((asn, cc))
+    provider_of = {}
+    for index, (asn, cc) in enumerate(victim_asns):
+        provider_of[asn] = world.add_provider(
+            AS_NAMES.get(asn, f"AS{asn}"), asn, [(f"10.{128 + index}.0.0/16", cc)]
+        )
+
+    # Attacker actors: pivot clusters share rogue nameserver infrastructure.
+    profiles = {
+        key: AttackerProfile(name=f"actor-{key}", ns_domain=domain)
+        for key, domain in _NS_CLUSTERS.items()
+    }
+    lone_actor = AttackerProfile(name="actor-2020", ns_domain=None)
+    # Stage each cluster's rogue nameservers before its EARLIEST campaign
+    # (campaign execution order is table order, not chronological).
+    for key, profile in profiles.items():
+        dates = [_month_to_date(r.month) for r in all_rows if r.ns_cluster == key]
+        if dates:
+            profile.ensure_staged(world, min(dates))
+
+    aux = _AuxAllocator()
+    for index, row in enumerate(all_rows):
+        victim = _setup_victim(world, row, provider_of, aux)
+        mode = _mode_of(row)
+        profile = profiles.get(row.ns_cluster) if row.ns_cluster else lone_actor
+        use_own_ns = row.ns_cluster is None and mode is not CampaignMode.PRELUDE_ONLY
+        hijack = _month_to_date(row.month)
+        # Serving-window mix reproducing Section 5.3: a 6-day window hits
+        # exactly one weekly scan, a 13-day window exactly two, and a few
+        # attackers leave infrastructure up much longer.  June/December
+        # campaigns stay short so the transient cannot brush the period
+        # boundary.
+        if hijack.month in (6, 12) or row.domain == "kyvernisi.gr":
+            # kyvernisi.gr is the paper's canonical example (Table 1 /
+            # Figure 2): its transient appears in a single weekly scan.
+            serve_days = 6
+        elif index % 9 == 8:
+            serve_days = 27
+        elif index % 3 == 2:
+            serve_days = 13
+        else:
+            serve_days = 6
+        spec = CampaignSpec(
+            victim=victim,
+            sector=row.sector,
+            victim_cc=row.cc,
+            mode=mode,
+            expected_detection=_DETECTION_OF[row.detection],
+            hijack_date=hijack,
+            attacker=profile or lone_actor,
+            attacker_provider=attacker_providers[row.asn],
+            attacker_ip=row.ip,
+            target_subdomain=row.sub,
+            ca_name=row.ca,
+            serve_days=serve_days,
+            redirect_span_days=row.redirect_span_days,
+            redirect_windows=2 if row.redirect_span_days <= 2 else 4,
+            redirect_hours=26 if row.domain == "pch.net" else 6,
+            pdns_visible=row.pdns,
+            revoked_after_days=30 if row.revoked else None,
+            use_own_ns_names=use_own_ns,
+        )
+        run_campaign(world, spec)
+
+    if n_background:
+        populate_background(
+            world,
+            n_background,
+            DateInterval(world.start, world.end),
+            pool=standard_background_providers(world),
+        )
+    return world
+
+
+def paper_study(seed: int = 7, n_background: int = 150) -> StudyDatasets:
+    """Build and run the full paper scenario."""
+    return run_study(paper_world(seed=seed, n_background=n_background))
+
+
+def kyrgyzstan_world(
+    seed: int = 7, n_background: int = 30, extended: bool = False
+) -> World:
+    """Just the Section 5.1 case study: the four .kg victims.
+
+    With ``extended=True`` the world runs through June 2021 and includes
+    the Appendix A evolution: the May 2021 re-redirection of
+    mail.mfa.gov.kg to a new VDSINA address whose counterfeit Zimbra page
+    carries the injected "security update" lure (Figure 6) that delivered
+    the Tomiris downloader.
+    """
+    end = date(2021, 6, 30) if extended else date(2021, 3, 31)
+    world = World(seed=seed, start=date(2020, 1, 1), end=end)
+    kg_rows = tuple(r for r in HIJACKED_ROWS if r.domain.endswith(".kg") or r.domain.endswith("infocom.kg"))
+    from repro.ipintel.asnames import AS_NAMES
+
+    attacker_providers = {
+        asn: world.add_provider(AS_NAMES.get(asn, f"AS{asn}"), asn, prefixes)
+        for asn, prefixes in _attacker_prefixes(kg_rows).items()
+    }
+    provider_of = {}
+    for index, row in enumerate(kg_rows):
+        for asn in row.legit_asns:
+            if asn not in provider_of:
+                provider_of[asn] = world.add_provider(
+                    AS_NAMES.get(asn, f"AS{asn}"), asn, [(f"10.{128 + index}.0.0/16", "KG")]
+                )
+    profile = AttackerProfile(name="actor-kg", ns_domain="kg-infocom.ru")
+    aux = _AuxAllocator()
+    for row in kg_rows:
+        victim = _setup_victim(world, row, provider_of, aux)
+        spec = CampaignSpec(
+            victim=victim,
+            sector=row.sector,
+            victim_cc=row.cc,
+            mode=_mode_of(row),
+            expected_detection=_DETECTION_OF[row.detection],
+            hijack_date=_month_to_date(row.month),
+            attacker=profile,
+            attacker_provider=attacker_providers[row.asn],
+            attacker_ip=row.ip,
+            target_subdomain=row.sub,
+            ca_name=row.ca,
+            serve_days=8,
+            redirect_span_days=row.redirect_span_days,
+            pdns_visible=row.pdns,
+        )
+        run_campaign(world, spec)
+        if row.domain == "mfa.gov.kg":
+            _stage_kyrgyz_http(world, victim, extended)
+    if n_background:
+        populate_background(world, n_background, DateInterval(world.start, world.end))
+    return world
+
+
+def _stage_kyrgyz_http(world: World, victim: DomainDeployment, extended: bool) -> None:
+    """HTTP content for the Appendix A analysis.
+
+    The legitimate mail.mfa.gov.kg runs a Zimbra login page; the
+    December 2020 counterfeit mimics it (same look, different code); the
+    extended world adds the May 2021 server with the injected
+    update-mfa.exe lure (Figure 6).
+    """
+    from datetime import timedelta
+
+    from repro.scan.http import HttpResponse
+
+    zimbra = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+    world.http.serve(victim.ips[0], zimbra, DateInterval(world.start, world.end))
+
+    truth = world.ground_truth.record_for("mfa.gov.kg")
+    dec_ip = truth.attacker_ips[0]
+    dec_start = truth.hijack_date
+    world.http.serve(
+        dec_ip,
+        zimbra.mimicked_by(attacker="actor-kg"),
+        DateInterval(dec_start, dec_start + timedelta(days=8)),
+    )
+
+    if extended:
+        # May 2021: a new VDSINA address serves the counterfeit page plus
+        # the social-engineering "security update" script.
+        world.extend_provider(48282, "178.20.46.0/24", "RU")
+        may_ip = world.providers[48282].claim("178.20.46.22")
+        may_start = date(2021, 5, 10)
+        world.http.serve(
+            may_ip,
+            zimbra.mimicked_by(attacker="actor-kg", scripts=("update-mfa.exe",)),
+            DateInterval(may_start, may_start + timedelta(days=30)),
+        )
+        # The redirection itself, for pDNS/resolver consistency.
+        cred = victim.registrar.compromise_account(victim.credential.username)
+        from datetime import datetime, time as time_of_day
+
+        from repro.dns.records import RRType
+
+        window_start = datetime.combine(may_start, time_of_day(5, 0))
+        window_end = window_start + timedelta(hours=12)
+        victim.registrar.update_delegation(
+            cred, victim.domain,
+            ("ns1.kg-infocom.ru", "ns2.kg-infocom.ru"),
+            start=window_start, end=window_end,
+        )
+        rogue_host = world.directory.host_for("ns1.kg-infocom.ru", window_start)
+        if rogue_host is not None:
+            rogue_host.add_record(
+                "mail.mfa.gov.kg", RRType.A, may_ip,
+                start=window_start, end=window_end,
+            )
+        world.plan.add_dense_window("mail.mfa.gov.kg", may_start, radius_days=5)
+
+
+def small_world(seed: int = 3, n_background: int = 25) -> World:
+    """One T1 hijack against a small benign background (fast; for tests
+    and the quickstart example)."""
+    world = World(seed=seed, start=date(2018, 1, 1), end=date(2018, 12, 31))
+    victim_provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+    attacker_provider = world.add_provider("bullet-cloud", 65002, [("203.0.113.0/24", "NL")])
+    victim = world.setup_domain(
+        "example-ministry.gr",
+        victim_provider,
+        organization=Organization("Example Ministry", Sector.GOVERNMENT_MINISTRY, "GR"),
+        services=("www", "mail"),
+    )
+    profile = AttackerProfile(name="demo-actor", ns_domain="rogue-demo.net")
+    spec = CampaignSpec(
+        victim=victim,
+        sector=Sector.GOVERNMENT_MINISTRY,
+        victim_cc="GR",
+        mode=CampaignMode.T1,
+        expected_detection=DetectionType.T1,
+        hijack_date=date(2018, 8, 10),
+        attacker=profile,
+        attacker_provider=attacker_provider,
+        target_subdomain="mail",
+        ca_name="Let's Encrypt",
+    )
+    run_campaign(world, spec)
+    if n_background:
+        populate_background(world, n_background, DateInterval(world.start, world.end))
+    return world

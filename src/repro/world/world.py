@@ -1,0 +1,349 @@
+"""The world container: one object holding every substrate, consistently.
+
+``World`` owns the registries/registrars/nameservers, the CA + CT stack,
+the scannable host population, the IP-intelligence tables, and the pDNS
+observation plan.  Scenario builders use its helpers to stand up benign
+domains (``setup_domain``) and hosting providers; the attacker module
+manipulates the same objects through the same interfaces a real attacker
+would (registrar credentials, ACME orders).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from datetime import date, datetime, time, timedelta
+
+from repro.ca.acme import AcmeServer, ChallengePublisher
+from repro.ca.authority import CertificateAuthority, default_authorities
+from repro.ct.crtsh import CrtShService
+from repro.ct.log import CTLog
+from repro.dns.nameserver import NameserverDirectory, NameserverHost
+from repro.dns.records import RRType
+from repro.dns.registrar import Credential, Registrar
+from repro.dns.registry import Registry
+from repro.dns.resolver import RecursiveResolver
+from repro.ipintel.as2org import AS2Org
+from repro.ipintel.asnames import register_as_name
+from repro.ipintel.geo import GeoDB
+from repro.ipintel.pfx2as import RoutingTable
+from repro.net.names import public_suffix, registered_domain
+from repro.net.timeline import (
+    STUDY_END,
+    STUDY_START,
+    DateInterval,
+    Period,
+    study_periods,
+    scan_dates_every,
+)
+from repro.pdns.traffic import ObservationPlan
+from repro.scan.host import HostPopulation, TLS_PORTS
+from repro.scan.http import HttpContentStore
+from repro.tls.certificate import Certificate
+from repro.tls.revocation import RevocationRegistry
+from repro.tls.truststore import TrustStore
+from repro.world.entities import Organization, Sector
+from repro.world.groundtruth import GroundTruthLedger
+from repro.world.hosting import HostingProvider
+
+_noon = time(12, 0)
+
+
+def noon(day: date) -> datetime:
+    """The canonical mid-day instant used for steady-state changes."""
+    return datetime.combine(day, _noon)
+
+
+@dataclass
+class DomainDeployment:
+    """Handle for one benign domain's legitimate setup."""
+
+    domain: str
+    organization: Organization
+    credential: Credential
+    registrar: Registrar
+    ns_host: NameserverHost
+    ns_names: tuple[str, ...]
+    service_fqdns: tuple[str, ...]
+    ips: tuple[str, ...]
+    certificates: list[Certificate] = field(default_factory=list)
+    providers: tuple[HostingProvider, ...] = ()
+    scannable: bool = True
+
+    @property
+    def stable_cert(self) -> Certificate | None:
+        return self.certificates[-1] if self.certificates else None
+
+    def cert_at(self, day: date) -> Certificate | None:
+        """The certificate in service on ``day`` (None before/after all)."""
+        current: Certificate | None = None
+        for cert in self.certificates:
+            if cert.valid_on(day):
+                current = cert
+        return current
+
+
+class World:
+    """All substrates of one simulated study, built from a seed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start: date = STUDY_START,
+        end: date = STUDY_END,
+        scan_interval_days: int = 7,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.start = start
+        self.end = end
+        self.scan_dates: tuple[date, ...] = scan_dates_every(
+            start, end, scan_interval_days
+        )
+        self.periods: tuple[Period, ...] = study_periods(start, end)
+
+        self.routing = RoutingTable()
+        self.geo = GeoDB()
+        self.as2org = AS2Org()
+
+        self.directory = NameserverDirectory()
+        self._registry_list: list[Registry] = []
+        self.registrars: dict[str, Registrar] = {}
+        self.resolver = RecursiveResolver(self._registry_list, self.directory)
+
+        self.revocations = RevocationRegistry()
+        self.trust = TrustStore()
+        self.authorities: dict[str, CertificateAuthority] = default_authorities(
+            self.revocations, self.trust
+        )
+        self.ct_log = CTLog()
+        # Retroactive analysis happens well after the study window, when
+        # every study-era certificate has expired — which is what makes
+        # OCSP-only revocations unknowable (Table 9).
+        self.crtsh = CrtShService(
+            [self.ct_log], self.revocations, asof=end + timedelta(days=365)
+        )
+        self.acme: dict[str, AcmeServer] = {
+            name: AcmeServer(ca, self.resolver, self.ct_log)
+            for name, ca in self.authorities.items()
+            if ca.profile.acme
+        }
+
+        self.hosts = HostPopulation()
+        self.http = HttpContentStore()
+        self.plan = ObservationPlan()
+        self.pdns_blackouts: dict[str, list[DateInterval]] = {}
+        self.ground_truth = GroundTruthLedger()
+        self.providers: dict[int, HostingProvider] = {}
+        self._org_counter = itertools.count(1)
+
+    # -- substrate registration -------------------------------------------------
+
+    def add_provider(
+        self,
+        name: str,
+        asn: int,
+        prefixes: list[tuple[str, str]],
+        org_id: str | None = None,
+    ) -> HostingProvider:
+        """Register a hosting provider and its prefixes everywhere."""
+        if asn in self.providers:
+            return self.providers[asn]
+        provider = HostingProvider.build(name, asn, prefixes, org_id)
+        for pool in provider.pools:
+            self.routing.add(pool.prefix, asn)
+            self.geo.add(pool.prefix, pool.country)
+        self.as2org.assign(asn, provider.org_id, name)
+        register_as_name(asn, name)
+        self.providers[asn] = provider
+        return provider
+
+    def extend_provider(self, asn: int, cidr: str, country: str) -> HostingProvider:
+        """Announce an additional prefix for an existing provider."""
+        provider = self.providers[asn]
+        from repro.world.hosting import _PrefixPool
+        from repro.net.ipv4 import IPv4Prefix
+
+        pool = _PrefixPool(prefix=IPv4Prefix.parse(cidr), country=country.upper())
+        provider.pools.append(pool)
+        self.routing.add(pool.prefix, asn)
+        self.geo.add(pool.prefix, pool.country)
+        return provider
+
+    def registry_for(self, domain: str) -> Registry:
+        """Get (or create) the registry administering the domain's suffix."""
+        suffix = public_suffix(domain)
+        for registry in self._registry_list:
+            if suffix in registry.suffixes:
+                return registry
+        registry = Registry(suffix)
+        self._registry_list.append(registry)
+        return registry
+
+    def registrar(self, name: str = "default-registrar") -> Registrar:
+        existing = self.registrars.get(name)
+        if existing is not None:
+            return existing
+        created = Registrar(name, self._registry_list)
+        self.registrars[name] = created
+        return created
+
+    # -- certificates -------------------------------------------------------------
+
+    def issue_direct(
+        self,
+        ca_name: str,
+        names: tuple[str, ...],
+        on: date,
+        log_to_ct: bool = True,
+        validity_days: int | None = None,
+    ) -> Certificate:
+        """Issue without ACME (OV purchases, internal CAs)."""
+        ca = self.authorities[ca_name]
+        cert = ca.issue(names, on=on, validity_days=validity_days)
+        if log_to_ct:
+            cert, _sct = self.ct_log.submit(cert, timestamp=on)
+        return cert
+
+    def issue_chain(
+        self,
+        ca_name: str,
+        names: tuple[str, ...],
+        interval: DateInterval,
+        log_to_ct: bool = True,
+    ) -> list[Certificate]:
+        """A rollover chain of certificates covering ``interval``."""
+        if interval.end is None:
+            raise ValueError("certificate chain needs a bounded interval")
+        ca = self.authorities[ca_name]
+        validity = ca.profile.validity_days
+        certs: list[Certificate] = []
+        issue_on = interval.start
+        while issue_on <= interval.end:
+            certs.append(self.issue_direct(ca_name, names, issue_on, log_to_ct))
+            issue_on = issue_on + timedelta(days=max(validity - 14, 30))
+        return certs
+
+    # -- benign domain setup --------------------------------------------------------
+
+    def setup_domain(
+        self,
+        domain: str,
+        provider: HostingProvider | list[HostingProvider],
+        organization: Organization | None = None,
+        services: tuple[str, ...] = ("www", "mail"),
+        ca_name: str = "DigiCert Inc",
+        interval: DateInterval | None = None,
+        scannable: bool = True,
+        reliability: float = 1.0,
+        registrar_name: str = "default-registrar",
+        pdns_active: bool = True,
+        ports: tuple[int, ...] = (443, 993, 995),
+        dnssec: bool = False,
+    ) -> DomainDeployment:
+        """Stand up a legitimate domain end to end.
+
+        Registers the domain, creates its authoritative nameservers and
+        zone, allocates stable IPs with the provider(s), issues a
+        certificate chain covering the interval, binds the certificates
+        to the scan-visible hosts (unless ``scannable`` is False), and
+        schedules background pDNS traffic for its service names.
+        """
+        domain = registered_domain(domain)
+        providers = provider if isinstance(provider, list) else [provider]
+        interval = interval or DateInterval(self.start, self.end)
+        if interval.end is None:
+            interval = DateInterval(interval.start, self.end)
+        start_dt = noon(interval.start) - timedelta(days=30)
+
+        organization = organization or Organization(
+            name=f"org-{next(self._org_counter)}", sector=Sector.COMMERCIAL,
+            country=providers[0].countries[0],
+        )
+        organization.domains.add(domain)
+
+        registrar = self.registrar(registrar_name)
+        credential = Credential(username=domain, password=f"pw-{domain}-{self.seed}")
+        registrar.create_account(credential.username, credential.password)
+
+        ns_host = NameserverHost(operator=organization.name)
+        ns_names = (f"ns1.{domain}", f"ns2.{domain}")
+        for ns_name in ns_names:
+            self.directory.bind(ns_name, ns_host, start=start_dt)
+        registry = self.registry_for(domain)  # ensure the suffix's registry exists
+        registrar.register_domain(credential, domain, ns_names, at=start_dt)
+        if dnssec:
+            registry.set_ds(domain, (f"ds-{domain}",), start=start_dt)
+            ns_host.sign_zone(domain, start=start_dt)
+
+        # Service names: "" means the registered domain itself is a service.
+        fqdns = tuple(
+            domain if service == "" else f"{service}.{domain}" for service in services
+        )
+        ips: list[str] = []
+        cert_names = fqdns
+        certificates: list[Certificate] = []
+        if ca_name == "Internal Enterprise CA":
+            # Internal CAs never log to CT (so crt.sh sees only the
+            # attacker's certificates for these victims, as the paper
+            # observed), but the organization still rolls certificates.
+            certificates = self.issue_chain(ca_name, cert_names, interval, log_to_ct=False)
+        else:
+            certificates = self.issue_chain(ca_name, cert_names, interval)
+
+        for prov in providers:
+            ip = prov.allocate()
+            ips.append(ip)
+            if scannable:
+                for cert in certificates:
+                    cert_interval = DateInterval(
+                        max(cert.not_before, interval.start),
+                        min(cert.not_after, interval.end or self.end),
+                    )
+                    self.hosts.add_service(
+                        ip, ports, cert, cert_interval, reliability=reliability
+                    )
+        for fqdn in fqdns:
+            ns_host.add_record(fqdn, RRType.A, tuple(ips), start=start_dt)
+
+        if pdns_active:
+            for fqdn in fqdns:
+                self.plan.add_background(fqdn, interval)
+
+        return DomainDeployment(
+            domain=domain,
+            organization=organization,
+            credential=credential,
+            registrar=registrar,
+            ns_host=ns_host,
+            ns_names=ns_names,
+            service_fqdns=fqdns,
+            ips=tuple(ips),
+            certificates=certificates,
+            providers=tuple(providers),
+            scannable=scannable,
+        )
+
+    # -- pDNS controls ----------------------------------------------------------------
+
+    def pdns_blackout(self, domain: str, interval: DateInterval) -> None:
+        """Sensors never observed this domain's names during the interval."""
+        self.pdns_blackouts.setdefault(registered_domain(domain), []).append(interval)
+
+    def is_blacked_out(self, fqdn: str, day: date) -> bool:
+        base = registered_domain(fqdn)
+        return any(iv.contains(day) for iv in self.pdns_blackouts.get(base, ()))
+
+    # -- ACME convenience ---------------------------------------------------------------
+
+    def acme_order(
+        self,
+        ca_name: str,
+        names: tuple[str, ...],
+        publisher_host: NameserverHost,
+        at: datetime,
+    ) -> Certificate:
+        """Request a certificate with DNS-01 validated via ``publisher_host``."""
+        server = self.acme[ca_name]
+        return server.request_certificate(names, ChallengePublisher(publisher_host), at)

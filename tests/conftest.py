@@ -1,0 +1,32 @@
+"""Shared fixtures.
+
+The paper study takes a few seconds to build, so it is session-scoped
+and shared by every test that evaluates against the full scenario.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world.scenarios import paper_study, small_world
+from repro.world.sim import StudyDatasets, run_study
+
+
+@pytest.fixture(scope="session")
+def paper() -> StudyDatasets:
+    return paper_study()
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper):
+    return paper.run_pipeline()
+
+
+@pytest.fixture(scope="session")
+def small_study() -> StudyDatasets:
+    return run_study(small_world())
+
+
+@pytest.fixture(scope="session")
+def small_report(small_study):
+    return small_study.run_pipeline()

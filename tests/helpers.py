@@ -1,0 +1,83 @@
+"""Test helpers: compact construction of annotated scan records.
+
+``ScanSketch`` builds the per-scan-date record lists the deployment and
+pattern stages consume, without standing up a whole world — so the
+canonical Figure 3/4/5 shapes can be expressed in a few lines each.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+
+from repro.net.timeline import Period
+from repro.scan.annotate import AnnotatedScanRecord
+from repro.scan.dataset import ScanDataset
+from repro.tls.certificate import Certificate
+
+PERIOD = Period(index=1, start=date(2019, 1, 1), end=date(2019, 6, 30))
+PREV_PERIOD = Period(index=0, start=date(2018, 7, 1), end=date(2018, 12, 31))
+NEXT_PERIOD = Period(index=2, start=date(2019, 7, 1), end=date(2019, 12, 31))
+ALL_PERIODS = (PREV_PERIOD, PERIOD, NEXT_PERIOD)
+
+
+def scan_dates(period: Period = PERIOD) -> tuple[date, ...]:
+    dates = []
+    day = period.start
+    while day <= period.end:
+        dates.append(day)
+        day += timedelta(days=7)
+    return tuple(dates)
+
+
+def make_cert(
+    name: str,
+    serial: int,
+    issued: date,
+    days: int = 365,
+    issuer: str = "DigiCert Inc",
+) -> Certificate:
+    return Certificate(
+        serial=serial,
+        common_name=name,
+        sans=(name,),
+        issuer=issuer,
+        not_before=issued,
+        not_after=issued + timedelta(days=days),
+    )
+
+
+class ScanSketch:
+    """Accumulates annotated records for one synthetic domain."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self.records: list[AnnotatedScanRecord] = []
+
+    def presence(
+        self,
+        dates: tuple[date, ...],
+        ip: str,
+        asn: int,
+        country: str,
+        cert: Certificate,
+        trusted: bool = True,
+    ) -> "ScanSketch":
+        for scan_date in dates:
+            self.records.append(
+                AnnotatedScanRecord(
+                    scan_date=scan_date,
+                    ip=ip,
+                    ports=(443,),
+                    asn=asn,
+                    country=country,
+                    certificate=cert,
+                    trusted=trusted,
+                    sensitive="mail" in cert.common_name,
+                    names=(cert.common_name,),
+                    base_domains=(self.domain,),
+                )
+            )
+        return self
+
+    def dataset(self, dates: tuple[date, ...] | None = None) -> ScanDataset:
+        return ScanDataset(self.records, dates or scan_dates())

@@ -1,0 +1,124 @@
+"""Tests for infrastructure-based actor attribution."""
+
+from datetime import date
+
+from repro.analysis.attribution import (
+    attribution_accuracy,
+    cluster_campaigns,
+    format_clusters,
+)
+from repro.core.report import DomainFinding
+from repro.core.types import DetectionType, Verdict
+
+
+def finding(domain, ips=(), ns=(), asn=666, when=date(2019, 1, 1)):
+    return DomainFinding(
+        domain=domain,
+        verdict=Verdict.HIJACKED,
+        detection=DetectionType.T1,
+        first_evidence=when,
+        attacker_ips=tuple(ips),
+        attacker_asn=asn,
+        attacker_ns=tuple(ns),
+    )
+
+
+class TestClustering:
+    def test_shared_ip_joins_victims(self):
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",)),
+                finding("b.gov", ips=("1.1.1.1",)),
+                finding("c.gov", ips=("2.2.2.2",)),
+            ]
+        )
+        assert len(clusters) == 2
+        assert clusters[0].domains == ("a.gov", "b.gov")
+        assert clusters[1].domains == ("c.gov",)
+
+    def test_shared_ns_joins_across_ips(self):
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",), ns=("ns1.rogue.net",)),
+                finding("b.gov", ips=("2.2.2.2",), ns=("ns1.rogue.net",)),
+            ]
+        )
+        assert len(clusters) == 1
+        assert clusters[0].nameservers == ("ns1.rogue.net",)
+        assert set(clusters[0].ips) == {"1.1.1.1", "2.2.2.2"}
+
+    def test_transitive_closure(self):
+        """A-ip1, B-{ip1,ns1}, C-ns1: one actor, fully reassembled."""
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",)),
+                finding("b.gov", ips=("1.1.1.1",), ns=("ns1.rogue.net",)),
+                finding("c.gov", ns=("ns1.rogue.net",)),
+            ]
+        )
+        assert len(clusters) == 1
+        assert clusters[0].size == 3
+
+    def test_span(self):
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",), when=date(2018, 5, 1)),
+                finding("b.gov", ips=("1.1.1.1",), when=date(2019, 1, 1)),
+            ]
+        )
+        assert clusters[0].span_days == 245
+
+
+class TestAccuracy:
+    def test_perfect_attribution(self):
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",)),
+                finding("b.gov", ips=("1.1.1.1",)),
+                finding("c.gov", ips=("2.2.2.2",)),
+            ]
+        )
+        purity, fragmentation = attribution_accuracy(
+            clusters, {"a.gov": "actor-x", "b.gov": "actor-x", "c.gov": "actor-y"}
+        )
+        assert purity == 1.0
+        assert fragmentation == 1.0
+
+    def test_fragmented_actor(self):
+        clusters = cluster_campaigns(
+            [
+                finding("a.gov", ips=("1.1.1.1",)),
+                finding("b.gov", ips=("2.2.2.2",)),  # same actor, no shared infra
+            ]
+        )
+        _, fragmentation = attribution_accuracy(
+            clusters, {"a.gov": "actor-x", "b.gov": "actor-x"}
+        )
+        assert fragmentation == 2.0
+
+
+class TestOnPaperStudy:
+    def test_kyrgyz_cluster_reassembled(self, paper, paper_report):
+        clusters = cluster_campaigns(paper_report.hijacked())
+        kg_cluster = next(
+            c for c in clusters if "mfa.gov.kg" in c.domains
+        )
+        assert {"mfa.gov.kg", "invest.gov.kg", "fiu.gov.kg", "infocom.kg"} <= set(
+            kg_cluster.domains
+        )
+        assert any("kg-infocom.ru" in ns for ns in kg_cluster.nameservers)
+
+    def test_purity_against_ns_cluster_ground_truth(self, paper, paper_report):
+        from repro.world.scenarios import HIJACKED_ROWS
+
+        actor_of = {
+            row.domain: row.ns_cluster for row in HIJACKED_ROWS if row.ns_cluster
+        }
+        clusters = cluster_campaigns(paper_report.hijacked())
+        purity, _ = attribution_accuracy(clusters, actor_of)
+        assert purity >= 0.9
+
+    def test_rendering(self, paper_report):
+        text = format_clusters(cluster_campaigns(paper_report.hijacked()))
+        assert "victims" in text
+        assert "span" in text

@@ -1,0 +1,85 @@
+"""Tests for the longitudinal analysis (§5.2) and notifications (§6)."""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis.longitudinal import (
+    DISCLOSURE_DATE,
+    attacks_by_year,
+    format_yearly,
+    post_disclosure_attacks,
+    tld_campaigns,
+)
+from repro.analysis.notification import build_all_notifications, build_notification
+from repro.core.types import Verdict
+
+
+class TestAttacksByYear:
+    def test_2018_uptick(self, paper):
+        rows = {r.year: r for r in attacks_by_year(paper.ground_truth)}
+        # The Sea Turtle wave dominates 2018.
+        assert rows[2018].hijacked > rows[2017].hijacked
+        assert rows[2018].hijacked >= 15
+        # The targeted wave is almost entirely 2020.
+        assert rows[2020].targeted >= 18
+        assert sum(r.total for r in rows.values()) == 65
+
+    def test_attacks_span_full_window(self, paper):
+        years = {r.year for r in attacks_by_year(paper.ground_truth)}
+        assert {2017, 2018, 2019, 2020, 2021} <= years
+
+    def test_rendering(self, paper):
+        text = format_yearly(attacks_by_year(paper.ground_truth))
+        assert "2018" in text and "Total" in text
+
+
+class TestTldCampaigns:
+    def test_recurring_tlds(self, paper):
+        campaigns = {c.suffix: c for c in tld_campaigns(paper.ground_truth)}
+        # Repeated attacks under gov.cy over months.
+        assert campaigns["gov.cy"].recurring
+        assert len(campaigns["gov.cy"].domains) >= 4
+        # gov.ae spans 2018 (Sea Turtle) through 2020 (targeted wave):
+        # years-long attacker interest in one namespace.
+        assert campaigns["gov.ae"].span_days > 365
+
+    def test_post_disclosure_activity(self, paper):
+        late = post_disclosure_attacks(paper.ground_truth)
+        # The entire .kg cluster postdates the Sea Turtle disclosures.
+        assert {"mfa.gov.kg", "invest.gov.kg", "fiu.gov.kg", "infocom.kg"} <= set(late)
+        assert len(late) >= 20  # the 2020 targeted wave
+        assert DISCLOSURE_DATE == date(2019, 4, 1)
+
+
+class TestNotifications:
+    def test_hijacked_notification_contains_evidence(self, paper_report):
+        finding = paper_report.finding_for("mfa.gov.kg")
+        notification = build_notification(finding)
+        assert notification.domain == "mfa.gov.kg"
+        assert "KG" in notification.cert_contact
+        assert "HIJACKED" in notification.body
+        assert "94.103.91.159" in notification.body
+        assert "ns1.kg-infocom.ru" in notification.body
+        assert "crt.sh id" in notification.body
+        assert "revoke the certificate" in notification.body
+
+    def test_targeted_notification_differs(self, paper_report):
+        finding = paper_report.finding_for("parlament.ch")
+        notification = build_notification(finding)
+        assert "TARGETED" in notification.body
+        assert "crt.sh id" not in notification.body  # no certificate existed
+
+    def test_all_victims_get_notifications(self, paper_report):
+        notifications = build_all_notifications(paper_report.findings)
+        assert len(notifications) == 65
+        assert len({n.domain for n in notifications}) == 65
+
+    def test_rejects_non_victims(self, paper_report):
+        finding = paper_report.finding_for("mfa.gov.kg")
+        benign = type(finding)(
+            domain="innocent.com", verdict=Verdict.BENIGN, detection=None,
+            first_evidence=None,
+        )
+        with pytest.raises(ValueError):
+            build_notification(benign)

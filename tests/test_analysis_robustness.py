@@ -1,0 +1,47 @@
+"""Tests for multi-trial robustness aggregation."""
+
+import pytest
+
+from repro.analysis.robustness import (
+    RobustnessSummary,
+    TrialOutcome,
+    format_robustness,
+    run_trials,
+)
+from repro.world.randomized import RandomWorldConfig
+
+
+class TestAggregation:
+    def make_summary(self):
+        summary = RobustnessSummary()
+        summary.trials = [
+            TrialOutcome(seed=1, n_victims=8, recall=1.0, precision=1.0, detection_accuracy=1.0),
+            TrialOutcome(seed=2, n_victims=8, recall=0.75, precision=1.0, detection_accuracy=0.9),
+        ]
+        return summary
+
+    def test_statistics(self):
+        summary = self.make_summary()
+        assert summary.mean_recall == pytest.approx(0.875)
+        assert summary.min_recall == 0.75
+        assert summary.stdev_recall == pytest.approx(0.17678, rel=1e-3)
+        assert summary.perfect_trials == 1
+
+    def test_rendering(self):
+        text = format_robustness(self.make_summary())
+        assert "mean recall" in text
+        assert "1/2 perfect" in text
+
+    def test_empty_guard(self):
+        with pytest.raises(ValueError):
+            run_trials(0)
+
+
+class TestLiveTrials:
+    def test_small_trials_all_perfect(self):
+        config = RandomWorldConfig(n_victims=4, n_background=15)
+        summary = run_trials(n_trials=2, first_seed=300, config=config)
+        assert summary.n_trials == 2
+        assert summary.mean_recall == 1.0
+        assert summary.mean_precision == 1.0
+        assert summary.perfect_trials == 2

@@ -1,0 +1,51 @@
+"""Tests for the parameter-sensitivity sweeps."""
+
+from repro.analysis.sweeps import (
+    format_sweep,
+    sweep_corroboration_window,
+    sweep_transient_threshold,
+    sweep_visibility_floor,
+)
+
+
+class TestTransientThresholdSweep:
+    def test_detection_at_default_threshold(self, small_study):
+        result = sweep_transient_threshold(small_study, values=[30, 91, 183])
+        by_value = {p.value: p for p in result.points}
+        # At the paper's 91-day threshold the hijack is found.
+        assert by_value[91.0].hijacked_found == 1
+        assert by_value[91.0].recall == 1.0
+        assert by_value[91.0].false_positives == 0
+        # Wider thresholds never lose it.
+        assert by_value[183.0].hijacked_found == 1
+
+    def test_best_point_selection(self, small_study):
+        result = sweep_transient_threshold(small_study, values=[91, 183])
+        assert result.best().recall == 1.0
+
+
+class TestVisibilitySweep:
+    def test_extreme_floor_loses_victims(self, small_study):
+        """Requiring ~perfect presence eventually prunes real victims
+        (the paper's bias-toward-stable-deployments caveat)."""
+        result = sweep_visibility_floor(small_study, values=[0.8, 0.999])
+        by_value = {p.value: p for p in result.points}
+        assert by_value[0.8].hijacked_found == 1
+        # A 99.9% floor may or may not lose the victim depending on scan
+        # noise, but it can never find more than the default.
+        assert by_value[0.999].hijacked_found <= by_value[0.8].hijacked_found
+
+
+class TestWindowSweep:
+    def test_tiny_window_loses_corroboration(self, small_study):
+        result = sweep_corroboration_window(small_study, values=[3, 30])
+        by_value = {p.value: p for p in result.points}
+        assert by_value[30.0].hijacked_found == 1
+        # The 3-day window can only do worse or equal.
+        assert by_value[3.0].hijacked_found <= 1
+
+    def test_rendering(self, small_study):
+        result = sweep_corroboration_window(small_study, values=[30])
+        text = format_sweep(result)
+        assert "window_days" in text
+        assert "recall" in text

@@ -1,0 +1,51 @@
+"""Tests for incident-timeline reconstruction."""
+
+from repro.analysis.timeline import format_timeline, reconstruct_timeline
+
+
+class TestTimelineReconstruction:
+    def test_mfa_gov_kg_narrative(self, paper, paper_report):
+        """The Section 5.1 forensic sequence, reassembled from data."""
+        finding = paper_report.finding_for("mfa.gov.kg")
+        events = reconstruct_timeline(finding, paper.scan, paper.pdns, paper.crtsh)
+        assert events, "a confirmed hijack must have an evidence trail"
+
+        sources = [e.source for e in events]
+        assert "ct" in sources
+        assert "scan" in sources
+        assert "pdns" in sources
+
+        # Ordering: issuance precedes (or equals) scan sighting; the days
+        # are sorted.
+        days = [e.day for e in events]
+        assert days == sorted(days)
+        issuance = next(e for e in events if e.source == "ct")
+        first_scan = next(e for e in events if e.source == "scan")
+        assert issuance.day <= first_scan.day
+
+        # The narrative names the actual attacker artifacts.
+        text = format_timeline("mfa.gov.kg", events)
+        assert "94.103.91.159" in text
+        assert "kg-infocom.ru" in text
+        assert "Let's Encrypt" in text
+
+    def test_revoked_certificate_shows_crl_event(self, paper, paper_report):
+        finding = paper_report.finding_for("asp.gov.al")  # one of the 4 revoked
+        events = reconstruct_timeline(finding, paper.scan, paper.pdns, paper.crtsh)
+        assert any(e.source == "crl" for e in events)
+
+    def test_unrevoked_le_cert_has_no_crl_event(self, paper, paper_report):
+        finding = paper_report.finding_for("mfa.gov.kg")  # Let's Encrypt, OCSP
+        events = reconstruct_timeline(finding, paper.scan, paper.pdns, paper.crtsh)
+        assert not any(e.source == "crl" for e in events)
+
+    def test_pivot_victim_without_scans(self, paper, paper_report):
+        """embassy.ly never used TLS: timeline is pDNS-only."""
+        finding = paper_report.finding_for("embassy.ly")
+        events = reconstruct_timeline(finding, paper.scan, paper.pdns, paper.crtsh)
+        assert events
+        assert {e.source for e in events} == {"pdns"}
+
+    def test_empty_timeline_renders(self):
+        text = format_timeline("ghost.example", [])
+        assert "no recorded evidence" in text

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_paper_defaults(self):
+        args = build_parser().parse_args(["paper"])
+        assert args.seed == 7
+        assert args.background == 150
+        assert args.save is None
+
+    def test_hunt_requires_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hunt"])
+
+
+class TestCommands:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "example-ministry.gr" in out
+        assert "hijacked: 1" in out
+
+    def test_hunt_missing_directory(self, tmp_path, capsys):
+        assert main(["hunt", "--dir", str(tmp_path)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_export_then_hunt_roundtrip(self, small_study, small_report, tmp_path, capsys):
+        """Exporting a study and hunting over the export reproduces the
+        verdicts — the CLI's core promise."""
+        from repro.io import (
+            save_as2org,
+            save_ct,
+            save_pdns,
+            save_scan_dataset,
+        )
+
+        save_scan_dataset(small_study.scan, tmp_path / "scan.jsonl")
+        save_pdns(small_study.pdns, tmp_path / "pdns.jsonl")
+        save_ct(small_study.ct_log, small_study.revocations, tmp_path / "ct.jsonl")
+        save_as2org(small_study.as2org, tmp_path / "as2org.jsonl")
+
+        out_path = tmp_path / "findings.jsonl"
+        assert main(["hunt", "--dir", str(tmp_path), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "example-ministry.gr" in out
+        assert "T1" in out
+
+        from repro.io import load_findings
+
+        findings = load_findings(out_path)
+        assert [f.domain for f in findings] == [
+            f.domain for f in small_report.findings
+        ]
+
+    def test_gallery_runs(self, capsys):
+        assert main(["gallery"]) == 0
+        out = capsys.readouterr().out
+        assert "TRANSIENT" in out
+        assert "S1" in out
+
+    def test_robustness_runs(self, capsys):
+        assert main(["robustness", "--trials", "1", "--victims", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "mean recall 1.000" in out
+
+    def test_sweep_parser_choices(self):
+        args = build_parser().parse_args(["sweep", "--parameter", "window"])
+        assert args.parameter == "window"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--parameter", "bogus"])
+
+    def test_timeline_requires_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["timeline"])

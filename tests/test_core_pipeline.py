@@ -1,0 +1,76 @@
+"""End-to-end pipeline tests on the small scenario."""
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.report import format_findings_table, format_funnel
+from repro.core.types import DetectionType, PatternKind, Verdict
+
+
+class TestSmallWorldPipeline:
+    def test_hijack_detected(self, small_report):
+        hijacked = small_report.hijacked()
+        assert [f.domain for f in hijacked] == ["example-ministry.gr"]
+        finding = hijacked[0]
+        assert finding.detection is DetectionType.T1
+        assert finding.subdomain == "mail"
+        assert finding.pdns_corroborated
+        assert finding.ct_corroborated
+        assert finding.issuer_ca == "Let's Encrypt"
+        assert finding.crtsh_id > 0
+        assert finding.attacker_asn == 65002
+        assert finding.attacker_cc == "NL"
+        assert finding.victim_asns == (65001,)
+        assert finding.victim_ccs == ("GR",)
+
+    def test_attacker_infrastructure_reported(self, small_report):
+        assert small_report.attacker_ips
+        assert any(ns.endswith("rogue-demo.net") for ns in small_report.attacker_ns)
+
+    def test_no_false_positives(self, small_study, small_report):
+        truth = small_study.ground_truth.domains()
+        for finding in small_report.findings:
+            assert finding.domain in truth
+
+    def test_funnel_counts_consistent(self, small_report):
+        funnel = small_report.funnel
+        assert funnel.n_maps == sum(
+            (funnel.n_stable, funnel.n_transition, funnel.n_transient, funnel.n_noisy)
+        ) + sum(
+            1
+            for c in small_report.classifications.values()
+            if c.kind is PatternKind.NO_DATA
+        )
+        assert funnel.n_shortlisted >= 1
+        assert funnel.n_hijacked == 1
+        assert funnel.fraction(funnel.n_stable) > 0.9
+
+    def test_report_accessors(self, small_report):
+        finding = small_report.finding_for("example-ministry.gr")
+        assert finding is not None
+        assert small_report.finding_for("nonexistent.test") is None
+        assert small_report.targeted() == []
+
+    def test_rendering_smoke(self, small_report):
+        table = format_findings_table(small_report.findings)
+        assert "example-ministry.gr" in table
+        funnel_text = format_funnel(small_report.funnel)
+        assert "deployment maps" in funnel_text
+        assert "hijacked" in funnel_text
+
+
+class TestConfigToggles:
+    def test_pivot_can_be_disabled(self, small_study):
+        report = small_study.run_pipeline(PipelineConfig(enable_pivot=False))
+        assert report.pivots == []
+        # The directly-detected hijack remains.
+        assert [f.domain for f in report.hijacked()] == ["example-ministry.gr"]
+
+    def test_t1_star_can_be_disabled(self, small_study):
+        report = small_study.run_pipeline(PipelineConfig(enable_t1_star=False))
+        assert all(
+            f.detection is not DetectionType.T1_STAR for f in report.findings
+        )
+
+    def test_classifications_expose_every_map(self, small_study, small_report):
+        domains_with_maps = {d for d, _ in small_report.classifications}
+        assert "example-ministry.gr" in domains_with_maps
+        assert len(domains_with_maps) > 20  # background population present

@@ -1,0 +1,127 @@
+"""Tests for pivot analysis (step 5)."""
+
+from datetime import date, timedelta
+
+from repro.core.inspection import InspectionConfig
+from repro.core.pivot import PivotAnalyzer
+from repro.core.types import DetectionType, Verdict
+from repro.ct.crtsh import CrtShService
+from repro.ct.log import CTLog
+from repro.dns.records import RRType
+from repro.pdns.database import PassiveDNSDatabase
+from repro.tls.revocation import RevocationRegistry
+
+from tests.helpers import make_cert
+
+ATTACKER_IP = "94.103.91.159"
+ROGUE_NS = "ns1.kg-infocom.ru"
+HIJACK = date(2020, 12, 20)
+
+
+def make_analyzer(pdns, certs=()):
+    log = CTLog()
+    for cert in certs:
+        log.submit(cert, cert.not_before)
+    crtsh = CrtShService([log], RevocationRegistry(), asof=date(2021, 6, 1))
+    return PivotAnalyzer(pdns, crtsh)
+
+
+def seed_confirmed_victim(pdns):
+    """The already-confirmed hijack the pivot expands from."""
+    pdns.add_observation("mail.mfa.gov.kg", RRType.A, ATTACKER_IP, HIJACK)
+    pdns.add_observation("mfa.gov.kg", RRType.NS, ROGUE_NS, HIJACK)
+
+
+class TestNsPivot:
+    def test_finds_domain_delegated_to_rogue_ns(self):
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        pdns.add_observation("fiu.gov.kg", RRType.NS, ROGUE_NS, date(2020, 12, 28))
+        pdns.add_observation(
+            "mail.fiu.gov.kg", RRType.A, "178.20.41.140", date(2020, 12, 28)
+        )
+        cert = make_cert("mail.fiu.gov.kg", 77, date(2020, 12, 27), issuer="Let's Encrypt")
+        analyzer = make_analyzer(pdns, [cert])
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset({ROGUE_NS}), {"mfa.gov.kg"}
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.domain == "fiu.gov.kg"
+        assert finding.detection is DetectionType.P_NS
+        assert finding.verdict is Verdict.HIJACKED
+        assert finding.via == ROGUE_NS
+        # The rogue nameserver's answers implicate a NEW attacker IP.
+        assert "178.20.41.140" in finding.attacker_ips
+        assert finding.malicious_cert is not None
+        assert finding.malicious_cert.crtsh_id == cert.crtsh_id or finding.malicious_cert.certificate.common_name == "mail.fiu.gov.kg"
+
+    def test_excludes_known_victims_and_attacker_domains(self):
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        # The attacker's own nameserver domain resolves to their IP too.
+        pdns.add_observation(ROGUE_NS, RRType.A, ATTACKER_IP, HIJACK)
+        analyzer = make_analyzer(pdns)
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset({ROGUE_NS}), {"mfa.gov.kg"}
+        )
+        assert findings == []
+
+    def test_long_lived_delegation_not_pivoted(self):
+        """A legitimate long-term customer of a shared NS must not be
+        flagged: only short-lived delegations count."""
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        for offset in range(0, 300, 7):
+            pdns.add_observation(
+                "legit-customer.kg", RRType.NS, ROGUE_NS, HIJACK - timedelta(days=offset)
+            )
+        analyzer = make_analyzer(pdns)
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset({ROGUE_NS}), {"mfa.gov.kg"}
+        )
+        assert findings == []
+
+
+class TestIpPivot:
+    def test_finds_domain_resolving_to_attacker_ip(self):
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        pdns.add_observation("mbox.cyta.com.cy", RRType.A, ATTACKER_IP, date(2021, 1, 5))
+        analyzer = make_analyzer(pdns)
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset(), {"mfa.gov.kg"}
+        )
+        assert len(findings) == 1
+        assert findings[0].domain == "cyta.com.cy"
+        assert findings[0].detection is DetectionType.P_IP
+        assert findings[0].via == ATTACKER_IP
+
+    def test_ns_pass_takes_precedence(self):
+        """A domain reachable via both channels is attributed P-NS."""
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        pdns.add_observation("both.gov.kg", RRType.NS, ROGUE_NS, date(2021, 1, 2))
+        pdns.add_observation("mail.both.gov.kg", RRType.A, ATTACKER_IP, date(2021, 1, 2))
+        analyzer = make_analyzer(pdns)
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset({ROGUE_NS}), {"mfa.gov.kg"}
+        )
+        assert len(findings) == 1
+        assert findings[0].detection is DetectionType.P_NS
+
+    def test_no_infrastructure_no_findings(self):
+        analyzer = make_analyzer(PassiveDNSDatabase())
+        assert analyzer.pivot(frozenset(), frozenset(), set()) == []
+
+    def test_each_domain_reported_once(self):
+        pdns = PassiveDNSDatabase()
+        seed_confirmed_victim(pdns)
+        pdns.add_observation("victim2.kg", RRType.NS, ROGUE_NS, date(2021, 1, 2))
+        pdns.add_observation("mail.victim2.kg", RRType.A, ATTACKER_IP, date(2021, 1, 2))
+        pdns.add_observation("imap.victim2.kg", RRType.A, ATTACKER_IP, date(2021, 1, 3))
+        analyzer = make_analyzer(pdns)
+        findings = analyzer.pivot(
+            frozenset({ATTACKER_IP}), frozenset({ROGUE_NS}), {"mfa.gov.kg"}
+        )
+        assert [f.domain for f in findings] == ["victim2.kg"]

@@ -1,0 +1,202 @@
+"""Tests for the CT substrate: Merkle tree, log, crt.sh service."""
+
+from datetime import date
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ct.crtsh import CrtShService
+from repro.ct.log import CTLog
+from repro.ct.merkle import MerkleTree
+from repro.tls.certificate import Certificate
+from repro.tls.revocation import RevocationRegistry
+
+
+def cert(name, serial=1, issued=date(2019, 1, 1), issuer="Let's Encrypt", days=90):
+    from datetime import timedelta
+
+    return Certificate(
+        serial=serial,
+        common_name=name,
+        sans=(name,),
+        issuer=issuer,
+        not_before=issued,
+        not_after=issued + timedelta(days=days),
+    )
+
+
+class TestMerkleTree:
+    def test_empty_root_is_hash_of_empty_string(self):
+        import hashlib
+
+        assert MerkleTree().root() == hashlib.sha256(b"").digest()
+
+    def test_root_changes_on_append(self):
+        tree = MerkleTree()
+        tree.append(b"a")
+        first = tree.root()
+        tree.append(b"b")
+        assert tree.root() != first
+
+    def test_partial_root_is_stable(self):
+        tree = MerkleTree()
+        tree.append(b"a")
+        tree.append(b"b")
+        root_2 = tree.root(2)
+        tree.append(b"c")
+        assert tree.root(2) == root_2  # append-only: old roots unchanged
+
+    def test_inclusion_proof_verifies(self):
+        tree = MerkleTree()
+        leaves = [f"leaf-{i}".encode() for i in range(13)]
+        for leaf in leaves:
+            tree.append(leaf)
+        for index, leaf in enumerate(leaves):
+            proof = tree.inclusion_proof(index)
+            assert MerkleTree.verify_inclusion(leaf, index, len(leaves), proof, tree.root())
+
+    def test_tampered_leaf_fails_verification(self):
+        tree = MerkleTree()
+        for i in range(8):
+            tree.append(f"leaf-{i}".encode())
+        proof = tree.inclusion_proof(3)
+        assert not MerkleTree.verify_inclusion(b"evil", 3, 8, proof, tree.root())
+
+    def test_wrong_index_fails(self):
+        tree = MerkleTree()
+        for i in range(8):
+            tree.append(f"leaf-{i}".encode())
+        proof = tree.inclusion_proof(3)
+        assert not MerkleTree.verify_inclusion(b"leaf-3", 4, 8, proof, tree.root())
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=40), st.data())
+    def test_inclusion_proofs_for_random_sizes(self, size, data):
+        tree = MerkleTree()
+        for i in range(size):
+            tree.append(f"L{i}".encode())
+        index = data.draw(st.integers(min_value=0, max_value=size - 1))
+        proof = tree.inclusion_proof(index)
+        assert MerkleTree.verify_inclusion(
+            f"L{index}".encode(), index, size, proof, tree.root()
+        )
+
+    def test_proof_bounds_checked(self):
+        tree = MerkleTree()
+        tree.append(b"x")
+        with pytest.raises(ValueError):
+            tree.inclusion_proof(1)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=48), st.data())
+    def test_consistency_proofs(self, new_size, data):
+        """Append-only auditing: every old tree is a verifiable prefix."""
+        tree = MerkleTree()
+        for i in range(new_size):
+            tree.append(f"L{i}".encode())
+        old_size = data.draw(st.integers(min_value=1, max_value=new_size))
+        proof = tree.consistency_proof(old_size, new_size)
+        assert MerkleTree.verify_consistency(
+            old_size, new_size, tree.root(old_size), tree.root(new_size), proof
+        )
+
+    def test_consistency_rejects_forked_history(self):
+        """A log that rewrote an old entry cannot produce a valid proof."""
+        honest = MerkleTree()
+        forked = MerkleTree()
+        for i in range(12):
+            honest.append(f"L{i}".encode())
+            forked.append((f"L{i}" if i != 3 else "EVIL").encode())
+        proof = forked.consistency_proof(8, 12)
+        assert not MerkleTree.verify_consistency(
+            8, 12, honest.root(8), forked.root(12), proof
+        )
+
+    def test_consistency_bounds(self):
+        tree = MerkleTree()
+        tree.append(b"x")
+        with pytest.raises(ValueError):
+            tree.consistency_proof(0)
+        with pytest.raises(ValueError):
+            tree.consistency_proof(2)
+
+
+class TestCTLog:
+    def test_assigns_crtsh_ids_monotonically(self):
+        log = CTLog(first_crtsh_id=500)
+        a, _ = log.submit(cert("a.example.com"), date(2019, 1, 1))
+        b, _ = log.submit(cert("b.example.com", serial=2), date(2019, 1, 2))
+        assert a.crtsh_id == 500
+        assert b.crtsh_id == 501
+
+    def test_deduplicates_resubmission(self):
+        log = CTLog()
+        c = cert("a.example.com")
+        first, sct1 = log.submit(c, date(2019, 1, 1))
+        second, sct2 = log.submit(c, date(2019, 1, 5))
+        assert len(log) == 1
+        assert first.crtsh_id == second.crtsh_id
+        assert sct1.entry_index == sct2.entry_index
+
+    def test_entries_verify_against_tree(self):
+        log = CTLog()
+        for i in range(10):
+            log.submit(cert(f"d{i}.example.com", serial=i + 1), date(2019, 1, 1))
+        for entry in log.entries():
+            assert log.verify_entry(entry)
+
+
+class TestCrtSh:
+    def make_service(self):
+        log = CTLog()
+        revocations = RevocationRegistry()
+        service = CrtShService([log], revocations, asof=date(2021, 1, 1))
+        return log, service
+
+    def test_search_by_registered_domain(self):
+        log, service = self.make_service()
+        log.submit(cert("mail.mfa.gov.kg"), date(2020, 12, 21))
+        log.submit(cert("www.mfa.gov.kg", serial=2), date(2020, 1, 1))
+        log.submit(cert("mail.other.org", serial=3), date(2020, 12, 21))
+        results = service.search("mfa.gov.kg")
+        assert {e.certificate.common_name for e in results} == {
+            "mail.mfa.gov.kg",
+            "www.mfa.gov.kg",
+        }
+
+    def test_search_window(self):
+        log, service = self.make_service()
+        log.submit(cert("mail.x.com", issued=date(2019, 1, 1)), date(2019, 1, 1))
+        log.submit(cert("mail.x.com", serial=2, issued=date(2020, 6, 1)), date(2020, 6, 1))
+        results = service.search("x.com", issued_after=date(2020, 1, 1))
+        assert len(results) == 1
+        assert results[0].issued_on == date(2020, 6, 1)
+
+    def test_search_exact(self):
+        log, service = self.make_service()
+        log.submit(cert("mail.x.com"), date(2019, 1, 1))
+        log.submit(cert("imap.x.com", serial=2), date(2019, 1, 1))
+        results = service.search_exact("mail.x.com")
+        assert len(results) == 1
+
+    def test_lookup_id(self):
+        log, service = self.make_service()
+        logged, _ = log.submit(cert("mail.x.com"), date(2019, 1, 1))
+        found = service.lookup_id(logged.crtsh_id)
+        assert found is not None
+        assert found.certificate.fingerprint == logged.fingerprint
+        assert service.lookup_id(424242) is None
+
+    def test_issued_in_window(self):
+        log, service = self.make_service()
+        log.submit(cert("mail.x.com", issued=date(2020, 12, 21)), date(2020, 12, 21))
+        hits = service.issued_in_window("mail.x.com", date(2020, 12, 22), 7)
+        assert len(hits) == 1
+        assert not service.issued_in_window("mail.x.com", date(2020, 3, 1), 7)
+
+    def test_index_sees_late_log_growth(self):
+        log, service = self.make_service()
+        assert service.search("x.com") == []
+        log.submit(cert("mail.x.com"), date(2019, 1, 1))
+        assert len(service.search("x.com")) == 1

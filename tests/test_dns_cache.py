@@ -1,0 +1,97 @@
+"""Tests for the caching resolver and the poisoned-cache tail."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.dns.cache import CachingResolver, poisoned_tail_seconds
+from repro.dns.nameserver import NameserverDirectory, NameserverHost
+from repro.dns.records import RRType
+from repro.dns.registry import Registry
+from repro.dns.resolver import RecursiveResolver
+
+T0 = datetime(2020, 1, 1)
+WINDOW_START = datetime(2020, 12, 20, 5)
+WINDOW_END = datetime(2020, 12, 20, 11)
+
+
+@pytest.fixture
+def upstream():
+    registry = Registry("gov.kg")
+    directory = NameserverDirectory()
+    resolver = RecursiveResolver([registry], directory)
+    legit = NameserverHost(operator="legit")
+    directory.bind("ns1.x.gov.kg", legit, start=T0)
+    registry.register("x.gov.kg", ("ns1.x.gov.kg",), "reg", at=T0)
+    legit.add_record("mail.x.gov.kg", RRType.A, "10.0.0.1", start=T0)
+    legit.add_record(
+        "mail.x.gov.kg", RRType.A, "203.0.113.9", WINDOW_START, WINDOW_END
+    )
+    return resolver
+
+
+class TestCachingResolver:
+    def test_caches_positive_answers(self, upstream):
+        cache = CachingResolver(upstream, ttl_seconds=3600)
+        first = cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1, 12))
+        second = cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1, 12, 30))
+        assert first == second == ("10.0.0.1",)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_cache_expires(self, upstream):
+        cache = CachingResolver(upstream, ttl_seconds=3600)
+        cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1, 12))
+        cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1, 13, 1))
+        assert cache.misses == 2
+
+    def test_rejects_time_travel(self, upstream):
+        cache = CachingResolver(upstream)
+        cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 2))
+        with pytest.raises(ValueError):
+            cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1))
+
+    def test_flush(self, upstream):
+        cache = CachingResolver(upstream)
+        cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1))
+        cache.flush()
+        cache.resolve_a("mail.x.gov.kg", datetime(2020, 6, 1))
+        assert cache.misses == 2
+
+    def test_negative_answers_cached_briefly(self, upstream):
+        cache = CachingResolver(upstream, negative_ttl_seconds=300)
+        cache.resolve("nothing.x.gov.kg", RRType.A, datetime(2020, 6, 1, 12))
+        cache.resolve("nothing.x.gov.kg", RRType.A, datetime(2020, 6, 1, 12, 2))
+        assert cache.hits == 1
+        cache.resolve("nothing.x.gov.kg", RRType.A, datetime(2020, 6, 1, 12, 10))
+        assert cache.misses == 2
+
+    def test_validates_ttls(self, upstream):
+        with pytest.raises(ValueError):
+            CachingResolver(upstream, ttl_seconds=0)
+
+
+class TestPoisonedTail:
+    def test_hijack_lingers_up_to_ttl(self, upstream):
+        """A cache primed at the end of the window keeps serving the
+        attacker for up to one TTL after the delegation reverts."""
+        tail = poisoned_tail_seconds(
+            upstream, "mail.x.gov.kg", {"203.0.113.9"}, WINDOW_END,
+            ttl_seconds=3600, probe_interval_seconds=60,
+        )
+        assert 3300 <= tail <= 3600
+
+    def test_short_ttl_short_tail(self, upstream):
+        tail = poisoned_tail_seconds(
+            upstream, "mail.x.gov.kg", {"203.0.113.9"}, WINDOW_END,
+            ttl_seconds=300, probe_interval_seconds=30,
+        )
+        assert tail <= 300
+
+    def test_no_tail_without_poisoning(self, upstream):
+        """A cache that never saw the window has no tail."""
+        tail = poisoned_tail_seconds(
+            upstream, "mail.x.gov.kg", {"203.0.113.9"},
+            WINDOW_END + timedelta(hours=5),
+        )
+        assert tail == 0

@@ -1,0 +1,73 @@
+"""Tests for CNAME chasing in the recursive resolver."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.dns.nameserver import NameserverDirectory, NameserverHost
+from repro.dns.records import RRType
+from repro.dns.registry import Registry
+from repro.dns.resolver import RecursiveResolver, ResolutionStatus
+
+T0 = datetime(2019, 1, 1)
+
+
+@pytest.fixture
+def world():
+    registry = Registry({"com", "net"})
+    directory = NameserverDirectory()
+    resolver = RecursiveResolver([registry], directory)
+
+    host_a = NameserverHost(operator="a")
+    directory.bind("ns1.a.com", host_a, start=T0)
+    registry.register("a.com", ("ns1.a.com",), "reg", at=T0)
+
+    host_b = NameserverHost(operator="b")
+    directory.bind("ns1.b.net", host_b, start=T0)
+    registry.register("b.net", ("ns1.b.net",), "reg", at=T0)
+
+    # www.a.com -> CNAME cdn.b.net -> A 10.9.9.9
+    host_a.add_record("www.a.com", RRType.CNAME, "cdn.b.net", start=T0)
+    host_b.add_record("cdn.b.net", RRType.A, "10.9.9.9", start=T0)
+    return resolver, host_a, host_b
+
+
+class TestCnameChasing:
+    def test_cross_zone_cname_followed(self, world):
+        resolver, _, _ = world
+        result = resolver.resolve("www.a.com", RRType.A, datetime(2019, 6, 1))
+        assert result.ok
+        assert result.answers == ("10.9.9.9",)
+        assert result.fqdn == "www.a.com"  # original query name preserved
+        assert result.answering_ns == "ns1.a.com"
+
+    def test_cname_query_returns_the_cname_itself(self, world):
+        resolver, _, _ = world
+        result = resolver.resolve("www.a.com", RRType.CNAME, datetime(2019, 6, 1))
+        assert result.answers == ("cdn.b.net",)
+
+    def test_dangling_cname_is_status_of_target(self, world):
+        resolver, host_a, _ = world
+        host_a.add_record("old.a.com", RRType.CNAME, "gone.b.net", start=T0)
+        result = resolver.resolve("old.a.com", RRType.A, datetime(2019, 6, 1))
+        assert result.status is ResolutionStatus.NODATA
+
+    def test_chain_of_two(self, world):
+        resolver, host_a, host_b = world
+        host_a.add_record("x.a.com", RRType.CNAME, "y.a.com", start=T0)
+        host_a.add_record("y.a.com", RRType.CNAME, "cdn.b.net", start=T0)
+        result = resolver.resolve("x.a.com", RRType.A, datetime(2019, 6, 1))
+        assert result.answers == ("10.9.9.9",)
+
+    def test_cname_loop_servfails(self, world):
+        resolver, host_a, _ = world
+        host_a.add_record("loop1.a.com", RRType.CNAME, "loop2.a.com", start=T0)
+        host_a.add_record("loop2.a.com", RRType.CNAME, "loop1.a.com", start=T0)
+        result = resolver.resolve("loop1.a.com", RRType.A, datetime(2019, 6, 1))
+        assert result.status is ResolutionStatus.SERVFAIL
+
+    def test_direct_answer_bypasses_cname_logic(self, world):
+        resolver, host_a, _ = world
+        host_a.add_record("plain.a.com", RRType.A, "10.1.1.1", start=T0)
+        result = resolver.resolve("plain.a.com", RRType.A, datetime(2019, 6, 1))
+        assert result.answers == ("10.1.1.1",)

@@ -1,0 +1,148 @@
+"""Tests for registries (delegations, zone snapshots) and registrars
+(authentication, compromise paths)."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.dns.registrar import Credential, Registrar, RegistrarError
+from repro.dns.registry import Registry
+
+T0 = datetime(2018, 1, 1)
+NS = ("ns1.example.com", "ns2.example.com")
+ROGUE = ("ns1.rogue.net", "ns2.rogue.net")
+
+
+def make_pair():
+    registry = Registry("gov.kg")
+    registrar = Registrar("reg-1", [registry])
+    return registry, registrar
+
+
+class TestRegistry:
+    def test_register_and_resolve_delegation(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, registrar="reg-1", at=T0)
+        assert registry.delegation_at("mfa.gov.kg", datetime(2019, 1, 1)) == NS
+        assert registry.registrar_of("mfa.gov.kg") == "reg-1"
+
+    def test_rejects_duplicate_registration(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        with pytest.raises(ValueError):
+            registry.register("mfa.gov.kg", NS, "reg-2", T0)
+
+    def test_rejects_foreign_suffix(self):
+        registry, _ = make_pair()
+        with pytest.raises(ValueError):
+            registry.register("example.com", NS, "reg-1", T0)
+
+    def test_temporary_delegation_window(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 1), datetime(2020, 12, 20, 9)
+        )
+        assert registry.delegation_at("mfa.gov.kg", datetime(2020, 12, 20, 5)) == ROGUE
+        assert registry.delegation_at("mfa.gov.kg", datetime(2020, 12, 21)) == NS
+
+    def test_delegation_changes_observable(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 1), datetime(2020, 12, 20, 9)
+        )
+        changes = registry.delegation_changes(
+            "mfa.gov.kg", datetime(2020, 12, 19), datetime(2020, 12, 22)
+        )
+        assert [v for _, v in changes] == [NS, ROGUE, NS]
+
+    def test_zone_snapshot_midnight_granularity(self):
+        """Sub-day hijacks are invisible to daily zone files (Section 5.3)."""
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 1), datetime(2020, 12, 20, 9)
+        )
+        assert registry.zone_snapshot("gov.kg", date(2020, 12, 20)).ns_of("mfa.gov.kg") == NS
+        assert registry.zone_snapshot("gov.kg", date(2020, 12, 21)).ns_of("mfa.gov.kg") == NS
+
+    def test_zone_snapshot_sees_midnight_crossing_hijack(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 20), datetime(2020, 12, 21, 10)
+        )
+        snapshot = registry.zone_snapshot("gov.kg", date(2020, 12, 21))
+        assert snapshot.ns_of("mfa.gov.kg") == ROGUE
+
+    def test_ds_records_and_removal(self):
+        registry, _ = make_pair()
+        registry.register("mfa.gov.kg", NS, "reg-1", T0)
+        registry.set_ds("mfa.gov.kg", ("ds1",), T0)
+        assert registry.ds_at("mfa.gov.kg", datetime(2019, 1, 1)) == ("ds1",)
+        registry.remove_ds("mfa.gov.kg", datetime(2020, 1, 1), datetime(2020, 2, 1))
+        assert registry.ds_at("mfa.gov.kg", datetime(2020, 1, 15)) == ()
+        assert registry.ds_at("mfa.gov.kg", datetime(2020, 3, 1)) == ("ds1",)
+
+
+class TestRegistrar:
+    def setup_method(self):
+        self.registry, self.registrar = make_pair()
+        self.registrar.create_account("holder", "secret")
+        self.cred = Credential("holder", "secret")
+        self.registrar.register_domain(self.cred, "mfa.gov.kg", NS, at=T0)
+
+    def test_authenticated_update(self):
+        self.registrar.update_delegation(self.cred, "mfa.gov.kg", ROGUE, start=datetime(2019, 1, 1))
+        assert self.registry.delegation_at("mfa.gov.kg", datetime(2019, 2, 1)) == ROGUE
+
+    def test_wrong_password_rejected(self):
+        with pytest.raises(RegistrarError):
+            self.registrar.update_delegation(
+                Credential("holder", "wrong"), "mfa.gov.kg", ROGUE, start=T0
+            )
+
+    def test_two_factor_blocks_password_only(self):
+        self.registrar.account("holder").two_factor = True
+        with pytest.raises(RegistrarError):
+            self.registrar.update_delegation(self.cred, "mfa.gov.kg", ROGUE, start=T0)
+        # With the second factor it goes through.
+        self.registrar.update_delegation(
+            self.cred, "mfa.gov.kg", ROGUE, start=datetime(2019, 1, 1), second_factor=True
+        )
+
+    def test_cannot_touch_others_domains(self):
+        self.registrar.create_account("other", "pw")
+        with pytest.raises(RegistrarError):
+            self.registrar.update_delegation(
+                Credential("other", "pw"), "mfa.gov.kg", ROGUE, start=T0
+            )
+
+    def test_registry_lock_blocks_even_valid_credentials(self):
+        self.registrar.account("holder").registry_lock = True
+        with pytest.raises(RegistrarError):
+            self.registrar.update_delegation(self.cred, "mfa.gov.kg", ROGUE, start=T0)
+
+    def test_compromise_account_bypasses_two_factor(self):
+        """Path (a) of the paper's capability development."""
+        self.registrar.account("holder").two_factor = True
+        stolen = self.registrar.compromise_account("holder")
+        self.registrar.update_delegation(
+            stolen, "mfa.gov.kg", ROGUE, start=datetime(2019, 1, 1)
+        )
+        assert self.registry.delegation_at("mfa.gov.kg", datetime(2019, 2, 1)) == ROGUE
+
+    def test_registrar_compromise_path(self):
+        """Path (b): full registrar compromise needs no account at all."""
+        with pytest.raises(RegistrarError):
+            self.registrar.privileged_update("mfa.gov.kg", ROGUE, start=T0)
+        self.registrar.compromise_registrar()
+        self.registrar.privileged_update(
+            "mfa.gov.kg", ROGUE, start=datetime(2019, 1, 1)
+        )
+        assert self.registry.delegation_at("mfa.gov.kg", datetime(2019, 2, 1)) == ROGUE
+
+    def test_unknown_account(self):
+        with pytest.raises(RegistrarError):
+            self.registrar.account("ghost")

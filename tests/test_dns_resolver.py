@@ -1,0 +1,137 @@
+"""Tests for the time-aware recursive resolver and DNSSEC validation."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.dns.dnssec import DnssecStatus, validate_chain
+from repro.dns.nameserver import NameserverDirectory, NameserverHost
+from repro.dns.records import RRType
+from repro.dns.registry import Registry
+from repro.dns.resolver import RecursiveResolver, ResolutionStatus
+
+T0 = datetime(2018, 1, 1)
+HIJACK_START = datetime(2020, 12, 20, 1)
+HIJACK_END = datetime(2020, 12, 20, 9)
+
+
+@pytest.fixture
+def world():
+    registry = Registry("gov.kg")
+    directory = NameserverDirectory()
+    resolver = RecursiveResolver([registry], directory)
+
+    legit = NameserverHost(operator="infocom")
+    directory.bind("ns1.infocom.kg", legit, start=T0)
+    directory.bind("ns2.infocom.kg", legit, start=T0)
+    registry.register(
+        "mfa.gov.kg", ("ns1.infocom.kg", "ns2.infocom.kg"), "reg", at=T0
+    )
+    legit.add_record("mail.mfa.gov.kg", RRType.A, "10.128.0.10", start=T0)
+
+    rogue = NameserverHost(operator="attacker")
+    directory.bind("ns1.kg-infocom.ru", rogue, start=datetime(2020, 11, 1))
+    directory.bind("ns2.kg-infocom.ru", rogue, start=datetime(2020, 11, 1))
+    registry.set_delegation(
+        "mfa.gov.kg", ("ns1.kg-infocom.ru", "ns2.kg-infocom.ru"),
+        HIJACK_START, HIJACK_END,
+    )
+    rogue.add_record(
+        "mail.mfa.gov.kg", RRType.A, "94.103.91.159", HIJACK_START, HIJACK_END
+    )
+    return registry, directory, resolver, legit, rogue
+
+
+class TestResolution:
+    def test_steady_state(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve("mail.mfa.gov.kg", RRType.A, datetime(2019, 6, 1))
+        assert result.ok
+        assert result.answers == ("10.128.0.10",)
+        assert result.answering_ns == "ns1.infocom.kg"
+        assert result.delegation == ("ns1.infocom.kg", "ns2.infocom.kg")
+
+    def test_resolution_during_hijack_window(self, world):
+        """The crux: inside the window everyone gets the attacker's answer."""
+        _, _, resolver, _, _ = world
+        result = resolver.resolve(
+            "mail.mfa.gov.kg", RRType.A, datetime(2020, 12, 20, 5)
+        )
+        assert result.answers == ("94.103.91.159",)
+        assert result.delegation == ("ns1.kg-infocom.ru", "ns2.kg-infocom.ru")
+
+    def test_resolution_reverts_after_window(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve(
+            "mail.mfa.gov.kg", RRType.A, datetime(2020, 12, 20, 10)
+        )
+        assert result.answers == ("10.128.0.10",)
+
+    def test_ns_query_returns_delegation(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve("mfa.gov.kg", RRType.NS, datetime(2020, 12, 20, 5))
+        assert result.answers == ("ns1.kg-infocom.ru", "ns2.kg-infocom.ru")
+
+    def test_nxdomain_for_unregistered(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve("ghost.gov.kg", RRType.A, datetime(2019, 1, 1))
+        assert result.status is ResolutionStatus.NXDOMAIN
+
+    def test_servfail_for_unknown_tld(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve("example.com", RRType.A, datetime(2019, 1, 1))
+        assert result.status is ResolutionStatus.SERVFAIL
+        assert not resolver.suffix_known("example.com")
+
+    def test_nodata_for_missing_record(self, world):
+        _, _, resolver, _, _ = world
+        result = resolver.resolve("www.mfa.gov.kg", RRType.A, datetime(2019, 1, 1))
+        assert result.status is ResolutionStatus.NODATA
+
+    def test_servfail_when_no_nameserver_host_alive(self, world):
+        registry, directory, resolver, _, _ = world
+        registry.register("dead.gov.kg", ("ns1.gone.example",), "reg", at=T0)
+        result = resolver.resolve("www.dead.gov.kg", RRType.A, datetime(2019, 1, 1))
+        assert result.status is ResolutionStatus.SERVFAIL
+
+    def test_resolve_a_helper(self, world):
+        _, _, resolver, _, _ = world
+        assert resolver.resolve_a("mail.mfa.gov.kg", datetime(2019, 1, 1)) == (
+            "10.128.0.10",
+        )
+        assert resolver.resolve_a("nope.example.org", datetime(2019, 1, 1)) == ()
+
+
+class TestDnssec:
+    def test_insecure_without_ds(self, world):
+        registry, directory, _, _, _ = world
+        status = validate_chain(registry, directory, "mfa.gov.kg", datetime(2019, 1, 1))
+        assert status is DnssecStatus.INSECURE
+
+    def test_secure_chain(self, world):
+        registry, directory, _, legit, _ = world
+        registry.set_ds("mfa.gov.kg", ("ds",), T0)
+        legit.sign_zone("mfa.gov.kg", T0)
+        status = validate_chain(registry, directory, "mfa.gov.kg", datetime(2019, 1, 1))
+        assert status is DnssecStatus.SECURE
+
+    def test_hijack_without_signing_is_bogus(self, world):
+        """DS present, rogue host doesn't sign: validating resolvers fail."""
+        registry, directory, _, legit, _ = world
+        registry.set_ds("mfa.gov.kg", ("ds",), T0)
+        legit.sign_zone("mfa.gov.kg", T0)
+        status = validate_chain(
+            registry, directory, "mfa.gov.kg", datetime(2020, 12, 20, 5)
+        )
+        assert status is DnssecStatus.BOGUS
+
+    def test_attacker_strips_ds_to_evade(self, world):
+        """The real attack: remove DS during the window (Section 2.2)."""
+        registry, directory, _, legit, _ = world
+        registry.set_ds("mfa.gov.kg", ("ds",), T0)
+        legit.sign_zone("mfa.gov.kg", T0)
+        registry.remove_ds("mfa.gov.kg", HIJACK_START, HIJACK_END)
+        status = validate_chain(
+            registry, directory, "mfa.gov.kg", datetime(2020, 12, 20, 5)
+        )
+        assert status is DnssecStatus.INSECURE  # validates as unsigned

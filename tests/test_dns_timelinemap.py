@@ -1,0 +1,89 @@
+"""Tests for interval timelines (the shadowing semantics everything
+time-dependent in the DNS substrate relies on)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.timelinemap import TimelineMap
+
+T0 = datetime(2019, 1, 1, 0, 0)
+
+
+def at_hours(h: float) -> datetime:
+    return T0 + timedelta(hours=h)
+
+
+class TestShadowing:
+    def test_open_baseline(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "base", T0)
+        assert tm.at("k", at_hours(1)) == "base"
+        assert tm.at("k", at_hours(24 * 365)) == "base"
+        assert tm.at("k", T0 - timedelta(hours=1)) is None
+
+    def test_window_shadows_and_restores(self):
+        """The hijack-window primitive: a temporary override resumes the
+        baseline automatically when it ends."""
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "legit", T0)
+        tm.set_window("k", "rogue", at_hours(10), at_hours(16))
+        assert tm.at("k", at_hours(9)) == "legit"
+        assert tm.at("k", at_hours(10)) == "rogue"
+        assert tm.at("k", at_hours(15.99)) == "rogue"
+        assert tm.at("k", at_hours(16)) == "legit"  # end is exclusive
+
+    def test_nested_windows_newest_wins(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "a", T0)
+        tm.set_window("k", "b", at_hours(1), at_hours(10))
+        tm.set_window("k", "c", at_hours(3), at_hours(5))
+        assert tm.at("k", at_hours(2)) == "b"
+        assert tm.at("k", at_hours(4)) == "c"
+        assert tm.at("k", at_hours(6)) == "b"
+
+    def test_rejects_empty_interval(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        with pytest.raises(ValueError):
+            tm.set("k", "x", T0, T0)
+
+    def test_unknown_key(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        assert tm.at("nope", T0) is None
+        assert "nope" not in tm
+
+
+class TestEffectiveChanges:
+    def test_changes_capture_window_boundaries(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "legit", T0)
+        tm.set_window("k", "rogue", at_hours(10), at_hours(16))
+        changes = tm.effective_changes("k", T0, at_hours(24))
+        values = [v for _, v in changes]
+        assert values == ["legit", "rogue", "legit"]
+
+    def test_no_change_single_entry(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "only", T0)
+        changes = tm.effective_changes("k", at_hours(1), at_hours(5))
+        assert [v for _, v in changes] == ["only"]
+
+    def test_includes_value_in_force_at_start(self):
+        tm: TimelineMap[str, str] = TimelineMap()
+        tm.set("k", "early", T0)
+        changes = tm.effective_changes("k", at_hours(100), at_hours(101))
+        assert changes[0][1] == "early"
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.integers(0, 100), st.integers(1, 50)), min_size=1, max_size=8))
+    def test_changes_agree_with_pointwise_at(self, windows):
+        """effective_changes must agree with at() sampled at boundaries."""
+        tm: TimelineMap[str, int] = TimelineMap()
+        tm.set("k", -1, T0)
+        for value, (start_h, dur_h) in enumerate(windows):
+            tm.set_window("k", value, at_hours(start_h), at_hours(start_h + dur_h))
+        changes = tm.effective_changes("k", T0, at_hours(200))
+        for instant, value in changes:
+            assert tm.at("k", instant) == value

@@ -1,0 +1,89 @@
+"""Tests for the zone archive and delegation diffing."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.dns.registry import Registry
+from repro.dns.zonearchive import ZoneArchive
+
+T0 = datetime(2018, 1, 1)
+NS = ("ns1.infocom.kg", "ns2.infocom.kg")
+ROGUE = ("ns1.kg-infocom.ru", "ns2.kg-infocom.ru")
+
+
+@pytest.fixture
+def archive():
+    registry = Registry("gov.kg")
+    registry.register("mfa.gov.kg", NS, "reg", at=T0)
+    registry.register("fiu.gov.kg", NS, "reg", at=T0)
+    return registry, ZoneArchive(registry, "gov.kg")
+
+
+class TestSnapshots:
+    def test_snapshot_contains_delegations(self, archive):
+        _, zone = archive
+        snapshot = zone.snapshot(date(2019, 1, 1))
+        assert snapshot.ns_of("mfa.gov.kg") == NS
+        assert "fiu.gov.kg" in snapshot
+
+    def test_snapshots_cached(self, archive):
+        _, zone = archive
+        a = zone.snapshot(date(2019, 1, 1))
+        b = zone.snapshot(date(2019, 1, 1))
+        assert a is b
+
+    def test_collect_range(self, archive):
+        _, zone = archive
+        assert zone.collect(date(2019, 1, 1), date(2019, 1, 10)) == 10
+
+    def test_rejects_foreign_suffix(self, archive):
+        registry, _ = archive
+        with pytest.raises(ValueError):
+            ZoneArchive(registry, "com")
+
+
+class TestDiffing:
+    def test_multi_day_change_visible(self, archive):
+        registry, zone = archive
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 12), datetime(2020, 12, 23, 12)
+        )
+        changes = zone.changes_over(date(2020, 12, 18), date(2020, 12, 26))
+        assert len(changes) == 2  # flip and flip-back
+        flip = changes[0]
+        assert flip.domain == "mfa.gov.kg"
+        assert flip.added == frozenset(ROGUE)
+        assert flip.removed == frozenset(NS)
+
+    def test_sub_day_hijack_invisible(self, archive):
+        """The paper's core transparency finding: a window that does not
+        cross midnight never appears in any daily snapshot."""
+        registry, zone = archive
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 5), datetime(2020, 12, 20, 11)
+        )
+        assert zone.changes_over(date(2020, 12, 18), date(2020, 12, 24)) == []
+        assert (
+            zone.days_delegated_to(
+                "mfa.gov.kg", set(ROGUE), date(2020, 12, 18), date(2020, 12, 24)
+            )
+            == 0
+        )
+
+    def test_midnight_crossing_hijack_visible_one_day(self, archive):
+        registry, zone = archive
+        registry.set_delegation(
+            "mfa.gov.kg", ROGUE, datetime(2020, 12, 20, 20), datetime(2020, 12, 21, 7)
+        )
+        assert (
+            zone.days_delegated_to(
+                "mfa.gov.kg", set(ROGUE), date(2020, 12, 18), date(2020, 12, 24)
+            )
+            == 1
+        )
+
+    def test_days_delegated_rejects_foreign_domain(self, archive):
+        _, zone = archive
+        with pytest.raises(ValueError):
+            zone.days_delegated_to("example.com", set(ROGUE), date(2020, 1, 1), date(2020, 1, 2))

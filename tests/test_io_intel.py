@@ -1,0 +1,75 @@
+"""Tests for CT-log and AS2Org persistence."""
+
+from datetime import date
+
+from repro.io.intel import load_as2org, load_ct, save_as2org, save_ct
+from repro.tls.revocation import RevocationStatus
+
+
+class TestCtRoundtrip:
+    def test_search_results_survive(self, small_study, tmp_path):
+        path = tmp_path / "ct.jsonl"
+        n = save_ct(small_study.ct_log, small_study.revocations, path)
+        assert n == len(small_study.ct_log)
+
+        _log, _revocations, crtsh = load_ct(path)
+        original = small_study.crtsh.search("example-ministry.gr")
+        replayed = crtsh.search("example-ministry.gr")
+        assert [e.crtsh_id for e in original] == [e.crtsh_id for e in replayed]
+        assert [e.certificate.fingerprint for e in original] == [
+            e.certificate.fingerprint for e in replayed
+        ]
+
+    def test_revocation_facts_survive(self, tmp_path):
+        from repro.ca.authority import default_authorities
+        from repro.ct.log import CTLog
+        from repro.tls.revocation import RevocationRegistry
+
+        revocations = RevocationRegistry()
+        authorities = default_authorities(revocations)
+        log = CTLog()
+        cert = authorities["Comodo"].issue(("mail.x.com",), on=date(2019, 1, 1))
+        cert, _ = log.submit(cert, date(2019, 1, 1))
+        authorities["Comodo"].revoke(cert, on=date(2019, 2, 1))
+
+        path = tmp_path / "ct.jsonl"
+        save_ct(log, revocations, path)
+        _log, _loaded_rev, crtsh = load_ct(path)
+        entry = crtsh.lookup_id(cert.crtsh_id)
+        assert entry.revocation is RevocationStatus.REVOKED
+
+    def test_ocsp_asymmetry_survives(self, tmp_path):
+        from repro.ca.authority import default_authorities
+        from repro.ct.log import CTLog
+        from repro.tls.revocation import RevocationRegistry
+
+        revocations = RevocationRegistry()
+        authorities = default_authorities(revocations)
+        log = CTLog()
+        cert = authorities["Let's Encrypt"].issue(("mail.x.com",), on=date(2019, 1, 1))
+        cert, _ = log.submit(cert, date(2019, 1, 1))
+        authorities["Let's Encrypt"].revoke(cert, on=date(2019, 2, 1))
+
+        path = tmp_path / "ct.jsonl"
+        save_ct(log, revocations, path)
+        _log, _rev, crtsh = load_ct(path)
+        # Retroactively unknowable, exactly as before the round-trip.
+        assert crtsh.lookup_id(cert.crtsh_id).revocation is RevocationStatus.UNKNOWN
+
+
+class TestAs2OrgRoundtrip:
+    def test_relations_survive(self, tmp_path):
+        from repro.ipintel.as2org import AS2Org
+
+        mapping = AS2Org()
+        mapping.assign(16509, "amazon", "Amazon.com")
+        mapping.assign(14618, "amazon")
+        mapping.assign(15169, "google", "Google LLC")
+
+        path = tmp_path / "as2org.jsonl"
+        save_as2org(mapping, path)
+        loaded = load_as2org(path)
+        assert loaded.related(16509, 14618)
+        assert not loaded.related(16509, 15169)
+        assert loaded.org_name("amazon") == "Amazon.com"
+        assert len(loaded) == 3

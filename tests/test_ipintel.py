@@ -1,0 +1,119 @@
+"""Tests for the IP-intelligence substrates."""
+
+import pytest
+
+from repro.ipintel import AS2Org, GeoDB, RoutingTable, as_name
+from repro.ipintel.asnames import register_as_name
+
+
+class TestRoutingTable:
+    def test_longest_prefix_wins(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", 100)
+        table.add("10.1.0.0/16", 200)
+        table.add("10.1.2.0/24", 300)
+        assert table.lookup("10.2.0.1") == 100
+        assert table.lookup("10.1.9.9") == 200
+        assert table.lookup("10.1.2.3") == 300
+
+    def test_miss_returns_none(self):
+        table = RoutingTable()
+        table.add("192.0.2.0/24", 64500)
+        assert table.lookup("198.51.100.1") is None
+        assert "198.51.100.1" not in table
+        assert "192.0.2.77" in table
+
+    def test_reannouncement_overwrites(self):
+        table = RoutingTable()
+        table.add("192.0.2.0/24", 1)
+        table.add("192.0.2.0/24", 2)
+        assert table.lookup("192.0.2.1") == 2
+        assert len(table) == 1
+
+    def test_rejects_bad_asn(self):
+        table = RoutingTable()
+        with pytest.raises(ValueError):
+            table.add("10.0.0.0/8", 0)
+
+    def test_integer_lookup(self):
+        table = RoutingTable()
+        table.add("10.0.0.0/8", 7)
+        assert table.lookup((10 << 24) + 5) == 7
+
+
+class TestAS2Org:
+    def test_related_same_org(self):
+        mapping = AS2Org()
+        mapping.assign(16509, "amazon", "Amazon.com")
+        mapping.assign(14618, "amazon")
+        mapping.assign(15169, "google")
+        assert mapping.related(16509, 14618)
+        assert not mapping.related(16509, 15169)
+
+    def test_same_asn_trivially_related(self):
+        mapping = AS2Org()
+        assert mapping.related(64500, 64500)
+
+    def test_unknown_asns_unrelated(self):
+        mapping = AS2Org()
+        mapping.assign(1, "org-a")
+        assert not mapping.related(1, 2)
+        assert not mapping.related(2, 3)
+
+    def test_siblings(self):
+        mapping = AS2Org()
+        mapping.assign(16509, "amazon")
+        mapping.assign(14618, "amazon")
+        assert mapping.siblings(16509) == {16509, 14618}
+        assert mapping.siblings(9999) == {9999}
+
+    def test_org_name(self):
+        mapping = AS2Org()
+        mapping.assign(16509, "amazon", "Amazon.com")
+        assert mapping.org_name("amazon") == "Amazon.com"
+
+    def test_rejects_bad_input(self):
+        mapping = AS2Org()
+        with pytest.raises(ValueError):
+            mapping.assign(0, "x")
+        with pytest.raises(ValueError):
+            mapping.assign(1, "")
+
+
+class TestGeoDB:
+    def test_lookup_by_most_specific(self):
+        geo = GeoDB()
+        geo.add("185.0.0.0/8", "NL")
+        geo.add("185.20.187.0/24", "DE")
+        assert geo.lookup("185.99.0.1") == "NL"
+        assert geo.lookup("185.20.187.8") == "DE"
+
+    def test_uppercases(self):
+        geo = GeoDB()
+        geo.add("10.0.0.0/8", "nl")
+        assert geo.lookup("10.1.1.1") == "NL"
+
+    def test_rejects_bad_cc(self):
+        geo = GeoDB()
+        for bad in ("NLD", "1A", ""):
+            with pytest.raises(ValueError):
+                geo.add("10.0.0.0/8", bad)
+
+    def test_miss(self):
+        assert GeoDB().lookup("8.8.8.8") is None
+
+
+class TestASNames:
+    def test_paper_networks_present(self):
+        assert as_name(14061) == "Digital Ocean"
+        assert as_name(20473) == "Vultr"
+        assert as_name(48282) == "VDSINA"
+
+    def test_fallback(self):
+        assert as_name(4242424242) == "AS4242424242"
+
+    def test_register(self):
+        register_as_name(64999, "Test Net")
+        assert as_name(64999) == "Test Net"
+        with pytest.raises(ValueError):
+            register_as_name(0, "bad")

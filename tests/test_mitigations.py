@@ -1,0 +1,104 @@
+"""Tests for the Section 7.2 mitigation model: registry lock and the
+conditional-trust hierarchy."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.core.types import DetectionType
+from repro.world.attacker import (
+    AttackerProfile,
+    CampaignBlocked,
+    CampaignMode,
+    CampaignSpec,
+    Capability,
+    run_campaign,
+)
+from repro.world.entities import Sector
+from repro.world.world import World
+
+
+def build(capability: Capability, locked: bool):
+    world = World(seed=23, start=date(2019, 1, 1), end=date(2019, 12, 31))
+    provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+    attacker_provider = world.add_provider("bullet", 64666, [("203.0.113.0/24", "NL")])
+    victim = world.setup_domain("ministry.gr", provider, services=("www", "mail"))
+    if locked:
+        world.registry_for("ministry.gr").lock_domain("ministry.gr")
+    spec = CampaignSpec(
+        victim=victim,
+        sector=Sector.GOVERNMENT_MINISTRY,
+        victim_cc="GR",
+        mode=CampaignMode.T1,
+        expected_detection=DetectionType.T1,
+        hijack_date=date(2019, 8, 10),
+        attacker=AttackerProfile(name="actor", ns_domain="rogue.net"),
+        attacker_provider=attacker_provider,
+        target_subdomain="mail",
+        ca_name="Let's Encrypt",
+        capability=capability,
+    )
+    return world, victim, spec
+
+
+class TestRegistryLock:
+    def test_lock_blocks_account_path(self):
+        world, _, spec = build(Capability.ACCOUNT, locked=True)
+        with pytest.raises(CampaignBlocked):
+            run_campaign(world, spec)
+        # Nothing was hijacked; no malicious certificate exists (the
+        # victim's own DigiCert chain legitimately covers the name).
+        assert len(world.ground_truth) == 0
+        issuers = {e.issuer for e in world.crtsh.search_exact("mail.ministry.gr")}
+        assert "Let's Encrypt" not in issuers
+
+    def test_lock_blocks_registrar_path(self):
+        world, _, spec = build(Capability.REGISTRAR, locked=True)
+        with pytest.raises(CampaignBlocked):
+            run_campaign(world, spec)
+
+    def test_lock_does_not_stop_registry_compromise(self):
+        """Defenses are conditional on upstream entities: an attacker in
+        the registry database bypasses the lock entirely."""
+        world, victim, spec = build(Capability.REGISTRY, locked=True)
+        record = run_campaign(world, spec)
+        assert record.crtsh_id > 0
+        hijack_instant = datetime(2019, 8, 10, 6, 0)
+        assert world.resolver.resolve_a("mail.ministry.gr", hijack_instant) == record.attacker_ips
+
+    def test_unlocked_account_path_succeeds(self):
+        world, _, spec = build(Capability.ACCOUNT, locked=False)
+        record = run_campaign(world, spec)
+        assert record.crtsh_id > 0
+
+    def test_lock_lifecycle(self):
+        world, _, _ = build(Capability.ACCOUNT, locked=False)
+        registry = world.registry_for("ministry.gr")
+        assert not registry.is_locked("ministry.gr")
+        registry.lock_domain("ministry.gr")
+        assert registry.is_locked("ministry.gr")
+        registry.unlock_domain("ministry.gr")
+        assert not registry.is_locked("ministry.gr")
+
+    def test_legitimate_changes_also_blocked_while_locked(self):
+        """The lock is symmetric friction: the owner's own registrar
+        channel is gated too (why locks see little adoption)."""
+        world, victim, _ = build(Capability.ACCOUNT, locked=True)
+        from repro.dns.registrar import RegistrarError
+
+        with pytest.raises((PermissionError, RegistrarError)):
+            victim.registrar.update_delegation(
+                victim.credential, "ministry.gr", ("ns9.new-provider.net",),
+                start=datetime(2019, 9, 1),
+            )
+
+
+class TestTwoFactorIsInsufficient:
+    def test_stolen_credential_bypasses_2fa(self):
+        """The paper's footnote: attackers bypassed 2FA by compromising
+        sessions or the registrar — account 2FA alone does not stop the
+        capability development."""
+        world, victim, spec = build(Capability.ACCOUNT, locked=False)
+        victim.registrar.account(victim.credential.username).two_factor = True
+        record = run_campaign(world, spec)
+        assert record.crtsh_id > 0

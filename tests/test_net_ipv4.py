@@ -1,0 +1,79 @@
+"""Tests for IPv4 address and prefix arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ipv4 import IPv4Prefix, int_to_ip, ip_in_prefix, ip_to_int
+
+
+class TestIpConversions:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip((192 << 24) + (168 << 16) + 1) == "192.168.0.1"
+
+    def test_rejects_malformed(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(2**32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefix:
+    def test_parse_normalizes_host_bits(self):
+        prefix = IPv4Prefix.parse("10.1.2.3/24")
+        assert str(prefix) == "10.1.2.0/24"
+
+    def test_contains(self):
+        prefix = IPv4Prefix.parse("94.103.88.0/21")
+        assert prefix.contains("94.103.91.159")
+        assert not prefix.contains("94.103.96.1")
+
+    def test_size_and_address_at(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert prefix.size == 256
+        assert prefix.address_at(0) == "192.0.2.0"
+        assert prefix.address_at(255) == "192.0.2.255"
+        with pytest.raises(IndexError):
+            prefix.address_at(256)
+
+    def test_zero_length_prefix_contains_everything(self):
+        prefix = IPv4Prefix.parse("0.0.0.0/0")
+        assert prefix.contains("1.2.3.4")
+        assert prefix.contains("255.255.255.255")
+
+    def test_slash_32_is_single_host(self):
+        prefix = IPv4Prefix.parse("8.8.8.8/32")
+        assert prefix.size == 1
+        assert prefix.contains("8.8.8.8")
+        assert not prefix.contains("8.8.8.9")
+
+    def test_rejects_bad_lengths(self):
+        for bad in ("10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0", "10.0.0.0/x"):
+            with pytest.raises(ValueError):
+                IPv4Prefix.parse(bad)
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_network_address_always_contained(self, value, length):
+        prefix = IPv4Prefix.parse(f"{int_to_ip(value)}/{length}")
+        assert prefix.contains(prefix.network)
+        assert prefix.contains(prefix.network + prefix.size - 1)
+
+    def test_ip_in_prefix_helper(self):
+        assert ip_in_prefix("172.16.5.5", "172.16.0.0/12")
+        assert not ip_in_prefix("172.32.0.1", "172.16.0.0/12")

@@ -1,0 +1,109 @@
+"""Tests for domain-name parsing and the sensitive-name matcher."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.names import (
+    SENSITIVE_SUBSTRINGS,
+    DomainName,
+    is_sensitive_name,
+    public_suffix,
+    registered_domain,
+    sensitive_substring,
+    subdomain_labels,
+)
+
+
+class TestSuffixes:
+    def test_multi_label_suffixes(self):
+        assert public_suffix("mail.mfa.gov.kg") == "gov.kg"
+        assert public_suffix("cyta.com.cy") == "com.cy"
+        assert public_suffix("kotc.com.kw") == "com.kw"
+
+    def test_single_label_fallback(self):
+        assert public_suffix("pch.net") == "net"
+        assert public_suffix("netnod.se") == "se"
+        assert public_suffix("manchesternh.gov") == "gov"
+
+    def test_registered_domain(self):
+        assert registered_domain("mail.mfa.gov.kg") == "mfa.gov.kg"
+        assert registered_domain("mfa.gov.kg") == "mfa.gov.kg"
+        assert registered_domain("a.b.c.example.com") == "example.com"
+
+    def test_registered_domain_of_bare_suffix(self):
+        assert registered_domain("gov.kg") == "gov.kg"
+        assert registered_domain("com") == "com"
+
+    def test_subdomain_labels(self):
+        assert subdomain_labels("mail.mfa.gov.kg") == ("mail",)
+        assert subdomain_labels("a.b.example.com") == ("a", "b")
+        assert subdomain_labels("example.com") == ()
+
+    def test_normalization(self):
+        assert registered_domain("MAIL.MFA.GOV.KG.") == "mfa.gov.kg"
+
+    def test_rejects_malformed(self):
+        for bad in ("", ".", "a..b", "x" * 300):
+            with pytest.raises(ValueError):
+                registered_domain(bad)
+
+
+class TestSensitive:
+    def test_paper_examples(self):
+        # Subdomains from Table 2 of the paper.
+        for fqdn in (
+            "mail.mfa.gov.kg",
+            "webmail.mofa.gov.ae",
+            "advpn.adpolice.gov.ae",
+            "owa.e-albania.al",
+            "sslvpn.gov.cy",
+            "keriomail.pch.net",
+            "dnsnodeapi.netnod.se",  # "api" substring
+            "mail2010.kotc.com.kw",
+            "pop3.mfa.gr",
+            "connect.ocom.com",
+        ):
+            assert is_sensitive_name(fqdn), fqdn
+
+    def test_registered_domain_label_counts(self):
+        # webmail.gov.cy: the registrable label itself is sensitive.
+        assert is_sensitive_name("webmail.gov.cy")
+        assert is_sensitive_name("owa.gov.cy")
+
+    def test_non_sensitive(self):
+        assert not is_sensitive_name("www.example.com")
+        assert not is_sensitive_name("example.com")
+        assert not is_sensitive_name("static.cdn77.org")
+
+    def test_substring_semantics(self):
+        # Substring, not whole-label, matching (the paper's rule).
+        assert sensitive_substring("mymail2.example.com") == "mail"
+        assert sensitive_substring("intranet.ais.gov.vn") == "intranet"
+
+    def test_bare_suffix_never_sensitive(self):
+        assert not is_sensitive_name("gov.kg")
+
+    @given(st.sampled_from(SENSITIVE_SUBSTRINGS))
+    def test_every_listed_substring_matches_as_label(self, substring):
+        assert is_sensitive_name(f"{substring}.example.com")
+
+
+class TestDomainName:
+    def test_accessors(self):
+        name = DomainName("Mail.MFA.gov.kg")
+        assert name.fqdn == "mail.mfa.gov.kg"
+        assert name.registered_domain == "mfa.gov.kg"
+        assert name.public_suffix == "gov.kg"
+        assert name.subdomain == "mail"
+        assert name.is_sensitive
+        assert not name.is_registered_domain
+
+    def test_subdomain_relation(self):
+        name = DomainName("mail.mfa.gov.kg")
+        assert name.is_subdomain_of("mfa.gov.kg")
+        assert name.is_subdomain_of(DomainName("gov.kg"))
+        assert not name.is_subdomain_of("fa.gov.kg")
+
+    def test_child(self):
+        assert DomainName("example.com").child("mail").fqdn == "mail.example.com"

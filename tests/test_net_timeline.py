@@ -1,0 +1,124 @@
+"""Tests for the study calendar: intervals, periods, scan dates."""
+
+from datetime import date, timedelta
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.timeline import (
+    STUDY_END,
+    STUDY_START,
+    DateInterval,
+    Period,
+    days_between,
+    iter_days,
+    period_of,
+    scan_dates_in,
+    study_periods,
+    weekly_scan_dates,
+)
+
+_dates = st.dates(min_value=date(2016, 1, 1), max_value=date(2022, 12, 31))
+
+
+class TestDateInterval:
+    def test_contains_closed(self):
+        interval = DateInterval(date(2019, 1, 1), date(2019, 1, 31))
+        assert interval.contains(date(2019, 1, 1))
+        assert interval.contains(date(2019, 1, 31))
+        assert not interval.contains(date(2019, 2, 1))
+
+    def test_open_interval(self):
+        interval = DateInterval(date(2019, 1, 1))
+        assert interval.contains(date(2030, 1, 1))
+        assert interval.days is None
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            DateInterval(date(2019, 2, 1), date(2019, 1, 1))
+
+    def test_overlaps(self):
+        a = DateInterval(date(2019, 1, 1), date(2019, 1, 10))
+        b = DateInterval(date(2019, 1, 10), date(2019, 1, 20))
+        c = DateInterval(date(2019, 1, 11), date(2019, 1, 20))
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_clipped(self):
+        interval = DateInterval(date(2019, 1, 5), date(2019, 2, 5))
+        clipped = interval.clipped(date(2019, 1, 10), date(2019, 1, 20))
+        assert clipped == DateInterval(date(2019, 1, 10), date(2019, 1, 20))
+        assert interval.clipped(date(2020, 1, 1), date(2020, 2, 1)) is None
+
+    @given(_dates, _dates, _dates)
+    def test_overlap_symmetry(self, a, b, c):
+        lo, hi = min(a, b), max(a, b)
+        interval_a = DateInterval(lo, hi)
+        interval_b = DateInterval(c)
+        assert interval_a.overlaps(interval_b) == interval_b.overlaps(interval_a)
+
+
+class TestPeriods:
+    def test_paper_window_has_nine_periods(self):
+        periods = study_periods()
+        assert len(periods) == 9
+        assert periods[0].label == "2017H1"
+        assert periods[-1].label == "2021H1"
+        assert periods[-1].end == STUDY_END  # truncated to March 2021
+
+    def test_periods_tile_the_window(self):
+        periods = study_periods()
+        day = STUDY_START
+        index = 0
+        while day <= STUDY_END:
+            if not periods[index].contains(day):
+                index += 1
+            assert periods[index].contains(day)
+            day += timedelta(days=1)
+
+    def test_period_of(self):
+        period = period_of(date(2020, 12, 22))
+        assert period.label == "2020H2"
+        with pytest.raises(ValueError):
+            period_of(date(2025, 1, 1))
+
+    @given(st.dates(min_value=STUDY_START, max_value=STUDY_END))
+    def test_every_study_day_has_exactly_one_period(self, day):
+        matches = [p for p in study_periods() if p.contains(day)]
+        assert len(matches) == 1
+
+
+class TestScanDates:
+    def test_weekly_spacing(self):
+        dates = weekly_scan_dates()
+        assert dates[0] == STUDY_START
+        assert all((b - a).days == 7 for a, b in zip(dates, dates[1:]))
+        assert dates[-1] <= STUDY_END
+
+    def test_count_matches_paper_cadence(self):
+        # Four years and a quarter of weekly scans: ~222 snapshots.
+        assert len(weekly_scan_dates()) == 222
+
+    def test_scan_dates_in_period(self):
+        periods = study_periods()
+        dates = weekly_scan_dates()
+        per_period = [scan_dates_in(p, dates) for p in periods]
+        assert sum(len(d) for d in per_period) == len(dates)
+        assert all(len(d) >= 12 for d in per_period)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            weekly_scan_dates(date(2020, 1, 1), date(2019, 1, 1))
+
+
+class TestHelpers:
+    def test_days_between(self):
+        assert days_between(date(2019, 1, 1), date(2019, 1, 1)) == 1
+        assert days_between(date(2019, 1, 1), date(2019, 1, 8)) == 8
+
+    def test_iter_days(self):
+        days = list(iter_days(date(2019, 1, 30), date(2019, 2, 2)))
+        assert len(days) == 4
+        assert days[0] == date(2019, 1, 30)
+        assert days[-1] == date(2019, 2, 2)

@@ -1,0 +1,44 @@
+"""Tests for pipeline logging instrumentation and example health."""
+
+import logging
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+class TestLogging:
+    def test_stage_logs_emitted(self, small_study, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.core.pipeline"):
+            small_study.run_pipeline()
+        messages = [r.message for r in caplog.records]
+        assert any(m.startswith("step 1:") for m in messages)
+        assert any(m.startswith("step 2:") for m in messages)
+        assert any(m.startswith("step 3:") for m in messages)
+        assert any(m.startswith("step 4:") for m in messages)
+        assert any(m.startswith("step 5:") for m in messages)
+
+    def test_silent_by_default(self, small_study, capsys):
+        """Library code must not print; logging stays opt-in."""
+        small_study.run_pipeline()
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+
+@pytest.mark.parametrize(
+    "script", ["quickstart.py", "pattern_gallery.py", "custom_scenario.py"]
+)
+class TestExamplesRun:
+    def test_example_exits_cleanly(self, script):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / script)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout  # examples narrate what they do

@@ -1,0 +1,100 @@
+"""Further property-based tests: reference-model cross-checks.
+
+Each test pits an optimized implementation against a brute-force
+reference on random inputs: longest-prefix matching vs a linear scan,
+the caching resolver vs the uncached upstream outside TTL effects, and
+SAN matching laws.
+"""
+
+from datetime import date, datetime, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipintel.pfx2as import RoutingTable
+from repro.net.ipv4 import IPv4Prefix, int_to_ip
+from repro.tls.matching import san_matches
+
+_ips = st.integers(min_value=0, max_value=0xFFFFFFFF).map(int_to_ip)
+_prefixes = st.tuples(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=8, max_value=32),
+    st.integers(min_value=1, max_value=64_000),
+)
+
+
+class TestRoutingTableAgainstReference:
+    @settings(max_examples=60)
+    @given(st.lists(_prefixes, min_size=1, max_size=25), _ips)
+    def test_lpm_matches_linear_scan(self, announcements, ip):
+        table = RoutingTable()
+        reference: list[tuple[IPv4Prefix, int]] = []
+        for value, length, asn in announcements:
+            prefix = IPv4Prefix.parse(f"{int_to_ip(value)}/{length}")
+            table.add(prefix, asn)
+            # Later announcements of the same prefix overwrite.
+            reference = [(p, a) for (p, a) in reference if p != prefix]
+            reference.append((prefix, asn))
+
+        expected = None
+        best_length = -1
+        for prefix, asn in reference:
+            if prefix.contains(ip) and prefix.length > best_length:
+                expected = asn
+                best_length = prefix.length
+        assert table.lookup(ip) == expected
+
+
+class TestSanMatchingLaws:
+    _labels = st.from_regex(r"[a-z][a-z0-9-]{0,8}", fullmatch=True)
+
+    @settings(max_examples=60)
+    @given(_labels, _labels, _labels)
+    def test_wildcard_matches_exactly_one_level(self, left, mid, base_label):
+        base = f"{base_label}.com"
+        assert san_matches(f"*.{base}", f"{left}.{base}")
+        assert not san_matches(f"*.{base}", base)
+        assert not san_matches(f"*.{base}", f"{left}.{mid}.{base}")
+
+    @settings(max_examples=60)
+    @given(_labels, _labels)
+    def test_exact_match_is_case_and_dot_insensitive(self, label, base_label):
+        fqdn = f"{label}.{base_label}.org"
+        assert san_matches(fqdn.upper(), fqdn + ".")
+        assert san_matches(fqdn, fqdn)
+
+
+class TestCacheAgainstUpstream:
+    def _upstream(self):
+        from repro.dns.nameserver import NameserverDirectory, NameserverHost
+        from repro.dns.records import RRType
+        from repro.dns.registry import Registry
+        from repro.dns.resolver import RecursiveResolver
+
+        registry = Registry("com")
+        directory = NameserverDirectory()
+        resolver = RecursiveResolver([registry], directory)
+        host = NameserverHost(operator="op")
+        t0 = datetime(2020, 1, 1)
+        directory.bind("ns1.x.com", host, start=t0)
+        registry.register("x.com", ("ns1.x.com",), "reg", at=t0)
+        host.add_record("www.x.com", RRType.A, "10.0.0.1", start=t0)
+        return resolver
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=20))
+    def test_cache_agrees_with_upstream_on_static_data(self, offsets):
+        """With no underlying change, the cache must be answer-transparent
+        regardless of query spacing."""
+        from repro.dns.cache import CachingResolver
+        from repro.dns.records import RRType
+
+        upstream = self._upstream()
+        cache = CachingResolver(upstream, ttl_seconds=600)
+        base = datetime(2020, 6, 1)
+        instant = base
+        for offset in sorted(offsets):
+            instant = base + timedelta(seconds=offset)
+            cached = cache.resolve("www.x.com", RRType.A, instant)
+            direct = upstream.resolve("www.x.com", RRType.A, instant)
+            assert cached.answers == direct.answers

@@ -1,0 +1,84 @@
+"""Property-based tests for the zone archive: diffing must agree with
+pointwise snapshots under arbitrary delegation histories."""
+
+from datetime import date, datetime, time, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.registry import Registry
+from repro.dns.zonearchive import ZoneArchive
+
+T0 = datetime(2019, 1, 1)
+WINDOW_START = date(2019, 3, 1)
+WINDOW_END = date(2019, 3, 31)
+
+# One delegation change: (day offset in March, hour, duration hours, ns id).
+_change = st.tuples(
+    st.integers(min_value=0, max_value=29),
+    st.integers(min_value=0, max_value=23),
+    st.integers(min_value=1, max_value=96),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def build(changes):
+    registry = Registry("com")
+    registry.register("x.com", ("ns0.base.com",), "reg", at=T0)
+    for day_offset, hour, duration, ns_id in changes:
+        start = datetime.combine(
+            WINDOW_START + timedelta(days=day_offset), time(hour, 0)
+        )
+        registry.set_delegation(
+            "x.com", (f"ns{ns_id}.alt.com",), start, start + timedelta(hours=duration)
+        )
+    return registry, ZoneArchive(registry, "com")
+
+
+class TestArchiveAgainstRegistry:
+    @settings(max_examples=40)
+    @given(st.lists(_change, max_size=6))
+    def test_snapshot_agrees_with_midnight_state(self, changes):
+        registry, archive = build(changes)
+        for offset in range(0, 35, 3):
+            day = WINDOW_START + timedelta(days=offset)
+            snapshot_ns = archive.snapshot(day).ns_of("x.com")
+            direct = registry.delegation_at("x.com", datetime.combine(day, time(0, 0)))
+            assert snapshot_ns == direct
+
+    @settings(max_examples=40)
+    @given(st.lists(_change, max_size=6))
+    def test_changes_over_matches_pairwise_diffs(self, changes):
+        _, archive = build(changes)
+        end = WINDOW_END + timedelta(days=7)
+        observed = archive.changes_over(WINDOW_START, end)
+        # Re-derive: every day-over-day NS difference must appear exactly
+        # once, in order.
+        expected = []
+        previous = archive.snapshot(WINDOW_START).ns_of("x.com")
+        day = WINDOW_START + timedelta(days=1)
+        while day <= end:
+            current = archive.snapshot(day).ns_of("x.com")
+            if current != previous:
+                expected.append((day, previous, current))
+            previous = current
+            day += timedelta(days=1)
+        assert [(c.day, c.before, c.after) for c in observed] == expected
+
+    @settings(max_examples=40)
+    @given(st.lists(_change, max_size=6))
+    def test_days_delegated_consistent_with_snapshots(self, changes):
+        _, archive = build(changes)
+        end = WINDOW_END + timedelta(days=7)
+        for ns_id in range(4):
+            wanted = {f"ns{ns_id}.alt.com"}
+            counted = archive.days_delegated_to("x.com", wanted, WINDOW_START, end)
+            brute = sum(
+                1
+                for offset in range((end - WINDOW_START).days + 1)
+                if set(
+                    archive.snapshot(WINDOW_START + timedelta(days=offset)).ns_of("x.com")
+                )
+                & wanted
+            )
+            assert counted == brute

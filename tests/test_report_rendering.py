@@ -1,0 +1,91 @@
+"""Tests for report dataclasses and table rendering edge cases."""
+
+from datetime import date
+
+from repro.core.report import (
+    DomainFinding,
+    FunnelStats,
+    format_findings_table,
+    format_funnel,
+)
+from repro.core.types import DetectionType, Verdict
+
+
+def finding(**overrides) -> DomainFinding:
+    defaults = dict(
+        domain="x.gr",
+        verdict=Verdict.HIJACKED,
+        detection=DetectionType.T1,
+        first_evidence=date(2019, 4, 14),
+        subdomain="mail",
+        pdns_corroborated=True,
+        ct_corroborated=True,
+        attacker_ips=("203.0.113.5",),
+        attacker_asn=666,
+        attacker_cc="NL",
+        victim_asns=(100,),
+        victim_ccs=("GR",),
+        crtsh_id=42,
+        issuer_ca="Let's Encrypt",
+    )
+    defaults.update(overrides)
+    return DomainFinding(**defaults)
+
+
+class TestDomainFinding:
+    def test_hijack_month_formatting(self):
+        assert finding().hijack_month == "Apr'19"
+        assert finding(first_evidence=None).hijack_month == "?"
+
+
+class TestFindingsTable:
+    def test_full_row(self):
+        text = format_findings_table([finding()])
+        assert "T1" in text and "Apr'19" in text and "203.0.113.5" in text
+
+    def test_empty_fields_render_placeholders(self):
+        sparse = finding(
+            detection=None,
+            subdomain="",
+            attacker_ips=(),
+            attacker_asn=None,
+            attacker_cc=None,
+            victim_asns=(),
+            victim_ccs=(),
+            pdns_corroborated=False,
+            ct_corroborated=False,
+        )
+        text = format_findings_table([sparse])
+        row = text.splitlines()[-1]
+        assert "x.gr" in row
+        assert "--" in row  # missing country placeholders
+        assert " x " in row  # corroboration marks
+
+    def test_empty_table_has_header_only(self):
+        text = format_findings_table([])
+        assert len(text.splitlines()) == 2  # header + rule
+
+
+class TestFunnelStats:
+    def test_hijacked_sum(self):
+        stats = FunnelStats(
+            n_maps=100, n_t1_hijacked=3, n_t2_hijacked=2, n_t1_star=1,
+            n_pivot_ip=4, n_pivot_ns=5,
+        )
+        assert stats.n_hijacked == 15
+
+    def test_fraction_guards_zero_maps(self):
+        assert FunnelStats().fraction(10) == 0.0
+
+    def test_rows_order(self):
+        stats = FunnelStats(n_maps=10, n_stable=7, n_transition=1, n_transient=1, n_noisy=1)
+        assert [name for name, _, _ in stats.rows()] == [
+            "stable", "transition", "transient", "noisy"
+        ]
+
+    def test_format_funnel_includes_prunes(self):
+        stats = FunnelStats(n_maps=10, n_stable=10)
+        stats.prune_reasons["same-country"] = 3
+        text = format_funnel(stats)
+        assert "same-country" in text
+        assert "deployment maps: 10" in text

@@ -1,0 +1,153 @@
+"""Tests for the scan substrate: hosts, engine, annotation, dataset."""
+
+from datetime import date, timedelta
+
+import pytest
+
+from repro.ipintel.geo import GeoDB
+from repro.ipintel.pfx2as import RoutingTable
+from repro.net.timeline import DateInterval, Period
+from repro.scan.annotate import Annotator
+from repro.scan.dataset import ScanDataset
+from repro.scan.engine import ScanEngine
+from repro.scan.host import HostPopulation, TLS_PORTS
+from repro.tls.certificate import Certificate
+from repro.tls.truststore import TrustStore
+
+
+def cert(name, serial=1, issuer="Let's Encrypt", issued=date(2019, 1, 1), days=365):
+    return Certificate(
+        serial=serial,
+        common_name=name,
+        sans=(name,),
+        issuer=issuer,
+        not_before=issued,
+        not_after=issued + timedelta(days=days),
+    )
+
+
+@pytest.fixture
+def population():
+    hosts = HostPopulation()
+    hosts.add_service(
+        "10.0.0.1", (443, 993), cert("mail.x.gr"),
+        DateInterval(date(2019, 1, 1), date(2019, 6, 30)),
+    )
+    return hosts
+
+
+class TestHostPopulation:
+    def test_serving_within_interval(self, population):
+        assert population.serving("10.0.0.1", 443, date(2019, 3, 1)) is not None
+        assert population.serving("10.0.0.1", 443, date(2019, 7, 15)) is None
+        assert population.serving("10.0.0.1", 995, date(2019, 3, 1)) is None
+
+    def test_serving_all_multiple_certs(self, population):
+        """An endpoint can expose several certificates at once (shared
+        attacker hosts, rollover overlap)."""
+        population.add_service(
+            "10.0.0.1", (443,), cert("mail.y.gr", serial=2),
+            DateInterval(date(2019, 2, 1), date(2019, 4, 1)),
+        )
+        certs = population.serving_all("10.0.0.1", 443, date(2019, 3, 1))
+        assert {c.common_name for c in certs} == {"mail.x.gr", "mail.y.gr"}
+
+    def test_rejects_unscanned_port(self, population):
+        with pytest.raises(ValueError):
+            population.add_service(
+                "10.0.0.2", (8443,), cert("a.x.gr"), DateInterval(date(2019, 1, 1))
+            )
+
+    def test_reliability_bounds(self, population):
+        with pytest.raises(ValueError):
+            population.add_service(
+                "10.0.0.2", (443,), cert("a.x.gr"),
+                DateInterval(date(2019, 1, 1)), reliability=0.0,
+            )
+
+    def test_ports_constant_matches_paper(self):
+        assert TLS_PORTS == (443, 465, 587, 993, 995)
+
+
+class TestScanEngine:
+    def test_deterministic_across_runs(self, population):
+        dates = tuple(date(2019, 1, 1) + timedelta(days=7 * i) for i in range(10))
+        a = ScanEngine(population, seed=42).run(dates)
+        b = ScanEngine(population, seed=42).run(dates)
+        assert [(o.scan_date, o.ip, o.port) for o in a] == [
+            (o.scan_date, o.ip, o.port) for o in b
+        ]
+
+    def test_no_loss_configuration_sees_everything(self, population):
+        dates = (date(2019, 3, 4),)
+        observations = ScanEngine(population, seed=1, port_loss=0.0).run(dates)
+        assert {(o.ip, o.port) for o in observations} == {("10.0.0.1", 443), ("10.0.0.1", 993)}
+
+    def test_unreliable_host_misses_scans(self):
+        hosts = HostPopulation()
+        hosts.add_service(
+            "10.0.0.9", (443,), cert("flaky.x.gr"),
+            DateInterval(date(2019, 1, 1), date(2019, 12, 31)), reliability=0.5,
+        )
+        dates = tuple(date(2019, 1, 7) + timedelta(days=7 * i) for i in range(40))
+        observations = ScanEngine(hosts, seed=7, port_loss=0.0).run(dates)
+        seen = len({o.scan_date for o in observations})
+        assert 8 <= seen <= 32  # around half, deterministic given the seed
+
+
+class TestAnnotator:
+    def make_annotator(self):
+        routing = RoutingTable()
+        routing.add("10.0.0.0/8", 65001)
+        geo = GeoDB()
+        geo.add("10.0.0.0/8", "GR")
+        trust = TrustStore()
+        trust.include("Let's Encrypt")
+        return Annotator(routing, geo, trust)
+
+    def test_annotation_fields(self, population):
+        annotator = self.make_annotator()
+        observations = ScanEngine(population, seed=1, port_loss=0.0).run((date(2019, 3, 4),))
+        records = annotator.annotate(observations)
+        assert len(records) == 1  # aggregated across ports
+        record = records[0]
+        assert record.ports == (443, 993)
+        assert record.asn == 65001
+        assert record.country == "GR"
+        assert record.trusted
+        assert record.sensitive  # "mail" substring
+        assert record.base_domains == ("x.gr",)
+
+    def test_unknown_ip_annotated_as_unknown(self, population):
+        annotator = Annotator(RoutingTable(), GeoDB(), TrustStore())
+        observations = ScanEngine(population, seed=1, port_loss=0.0).run((date(2019, 3, 4),))
+        record = annotator.annotate(observations)[0]
+        assert record.asn == 0
+        assert record.country == "ZZ"
+        assert not record.trusted  # CA not in any root program
+
+
+class TestScanDataset:
+    def make_dataset(self):
+        annotator = TestAnnotator().make_annotator()
+        hosts = HostPopulation()
+        hosts.add_service(
+            "10.0.0.1", (443,), cert("mail.x.gr"),
+            DateInterval(date(2019, 1, 1), date(2019, 6, 30)),
+        )
+        dates = tuple(date(2019, 1, 7) + timedelta(days=7 * i) for i in range(26))
+        records = annotator.annotate(ScanEngine(hosts, seed=1, port_loss=0.0).run(dates))
+        return ScanDataset(records, dates)
+
+    def test_domain_index(self):
+        dataset = self.make_dataset()
+        assert dataset.domains() == ("x.gr",)
+        assert len(dataset.records_for("x.gr")) == 25  # active through Jun 30
+        assert dataset.records_for("other.org") == []
+
+    def test_presence(self):
+        dataset = self.make_dataset()
+        period = Period(index=0, start=date(2019, 1, 1), end=date(2019, 6, 30))
+        assert dataset.presence("x.gr", period) == 1.0
+        late = Period(index=1, start=date(2019, 7, 1), end=date(2019, 12, 31))
+        assert dataset.presence("x.gr", late) == 0.0

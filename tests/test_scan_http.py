@@ -1,0 +1,84 @@
+"""Tests for the HTTP service-context substrate and content analysis."""
+
+from datetime import date
+
+from repro.analysis.content import compare_pages
+from repro.net.timeline import DateInterval
+from repro.scan.http import HTTP_CONTEXT_START, HttpContentStore, HttpResponse
+
+
+class TestHttpResponse:
+    def test_login_pages_share_look_not_code(self):
+        a = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        b = HttpResponse.login_page("Zimbra Web Client", operator="other.org")
+        assert a.title == b.title
+        assert a.forms == b.forms
+        assert a.body_fingerprint != b.body_fingerprint
+
+    def test_mimicry_preserves_look_changes_code(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        fake = real.mimicked_by(attacker="actor")
+        assert fake.title == real.title
+        assert fake.forms == real.forms
+        assert fake.body_fingerprint != real.body_fingerprint
+
+    def test_mimicry_can_inject_scripts(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        fake = real.mimicked_by(attacker="actor", scripts=("update-mfa.exe",))
+        assert "update-mfa.exe" in fake.scripts
+        assert "update-mfa.exe" not in real.scripts
+
+
+class TestContentStore:
+    def test_interval_lookup(self):
+        store = HttpContentStore()
+        page = HttpResponse.login_page("Zimbra Web Client", operator="x")
+        store.serve("1.2.3.4", page, DateInterval(date(2020, 12, 1), date(2020, 12, 15)))
+        assert store.content_at("1.2.3.4", date(2020, 12, 10)) is page
+        assert store.content_at("1.2.3.4", date(2021, 1, 1)) is None
+        assert store.content_at("9.9.9.9", date(2020, 12, 10)) is None
+
+    def test_scan_respects_collection_start(self):
+        """No HTTP context exists before Censys started collecting it."""
+        store = HttpContentStore()
+        page = HttpResponse.login_page("Zimbra Web Client", operator="x")
+        store.serve("1.2.3.4", page, DateInterval(date(2019, 1, 1), date(2021, 3, 1)))
+        assert store.scan(date(2020, 6, 1)) == []
+        assert len(store.scan(HTTP_CONTEXT_START)) == 1
+
+    def test_scan_range(self):
+        store = HttpContentStore()
+        page = HttpResponse.login_page("Zimbra Web Client", operator="x")
+        store.serve("1.2.3.4", page, DateInterval(date(2020, 11, 1), date(2020, 12, 31)))
+        dates = (date(2020, 10, 1), date(2020, 11, 15), date(2020, 12, 15))
+        observations = store.scan_range(dates)
+        assert [o.scan_date for o in observations] == [date(2020, 11, 15), date(2020, 12, 15)]
+
+
+class TestComparison:
+    def test_counterfeit_detected(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        fake = real.mimicked_by(attacker="actor")
+        verdict = compare_pages(real, fake, "1.2.3.4", date(2020, 12, 22))
+        assert verdict.is_counterfeit
+        assert not verdict.delivers_malware
+
+    def test_real_page_is_not_counterfeit(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        verdict = compare_pages(real, real, "10.0.0.1", date(2020, 12, 22))
+        assert not verdict.is_counterfeit
+        assert verdict.same_code
+
+    def test_unrelated_page_is_not_counterfeit(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        other = HttpResponse.login_page("Roundcube Webmail", operator="elsewhere")
+        verdict = compare_pages(real, other, "1.2.3.4", date(2020, 12, 22))
+        assert not verdict.mimics_look
+        assert not verdict.is_counterfeit
+
+    def test_injected_script_flagged(self):
+        real = HttpResponse.login_page("Zimbra Web Client", operator="mfa.gov.kg")
+        fake = real.mimicked_by(attacker="actor", scripts=("update-mfa.exe",))
+        verdict = compare_pages(real, fake, "1.2.3.4", date(2021, 5, 12))
+        assert verdict.delivers_malware
+        assert verdict.injected_scripts == ("update-mfa.exe",)

@@ -1,0 +1,114 @@
+"""Tests for the scenario-construction helpers and row data integrity."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.names import public_suffix, registered_domain
+from repro.world.scenarios import (
+    HIJACKED_ROWS,
+    TARGETED_ROWS,
+    _attacker_prefixes,
+    _AuxAllocator,
+    _month_to_date,
+    kyrgyzstan_world,
+    small_world,
+)
+
+
+class TestMonthParsing:
+    def test_regular_months_use_day_10(self):
+        assert _month_to_date("May'18") == date(2018, 5, 10)
+        assert _month_to_date("Sep'17") == date(2017, 9, 10)
+
+    def test_boundary_months_use_day_1(self):
+        """June and December campaigns start on the 1st so transients
+        clear the six-month period boundary."""
+        assert _month_to_date("Dec'20") == date(2020, 12, 1)
+        assert _month_to_date("Jun'20") == date(2020, 6, 1)
+
+    def test_all_row_months_parse_into_study_window(self):
+        for row in HIJACKED_ROWS + TARGETED_ROWS:
+            day = _month_to_date(row.month)
+            assert date(2017, 1, 1) <= day <= date(2021, 3, 31), row.domain
+
+
+class TestAttackerPrefixes:
+    def test_every_ip_covered_by_its_asn(self):
+        from repro.net.ipv4 import ip_in_prefix
+
+        prefixes = _attacker_prefixes(HIJACKED_ROWS + TARGETED_ROWS)
+        for row in HIJACKED_ROWS + TARGETED_ROWS:
+            assert any(
+                ip_in_prefix(row.ip, cidr) for cidr, _ in prefixes[row.asn]
+            ), row.ip
+
+    def test_per_prefix_country_matches_first_row(self):
+        prefixes = _attacker_prefixes(HIJACKED_ROWS)
+        # 14061 appears with both NL and DE rows: per-/24 geolocation.
+        countries = {cc for _, cc in prefixes[14061]}
+        assert {"NL", "DE"} <= countries
+
+    def test_shared_prefix_not_duplicated(self):
+        prefixes = _attacker_prefixes(HIJACKED_ROWS + TARGETED_ROWS)
+        for asn, entries in prefixes.items():
+            cidrs = [cidr for cidr, _ in entries]
+            assert len(cidrs) == len(set(cidrs)), asn
+
+
+class TestAuxAllocator:
+    def test_unique_allocations(self):
+        aux = _AuxAllocator()
+        asns = {aux.asn() for _ in range(50)}
+        prefixes = {aux.prefix() for _ in range(50)}
+        assert len(asns) == 50
+        assert len(prefixes) == 50
+
+    def test_exhaustion_guard(self):
+        aux = _AuxAllocator()
+        for _ in range(255 - 176 + 1):
+            aux.prefix()
+        with pytest.raises(RuntimeError):
+            aux.prefix()
+
+
+class TestRowIntegrity:
+    def test_domains_unique(self):
+        domains = [r.domain for r in HIJACKED_ROWS + TARGETED_ROWS]
+        assert len(domains) == len(set(domains))
+
+    def test_domains_are_registered_domains(self):
+        for row in HIJACKED_ROWS + TARGETED_ROWS:
+            assert registered_domain(row.domain) == row.domain, row.domain
+            assert public_suffix(row.domain) != row.domain, row.domain
+
+    def test_pdns_ct_flags_consistent_with_types(self):
+        for row in HIJACKED_ROWS:
+            if row.detection == "T1*":
+                assert not row.pdns, row.domain
+            if row.ca is None:
+                assert row.domain == "embassy.ly"
+        for row in TARGETED_ROWS:
+            assert not row.ct, row.domain  # targeted: no suspicious cert
+
+    def test_noisy_map_rows(self):
+        noisy = {r.domain for r in HIJACKED_ROWS if r.noisy_map}
+        assert noisy == {"owa.gov.cy", "netnod.se"}
+
+
+class TestSmallScenarios:
+    def test_small_world_deterministic(self):
+        a = small_world(seed=2, n_background=5)
+        b = small_world(seed=2, n_background=5)
+        assert a.ground_truth.records[0].attacker_ips == b.ground_truth.records[0].attacker_ips
+        assert len(a.hosts) == len(b.hosts)
+
+    def test_kyrgyz_world_contents(self):
+        world = kyrgyzstan_world(n_background=0)
+        assert world.ground_truth.domains() == {
+            "mfa.gov.kg", "invest.gov.kg", "fiu.gov.kg", "infocom.kg"
+        }
+        # The extended variant reaches past the study window.
+        extended = kyrgyzstan_world(n_background=0, extended=True)
+        assert extended.end == date(2021, 6, 30)
+        assert len(extended.http) >= 3  # legit + Dec + May pages

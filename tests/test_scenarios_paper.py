@@ -1,0 +1,147 @@
+"""The headline reproduction test: the full paper scenario.
+
+Builds the synthetic study encoding Tables 2 and 3 as ground truth,
+runs the five-step pipeline, and verifies that every victim is
+recovered through the same channel the paper reports — 41 hijacked
+(20 T1, 2 T1*, 6 T2, 7 P-IP, 6 P-NS) and 24 targeted — with zero
+false positives.
+"""
+
+from repro.analysis.evaluation import evaluate_report
+from repro.core.types import DetectionType, Verdict
+from repro.world.groundtruth import AttackKind
+from repro.world.scenarios import HIJACKED_ROWS, TARGETED_ROWS
+
+
+class TestScenarioShape:
+    def test_row_counts_match_paper(self):
+        assert len(HIJACKED_ROWS) == 41
+        assert len(TARGETED_ROWS) == 24
+
+    def test_detection_type_counts_match_paper_table2(self):
+        counts = {}
+        for row in HIJACKED_ROWS:
+            counts[row.detection] = counts.get(row.detection, 0) + 1
+        assert counts == {"T1": 20, "T1*": 2, "T2": 6, "P-IP": 7, "P-NS": 6}
+
+    def test_ca_split_matches_table9(self):
+        issuers = [row.ca for row in HIJACKED_ROWS if row.ca]
+        assert issuers.count("Let's Encrypt") == 28
+        assert issuers.count("Comodo") == 12
+        assert sum(1 for row in HIJACKED_ROWS if row.ca is None) == 1  # embassy.ly
+
+    def test_four_certificates_revoked(self):
+        assert sum(1 for row in HIJACKED_ROWS if row.revoked) == 4
+
+    def test_ground_truth_ledger(self, paper):
+        ledger = paper.ground_truth
+        assert len(ledger) == 65
+        assert len(ledger.hijacked()) == 41
+        assert len(ledger.targeted()) == 24
+
+
+class TestFullRecovery:
+    def test_every_victim_recovered_with_correct_type(self, paper, paper_report):
+        evaluation = evaluate_report(paper_report, paper.ground_truth)
+        assert evaluation.n_expected == 65
+        assert evaluation.n_found == 65
+        assert evaluation.n_kind_correct == 65
+        assert evaluation.n_detection_correct == 65
+        assert evaluation.false_positives == []
+        assert evaluation.recall == 1.0
+        assert evaluation.precision == 1.0
+
+    def test_funnel_detection_breakdown(self, paper_report):
+        funnel = paper_report.funnel
+        assert funnel.n_t1_hijacked == 20
+        assert funnel.n_t1_star == 2
+        assert funnel.n_t2_hijacked == 6
+        assert funnel.n_pivot_ip == 7
+        assert funnel.n_pivot_ns == 6
+        assert funnel.n_hijacked == 41
+        assert funnel.n_targeted == 24
+
+    def test_kyrgyzstan_cluster(self, paper_report):
+        """The Section 5.1 case study, on the full scenario."""
+        mfa = paper_report.finding_for("mfa.gov.kg")
+        assert mfa.verdict is Verdict.HIJACKED
+        assert mfa.detection is DetectionType.T1
+        assert mfa.attacker_ips == ("94.103.91.159",)
+        assert mfa.attacker_asn == 48282
+        assert mfa.attacker_cc == "RU"
+        assert mfa.subdomain == "mail"
+        assert mfa.issuer_ca == "Let's Encrypt"
+        assert set(mfa.attacker_ns) == {"ns1.kg-infocom.ru", "ns2.kg-infocom.ru"}
+        # The pivot discoveries: no scan-visible stable infrastructure.
+        fiu = paper_report.finding_for("fiu.gov.kg")
+        assert fiu.detection is DetectionType.P_NS
+        assert fiu.victim_asns == ()
+        infocom = paper_report.finding_for("infocom.kg")
+        assert infocom.detection is DetectionType.P_NS
+
+    def test_t1_star_domains(self, paper_report):
+        """apc.gov.ae and moh.gov.kw: no pDNS corroboration, identified via
+        shared attacker IPs (Table 2's T1* rows)."""
+        for domain in ("apc.gov.ae", "moh.gov.kw"):
+            finding = paper_report.finding_for(domain)
+            assert finding.detection is DetectionType.T1_STAR
+            assert not finding.pdns_corroborated
+            assert finding.ct_corroborated
+
+    def test_embassy_ly_has_no_certificate(self, paper_report):
+        """embassy.ly did not use TLS; found purely through pDNS pivot."""
+        finding = paper_report.finding_for("embassy.ly")
+        assert finding.verdict is Verdict.HIJACKED
+        assert finding.crtsh_id == 0
+        assert finding.pdns_corroborated
+        assert not finding.ct_corroborated
+
+    def test_ais_gov_vn_targeted_not_hijacked(self, paper_report):
+        """pDNS shows redirection but no suspicious certificate exists."""
+        finding = paper_report.finding_for("ais.gov.vn")
+        assert finding.verdict is Verdict.TARGETED
+        assert finding.pdns_corroborated
+        assert finding.crtsh_id == 0
+
+    def test_attacker_infrastructure_reuse(self, paper_report):
+        """The same IP hijacked multiple CY domains (Sea Turtle)."""
+        shared_ip = "178.62.218.244"
+        users = [
+            f.domain for f in paper_report.findings if shared_ip in f.attacker_ips
+        ]
+        assert {"govcloud.gov.cy", "webmail.gov.cy", "sslvpn.gov.cy"} <= set(users)
+
+    def test_attacker_ips_match_ground_truth(self, paper, paper_report):
+        for record in paper.ground_truth.hijacked():
+            finding = paper_report.finding_for(record.domain)
+            assert set(record.attacker_ips) <= set(finding.attacker_ips), record.domain
+
+    def test_issuing_cas_match_ground_truth(self, paper, paper_report):
+        for record in paper.ground_truth.hijacked():
+            if record.ca is None:
+                continue
+            finding = paper_report.finding_for(record.domain)
+            assert finding.issuer_ca == record.ca, record.domain
+
+    def test_hijack_months_match(self, paper, paper_report):
+        """The reported hijack month equals the ground-truth month."""
+        for record in paper.ground_truth.hijacked():
+            finding = paper_report.finding_for(record.domain)
+            if finding.first_evidence is None:
+                continue
+            assert (
+                abs((finding.first_evidence - record.hijack_date).days) <= 31
+            ), record.domain
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        from repro.world.scenarios import small_world
+        from repro.world.sim import run_study
+
+        a = run_study(small_world(seed=123)).run_pipeline()
+        b = run_study(small_world(seed=123)).run_pipeline()
+        assert [(f.domain, f.detection) for f in a.findings] == [
+            (f.domain, f.detection) for f in b.findings
+        ]
+        assert a.funnel.n_maps == b.funnel.n_maps

@@ -1,0 +1,84 @@
+"""Tests for the certificate model."""
+
+from datetime import date, timedelta
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls.certificate import Certificate, ValidationLevel, rollover_of
+
+
+def make_cert(**overrides) -> Certificate:
+    defaults = dict(
+        serial=1,
+        common_name="mail.example.com",
+        sans=("mail.example.com",),
+        issuer="Let's Encrypt",
+        not_before=date(2019, 4, 1),
+        not_after=date(2019, 6, 30),
+    )
+    defaults.update(overrides)
+    return Certificate(**defaults)
+
+
+class TestCertificate:
+    def test_validity(self):
+        cert = make_cert()
+        assert cert.valid_on(date(2019, 4, 1))
+        assert cert.valid_on(date(2019, 6, 30))
+        assert not cert.valid_on(date(2019, 7, 1))
+        assert cert.validity_days == 90
+
+    def test_fingerprint_is_stable_and_content_bound(self):
+        a = make_cert()
+        b = make_cert()
+        c = make_cert(serial=2)
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+        assert len(a.fingerprint) == 64
+
+    def test_requires_cn_among_sans(self):
+        with pytest.raises(ValueError):
+            make_cert(common_name="other.example.com")
+
+    def test_requires_sans(self):
+        with pytest.raises(ValueError):
+            make_cert(sans=())
+
+    def test_rejects_inverted_validity(self):
+        with pytest.raises(ValueError):
+            make_cert(not_after=date(2019, 3, 1))
+
+    def test_issued_within(self):
+        cert = make_cert()
+        assert cert.issued_within(date(2019, 4, 10), 14)
+        assert not cert.issued_within(date(2019, 5, 10), 14)
+
+    @given(st.integers(min_value=0, max_value=400))
+    def test_days_until_expiry_consistent(self, offset):
+        cert = make_cert()
+        day = cert.not_before + timedelta(days=offset)
+        assert cert.days_until_expiry(day) == (cert.not_after - day).days
+
+
+class TestRollover:
+    def test_rollover_preserves_names_and_duration(self):
+        cert = make_cert()
+        renewed = rollover_of(cert, serial=99)
+        assert renewed.sans == cert.sans
+        assert renewed.issuer == cert.issuer
+        assert renewed.validity_days == cert.validity_days
+        assert renewed.key_id == cert.key_id + 1
+        assert renewed.fingerprint != cert.fingerprint
+
+    def test_rollover_overlaps_expiry(self):
+        cert = make_cert()
+        renewed = rollover_of(cert, serial=99, overlap_days=14)
+        assert renewed.not_before == cert.not_after - timedelta(days=14)
+        assert renewed.valid_on(cert.not_after)
+
+    def test_validation_levels(self):
+        assert make_cert().validation is ValidationLevel.DV
+        ov = make_cert(validation=ValidationLevel.OV)
+        assert ov.validation is ValidationLevel.OV

@@ -1,0 +1,108 @@
+"""Tests for trust stores, SAN matching, and revocation asymmetry."""
+
+from datetime import date
+
+import pytest
+
+from repro.tls.certificate import Certificate
+from repro.tls.matching import base_domains_secured, cert_covers, names_secured, san_matches
+from repro.tls.revocation import (
+    RevocationMechanism,
+    RevocationRegistry,
+    RevocationStatus,
+)
+from repro.tls.truststore import ALL_PROGRAMS, RootProgram, TrustStore
+
+
+def cert(sans, issuer="Let's Encrypt"):
+    return Certificate(
+        serial=1,
+        common_name=sans[0],
+        sans=tuple(sans),
+        issuer=issuer,
+        not_before=date(2019, 1, 1),
+        not_after=date(2019, 4, 1),
+    )
+
+
+class TestTrustStore:
+    def test_any_root_program_suffices(self):
+        store = TrustStore()
+        store.include("NicheCA", frozenset({RootProgram.MOZILLA}))
+        assert store.is_browser_trusted(cert(["a.example.com"], issuer="NicheCA"))
+
+    def test_unknown_ca_untrusted(self):
+        store = TrustStore()
+        assert not store.is_browser_trusted(cert(["a.example.com"], issuer="Internal CA"))
+        assert "Internal CA" not in store
+
+    def test_programs_of(self):
+        store = TrustStore()
+        store.include("BigCA", ALL_PROGRAMS)
+        assert store.programs_of("BigCA") == ALL_PROGRAMS
+        assert store.programs_of("nope") == frozenset()
+
+    def test_rejects_empty_program_set(self):
+        with pytest.raises(ValueError):
+            TrustStore().include("X", frozenset())
+
+
+class TestSanMatching:
+    def test_exact(self):
+        assert san_matches("mail.example.com", "MAIL.example.com.")
+        assert not san_matches("mail.example.com", "imap.example.com")
+
+    def test_wildcard_one_label(self):
+        assert san_matches("*.example.com", "mail.example.com")
+        assert not san_matches("*.example.com", "example.com")
+        assert not san_matches("*.example.com", "a.b.example.com")
+
+    def test_cert_covers(self):
+        c = cert(["example.com", "*.example.com"])
+        assert cert_covers(c, "example.com")
+        assert cert_covers(c, "mail.example.com")
+        assert not cert_covers(c, "deep.mail.example.com")
+
+    def test_names_secured_excludes_wildcards(self):
+        c = cert(["example.com", "*.example.com"])
+        assert names_secured(c) == frozenset({"example.com"})
+
+    def test_base_domains_secured(self):
+        c = cert(["mail.mfa.gov.kg", "*.other.org"])
+        assert base_domains_secured(c) == frozenset({"mfa.gov.kg", "other.org"})
+
+
+class TestRevocation:
+    def test_crl_issuer_retroactively_auditable(self):
+        registry = RevocationRegistry()
+        registry.set_mechanism("Comodo", RevocationMechanism.CRL)
+        c = cert(["mail.example.com"], issuer="Comodo")
+        registry.revoke(c, on=date(2019, 2, 1))
+        # Years later, the CRL record is still visible.
+        assert registry.retroactive_status(c, date(2022, 1, 1)) is RevocationStatus.REVOKED
+
+    def test_ocsp_issuer_unknowable_after_expiry(self):
+        """The Table 9 asymmetry: Let's Encrypt revocations are lost."""
+        registry = RevocationRegistry()
+        registry.set_mechanism("Let's Encrypt", RevocationMechanism.OCSP)
+        c = cert(["mail.example.com"])
+        registry.revoke(c, on=date(2019, 2, 1))
+        assert registry.live_status(c, date(2019, 3, 1)) is RevocationStatus.REVOKED
+        assert registry.retroactive_status(c, date(2022, 1, 1)) is RevocationStatus.UNKNOWN
+
+    def test_unrevoked_is_good(self):
+        registry = RevocationRegistry()
+        c = cert(["a.example.com"], issuer="Comodo")
+        assert registry.retroactive_status(c, date(2022, 1, 1)) is RevocationStatus.GOOD
+
+    def test_revocation_before_effective_date_invisible(self):
+        registry = RevocationRegistry()
+        c = cert(["a.example.com"], issuer="Comodo")
+        registry.revoke(c, on=date(2019, 2, 1))
+        assert registry.live_status(c, date(2019, 1, 15)) is RevocationStatus.GOOD
+
+    def test_cannot_revoke_expired(self):
+        registry = RevocationRegistry()
+        c = cert(["a.example.com"], issuer="Comodo")
+        with pytest.raises(ValueError):
+            registry.revoke(c, on=date(2020, 1, 1))

@@ -1,0 +1,204 @@
+"""Tests for the world container and the attacker playbook's causality."""
+
+from datetime import date, datetime, timedelta
+
+import pytest
+
+from repro.ca.acme import AcmeError
+from repro.core.types import DetectionType
+from repro.dns.records import RRType
+from repro.net.timeline import DateInterval
+from repro.world.attacker import AttackerProfile, CampaignMode, CampaignSpec, run_campaign
+from repro.world.entities import Organization, Sector
+from repro.world.groundtruth import AttackKind
+from repro.world.world import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=5, start=date(2019, 1, 1), end=date(2019, 12, 31))
+
+
+@pytest.fixture
+def victim_setup(world):
+    provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+    victim = world.setup_domain("ministry.gr", provider, services=("www", "mail"))
+    return world, provider, victim
+
+
+class TestProviders:
+    def test_provider_populates_intel_tables(self, world):
+        provider = world.add_provider("cloud-x", 64999, [("10.0.0.0/16", "DE")])
+        ip = provider.allocate()
+        assert world.routing.lookup(ip) == 64999
+        assert world.geo.lookup(ip) == "DE"
+        assert world.as2org.org_of(64999) == "cloud-x"
+
+    def test_provider_deduplicated_by_asn(self, world):
+        a = world.add_provider("cloud-x", 64999, [("10.0.0.0/16", "DE")])
+        b = world.add_provider("cloud-x-again", 64999, [("10.9.0.0/16", "FR")])
+        assert a is b
+
+    def test_claim_specific_ip(self, world):
+        provider = world.add_provider("attacker", 64998, [("203.0.113.0/24", "NL")])
+        assert provider.claim("203.0.113.77") == "203.0.113.77"
+        # Later allocations never reuse a claimed address.
+        allocated = {provider.allocate() for _ in range(100)}
+        assert "203.0.113.77" not in allocated
+        with pytest.raises(ValueError):
+            provider.claim("198.51.100.1")
+
+
+class TestSetupDomain:
+    def test_dns_resolves_to_allocated_ip(self, victim_setup):
+        world, _, victim = victim_setup
+        answers = world.resolver.resolve_a("mail.ministry.gr", datetime(2019, 6, 1))
+        assert answers == victim.ips
+
+    def test_certificates_cover_services_and_interval(self, victim_setup):
+        world, _, victim = victim_setup
+        assert victim.cert_at(date(2019, 6, 1)) is not None
+        for cert in victim.certificates:
+            assert set(cert.sans) == {"www.ministry.gr", "mail.ministry.gr"}
+
+    def test_scan_visible(self, victim_setup):
+        world, _, victim = victim_setup
+        cert = world.hosts.serving(victim.ips[0], 443, date(2019, 6, 1))
+        assert cert is not None
+        assert cert.issuer == "DigiCert Inc"
+
+    def test_unscannable_domain_absent_from_hosts(self, world):
+        provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+        victim = world.setup_domain("hidden.gr", provider, scannable=False)
+        assert world.hosts.serving(victim.ips[0], 443, date(2019, 6, 1)) is None
+        # DNS still works.
+        assert world.resolver.resolve_a("www.hidden.gr", datetime(2019, 6, 1))
+
+    def test_internal_ca_not_in_ct(self, world):
+        provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+        world.setup_domain("internal.gr", provider, ca_name="Internal Enterprise CA")
+        assert world.crtsh.search("internal.gr") == []
+
+    def test_apex_service(self, world):
+        provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+        victim = world.setup_domain("webmail.gr", provider, services=("",))
+        assert victim.service_fqdns == ("webmail.gr",)
+
+    def test_pdns_plan_scheduled(self, victim_setup):
+        world, _, _ = victim_setup
+        assert "mail.ministry.gr" in world.plan.fqdns()
+
+    def test_blackout(self, world):
+        provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+        world.setup_domain("dark.gr", provider)
+        world.pdns_blackout("dark.gr", DateInterval(date(2019, 5, 1), date(2019, 6, 1)))
+        assert world.is_blacked_out("mail.dark.gr", date(2019, 5, 15))
+        assert not world.is_blacked_out("mail.dark.gr", date(2019, 7, 1))
+
+
+def make_spec(world, provider, victim, mode=CampaignMode.T1, **overrides):
+    attacker_provider = world.add_provider(
+        "bullet-cloud", 64666, [("203.0.113.0/24", "NL")]
+    )
+    defaults = dict(
+        victim=victim,
+        sector=Sector.GOVERNMENT_MINISTRY,
+        victim_cc="GR",
+        mode=mode,
+        expected_detection=DetectionType.T1,
+        hijack_date=date(2019, 8, 10),
+        attacker=AttackerProfile(name="actor", ns_domain="rogue.net"),
+        attacker_provider=attacker_provider,
+        target_subdomain="mail",
+        ca_name="Let's Encrypt",
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestCampaignCausality:
+    def test_t1_campaign_effects(self, victim_setup):
+        world, provider, victim = victim_setup
+        record = run_campaign(world, make_spec(world, provider, victim))
+        # Certificate exists, CT-logged, for the targeted subdomain only.
+        assert record.crtsh_id > 0
+        entry = world.crtsh.lookup_id(record.crtsh_id)
+        assert entry.certificate.sans == ("mail.ministry.gr",)
+        assert entry.issuer == "Let's Encrypt"
+        # During a redirection window the world resolves to the attacker.
+        hijack_instant = datetime(2019, 8, 10, 2, 0)
+        assert world.resolver.resolve_a("mail.ministry.gr", hijack_instant) == record.attacker_ips
+        # Before and after, the victim's real address.
+        assert world.resolver.resolve_a("mail.ministry.gr", datetime(2019, 7, 1)) == victim.ips
+        assert world.resolver.resolve_a("mail.ministry.gr", datetime(2019, 9, 15)) == victim.ips
+        # The malicious certificate is scan-visible at the attacker IP.
+        served = world.hosts.serving(record.attacker_ips[0], 443, date(2019, 8, 12))
+        assert served is not None and served.crtsh_id == record.crtsh_id
+
+    def test_acme_fails_outside_hijack_window(self, victim_setup):
+        """Negative control: the same rogue host cannot get a certificate
+        without the delegation actually hijacked."""
+        world, _, victim = victim_setup
+        profile = AttackerProfile(name="actor", ns_domain="rogue2.net")
+        profile.ensure_staged(world, date(2019, 8, 1))
+        with pytest.raises(AcmeError):
+            world.acme_order(
+                "Let's Encrypt", ("mail.ministry.gr",), profile.ns_host,
+                at=datetime(2019, 8, 10, 2),
+            )
+
+    def test_t2_campaign_serves_stable_cert(self, victim_setup):
+        world, provider, victim = victim_setup
+        record = run_campaign(
+            world,
+            make_spec(world, provider, victim, mode=CampaignMode.T2,
+                      expected_detection=DetectionType.T2),
+        )
+        served = world.hosts.serving(record.attacker_ips[0], 443, date(2019, 8, 12))
+        assert served.fingerprint == victim.cert_at(date(2019, 8, 10)).fingerprint
+        # The malicious certificate exists in CT nonetheless.
+        assert record.crtsh_id > 0
+
+    def test_prelude_only_changes_nothing_in_dns(self, victim_setup):
+        world, provider, victim = victim_setup
+        record = run_campaign(
+            world,
+            make_spec(world, provider, victim, mode=CampaignMode.PRELUDE_ONLY,
+                      expected_detection=None, ca_name=None),
+        )
+        assert record.kind is AttackKind.TARGETED
+        assert record.crtsh_id == 0
+        hijack_instant = datetime(2019, 8, 10, 2, 0)
+        assert world.resolver.resolve_a("mail.ministry.gr", hijack_instant) == victim.ips
+
+    def test_pdns_invisible_campaign_blacks_out(self, victim_setup):
+        world, provider, victim = victim_setup
+        record = run_campaign(
+            world,
+            make_spec(world, provider, victim, mode=CampaignMode.T1_NO_PDNS,
+                      expected_detection=DetectionType.T1_STAR, pdns_visible=False),
+        )
+        assert not record.pdns_visible
+        assert world.is_blacked_out("ministry.gr", date(2019, 8, 10))
+
+    def test_revocation(self, victim_setup):
+        world, provider, victim = victim_setup
+        record = run_campaign(
+            world, make_spec(world, provider, victim, revoked_after_days=20)
+        )
+        assert record.revoked
+        entry = world.crtsh.lookup_id(record.crtsh_id)
+        from repro.tls.revocation import RevocationStatus
+
+        # Let's Encrypt is OCSP-only: retroactively unknowable post-expiry.
+        assert entry.revocation is RevocationStatus.UNKNOWN
+
+    def test_ground_truth_recorded(self, victim_setup):
+        world, provider, victim = victim_setup
+        run_campaign(world, make_spec(world, provider, victim))
+        record = world.ground_truth.record_for("ministry.gr")
+        assert record is not None
+        assert record.kind is AttackKind.HIJACKED
+        assert record.target_fqdn == "mail.ministry.gr"
+        with pytest.raises(ValueError):
+            run_campaign(world, make_spec(world, provider, victim))  # duplicate

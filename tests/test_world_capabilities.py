@@ -1,0 +1,95 @@
+"""Tests for the three capability-development paths (Section 3).
+
+All three paths — account theft, registrar compromise, registry
+compromise — must produce the same observable attack and the same
+detection outcome; what differs is the access used.
+"""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.core.types import DetectionType, Verdict
+from repro.world.attacker import (
+    AttackerProfile,
+    CampaignMode,
+    CampaignSpec,
+    Capability,
+    run_campaign,
+)
+from repro.world.entities import Sector
+from repro.world.sim import run_study
+from repro.world.world import World
+
+
+def build_world(capability: Capability):
+    world = World(seed=17, start=date(2019, 1, 1), end=date(2019, 12, 31))
+    provider = world.add_provider("victim-isp", 65001, [("10.128.0.0/16", "GR")])
+    attacker_provider = world.add_provider("bullet", 64666, [("203.0.113.0/24", "NL")])
+    victim = world.setup_domain("ministry.gr", provider, services=("www", "mail"))
+    spec = CampaignSpec(
+        victim=victim,
+        sector=Sector.GOVERNMENT_MINISTRY,
+        victim_cc="GR",
+        mode=CampaignMode.T1,
+        expected_detection=DetectionType.T1,
+        hijack_date=date(2019, 8, 10),
+        attacker=AttackerProfile(name="actor", ns_domain="rogue.net"),
+        attacker_provider=attacker_provider,
+        target_subdomain="mail",
+        ca_name="Let's Encrypt",
+        capability=capability,
+    )
+    record = run_campaign(world, spec)
+    return world, victim, record
+
+
+@pytest.mark.parametrize(
+    "capability", [Capability.ACCOUNT, Capability.REGISTRAR, Capability.REGISTRY]
+)
+class TestCapabilityPaths:
+    def test_hijack_window_works(self, capability):
+        world, victim, record = build_world(capability)
+        hijack_instant = datetime(2019, 8, 10, 6, 0)
+        assert world.resolver.resolve_a("mail.ministry.gr", hijack_instant) == record.attacker_ips
+        assert world.resolver.resolve_a("mail.ministry.gr", datetime(2019, 9, 1)) == victim.ips
+
+    def test_certificate_obtained(self, capability):
+        _, _, record = build_world(capability)
+        assert record.crtsh_id > 0
+        assert record.ca == "Let's Encrypt"
+
+    def test_pipeline_detects_identically(self, capability):
+        """Detection is capability-blind: a third party sees the same
+        side effects regardless of which upstream entity was compromised."""
+        world, _, _ = build_world(capability)
+        report = run_study(world).run_pipeline()
+        finding = report.finding_for("ministry.gr")
+        assert finding is not None
+        assert finding.verdict is Verdict.HIJACKED
+        assert finding.detection is DetectionType.T1
+
+
+class TestCapabilityDifferences:
+    def test_registrar_path_leaves_registrar_compromised(self):
+        world, victim, _ = build_world(Capability.REGISTRAR)
+        # Privileged updates now work for ANY domain at that registrar.
+        other = world.setup_domain(
+            "bystander.gr", world.providers[65001], services=("www",)
+        )
+        victim.registrar.privileged_update(
+            "bystander.gr", ("ns1.rogue.net",), start=datetime(2019, 10, 1)
+        )
+        registry = world.registry_for("bystander.gr")
+        assert registry.delegation_at("bystander.gr", datetime(2019, 11, 1)) == (
+            "ns1.rogue.net",
+        )
+
+    def test_account_path_respects_other_accounts(self):
+        world, victim, _ = build_world(Capability.ACCOUNT)
+        from repro.dns.registrar import RegistrarError
+
+        with pytest.raises(RegistrarError):
+            victim.registrar.privileged_update(
+                "ministry.gr", ("ns1.rogue.net",), start=datetime(2019, 10, 1)
+            )

@@ -1,0 +1,81 @@
+"""Tests for world-construction helpers not covered elsewhere."""
+
+from datetime import date
+
+import pytest
+
+from repro.net.timeline import DateInterval
+from repro.world.world import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=31, start=date(2019, 1, 1), end=date(2020, 12, 31))
+
+
+class TestCertificateHelpers:
+    def test_issue_chain_covers_interval(self, world):
+        interval = DateInterval(date(2019, 1, 1), date(2020, 12, 31))
+        chain = world.issue_chain("Let's Encrypt", ("www.x.com",), interval)
+        # 90-day certs over two years: roughly one every 76 days.
+        assert 8 <= len(chain) <= 12
+        day = interval.start
+        from datetime import timedelta
+
+        while day <= interval.end:
+            assert any(c.valid_on(day) for c in chain), day
+            day += timedelta(days=30)
+
+    def test_issue_chain_rejects_open_interval(self, world):
+        with pytest.raises(ValueError):
+            world.issue_chain("Let's Encrypt", ("www.x.com",), DateInterval(date(2019, 1, 1)))
+
+    def test_issue_direct_ct_logging_optional(self, world):
+        logged = world.issue_direct("DigiCert Inc", ("www.a.com",), date(2019, 2, 1))
+        unlogged = world.issue_direct(
+            "DigiCert Inc", ("www.b.com",), date(2019, 2, 1), log_to_ct=False
+        )
+        assert logged.crtsh_id > 0
+        assert unlogged.crtsh_id == 0
+        assert world.crtsh.search("a.com")
+        assert world.crtsh.search("b.com") == []
+
+    def test_cert_at_selects_by_date(self, world):
+        provider = world.add_provider("p", 65001, [("10.128.0.0/16", "GR")])
+        victim = world.setup_domain("x.gr", provider, ca_name="Let's Encrypt")
+        early = victim.cert_at(date(2019, 2, 1))
+        late = victim.cert_at(date(2020, 11, 1))
+        assert early is not None and late is not None
+        assert early.fingerprint != late.fingerprint
+        assert victim.cert_at(date(2030, 1, 1)) is None
+
+
+class TestProviderHelpers:
+    def test_extend_provider_registers_tables(self, world):
+        world.add_provider("p", 65001, [("10.128.0.0/16", "GR")])
+        world.extend_provider(65001, "198.51.100.0/24", "RU")
+        assert world.routing.lookup("198.51.100.7") == 65001
+        assert world.geo.lookup("198.51.100.7") == "RU"
+        assert world.providers[65001].claim("198.51.100.7") == "198.51.100.7"
+
+    def test_extend_unknown_provider_raises(self, world):
+        with pytest.raises(KeyError):
+            world.extend_provider(4242, "198.51.100.0/24", "RU")
+
+    def test_registrar_reuse(self, world):
+        a = world.registrar("r1")
+        b = world.registrar("r1")
+        assert a is b
+        assert world.registrar("r2") is not a
+
+
+class TestPipelineIdempotence:
+    def test_two_runs_identical(self, small_study):
+        """The pipeline holds no mutable state between runs."""
+        first = small_study.run_pipeline()
+        second = small_study.run_pipeline()
+        assert [(f.domain, f.detection, f.attacker_ips, f.crtsh_id) for f in first.findings] == [
+            (f.domain, f.detection, f.attacker_ips, f.crtsh_id) for f in second.findings
+        ]
+        assert first.funnel.n_maps == second.funnel.n_maps
+        assert first.funnel.prune_reasons == second.funnel.prune_reasons

@@ -1,0 +1,66 @@
+"""Tests for study-generation options: sensor degradation, scan cadence,
+port loss, and pDNS volume knobs."""
+
+from datetime import date
+
+from repro.world.randomized import RandomWorldConfig, random_world
+from repro.world.scenarios import small_world
+from repro.world.sim import run_study
+from repro.world.world import World
+
+
+def tiny_world():
+    return small_world(seed=3, n_background=5)
+
+
+class TestPdnsOptions:
+    def test_lower_coverage_fewer_rows(self):
+        full = run_study(tiny_world(), pdns_coverage=1.0)
+        sparse = run_study(tiny_world(), pdns_coverage=0.3)
+        assert len(sparse.pdns) <= len(full.pdns)
+
+    def test_degraded_sensors_can_lose_the_attack(self):
+        """With dense observation subject to coverage, zero coverage means
+        zero passive DNS — and the T1 confirmation disappears."""
+        study = run_study(tiny_world(), pdns_coverage=0.0, degraded_sensors=True)
+        assert len(study.pdns) == 0
+        report = study.run_pipeline()
+        finding = report.finding_for("example-ministry.gr")
+        # No pDNS: either entirely missed or only inconclusive (the
+        # lone campaign has no shared-IP peer for a T1* upgrade).
+        assert finding is None
+
+    def test_default_dense_observation_ignores_coverage(self):
+        """The default models strong vendor vantage: even at low ambient
+        coverage the hijack windows are observed."""
+        study = run_study(tiny_world(), pdns_coverage=0.3)
+        report = study.run_pipeline()
+        assert report.finding_for("example-ministry.gr") is not None
+
+    def test_queries_per_day_scales_volume(self):
+        light = run_study(tiny_world(), pdns_queries_per_day=1)
+        heavy = run_study(tiny_world(), pdns_queries_per_day=8)
+        light_hits = sum(r.count for r in light.pdns.all_records())
+        heavy_hits = sum(r.count for r in heavy.pdns.all_records())
+        assert heavy_hits > light_hits
+
+
+class TestScanOptions:
+    def test_port_loss_zero_is_superset(self):
+        lossless = run_study(tiny_world(), port_loss=0.0)
+        lossy = run_study(tiny_world(), port_loss=0.10)
+        assert len(lossless.scan) >= len(lossy.scan)
+
+    def test_daily_cadence_multiplies_scan_dates(self):
+        weekly = World(seed=1, start=date(2019, 1, 1), end=date(2019, 3, 31))
+        daily = World(
+            seed=1, start=date(2019, 1, 1), end=date(2019, 3, 31),
+            scan_interval_days=1,
+        )
+        assert len(daily.scan_dates) == 90
+        assert len(weekly.scan_dates) == 13
+
+    def test_randomized_world_respects_config_counts(self):
+        config = RandomWorldConfig(n_victims=3, n_background=7)
+        world = random_world(seed=8, config=config)
+        assert len(world.ground_truth) == 3
