@@ -11,6 +11,7 @@ scan / passive-DNS / CT datasets and prints the verdict with evidence.
 Run:  python examples/quickstart.py
 """
 
+from repro.core.pipeline import HijackPipeline
 from repro.core.report import format_findings_table, format_funnel
 from repro.world.scenarios import small_world
 from repro.world.sim import run_study
@@ -25,7 +26,7 @@ def main() -> None:
     )
 
     print("Running the five-step pipeline...\n")
-    report = study.run_pipeline()
+    report = HijackPipeline.from_study(study).run()
 
     print(format_funnel(report.funnel))
     print()

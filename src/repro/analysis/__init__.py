@@ -6,6 +6,7 @@
 * ``certificates`` — Table 9 (malicious certificates, CAs, revocation).
 * ``observability`` — Section 5.3 statistics.
 * ``funnel`` — Section 4.2-4.4 population fractions and funnel.
+* ``gallery`` — the Figures 3-5 deployment-map pattern gallery.
 * ``rendering`` — aligned-text table output shared by benches/examples.
 """
 
@@ -15,6 +16,7 @@ from repro.analysis.certificates import certificate_table
 from repro.analysis.content import analyze_attacker_content, compare_pages
 from repro.analysis.evaluation import EvaluationResult, evaluate_report
 from repro.analysis.funnel import classification_fractions
+from repro.analysis.gallery import render_gallery
 from repro.analysis.longitudinal import attacks_by_year, tld_campaigns
 from repro.analysis.notification import build_all_notifications, build_notification
 from repro.analysis.observability import ObservabilityStats, observability_stats
@@ -37,6 +39,7 @@ __all__ = [
     "EvaluationResult",
     "evaluate_report",
     "classification_fractions",
+    "render_gallery",
     "attacks_by_year",
     "tld_campaigns",
     "build_all_notifications",

@@ -1,15 +1,24 @@
 """Command-line interface.
 
     repro-hunt paper [--seed N] [--background N] [--save DIR]
+                     [--jobs N] [--chunk-size N] [--profile FILE]
         Build the full paper scenario, run the pipeline, print every
         analysis table, and optionally export the datasets + findings.
+        ``--jobs`` shards the parallel stages across worker processes;
+        ``--profile`` writes the per-stage run manifest as JSON.
 
     repro-hunt quickstart
         The one-hijack demo world.
 
-    repro-hunt hunt --dir DIR
+    repro-hunt hunt --dir DIR [--jobs N] [--chunk-size N]
         Run the pipeline over a previously exported study directory
         (scan.jsonl / pdns.jsonl / ct.jsonl / as2org.jsonl).
+
+    repro-hunt profile [--seed N] [--jobs N] [--out FILE]
+                       [--manifest FILE]
+        Profile a paper-scenario run: per-stage wall time, funnel
+        cardinalities, and worker utilization — or render a previously
+        saved run manifest with ``--manifest``.
 
     repro-hunt gallery
         Render the canonical deployment-map patterns (Figures 3-5).
@@ -37,18 +46,42 @@ from repro.analysis.evaluation import evaluate_report
 from repro.analysis.sectors import format_sector_table, sector_table
 from repro.core.pipeline import HijackPipeline
 from repro.core.report import format_findings_table, format_funnel
+from repro.exec import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    RunMetrics,
+    SerialBackend,
+    format_run_metrics,
+)
 from repro.io import (
-    load_as2org,
-    load_ct,
-    load_pdns,
-    load_scan_dataset,
     save_as2org,
     save_ct,
     save_findings,
     save_pdns,
     save_scan_dataset,
 )
-from repro.net.timeline import study_periods
+def _make_backend(jobs: int, chunk_size: int | None = None) -> ExecutionBackend:
+    if jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs=jobs, chunk_size=chunk_size)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the parallel stages (1 = serial)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=_positive_int, default=None,
+        help="items per worker task (default: auto)",
+    )
 
 
 def _cmd_paper(args: argparse.Namespace) -> int:
@@ -56,7 +89,8 @@ def _cmd_paper(args: argparse.Namespace) -> int:
 
     print(f"building paper scenario (seed={args.seed}, background={args.background})...")
     study = paper_study(seed=args.seed, n_background=args.background)
-    report = study.run_pipeline()
+    backend = _make_backend(args.jobs, args.chunk_size)
+    report, metrics = study.profile_pipeline(backend=backend)
 
     print()
     print(format_funnel(report.funnel))
@@ -84,6 +118,9 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         save_as2org(study.as2org, directory / "as2org.jsonl")
         save_findings(report.findings, directory / "findings.jsonl")
         print(f"study exported to {directory}/")
+    if args.profile:
+        metrics.write(args.profile)
+        print(f"run manifest written to {args.profile}")
     return 0
 
 
@@ -101,24 +138,13 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
 
 def _cmd_hunt(args: argparse.Namespace) -> int:
     directory = Path(args.dir)
-    required = ["scan.jsonl", "pdns.jsonl", "ct.jsonl", "as2org.jsonl"]
-    missing = [name for name in required if not (directory / name).exists()]
-    if missing:
-        print(f"error: {directory}/ is missing {', '.join(missing)}", file=sys.stderr)
-        return 2
-
     print(f"loading study from {directory}/ ...")
-    scan = load_scan_dataset(directory / "scan.jsonl")
-    pdns = load_pdns(directory / "pdns.jsonl")
-    _log, _revocations, crtsh = load_ct(directory / "ct.jsonl")
-    as2org = load_as2org(directory / "as2org.jsonl")
-
-    first, last = scan.scan_dates[0], scan.scan_dates[-1]
-    periods = study_periods(first, last)
-    pipeline = HijackPipeline(
-        scan=scan, pdns=pdns, crtsh=crtsh, as2org=as2org, periods=periods
-    )
-    report = pipeline.run()
+    try:
+        pipeline = HijackPipeline.from_directory(directory)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = pipeline.run(_make_backend(args.jobs, args.chunk_size))
     print(format_funnel(report.funnel))
     print()
     print(format_findings_table(report.findings))
@@ -129,17 +155,37 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
 
 
 def _cmd_gallery(_args: argparse.Namespace) -> int:
-    import importlib.util
+    from repro.analysis.gallery import render_gallery
 
-    path = Path(__file__).resolve().parents[2] / "examples" / "pattern_gallery.py"
-    if path.exists():
-        spec = importlib.util.spec_from_file_location("pattern_gallery", path)
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)  # type: ignore[union-attr]
-        module.main()
+    print(render_gallery())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.manifest:
+        try:
+            metrics = RunMetrics.read(args.manifest)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot read manifest: {error}", file=sys.stderr)
+            return 2
+        print(format_run_metrics(metrics))
         return 0
-    print("error: examples/pattern_gallery.py not found", file=sys.stderr)
-    return 2
+
+    from repro.world.scenarios import paper_study
+
+    print(
+        f"profiling paper scenario (seed={args.seed}, "
+        f"background={args.background}, jobs={args.jobs})..."
+    )
+    study = paper_study(seed=args.seed, n_background=args.background)
+    backend = _make_backend(args.jobs, args.chunk_size)
+    _report, metrics = study.profile_pipeline(backend=backend)
+    print()
+    print(format_run_metrics(metrics))
+    if args.out:
+        metrics.write(args.out)
+        print(f"\nrun manifest written to {args.out}")
+    return 0
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -224,6 +270,10 @@ def build_parser() -> argparse.ArgumentParser:
     paper.add_argument("--seed", type=int, default=7)
     paper.add_argument("--background", type=int, default=150)
     paper.add_argument("--save", metavar="DIR", help="export datasets + findings")
+    paper.add_argument(
+        "--profile", metavar="FILE", help="write the per-stage run manifest (JSON)"
+    )
+    _add_executor_args(paper)
     paper.set_defaults(func=_cmd_paper)
 
     quickstart = sub.add_parser("quickstart", help="one-hijack demo world")
@@ -232,7 +282,20 @@ def build_parser() -> argparse.ArgumentParser:
     hunt = sub.add_parser("hunt", help="run the pipeline over an exported study")
     hunt.add_argument("--dir", required=True, help="directory with *.jsonl exports")
     hunt.add_argument("--out", help="write findings JSONL here")
+    _add_executor_args(hunt)
     hunt.set_defaults(func=_cmd_hunt)
+
+    profile = sub.add_parser(
+        "profile", help="per-stage wall time / cardinality profile of a run"
+    )
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--background", type=int, default=150)
+    profile.add_argument("--out", metavar="FILE", help="write the run manifest (JSON)")
+    profile.add_argument(
+        "--manifest", metavar="FILE", help="render an existing manifest instead"
+    )
+    _add_executor_args(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     gallery = sub.add_parser("gallery", help="render the pattern gallery")
     gallery.set_defaults(func=_cmd_gallery)

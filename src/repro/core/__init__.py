@@ -29,10 +29,16 @@ from repro.core.deployment import (
     DeploymentMap,
     build_deployment_map,
     build_deployment_maps,
+    build_domain_maps,
 )
 from repro.core.inspection import InspectionConfig, Inspector
 from repro.core.patterns import Classification, PatternConfig, classify
-from repro.core.pipeline import HijackPipeline, PipelineConfig, PipelineReport
+from repro.core.pipeline import (
+    HijackPipeline,
+    PipelineConfig,
+    PipelineInputs,
+    PipelineReport,
+)
 from repro.core.pivot import PivotAnalyzer
 from repro.core.reactive import ReactiveAlert, ReactiveMonitor
 from repro.core.render import render_classification, render_deployment_map
@@ -45,6 +51,7 @@ __all__ = [
     "DeploymentMap",
     "build_deployment_map",
     "build_deployment_maps",
+    "build_domain_maps",
     "InspectionConfig",
     "Inspector",
     "Classification",
@@ -52,6 +59,7 @@ __all__ = [
     "classify",
     "HijackPipeline",
     "PipelineConfig",
+    "PipelineInputs",
     "PipelineReport",
     "PivotAnalyzer",
     "ReactiveAlert",

@@ -142,8 +142,15 @@ def build_deployment_map(
     period: Period,
     scan_dates_in_period: tuple[date, ...],
     max_gap_scans: int = 6,
+    with_records: bool = True,
 ) -> DeploymentMap:
-    """Build one domain's deployment map for one period."""
+    """Build one domain's deployment map for one period.
+
+    ``with_records=False`` leaves ``map.records`` empty — the execution
+    backends use this so worker results ship only the clustered groups,
+    and :func:`attach_period_records` restores the raw records in the
+    parent from its own copy of the dataset.
+    """
     in_period = [r for r in records if period.contains(r.scan_date)]
     cells: dict[tuple[date, int], dict[str, set]] = {}
     for record in in_period:
@@ -171,8 +178,54 @@ def build_deployment_map(
         period=period,
         deployments=deployments,
         scan_dates_in_period=scan_dates_in_period,
-        records=in_period,
+        records=in_period if with_records else [],
     )
+
+
+def attach_period_records(map_: DeploymentMap, dataset: ScanDataset) -> None:
+    """Restore ``map.records`` on a map built with ``with_records=False``.
+
+    Produces the exact list ``build_deployment_map`` would have attached:
+    the domain's records filtered to the map's period, in dataset order.
+    """
+    map_.records = [
+        r
+        for r in dataset.records_for(map_.domain)
+        if map_.period.contains(r.scan_date)
+    ]
+
+
+def build_domain_maps(
+    dataset: ScanDataset,
+    domain: str,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+    with_records: bool = True,
+) -> list[tuple[tuple[str, int], DeploymentMap]]:
+    """Build one domain's maps across all periods, keyed (domain, index).
+
+    This is the per-domain unit of work the execution backends shard:
+    it touches only the one domain's records, so any partition of the
+    domain set rebuilds exactly :func:`build_deployment_maps`.
+    """
+    records = dataset.records_for(domain)
+    maps: list[tuple[tuple[str, int], DeploymentMap]] = []
+    for period in periods:
+        dates_in_period = dataset.scan_dates_in(period)
+        if not dates_in_period:
+            continue
+        if not any(period.contains(r.scan_date) for r in records):
+            continue
+        maps.append(
+            (
+                (domain, period.index),
+                build_deployment_map(
+                    domain, records, period, dates_in_period, max_gap_scans,
+                    with_records=with_records,
+                ),
+            )
+        )
+    return maps
 
 
 def build_deployment_maps(
@@ -189,14 +242,5 @@ def build_deployment_maps(
     """
     maps: dict[tuple[str, int], DeploymentMap] = {}
     for domain in dataset.domains():
-        records = dataset.records_for(domain)
-        for period in periods:
-            dates_in_period = dataset.scan_dates_in(period)
-            if not dates_in_period:
-                continue
-            if not any(period.contains(r.scan_date) for r in records):
-                continue
-            maps[(domain, period.index)] = build_deployment_map(
-                domain, records, period, dates_in_period, max_gap_scans
-            )
+        maps.update(build_domain_maps(dataset, domain, periods, max_gap_scans))
     return maps

@@ -183,6 +183,15 @@ class Inspector:
 
     # -- the verdict -----------------------------------------------------------
 
+    def inspect_many(self, entries: list[ShortlistEntry]) -> list[InspectionResult]:
+        """Inspect entries independently, results aligned with the input.
+
+        Each entry's verdict depends only on that entry plus the
+        read-only pDNS/CT datasets, which is what makes this the
+        pipeline's step-4 fan-out unit.
+        """
+        return [self.inspect(entry) for entry in entries]
+
     def inspect(self, entry: ShortlistEntry) -> InspectionResult:
         window = self._window_for(entry)
         evidence = Evidence(window=window)

@@ -1,27 +1,49 @@
 """The five-step pipeline orchestrator (Figure 1).
 
-Wires the stages together: build deployment maps over every six-month
-period, classify, shortlist, inspect with pDNS + CT corroboration, run
-the T1* shared-infrastructure second pass, pivot on confirmed attacker
-infrastructure, and assemble per-domain findings plus the funnel stats.
+The funnel — deployment maps over every six-month period, pattern
+classification, shortlisting, pDNS + CT inspection with the T1*
+shared-infrastructure second pass, and the pivot on confirmed attacker
+infrastructure — is expressed as a list of :class:`repro.exec.Stage`
+objects over a shared :class:`HuntContext`, driven by a
+:class:`repro.exec.PipelineExecutor`.  Steps 1, 2, and 4 fan out through
+the executor's backend (serially by default; sharded across worker
+processes by domain hash with :class:`repro.exec.ProcessPoolBackend`),
+and every run can be profiled into a per-stage JSON manifest.
+
+:class:`HijackPipeline` remains the front door: construct it from a
+:class:`PipelineInputs` bundle (or the :meth:`HijackPipeline.from_study`
+/ :meth:`HijackPipeline.from_directory` factories) and call
+:meth:`HijackPipeline.run`.  Serial and parallel backends are required
+to produce identical :class:`PipelineReport`\\ s.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, fields
 from datetime import date
+from pathlib import Path
 
 logger = logging.getLogger(__name__)
 
-from repro.core.deployment import build_deployment_maps
+from repro.core.deployment import attach_period_records
 from repro.core.inspection import InspectionConfig, InspectionResult, Inspector
-from repro.core.patterns import Classification, PatternConfig, classify
+from repro.core.patterns import Classification, PatternConfig
 from repro.core.pivot import PivotAnalyzer, PivotFinding
 from repro.core.report import DomainFinding, FunnelStats
-from repro.core.shortlist import ShortlistConfig, ShortlistEntry, Shortlister
+from repro.core.shortlist import (
+    PruneDecision,
+    ShortlistConfig,
+    ShortlistEntry,
+    Shortlister,
+)
 from repro.core.types import DetectionType, PatternKind, Verdict
 from repro.ct.crtsh import CrtShService
+from repro.exec.backends import ExecutionBackend
+from repro.exec.executor import PipelineExecutor
+from repro.exec.metrics import RunMetrics, StageStats
+from repro.exec.stage import Stage, StageContext
 from repro.ipintel.as2org import AS2Org
 from repro.ipintel.geo import GeoDB
 from repro.ipintel.pfx2as import RoutingTable
@@ -40,6 +62,64 @@ class PipelineConfig:
     enable_t1_star: bool = True
 
 
+@dataclass(frozen=True)
+class PipelineInputs:
+    """Everything the pipeline consumes, bundled once.
+
+    Replaces the old eight-argument :class:`HijackPipeline` constructor:
+    one immutable value carries the analyst's datasets, the intelligence
+    tables, and the study periods, and is what the process-pool backend
+    ships to its workers.
+    """
+
+    scan: ScanDataset
+    pdns: PassiveDNSDatabase
+    crtsh: CrtShService
+    as2org: AS2Org
+    periods: tuple[Period, ...]
+    routing: RoutingTable | None = None
+    geo: GeoDB | None = None
+
+    @classmethod
+    def from_study(cls, study) -> PipelineInputs:
+        """Bundle the datasets of a simulated :class:`StudyDatasets`."""
+        return cls(
+            scan=study.scan,
+            pdns=study.pdns,
+            crtsh=study.crtsh,
+            as2org=study.as2org,
+            periods=study.periods,
+            routing=study.routing,
+            geo=study.geo,
+        )
+
+    @classmethod
+    def from_directory(cls, path: str | Path) -> PipelineInputs:
+        """Load an exported study (``repro-hunt paper --save DIR``).
+
+        Expects ``scan.jsonl`` / ``pdns.jsonl`` / ``ct.jsonl`` /
+        ``as2org.jsonl``; periods are derived from the scan calendar.
+        Routing and geolocation tables are not part of the export, so
+        attacker ASN/CC fall back to the scan annotations.
+        """
+        from repro.io import load_as2org, load_ct, load_pdns, load_scan_dataset
+        from repro.net.timeline import study_periods
+
+        directory = Path(path)
+        required = ["scan.jsonl", "pdns.jsonl", "ct.jsonl", "as2org.jsonl"]
+        missing = [name for name in required if not (directory / name).exists()]
+        if missing:
+            raise FileNotFoundError(
+                f"{directory}/ is missing {', '.join(missing)}"
+            )
+        scan = load_scan_dataset(directory / "scan.jsonl")
+        pdns = load_pdns(directory / "pdns.jsonl")
+        _log, _revocations, crtsh = load_ct(directory / "ct.jsonl")
+        as2org = load_as2org(directory / "as2org.jsonl")
+        periods = study_periods(scan.scan_dates[0], scan.scan_dates[-1])
+        return cls(scan=scan, pdns=pdns, crtsh=crtsh, as2org=as2org, periods=periods)
+
+
 @dataclass
 class PipelineReport:
     """Everything the run produced."""
@@ -53,51 +133,68 @@ class PipelineReport:
     attacker_ips: frozenset[str] = frozenset()
     attacker_ns: frozenset[str] = frozenset()
 
+    def _finding_index(self) -> dict[str, DomainFinding]:
+        # Findings are immutable after the run assembles them, so the
+        # domain index is built once, lazily, and cached off-field (it
+        # does not participate in dataclass equality).
+        index = self.__dict__.get("_index_cache")
+        if index is None:
+            index = {}
+            for finding in self.findings:
+                index.setdefault(finding.domain, finding)
+            self.__dict__["_index_cache"] = index
+        return index
+
     def finding_for(self, domain: str) -> DomainFinding | None:
-        for finding in self.findings:
-            if finding.domain == domain:
-                return finding
-        return None
+        return self._finding_index().get(domain)
+
+    def by_verdict(self, verdict: Verdict) -> list[DomainFinding]:
+        """Findings with the given verdict, in report order."""
+        return [f for f in self.findings if f.verdict is verdict]
 
     def hijacked(self) -> list[DomainFinding]:
-        return [f for f in self.findings if f.verdict is Verdict.HIJACKED]
+        return self.by_verdict(Verdict.HIJACKED)
 
     def targeted(self) -> list[DomainFinding]:
-        return [f for f in self.findings if f.verdict is Verdict.TARGETED]
+        return self.by_verdict(Verdict.TARGETED)
 
 
-class HijackPipeline:
-    """End-to-end retroactive hijack identification."""
+@dataclass
+class HuntContext(StageContext):
+    """The funnel's products as they accumulate stage by stage."""
 
-    def __init__(
-        self,
-        scan: ScanDataset,
-        pdns: PassiveDNSDatabase,
-        crtsh: CrtShService,
-        as2org: AS2Org,
-        periods: tuple[Period, ...],
-        routing: RoutingTable | None = None,
-        geo: GeoDB | None = None,
-        config: PipelineConfig | None = None,
-    ) -> None:
-        self._scan = scan
-        self._pdns = pdns
-        self._crtsh = crtsh
-        self._as2org = as2org
-        self._periods = periods
-        self._routing = routing
-        self._geo = geo
-        self._config = config or PipelineConfig()
+    inputs: PipelineInputs
+    config: PipelineConfig
+    maps: dict[tuple[str, int], object] = field(default_factory=dict)
+    classifications: dict[tuple[str, int], Classification] = field(default_factory=dict)
+    shortlist: list[ShortlistEntry] = field(default_factory=list)
+    decisions: list[PruneDecision] = field(default_factory=list)
+    inspections: list[InspectionResult] = field(default_factory=list)
+    confirmed_ips: set[str] = field(default_factory=set)
+    confirmed_ns: set[str] = field(default_factory=set)
+    pivots: list[PivotFinding] = field(default_factory=list)
+    findings: list[DomainFinding] = field(default_factory=list)
+    report: PipelineReport | None = None
 
-    # -- annotation helpers ----------------------------------------------------
+
+# -- finding assembly ----------------------------------------------------------
+
+
+class _FindingBuilder:
+    """Turns inspection / pivot results into per-domain findings."""
+
+    def __init__(self, inputs: PipelineInputs) -> None:
+        self._routing = inputs.routing
+        self._geo = inputs.geo
 
     def _locate_ip(self, ip: str) -> tuple[int | None, str | None]:
         asn = self._routing.lookup(ip) if self._routing else None
         cc = self._geo.lookup(ip) if self._geo else None
         return asn, cc
 
+    @staticmethod
     def _victim_infra(
-        self, classifications: dict[tuple[str, int], Classification], domain: str
+        classifications: dict[tuple[str, int], Classification], domain: str
     ) -> tuple[tuple[int, ...], tuple[str, ...]]:
         asns: list[int] = []
         ccs: list[str] = []
@@ -112,9 +209,7 @@ class HijackPipeline:
                         ccs.append(cc)
         return tuple(asns), tuple(ccs)
 
-    # -- finding assembly --------------------------------------------------------
-
-    def _finding_from_inspection(
+    def from_inspection(
         self,
         result: InspectionResult,
         classifications: dict[tuple[str, int], Classification],
@@ -169,7 +264,7 @@ class HijackPipeline:
             notes=tuple(result.evidence.notes),
         )
 
-    def _finding_from_pivot(
+    def from_pivot(
         self,
         pivot: PivotFinding,
         classifications: dict[tuple[str, int], Classification],
@@ -217,142 +312,365 @@ class HijackPipeline:
             notes=(f"pivot via {pivot.via}",),
         )
 
-    # -- the run -------------------------------------------------------------------
 
-    def run(self) -> PipelineReport:
-        config = self._config
+# -- the stages ----------------------------------------------------------------
 
-        # Step 1: deployment maps.
-        maps = build_deployment_maps(self._scan, self._periods, config.max_gap_scans)
+
+class DeploymentMapStage(Stage):
+    """Step 1: per-(domain, period) deployment maps, sharded by domain."""
+
+    name = "deployment_maps"
+    parallel = True
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        domains = ctx.inputs.scan.domains()
+        per_domain = backend.map("deployment", domains, key=lambda d: d)
+        ctx.maps = {key: map_ for pairs in per_domain for key, map_ in pairs}
+        # The kernel ships maps without their raw records (half the
+        # transfer); restore them here from the parent's dataset.
+        for map_ in ctx.maps.values():
+            attach_period_records(map_, ctx.inputs.scan)
+        n_domains = len({d for d, _ in ctx.maps})
         logger.info(
-            "step 1: %d deployment maps over %d domains",
-            len(maps), len({d for d, _ in maps}),
+            "step 1: %d deployment maps over %d domains", len(ctx.maps), n_domains
+        )
+        return StageStats(
+            n_in=len(domains), n_out=len(ctx.maps), detail={"domains_mapped": n_domains}
         )
 
-        # Step 2: classification.
-        classifications = {
-            key: classify(map_, config.patterns) for key, map_ in maps.items()
-        }
-        n_transient = sum(
-            1 for c in classifications.values() if c.kind is PatternKind.TRANSIENT
-        )
+
+class ClassificationStage(Stage):
+    """Step 2: classify every map as stable/transition/transient/noisy.
+
+    Runs inline in the parent on every backend: classifying a map costs
+    microseconds while shipping it to a worker costs kilobytes, so
+    fan-out can only lose here.
+    """
+
+    name = "classify"
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        items = list(ctx.maps.items())
+        classified = backend.run_inline("classify", items)
+        ctx.classifications = dict(classified)
+        # The kernel detaches each classification's map (kept pure for
+        # any backend routing); point them back at the parent's maps.
+        for key, classification in ctx.classifications.items():
+            classification.map = ctx.maps[key]
+        kinds: dict[str, int] = {}
+        for classification in ctx.classifications.values():
+            kinds[classification.kind.name.lower()] = (
+                kinds.get(classification.kind.name.lower(), 0) + 1
+            )
+        n_transient = kinds.get("transient", 0)
         logger.info("step 2: %d transient maps", n_transient)
+        return StageStats(n_in=len(items), n_out=len(ctx.classifications), detail=kinds)
 
-        # Step 3: shortlist.
-        shortlister = Shortlister(self._as2org, config.shortlist)
-        shortlist, decisions = shortlister.evaluate(classifications)
+
+class ShortlistStage(Stage):
+    """Step 3: prune transients down to the inspection shortlist.
+
+    Serial by design: every check reads the full classification table
+    (org relations across periods, recurring-transient runs).
+    """
+
+    name = "shortlist"
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        shortlister = Shortlister(ctx.inputs.as2org, ctx.config.shortlist)
+        ctx.shortlist, ctx.decisions = shortlister.evaluate(ctx.classifications)
+        n_transient = sum(
+            1
+            for c in ctx.classifications.values()
+            if c.kind is PatternKind.TRANSIENT
+        )
+        pruned: dict[str, int] = {}
+        for decision in ctx.decisions:
+            if not decision.kept:
+                pruned[decision.reason] = pruned.get(decision.reason, 0) + 1
         logger.info(
             "step 3: %d shortlisted (%d pruned)",
-            len(shortlist), sum(1 for d in decisions if not d.kept),
+            len(ctx.shortlist), sum(pruned.values()),
         )
+        return StageStats(n_in=n_transient, n_out=len(ctx.shortlist), detail=pruned)
 
-        # Step 4: inspection.
-        inspector = Inspector(self._pdns, self._crtsh, config.inspection)
-        inspections = [inspector.inspect(entry) for entry in shortlist]
+
+class InspectionStage(Stage):
+    """Step 4: corroborate entries (fan-out) plus the T1* second pass."""
+
+    name = "inspect"
+    parallel = True
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        ctx.inspections = backend.map(
+            "inspect", ctx.shortlist, key=lambda e: e.domain
+        )
         logger.info(
             "step 4: %d hijacked, %d targeted from direct inspection",
-            sum(1 for r in inspections if r.verdict is Verdict.HIJACKED),
-            sum(1 for r in inspections if r.verdict is Verdict.TARGETED),
+            sum(1 for r in ctx.inspections if r.verdict is Verdict.HIJACKED),
+            sum(1 for r in ctx.inspections if r.verdict is Verdict.TARGETED),
         )
 
-        confirmed_ips: set[str] = set()
-        confirmed_ns: set[str] = set()
-        for result in inspections:
+        for result in ctx.inspections:
             if result.verdict is Verdict.HIJACKED:
-                confirmed_ips.update(result.attacker_ips)
-                confirmed_ns.update(result.attacker_ns)
+                ctx.confirmed_ips.update(result.attacker_ips)
+                ctx.confirmed_ns.update(result.attacker_ns)
 
-        # Step 4b: T1* second pass on shared attacker infrastructure.
-        if config.enable_t1_star:
-            pending = [r for r in inspections if r.pending_t1_star]
-            upgraded = Inspector.resolve_t1_star(pending, frozenset(confirmed_ips))
+        n_upgraded = 0
+        if ctx.config.enable_t1_star:
+            pending = [r for r in ctx.inspections if r.pending_t1_star]
+            upgraded = Inspector.resolve_t1_star(
+                pending, frozenset(ctx.confirmed_ips)
+            )
+            n_upgraded = len(upgraded)
             for result in upgraded:
-                confirmed_ips.update(result.attacker_ips)
-                confirmed_ns.update(result.attacker_ns)
+                ctx.confirmed_ips.update(result.attacker_ips)
+                ctx.confirmed_ns.update(result.attacker_ns)
 
-        # Step 5: pivot.
-        pivots: list[PivotFinding] = []
-        if config.enable_pivot and (confirmed_ips or confirmed_ns):
+        n_out = sum(
+            1
+            for r in ctx.inspections
+            if r.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
+        )
+        return StageStats(
+            n_in=len(ctx.shortlist),
+            n_out=n_out,
+            detail={"t1_star_upgraded": n_upgraded},
+        )
+
+
+class PivotStage(Stage):
+    """Step 5: pivot on confirmed attacker IPs and nameservers."""
+
+    name = "pivot"
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        ctx.pivots = []
+        n_infra = len(ctx.confirmed_ips) + len(ctx.confirmed_ns)
+        if ctx.config.enable_pivot and (ctx.confirmed_ips or ctx.confirmed_ns):
             known = {
                 r.domain
-                for r in inspections
+                for r in ctx.inspections
                 if r.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
             }
-            analyzer = PivotAnalyzer(self._pdns, self._crtsh, config.inspection)
-            pivots = analyzer.pivot(
-                frozenset(confirmed_ips), frozenset(confirmed_ns), known
+            analyzer = PivotAnalyzer(
+                ctx.inputs.pdns, ctx.inputs.crtsh, ctx.config.inspection
+            )
+            ctx.pivots = analyzer.pivot(
+                frozenset(ctx.confirmed_ips), frozenset(ctx.confirmed_ns), known
             )
             logger.info(
                 "step 5: pivot on %d IPs / %d nameservers found %d more victims",
-                len(confirmed_ips), len(confirmed_ns), len(pivots),
+                len(ctx.confirmed_ips), len(ctx.confirmed_ns), len(ctx.pivots),
             )
+        return StageStats(n_in=n_infra, n_out=len(ctx.pivots))
 
-        # Findings: inspection verdicts first, pivots after, one per domain.
+
+class AssembleStage(Stage):
+    """Merge verdicts into per-domain findings, the funnel, the report."""
+
+    name = "assemble"
+
+    def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
+        builder = _FindingBuilder(ctx.inputs)
         findings: list[DomainFinding] = []
         seen: set[str] = set()
-        for result in inspections:
+        for result in ctx.inspections:
             if result.verdict in (Verdict.HIJACKED, Verdict.TARGETED):
                 if result.domain in seen:
                     continue
-                findings.append(self._finding_from_inspection(result, classifications))
+                findings.append(builder.from_inspection(result, ctx.classifications))
                 seen.add(result.domain)
-        for pivot in pivots:
+        for pivot in ctx.pivots:
             if pivot.domain in seen:
                 continue
-            findings.append(self._finding_from_pivot(pivot, classifications))
+            findings.append(builder.from_pivot(pivot, ctx.classifications))
             seen.add(pivot.domain)
-        findings.sort(key=lambda f: ((f.victim_ccs[0] if f.victim_ccs else "zz"), f.domain))
+        findings.sort(
+            key=lambda f: ((f.victim_ccs[0] if f.victim_ccs else "zz"), f.domain)
+        )
+        ctx.findings = findings
 
-        funnel = self._funnel(classifications, shortlist, decisions, inspections, pivots)
-        return PipelineReport(
+        funnel = _funnel_stats(
+            ctx.classifications, ctx.shortlist, ctx.decisions, ctx.inspections,
+            ctx.pivots,
+        )
+        ctx.report = PipelineReport(
             funnel=funnel,
             findings=findings,
-            classifications=classifications,
-            shortlist=shortlist,
-            inspections=inspections,
-            pivots=pivots,
-            attacker_ips=frozenset(confirmed_ips),
-            attacker_ns=frozenset(confirmed_ns),
+            classifications=ctx.classifications,
+            shortlist=ctx.shortlist,
+            inspections=ctx.inspections,
+            pivots=ctx.pivots,
+            attacker_ips=frozenset(ctx.confirmed_ips),
+            attacker_ns=frozenset(ctx.confirmed_ns),
         )
+        n_in = len(ctx.inspections) + len(ctx.pivots)
+        return StageStats(n_in=n_in, n_out=len(findings))
 
-    def _funnel(self, classifications, shortlist, decisions, inspections, pivots) -> FunnelStats:
-        stats = FunnelStats()
-        stats.n_maps = len(classifications)
-        stats.n_domains = len({d for d, _ in classifications})
-        for classification in classifications.values():
-            if classification.kind is PatternKind.STABLE:
-                stats.n_stable += 1
-            elif classification.kind is PatternKind.TRANSITION:
-                stats.n_transition += 1
-            elif classification.kind is PatternKind.TRANSIENT:
-                stats.n_transient += 1
-            elif classification.kind is PatternKind.NOISY:
-                stats.n_noisy += 1
-        stats.n_shortlisted = len(shortlist)
-        stats.n_truly_anomalous = sum(1 for e in shortlist if e.truly_anomalous)
-        stats.n_worth_examining = sum(
-            1
-            for r in inspections
-            if not (r.verdict is Verdict.BENIGN and r.evidence.stale_certificate)
-        )
-        for decision in decisions:
-            if not decision.kept:
-                stats.prune_reasons[decision.reason] = (
-                    stats.prune_reasons.get(decision.reason, 0) + 1
+
+#: The funnel stages, in paper order, plus the report assembly.
+def build_stages() -> tuple[Stage, ...]:
+    return (
+        DeploymentMapStage(),
+        ClassificationStage(),
+        ShortlistStage(),
+        InspectionStage(),
+        PivotStage(),
+        AssembleStage(),
+    )
+
+
+def _funnel_stats(
+    classifications, shortlist, decisions, inspections, pivots
+) -> FunnelStats:
+    stats = FunnelStats()
+    stats.n_maps = len(classifications)
+    stats.n_domains = len({d for d, _ in classifications})
+    for classification in classifications.values():
+        if classification.kind is PatternKind.STABLE:
+            stats.n_stable += 1
+        elif classification.kind is PatternKind.TRANSITION:
+            stats.n_transition += 1
+        elif classification.kind is PatternKind.TRANSIENT:
+            stats.n_transient += 1
+        elif classification.kind is PatternKind.NOISY:
+            stats.n_noisy += 1
+    stats.n_shortlisted = len(shortlist)
+    stats.n_truly_anomalous = sum(1 for e in shortlist if e.truly_anomalous)
+    stats.n_worth_examining = sum(
+        1
+        for r in inspections
+        if not (r.verdict is Verdict.BENIGN and r.evidence.stale_certificate)
+    )
+    for decision in decisions:
+        if not decision.kept:
+            stats.prune_reasons[decision.reason] = (
+                stats.prune_reasons.get(decision.reason, 0) + 1
+            )
+    for result in inspections:
+        if result.verdict is Verdict.HIJACKED:
+            if result.detection is DetectionType.T1:
+                stats.n_t1_hijacked += 1
+            elif result.detection is DetectionType.T2:
+                stats.n_t2_hijacked += 1
+            elif result.detection is DetectionType.T1_STAR:
+                stats.n_t1_star += 1
+        elif result.verdict is Verdict.TARGETED:
+            stats.n_targeted += 1
+    for pivot in pivots:
+        if pivot.detection is DetectionType.P_IP:
+            stats.n_pivot_ip += 1
+        else:
+            stats.n_pivot_ns += 1
+    return stats
+
+
+def _funnel_summary(funnel: FunnelStats) -> dict[str, int]:
+    summary = {
+        f.name: getattr(funnel, f.name)
+        for f in fields(FunnelStats)
+        if f.name != "prune_reasons"
+    }
+    summary["n_hijacked"] = funnel.n_hijacked
+    return summary
+
+
+_LEGACY_ARGS = ("scan", "pdns", "crtsh", "as2org", "periods", "routing", "geo", "config")
+
+
+class HijackPipeline:
+    """End-to-end retroactive hijack identification."""
+
+    def __init__(
+        self,
+        inputs: PipelineInputs | None = None,
+        *args,
+        config: PipelineConfig | None = None,
+        **kwargs,
+    ) -> None:
+        if isinstance(inputs, PipelineInputs):
+            if kwargs or len(args) > 1:
+                raise TypeError(
+                    "HijackPipeline(inputs) takes at most a config besides the bundle"
                 )
-        for result in inspections:
-            if result.verdict is Verdict.HIJACKED:
-                if result.detection is DetectionType.T1:
-                    stats.n_t1_hijacked += 1
-                elif result.detection is DetectionType.T2:
-                    stats.n_t2_hijacked += 1
-                elif result.detection is DetectionType.T1_STAR:
-                    stats.n_t1_star += 1
-            elif result.verdict is Verdict.TARGETED:
-                stats.n_targeted += 1
-        for pivot in pivots:
-            if pivot.detection is DetectionType.P_IP:
-                stats.n_pivot_ip += 1
-            else:
-                stats.n_pivot_ns += 1
-        return stats
+            if args:
+                if config is not None:
+                    raise TypeError("config given twice")
+                config = args[0]
+            self._inputs = inputs
+        else:
+            # Legacy signature: HijackPipeline(scan, pdns, crtsh, as2org,
+            # periods, routing=None, geo=None, config=None).
+            positional = ([] if inputs is None else [inputs]) + list(args)
+            if len(positional) > len(_LEGACY_ARGS):
+                raise TypeError("too many positional arguments")
+            legacy = dict(zip(_LEGACY_ARGS, positional))
+            for name, value in kwargs.items():
+                if name not in _LEGACY_ARGS:
+                    raise TypeError(f"unexpected keyword argument {name!r}")
+                if name in legacy:
+                    raise TypeError(f"argument {name!r} given twice")
+                legacy[name] = value
+            if "config" in legacy:
+                if config is not None:
+                    raise TypeError("config given twice")
+                config = legacy.pop("config")
+            missing = [
+                name
+                for name in ("scan", "pdns", "crtsh", "as2org", "periods")
+                if name not in legacy
+            ]
+            if missing:
+                raise TypeError(
+                    f"HijackPipeline missing required inputs: {', '.join(missing)}"
+                )
+            warnings.warn(
+                "passing datasets individually to HijackPipeline is deprecated; "
+                "bundle them in PipelineInputs or use HijackPipeline.from_study / "
+                "from_directory",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._inputs = PipelineInputs(**legacy)
+        self._config = config or PipelineConfig()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_study(cls, study, config: PipelineConfig | None = None) -> HijackPipeline:
+        """Build the pipeline over a simulated study's datasets."""
+        return cls(PipelineInputs.from_study(study), config=config)
+
+    @classmethod
+    def from_directory(
+        cls, path: str | Path, config: PipelineConfig | None = None
+    ) -> HijackPipeline:
+        """Build the pipeline over an exported study directory."""
+        return cls(PipelineInputs.from_directory(path), config=config)
+
+    @property
+    def inputs(self) -> PipelineInputs:
+        return self._inputs
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(self, backend: ExecutionBackend | None = None) -> PipelineReport:
+        """Run the funnel; identical reports under every backend."""
+        report, _ = self.profile(backend)
+        return report
+
+    def profile(
+        self, backend: ExecutionBackend | None = None
+    ) -> tuple[PipelineReport, RunMetrics]:
+        """Run the funnel and return the report plus its run manifest."""
+        ctx = HuntContext(inputs=self._inputs, config=self._config)
+        executor = PipelineExecutor(build_stages(), backend=backend)
+        metrics = executor.execute(ctx)
+        assert ctx.report is not None
+        metrics.funnel = _funnel_summary(ctx.report.funnel)
+        return ctx.report, metrics

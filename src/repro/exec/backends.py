@@ -1,0 +1,179 @@
+"""Pluggable schedulers for the pipeline's fan-out stages.
+
+Both backends expose the same contract: ``map(kernel_name, items, key)``
+returns one result per item, **aligned with the input order**, no matter
+how the work was sharded.  That alignment — plus kernels being pure
+per-item maps — is the whole determinism story: stage products are
+assembled in input order, so the serial and process-pool paths produce
+byte-identical reports.
+
+The process-pool backend shards items across workers by a stable hash
+of their domain key (``crc32``, never Python's randomized ``hash``),
+then splits each worker's bucket into chunks so long-running buckets
+pipeline instead of serializing.  On platforms with ``fork`` the heavy
+inputs never travel at all: the parent installs them as kernel globals
+*before* the pool spawns, so workers inherit them copy-on-write;
+elsewhere they ship once per worker via the pool initializer.  Chunks
+carry only the items themselves.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+import zlib
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.exec import kernels
+from repro.exec.metrics import TaskEvent
+
+#: How many chunks each worker gets by default when no chunk size is set;
+#: >1 so an unlucky hash bucket does not serialize the whole stage.
+_CHUNKS_PER_WORKER = 4
+
+
+class ExecutionBackend(ABC):
+    """Schedules kernel invocations for the executor."""
+
+    name: str = ""
+    jobs: int = 1
+    chunk_size: int | None = None
+
+    def __init__(self) -> None:
+        self._events: list[TaskEvent] = []
+
+    def start(self, inputs: Any, config: Any) -> None:
+        """Install the run's inputs before the first ``map`` call."""
+
+    @abstractmethod
+    def map(
+        self,
+        kernel_name: str,
+        items: Sequence,
+        key: Callable[[Any], str],
+    ) -> list:
+        """Apply a kernel to every item, results aligned with ``items``."""
+
+    def run_inline(self, kernel_name: str, items: Sequence) -> list:
+        """Run a kernel in the calling process, bypassing any fan-out.
+
+        Stages whose work is cheaper than shipping its operands (e.g.
+        classification: microseconds per map, kilobytes per map) use
+        this so both backends execute them identically in the parent.
+        """
+        items = list(items)
+        if not items:
+            return []
+        start = time.perf_counter()
+        results = kernels.KERNELS[kernel_name](items)
+        self._record(TaskEvent(os.getpid(), time.perf_counter() - start, len(items)))
+        return results
+
+    def _record(self, event: TaskEvent) -> None:
+        self._events.append(event)
+
+    def pop_events(self) -> list[TaskEvent]:
+        """Drain the task events recorded since the last call."""
+        events, self._events = self._events, []
+        return events
+
+    def close(self) -> None:
+        """Release any resources held since :meth:`start`."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every kernel inline in the calling process."""
+
+    name = "serial"
+    jobs = 1
+
+    def start(self, inputs: Any, config: Any) -> None:
+        kernels.set_context(inputs, config)
+
+    def map(
+        self,
+        kernel_name: str,
+        items: Sequence,
+        key: Callable[[Any], str],
+    ) -> list:
+        return self.run_inline(kernel_name, items)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard kernel work across worker processes by domain hash."""
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None, chunk_size: int | None = None) -> None:
+        super().__init__()
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+
+    def start(self, inputs: Any, config: Any) -> None:
+        # Install the inputs in the parent first: with the fork start
+        # method the workers inherit them copy-on-write and nothing is
+        # pickled; it also lets the parent service run_inline stages.
+        kernels.set_context(inputs, config)
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        else:  # spawn-only platforms: ship the inputs once per worker
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=kernels.worker_init,
+                initargs=(inputs, config),
+            )
+
+    def map(
+        self,
+        kernel_name: str,
+        items: Sequence,
+        key: Callable[[Any], str],
+    ) -> list:
+        if self._pool is None:
+            raise RuntimeError("backend not started")
+        items = list(items)
+        if not items:
+            return []
+        futures = [
+            (chunk, self._pool.submit(kernels.run_chunk, kernel_name, [items[i] for i in chunk]))
+            for chunk in self._chunks(items, key)
+        ]
+        results: list = [None] * len(items)
+        for chunk, future in futures:
+            pid, seconds, chunk_results = future.result()
+            self._record(TaskEvent(pid, seconds, len(chunk)))
+            for index, result in zip(chunk, chunk_results):
+                results[index] = result
+        return results
+
+    def _chunks(
+        self, items: list, key: Callable[[Any], str]
+    ) -> list[list[int]]:
+        """Deterministic chunk composition: hash-shard, then split."""
+        buckets: list[list[int]] = [[] for _ in range(self.jobs)]
+        for index, item in enumerate(items):
+            shard = zlib.crc32(key(item).encode("utf-8")) % self.jobs
+            buckets[shard].append(index)
+        size = self.chunk_size or max(
+            1, math.ceil(len(items) / (self.jobs * _CHUNKS_PER_WORKER))
+        )
+        chunks: list[list[int]] = []
+        for bucket in buckets:
+            for start in range(0, len(bucket), size):
+                chunks.append(bucket[start : start + size])
+        return chunks
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None

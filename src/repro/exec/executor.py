@@ -1,0 +1,53 @@
+"""The executor: drive a stage list over a context, measuring as it goes.
+
+``PipelineExecutor`` owns the backend lifecycle (start before the first
+stage, close after the last, even on failure) and produces one
+:class:`RunMetrics` per execution.  It is deliberately ignorant of what
+the stages compute — the same executor runs the hijack funnel today and
+any other staged analysis tomorrow.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.exec.backends import ExecutionBackend, SerialBackend
+from repro.exec.metrics import RunMetrics
+from repro.exec.stage import Stage, StageContext
+
+
+class PipelineExecutor:
+    """Runs stages in order against a shared context."""
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        backend: ExecutionBackend | None = None,
+    ) -> None:
+        self._stages = list(stages)
+        self._backend = backend or SerialBackend()
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    def execute(self, ctx: StageContext) -> RunMetrics:
+        backend = self._backend
+        metrics = RunMetrics(
+            backend=backend.name, jobs=backend.jobs, chunk_size=backend.chunk_size
+        )
+        run_start = time.perf_counter()
+        backend.start(ctx.inputs, ctx.config)
+        try:
+            for stage in self._stages:
+                stage_start = time.perf_counter()
+                stats = stage.run(ctx, backend)
+                wall = time.perf_counter() - stage_start
+                metrics.add_stage(
+                    stage.name, wall, stats, backend.pop_events(), stage.parallel
+                )
+        finally:
+            backend.close()
+        metrics.wall_seconds = time.perf_counter() - run_start
+        return metrics

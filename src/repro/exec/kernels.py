@@ -1,0 +1,99 @@
+"""Picklable per-item work functions dispatched by the backends.
+
+A kernel maps a chunk of items to a result per item, using only the
+process-global pipeline inputs installed by :func:`set_context` — set
+in the parent before the pool forks (workers inherit them copy-on-
+write) or, on spawn-only platforms, sent once per worker through
+:func:`worker_init`.  Either way the heavyweight datasets are never
+re-pickled per chunk.  Kernels must be pure per-item maps —
+``kernel(a + b) == kernel(a) + kernel(b)`` — which is what lets the
+serial and process-pool backends produce identical products regardless
+of sharding.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable
+
+_INPUTS: Any = None
+_CONFIG: Any = None
+
+KERNELS: dict[str, Callable[[list], list]] = {}
+
+
+def kernel(name: str) -> Callable:
+    def register(fn: Callable[[list], list]) -> Callable[[list], list]:
+        KERNELS[name] = fn
+        return fn
+
+    return register
+
+
+def set_context(inputs: Any, config: Any) -> None:
+    """Install the pipeline inputs kernels operate on (per process)."""
+    global _INPUTS, _CONFIG
+    _INPUTS = inputs
+    _CONFIG = config
+
+
+def worker_init(inputs: Any, config: Any) -> None:
+    """Process-pool initializer: runs once in every worker."""
+    set_context(inputs, config)
+
+
+def run_chunk(name: str, chunk: list) -> tuple[int, float, list]:
+    """Execute one chunk, reporting (pid, busy seconds, per-item results)."""
+    start = time.perf_counter()
+    results = KERNELS[name](chunk)
+    return os.getpid(), time.perf_counter() - start, results
+
+
+# -- the pipeline's kernels ----------------------------------------------------
+
+
+@kernel("deployment")
+def _deployment_kernel(domains: list[str]) -> list[list]:
+    """Step 1: each domain's deployment maps across all periods.
+
+    Maps are built *without* their raw records so worker results ship
+    only the clustered deployments; the deployment stage reattaches the
+    records in the parent (see ``attach_period_records``).
+    """
+    from repro.core.deployment import build_domain_maps
+
+    return [
+        build_domain_maps(
+            _INPUTS.scan, domain, _INPUTS.periods, _CONFIG.max_gap_scans,
+            with_records=False,
+        )
+        for domain in domains
+    ]
+
+
+@kernel("classify")
+def _classify_kernel(items: list) -> list:
+    """Step 2: classify (key, map) pairs, returning (key, classification).
+
+    The classification ships back without its map — the parent already
+    holds every map and restores ``classification.map`` after gathering,
+    so the deployments are not pickled a second time on the return trip.
+    """
+    from repro.core.patterns import classify
+
+    results = []
+    for key, map_ in items:
+        classification = classify(map_, _CONFIG.patterns)
+        classification.map = None
+        results.append((key, classification))
+    return results
+
+
+@kernel("inspect")
+def _inspect_kernel(entries: list) -> list:
+    """Step 4: corroborate shortlisted entries against pDNS and CT."""
+    from repro.core.inspection import Inspector
+
+    inspector = Inspector(_INPUTS.pdns, _INPUTS.crtsh, _CONFIG.inspection)
+    return inspector.inspect_many(entries)

@@ -1,0 +1,193 @@
+"""Per-stage accounting and the JSON run manifest.
+
+Every pipeline run — serial or parallel — produces a :class:`RunMetrics`
+recording, for each stage: wall time, input/output cardinalities (the
+funnel delta), how many worker tasks ran, how many distinct workers they
+landed on, and utilization (busy worker-seconds over the jobs × wall
+budget).  The manifest serializes to JSON so runs can be compared across
+machines and job counts, and renders as an aligned table for the
+``repro-hunt profile`` view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+MANIFEST_SCHEMA = "repro.exec.run-manifest/1"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskEvent:
+    """One dispatched chunk of work, as observed by the backend."""
+
+    pid: int
+    seconds: float
+    items: int
+
+
+@dataclass
+class StageStats:
+    """What a stage reports about its own funnel step."""
+
+    n_in: int
+    n_out: int
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class StageMetrics:
+    """Everything measured about one stage of one run."""
+
+    name: str
+    wall_seconds: float
+    n_in: int
+    n_out: int
+    parallel: bool
+    tasks: int
+    workers_used: int
+    busy_seconds: float
+    utilization: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def funnel_delta(self) -> int:
+        """How much the funnel narrowed (negative when a stage fans out)."""
+        return self.n_in - self.n_out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "funnel_delta": self.funnel_delta,
+            "parallel": self.parallel,
+            "tasks": self.tasks,
+            "workers_used": self.workers_used,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "utilization": round(self.utilization, 4),
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> StageMetrics:
+        return cls(
+            name=data["name"],
+            wall_seconds=data["wall_seconds"],
+            n_in=data["n_in"],
+            n_out=data["n_out"],
+            parallel=data["parallel"],
+            tasks=data["tasks"],
+            workers_used=data["workers_used"],
+            busy_seconds=data["busy_seconds"],
+            utilization=data["utilization"],
+            detail=dict(data.get("detail", {})),
+        )
+
+
+@dataclass
+class RunMetrics:
+    """One pipeline run's complete accounting."""
+
+    backend: str
+    jobs: int
+    chunk_size: int | None = None
+    wall_seconds: float = 0.0
+    stages: list[StageMetrics] = field(default_factory=list)
+    funnel: dict[str, int] = field(default_factory=dict)
+
+    def add_stage(
+        self,
+        name: str,
+        wall_seconds: float,
+        stats: StageStats,
+        events: list[TaskEvent],
+        parallel: bool,
+    ) -> StageMetrics:
+        busy = sum(e.seconds for e in events)
+        budget = self.jobs * wall_seconds
+        stage = StageMetrics(
+            name=name,
+            wall_seconds=wall_seconds,
+            n_in=stats.n_in,
+            n_out=stats.n_out,
+            parallel=parallel,
+            tasks=len(events),
+            workers_used=len({e.pid for e in events}),
+            busy_seconds=busy,
+            utilization=(busy / budget) if budget > 0 else 0.0,
+            detail=dict(stats.detail),
+        )
+        self.stages.append(stage)
+        return stage
+
+    def stage(self, name: str) -> StageMetrics | None:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        return None
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "chunk_size": self.chunk_size,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "stages": [stage.to_dict() for stage in self.stages],
+            "funnel": dict(self.funnel),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> RunMetrics:
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"unsupported manifest schema {data.get('schema')!r} "
+                f"(expected {MANIFEST_SCHEMA!r})"
+            )
+        return cls(
+            backend=data["backend"],
+            jobs=data["jobs"],
+            chunk_size=data.get("chunk_size"),
+            wall_seconds=data["wall_seconds"],
+            stages=[StageMetrics.from_dict(s) for s in data["stages"]],
+            funnel=dict(data.get("funnel", {})),
+        )
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def read(cls, path: str | Path) -> RunMetrics:
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def format_run_metrics(metrics: RunMetrics) -> str:
+    """Render a run manifest as the aligned per-stage profile table."""
+    header = (
+        f"{'stage':<16} {'wall':>9} {'in':>8} {'out':>8} {'delta':>8} "
+        f"{'tasks':>6} {'workers':>8} {'util':>7}"
+    )
+    lines = [
+        f"run profile: backend={metrics.backend} jobs={metrics.jobs} "
+        f"wall={metrics.wall_seconds:.3f}s",
+        header,
+        "-" * len(header),
+    ]
+    for stage in metrics.stages:
+        lines.append(
+            f"{stage.name:<16} {stage.wall_seconds * 1e3:>8.1f}ms "
+            f"{stage.n_in:>8} {stage.n_out:>8} {stage.funnel_delta:>8} "
+            f"{stage.tasks:>6} {stage.workers_used:>8} {stage.utilization:>6.1%}"
+        )
+    if metrics.funnel:
+        hijacked = metrics.funnel.get("n_hijacked")
+        targeted = metrics.funnel.get("n_targeted")
+        if hijacked is not None:
+            lines.append(f"verdicts: {hijacked} hijacked, {targeted} targeted")
+    return "\n".join(lines)

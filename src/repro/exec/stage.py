@@ -1,0 +1,51 @@
+"""The stage protocol and the shared context stages operate on.
+
+A stage is a named unit of the funnel: it reads earlier products off the
+:class:`StageContext`, computes its own, writes them back, and reports
+its input/output cardinalities so the executor can account for the
+funnel's narrowing.  Stages hold no state of their own — everything
+flows through the context — which is what lets one stage list run under
+any backend.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.exec.metrics import StageStats
+
+if TYPE_CHECKING:
+    from repro.exec.backends import ExecutionBackend
+
+
+@dataclass
+class StageContext:
+    """Inputs plus every intermediate product of one pipeline run.
+
+    Concrete pipelines subclass this with typed fields for their
+    products; the base carries only what every run needs: the immutable
+    input bundle and the configuration.
+    """
+
+    inputs: Any
+    config: Any
+
+
+class Stage(ABC):
+    """One named step of a staged pipeline."""
+
+    #: Stable identifier used in logs, metrics, and the run manifest.
+    name: str = ""
+
+    #: Whether the stage fans out through ``backend.map`` (documentation
+    #: for the manifest; serial stages still receive the backend).
+    parallel: bool = False
+
+    @abstractmethod
+    def run(self, ctx: StageContext, backend: ExecutionBackend) -> StageStats:
+        """Execute the stage, mutating ``ctx``, and report cardinalities."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from datetime import date
 
 from repro.core.pipeline import HijackPipeline, PipelineConfig, PipelineReport
+from repro.exec.backends import ExecutionBackend
+from repro.exec.metrics import RunMetrics
 from repro.ct.crtsh import CrtShService
 from repro.ct.log import CTLog
 from repro.ipintel.as2org import AS2Org
@@ -52,19 +54,22 @@ class StudyDatasets:
 
     def pipeline(self, config: PipelineConfig | None = None) -> HijackPipeline:
         """Build the detection pipeline over these datasets."""
-        return HijackPipeline(
-            scan=self.scan,
-            pdns=self.pdns,
-            crtsh=self.crtsh,
-            as2org=self.as2org,
-            periods=self.periods,
-            routing=self.routing,
-            geo=self.geo,
-            config=config,
-        )
+        return HijackPipeline.from_study(self, config=config)
 
-    def run_pipeline(self, config: PipelineConfig | None = None) -> PipelineReport:
-        return self.pipeline(config).run()
+    def run_pipeline(
+        self,
+        config: PipelineConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> PipelineReport:
+        return self.pipeline(config).run(backend)
+
+    def profile_pipeline(
+        self,
+        config: PipelineConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ) -> tuple[PipelineReport, RunMetrics]:
+        """Run the pipeline and return its report plus the run manifest."""
+        return self.pipeline(config).profile(backend)
 
 
 def run_study(
