@@ -73,3 +73,42 @@ def test_executor_backends(benchmark):
     benchmark.extra_info["speedup"] = round(speedup, 2)
     benchmark.extra_info["serial_ms"] = round(serial_time * 1e3, 1)
     benchmark.extra_info["pool_ms"] = round(pool_time * 1e3, 1)
+
+
+def test_records_for_is_zero_copy(benchmark):
+    """``records_for`` hot path: tuple view vs the former per-call copy.
+
+    Deployment mapping calls ``records_for`` once per (domain, chunk);
+    it used to build a fresh list on every call.  It now returns the
+    dataset's stored tuple directly — same object every time — so the
+    per-call cost is a dict lookup, independent of record count.
+    """
+    study = paper_study(seed=7, n_background=300)
+    scan = study.scan
+    domains = scan.domains()
+
+    def sweep():
+        total = 0
+        for _ in range(40):
+            for domain in domains:
+                total += len(scan.records_for(domain))
+        return total
+
+    total = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    assert total > 0
+
+    # Zero-copy contract: the same immutable view comes back each call.
+    view = scan.records_for(domains[0])
+    assert isinstance(view, tuple)
+    assert view is scan.records_for(domains[0])
+
+    per_call_ns = benchmark.stats.stats.min / (40 * len(domains)) * 1e9
+    show(
+        "records_for view (zero-copy)",
+        [
+            f"{len(domains)} domains, {len(scan)} records",
+            f"per-call: {per_call_ns:,.0f} ns (was O(records) list copy)",
+        ],
+    )
+    benchmark.extra_info["n_domains"] = len(domains)
+    benchmark.extra_info["per_call_ns"] = round(per_call_ns)

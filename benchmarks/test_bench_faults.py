@@ -1,0 +1,123 @@
+"""Fault layer — empty-plan overhead and a degraded-run profile.
+
+The tentpole invariant says an empty fault plan must be *byte*-identical
+to no plan; this bench checks it is also *cost*-identical: the empty
+plan adds one ``is_empty`` test per run and a no-op ``install_faults``,
+so the measured overhead should be indistinguishable from timing noise
+(target < 2%; reported, not asserted, because a single-core CI host
+jitters more than the effect being measured).  The second bench profiles
+a heavily degraded run end to end — dropped scans, sensor blackouts,
+delayed CT, worker crashes — as the worst-case cost of the machinery.
+"""
+
+import time
+
+from repro.exec import SerialBackend
+from repro.faults import FaultPlan, FaultSpec
+from repro.world.scenarios import paper_study
+
+from conftest import show
+
+N_BACKGROUND = 150
+ROUNDS = 3
+
+DEGRADED_SPEC = (
+    "scan.drop_weeks=0.2,scan.drop_ports=0.1,pdns.blackouts=2,"
+    "ct.delay_days=30,routing.stale=0.15,workers.crash=0.3,workers.slow=0.2,"
+    "workers.slow_ms=1,workers.backoff_ms=1"
+)
+
+
+def _timed(study, faults):
+    t0 = time.perf_counter()
+    report = study.run_pipeline(backend=SerialBackend(), faults=faults)
+    return time.perf_counter() - t0, report
+
+
+def _time_runs(study, faults, rounds=ROUNDS):
+    best = float("inf")
+    report = None
+    for _ in range(rounds):
+        elapsed, report = _timed(study, faults)
+        best = min(best, elapsed)
+    return best, report
+
+
+def test_empty_plan_overhead(benchmark):
+    study = paper_study(seed=7, n_background=N_BACKGROUND)
+    empty = FaultPlan.from_spec(None)
+
+    _timed(study, faults=None)  # warm-up: caches, allocator, imports
+
+    # Interleave the two arms in alternating order so machine-level
+    # drift hits both equally, then compare best-of-N to best-of-N.
+    no_plan_time = empty_time = float("inf")
+    no_plan_report = empty_report = None
+    for i in range(ROUNDS):
+        arms = [(None, "none"), (empty, "empty")]
+        if i % 2:
+            arms.reverse()
+        for faults, label in arms:
+            elapsed, report = _timed(study, faults=faults)
+            if label == "none":
+                no_plan_time = min(no_plan_time, elapsed)
+                no_plan_report = report
+            else:
+                empty_time = min(empty_time, elapsed)
+                empty_report = report
+
+    benchmark.pedantic(
+        lambda: study.run_pipeline(backend=SerialBackend(), faults=empty),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert empty_report == no_plan_report  # the byte-identity invariant
+
+    overhead = (empty_time - no_plan_time) / no_plan_time
+    show(
+        "Empty fault plan overhead (target < 2%)",
+        [
+            f"no plan     : {no_plan_time * 1e3:8.1f} ms (best of {ROUNDS})",
+            f"empty plan  : {empty_time * 1e3:8.1f} ms (best of {ROUNDS})",
+            f"overhead    : {overhead:+.2%}",
+        ],
+    )
+    benchmark.extra_info["no_plan_ms"] = round(no_plan_time * 1e3, 1)
+    benchmark.extra_info["empty_plan_ms"] = round(empty_time * 1e3, 1)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+
+
+def test_degraded_run_profile(benchmark):
+    study = paper_study(seed=7, n_background=N_BACKGROUND)
+    plan = FaultPlan.from_spec(FaultSpec.parse(DEGRADED_SPEC), seed=5)
+
+    clean_time, _clean = _time_runs(study, faults=None, rounds=1)
+
+    def degraded_run():
+        return study.profile_pipeline(backend=SerialBackend(), faults=plan)
+
+    _report, metrics = benchmark.pedantic(degraded_run, rounds=1, iterations=1)
+
+    dq = metrics.data_quality
+    assert dq["degraded"] is True
+    lines = [
+        f"clean run    : {clean_time * 1e3:8.1f} ms",
+        f"degraded run : {metrics.wall_seconds * 1e3:8.1f} ms",
+        f"scan losses  : {len(dq['scan']['dropped_dates'])} scans, "
+        f"{dq['scan']['dropped_records']} records",
+        f"pdns         : {len(dq['pdns']['blackouts'])} blackouts, "
+        f"{dq['pdns']['rows_dropped']} rows dropped, "
+        f"{dq['pdns']['rows_trimmed']} trimmed",
+        f"workers      : {dq['workers']['crashes']} crashes, "
+        f"{dq['workers']['retries']} retries",
+    ]
+    for stage in metrics.stages:
+        lines.append(
+            f"  {stage.name:<16} {stage.wall_seconds * 1e3:8.1f} ms "
+            f"in={stage.n_in} out={stage.n_out}"
+        )
+    show("Degraded run profile", lines)
+    benchmark.extra_info["clean_ms"] = round(clean_time * 1e3, 1)
+    benchmark.extra_info["degraded_ms"] = round(metrics.wall_seconds * 1e3, 1)
+    benchmark.extra_info["worker_crashes"] = dq["workers"]["crashes"]

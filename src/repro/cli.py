@@ -31,6 +31,16 @@
 
     repro-hunt robustness [--trials N]
         Randomized-world trials: recall/precision across fresh worlds.
+
+    repro-hunt golden [--update] [--dir DIR]
+        Check (or, with ``--update``, regenerate) the golden regression
+        reports pinned under tests/golden/.
+
+Fault injection: ``paper``, ``hunt``, and ``profile`` accept
+``--faults SPEC`` (e.g. ``scan.drop_weeks=0.1,workers.crash=0.2``) plus
+``--fault-seed N``; the run degrades deterministically and its losses
+are reported in the manifest's ``data_quality`` section.  See
+docs/fault_injection.md for the spec grammar.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ from repro.exec import (
     SerialBackend,
     format_run_metrics,
 )
+from repro.faults import FaultError, FaultPlan, FaultSpec, format_data_quality
 from repro.io import (
     save_as2org,
     save_ct,
@@ -60,6 +71,8 @@ from repro.io import (
     save_pdns,
     save_scan_dataset,
 )
+
+
 def _make_backend(jobs: int, chunk_size: int | None = None) -> ExecutionBackend:
     if jobs <= 1:
         return SerialBackend()
@@ -84,14 +97,46 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _fault_spec(text: str) -> FaultSpec:
+    try:
+        return FaultSpec.parse(text)
+    except FaultError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
+def _add_faults_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", type=_fault_spec, default=None, metavar="SPEC",
+        help="fault-injection spec, e.g. 'scan.drop_weeks=0.1,workers.crash=0.2'"
+        " (see docs/fault_injection.md)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's deterministic draws (default: 0)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan:
+    return FaultPlan.from_spec(args.faults, seed=args.fault_seed)
+
+
+def _print_data_quality(metrics: RunMetrics) -> None:
+    if metrics.data_quality and metrics.data_quality.get("degraded"):
+        from repro.faults.quality import DataQuality
+
+        print()
+        print(format_data_quality(DataQuality.from_dict(metrics.data_quality)))
+
+
 def _cmd_paper(args: argparse.Namespace) -> int:
     from repro.world.scenarios import paper_study
 
     print(f"building paper scenario (seed={args.seed}, background={args.background})...")
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
-    report, metrics = study.profile_pipeline(backend=backend)
+    report, metrics = study.profile_pipeline(backend=backend, faults=_fault_plan(args))
 
+    _print_data_quality(metrics)
     print()
     print(format_funnel(report.funnel))
     print()
@@ -140,11 +185,12 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     directory = Path(args.dir)
     print(f"loading study from {directory}/ ...")
     try:
-        pipeline = HijackPipeline.from_directory(directory)
+        pipeline = HijackPipeline.from_directory(directory, faults=_fault_plan(args))
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    report = pipeline.run(_make_backend(args.jobs, args.chunk_size))
+    report, metrics = pipeline.profile(_make_backend(args.jobs, args.chunk_size))
+    _print_data_quality(metrics)
     print(format_funnel(report.funnel))
     print()
     print(format_findings_table(report.findings))
@@ -179,9 +225,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
-    _report, metrics = study.profile_pipeline(backend=backend)
+    _report, metrics = study.profile_pipeline(backend=backend, faults=_fault_plan(args))
     print()
     print(format_run_metrics(metrics))
+    _print_data_quality(metrics)
     if args.out:
         metrics.write(args.out)
         print(f"\nrun manifest written to {args.out}")
@@ -249,6 +296,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The seeds whose paper-scenario reports are pinned as golden files.
+GOLDEN_SEEDS = (7, 11, 13)
+#: Background-domain count for the golden runs (kept small so the check
+#: finishes in seconds; the funnel is identical in shape to the default).
+GOLDEN_BACKGROUND = 40
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.io.golden import encode_report, golden_filename
+    from repro.world.scenarios import paper_study
+
+    directory = Path(args.dir)
+    failures = 0
+    for seed in GOLDEN_SEEDS:
+        study = paper_study(seed=seed, n_background=args.background)
+        report = study.run_pipeline()
+        encoded = encode_report(report)
+        path = directory / golden_filename(seed)
+        if args.update:
+            directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(encoded)
+            print(f"wrote {path} ({len(report.findings)} findings)")
+        elif not path.exists():
+            print(f"MISSING {path} (run with --update to create)", file=sys.stderr)
+            failures += 1
+        elif path.read_text() != encoded:
+            print(
+                f"MISMATCH {path}: pipeline output diverged from the pinned "
+                "report (if the change is intentional, rerun with --update)",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"ok {path}")
+    return 1 if failures else 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.analysis.robustness import format_robustness, run_trials
     from repro.world.randomized import RandomWorldConfig
@@ -274,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="FILE", help="write the per-stage run manifest (JSON)"
     )
     _add_executor_args(paper)
+    _add_faults_args(paper)
     paper.set_defaults(func=_cmd_paper)
 
     quickstart = sub.add_parser("quickstart", help="one-hijack demo world")
@@ -283,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--dir", required=True, help="directory with *.jsonl exports")
     hunt.add_argument("--out", help="write findings JSONL here")
     _add_executor_args(hunt)
+    _add_faults_args(hunt)
     hunt.set_defaults(func=_cmd_hunt)
 
     profile = sub.add_parser(
@@ -295,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", metavar="FILE", help="render an existing manifest instead"
     )
     _add_executor_args(profile)
+    _add_faults_args(profile)
     profile.set_defaults(func=_cmd_profile)
 
     gallery = sub.add_parser("gallery", help="render the pattern gallery")
@@ -326,6 +413,16 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--victims", type=int, default=6)
     robustness.add_argument("--seed", type=int, default=100)
     robustness.set_defaults(func=_cmd_robustness)
+
+    golden = sub.add_parser(
+        "golden", help="check or regenerate the golden regression reports"
+    )
+    golden.add_argument(
+        "--update", action="store_true", help="rewrite the pinned reports"
+    )
+    golden.add_argument("--dir", default="tests/golden", help="golden file directory")
+    golden.add_argument("--background", type=int, default=GOLDEN_BACKGROUND)
+    golden.set_defaults(func=_cmd_golden)
     return parser
 
 

@@ -44,6 +44,7 @@ from repro.exec.backends import ExecutionBackend
 from repro.exec.executor import PipelineExecutor
 from repro.exec.metrics import RunMetrics, StageStats
 from repro.exec.stage import Stage, StageContext
+from repro.faults import DataQuality, FaultPlan, FaultSpec, apply_faults
 from repro.ipintel.as2org import AS2Org
 from repro.ipintel.geo import GeoDB
 from repro.ipintel.pfx2as import RoutingTable
@@ -377,7 +378,11 @@ class ShortlistStage(Stage):
     name = "shortlist"
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
-        shortlister = Shortlister(ctx.inputs.as2org, ctx.config.shortlist)
+        shortlister = Shortlister(
+            ctx.inputs.as2org,
+            ctx.config.shortlist,
+            known_missing=ctx.inputs.scan.known_missing_dates,
+        )
         ctx.shortlist, ctx.decisions = shortlister.evaluate(ctx.classifications)
         n_transient = sum(
             1
@@ -587,6 +592,7 @@ class HijackPipeline:
         inputs: PipelineInputs | None = None,
         *args,
         config: PipelineConfig | None = None,
+        faults: FaultPlan | FaultSpec | str | None = None,
         **kwargs,
     ) -> None:
         if isinstance(inputs, PipelineInputs):
@@ -634,20 +640,35 @@ class HijackPipeline:
             )
             self._inputs = PipelineInputs(**legacy)
         self._config = config or PipelineConfig()
+        # A plan passes through as-is (its seed matters); a bare spec or
+        # spec string binds to seed 0.
+        self._faults = (
+            faults
+            if isinstance(faults, FaultPlan)
+            else FaultPlan.from_spec(faults)
+        )
 
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def from_study(cls, study, config: PipelineConfig | None = None) -> HijackPipeline:
+    def from_study(
+        cls,
+        study,
+        config: PipelineConfig | None = None,
+        faults: FaultPlan | FaultSpec | str | None = None,
+    ) -> HijackPipeline:
         """Build the pipeline over a simulated study's datasets."""
-        return cls(PipelineInputs.from_study(study), config=config)
+        return cls(PipelineInputs.from_study(study), config=config, faults=faults)
 
     @classmethod
     def from_directory(
-        cls, path: str | Path, config: PipelineConfig | None = None
+        cls,
+        path: str | Path,
+        config: PipelineConfig | None = None,
+        faults: FaultPlan | FaultSpec | str | None = None,
     ) -> HijackPipeline:
         """Build the pipeline over an exported study directory."""
-        return cls(PipelineInputs.from_directory(path), config=config)
+        return cls(PipelineInputs.from_directory(path), config=config, faults=faults)
 
     @property
     def inputs(self) -> PipelineInputs:
@@ -656,6 +677,10 @@ class HijackPipeline:
     @property
     def config(self) -> PipelineConfig:
         return self._config
+
+    @property
+    def faults(self) -> FaultPlan:
+        return self._faults
 
     # -- the run ---------------------------------------------------------------
 
@@ -667,9 +692,19 @@ class HijackPipeline:
     def profile(
         self, backend: ExecutionBackend | None = None
     ) -> tuple[PipelineReport, RunMetrics]:
-        """Run the funnel and return the report plus its run manifest."""
-        ctx = HuntContext(inputs=self._inputs, config=self._config)
+        """Run the funnel and return the report plus its run manifest.
+
+        With a non-empty fault plan the inputs are degraded up front
+        (losses land in the context's :class:`DataQuality` ledger and in
+        the manifest's ``data_quality`` section) and the backend injects
+        the plan's worker faults, absorbing them via retry/backoff.  An
+        empty plan takes exactly the fault-free code path.
+        """
+        quality = DataQuality()
+        inputs = apply_faults(self._inputs, self._faults, quality)
+        ctx = HuntContext(inputs=inputs, config=self._config, quality=quality)
         executor = PipelineExecutor(build_stages(), backend=backend)
+        executor.backend.install_faults(self._faults)
         metrics = executor.execute(ctx)
         assert ctx.report is not None
         metrics.funnel = _funnel_summary(ctx.report.funnel)

@@ -18,6 +18,8 @@ Four pruning checks, then the keep rule:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from datetime import date
+from typing import Collection
 
 from repro.core.deployment import Deployment, DeploymentMap
 from repro.core.patterns import Classification, transient_subpattern_of
@@ -68,9 +70,18 @@ class PruneDecision:
 class Shortlister:
     """Applies the Section 4.3 heuristics across all classified maps."""
 
-    def __init__(self, as2org: AS2Org, config: ShortlistConfig | None = None) -> None:
+    def __init__(
+        self,
+        as2org: AS2Org,
+        config: ShortlistConfig | None = None,
+        known_missing: Collection[date] = (),
+    ) -> None:
         self._as2org = as2org
         self._config = config or ShortlistConfig()
+        # Scan dates the collector is known to have lost (telemetry gaps,
+        # injected faults): excluded from the visibility denominator so a
+        # missing scan is not mistaken for the domain going dark.
+        self._known_missing = frozenset(known_missing)
 
     # -- individual checks ---------------------------------------------------
 
@@ -85,7 +96,14 @@ class Shortlister:
         return bool(transient.countries & stable_ccs)
 
     def low_visibility(self, map_: DeploymentMap) -> bool:
-        return map_.presence < self._config.min_presence
+        if not self._known_missing:
+            return map_.presence < self._config.min_presence
+        observed = [
+            d for d in map_.scan_dates_in_period if d not in self._known_missing
+        ]
+        if not observed:
+            return True  # every scan of the period was lost: cannot judge
+        return len(map_.visible_dates) / len(observed) < self._config.min_presence
 
     def chronically_transient(
         self,

@@ -45,11 +45,19 @@ class CrtShService:
         logs: list[CTLog] | None = None,
         revocations: RevocationRegistry | None = None,
         asof: date | None = None,
+        publication_delay_days: int = 0,
+        publication_horizon: date | None = None,
     ) -> None:
         self._logs = list(logs) if logs is not None else []
         # Note: `or` would discard an EMPTY registry (it has __len__ == 0).
         self._revocations = revocations if revocations is not None else RevocationRegistry()
         self._asof = asof
+        # Publication lag: every entry surfaces ``delay`` days after its
+        # log timestamp, and entries surfacing past the horizon (the
+        # retroactive analysis date) are invisible to every query.
+        self._publication_delay = timedelta(days=publication_delay_days)
+        self._publication_horizon = publication_horizon
+        self.hidden_entries = 0
         # registered domain -> list of (cert, logged_at); rebuilt lazily.
         self._index: dict[str, list[tuple[Certificate, date]]] = {}
         self._indexed_counts: dict[int, int] = {}
@@ -57,11 +65,38 @@ class CrtShService:
     def attach_log(self, log: CTLog) -> None:
         self._logs.append(log)
 
+    def with_publication_delay(
+        self, days: int, horizon: date | None = None
+    ) -> CrtShService:
+        """Derive a service whose log publication lags by ``days``.
+
+        ``horizon`` is the date the retroactive analysis runs: entries
+        whose delayed publication lands after it have not surfaced yet
+        and are hidden.  The derived index is built eagerly so
+        ``hidden_entries`` is immediately meaningful.
+        """
+        derived = CrtShService(
+            self._logs,
+            self._revocations,
+            self._asof,
+            publication_delay_days=days,
+            publication_horizon=horizon,
+        )
+        derived._refresh_index()
+        return derived
+
     def _refresh_index(self) -> None:
         for log_pos, log in enumerate(self._logs):
             seen = self._indexed_counts.get(log_pos, 0)
             entries = log.entries()
             for entry in entries[seen:]:
+                published = entry.timestamp + self._publication_delay
+                if (
+                    self._publication_horizon is not None
+                    and published > self._publication_horizon
+                ):
+                    self.hidden_entries += 1
+                    continue
                 for san in entry.certificate.sans:
                     name = san[2:] if san.startswith("*.") else san
                     try:
@@ -69,7 +104,7 @@ class CrtShService:
                     except ValueError:
                         continue
                     self._index.setdefault(base, []).append(
-                        (entry.certificate, entry.timestamp)
+                        (entry.certificate, published)
                     )
             self._indexed_counts[log_pos] = len(entries)
 

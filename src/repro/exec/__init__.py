@@ -26,6 +26,7 @@ from repro.exec.backends import ExecutionBackend, ProcessPoolBackend, SerialBack
 from repro.exec.executor import PipelineExecutor
 from repro.exec.metrics import (
     MANIFEST_SCHEMA,
+    RetryEvent,
     RunMetrics,
     StageMetrics,
     StageStats,
@@ -40,6 +41,7 @@ __all__ = [
     "SerialBackend",
     "PipelineExecutor",
     "MANIFEST_SCHEMA",
+    "RetryEvent",
     "RunMetrics",
     "StageMetrics",
     "StageStats",

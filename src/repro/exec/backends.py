@@ -26,14 +26,25 @@ import time
 import zlib
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.exec import kernels
-from repro.exec.metrics import TaskEvent
+from repro.exec.metrics import RetryEvent, TaskEvent
+from repro.faults.errors import RetryBudgetExceeded, WorkerFault
+from repro.faults.plan import SLOW
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 
 #: How many chunks each worker gets by default when no chunk size is set;
 #: >1 so an unlucky hash bucket does not serialize the whole stage.
 _CHUNKS_PER_WORKER = 4
+
+#: Retry policy used when no fault plan supplies one: a genuinely broken
+#: process pool is still rebuilt and retried this many times.
+_DEFAULT_MAX_RETRIES = 3
+_DEFAULT_BACKOFF_MS = 20
 
 
 class ExecutionBackend(ABC):
@@ -45,9 +56,17 @@ class ExecutionBackend(ABC):
 
     def __init__(self) -> None:
         self._events: list[TaskEvent] = []
+        self._retry_events: list[RetryEvent] = []
+        self._fault_plan: FaultPlan | None = None
 
     def start(self, inputs: Any, config: Any) -> None:
         """Install the run's inputs before the first ``map`` call."""
+
+    def install_faults(self, plan: FaultPlan | None) -> None:
+        """Adopt a fault plan for this run; None or an empty plan means
+        no injection, which leaves every dispatch path byte-identical to
+        a backend that never heard of faults."""
+        self._fault_plan = None if plan is None or plan.is_empty else plan
 
     @abstractmethod
     def map(
@@ -58,27 +77,75 @@ class ExecutionBackend(ABC):
     ) -> list:
         """Apply a kernel to every item, results aligned with ``items``."""
 
+    # -- fault + retry machinery (inert without an installed plan) -----------
+
+    def _max_attempts(self) -> int:
+        if self._fault_plan is not None:
+            return self._fault_plan.spec.max_retries
+        return _DEFAULT_MAX_RETRIES
+
+    def _backoff_seconds(self, attempt: int) -> float:
+        if self._fault_plan is not None:
+            return self._fault_plan.backoff_seconds(attempt)
+        return (_DEFAULT_BACKOFF_MS / 1000.0) * 2**attempt
+
+    def _chunk_fault(self, kernel_name: str, token: Any, attempt: int) -> str | None:
+        """The fault directive (if any) for one dispatch attempt.
+
+        Decided in the parent from the deterministic plan — workers only
+        obey directives, so a re-run with the same ``(seed, spec)``
+        injects the same faults into the same chunks.
+        """
+        if self._fault_plan is None:
+            return None
+        fault = self._fault_plan.worker_fault(kernel_name, token, attempt)
+        if fault is not None and fault.startswith(SLOW):
+            self._record_retry(kernel_name, "slow", attempt)
+        return fault
+
     def run_inline(self, kernel_name: str, items: Sequence) -> list:
         """Run a kernel in the calling process, bypassing any fan-out.
 
         Stages whose work is cheaper than shipping its operands (e.g.
         classification: microseconds per map, kilobytes per map) use
         this so both backends execute them identically in the parent.
+        Injected crashes are retried with exponential backoff, exactly
+        like a process-pool chunk.
         """
         items = list(items)
         if not items:
             return []
-        start = time.perf_counter()
-        results = kernels.KERNELS[kernel_name](items)
-        self._record(TaskEvent(os.getpid(), time.perf_counter() - start, len(items)))
-        return results
+        max_attempts = self._max_attempts()
+        for attempt in range(max_attempts):
+            fault = self._chunk_fault(kernel_name, "inline", attempt)
+            try:
+                pid, seconds, results = kernels.run_chunk(kernel_name, items, fault)
+            except WorkerFault as exc:
+                if attempt + 1 >= max_attempts:
+                    raise RetryBudgetExceeded(
+                        f"kernel {kernel_name!r} failed {max_attempts} times"
+                    ) from exc
+                self._record_retry(kernel_name, "crash", attempt)
+                time.sleep(self._backoff_seconds(attempt))
+                continue
+            self._record(TaskEvent(pid, seconds, len(items)))
+            return results
+        raise AssertionError("unreachable: retry loop exits via return or raise")
 
     def _record(self, event: TaskEvent) -> None:
         self._events.append(event)
 
+    def _record_retry(self, kernel: str, kind: str, attempt: int) -> None:
+        self._retry_events.append(RetryEvent(kernel, kind, attempt))
+
     def pop_events(self) -> list[TaskEvent]:
         """Drain the task events recorded since the last call."""
         events, self._events = self._events, []
+        return events
+
+    def pop_retry_events(self) -> list[RetryEvent]:
+        """Drain the fault/retry events recorded since the last call."""
+        events, self._retry_events = self._retry_events, []
         return events
 
     def close(self) -> None:
@@ -115,12 +182,20 @@ class ProcessPoolBackend(ExecutionBackend):
             raise ValueError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
         self._pool: ProcessPoolExecutor | None = None
+        self._inputs: Any = None
+        self._config: Any = None
 
     def start(self, inputs: Any, config: Any) -> None:
         # Install the inputs in the parent first: with the fork start
         # method the workers inherit them copy-on-write and nothing is
         # pickled; it also lets the parent service run_inline stages.
+        # Kept on the backend so a broken pool can be rebuilt mid-run.
+        self._inputs = inputs
+        self._config = config
         kernels.set_context(inputs, config)
+        self._spawn_pool()
+
+    def _spawn_pool(self) -> None:
         if "fork" in multiprocessing.get_all_start_methods():
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
@@ -130,8 +205,21 @@ class ProcessPoolBackend(ExecutionBackend):
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=kernels.worker_init,
-                initargs=(inputs, config),
+                initargs=(self._inputs, self._config),
             )
+
+    def _rebuild_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._spawn_pool()
+
+    def _submit_chunk(
+        self, kernel_name: str, items: list, chunk: list[int], ordinal: int, attempt: int
+    ):
+        fault = self._chunk_fault(kernel_name, ordinal, attempt)
+        return self._pool.submit(
+            kernels.run_chunk, kernel_name, [items[i] for i in chunk], fault
+        )
 
     def map(
         self,
@@ -144,16 +232,52 @@ class ProcessPoolBackend(ExecutionBackend):
         items = list(items)
         if not items:
             return []
+        chunks = self._chunks(items, key)
+        max_attempts = self._max_attempts()
+        attempts = [0] * len(chunks)
         futures = [
-            (chunk, self._pool.submit(kernels.run_chunk, kernel_name, [items[i] for i in chunk]))
-            for chunk in self._chunks(items, key)
+            self._submit_chunk(kernel_name, items, chunk, ordinal, 0)
+            for ordinal, chunk in enumerate(chunks)
         ]
         results: list = [None] * len(items)
-        for chunk, future in futures:
-            pid, seconds, chunk_results = future.result()
-            self._record(TaskEvent(pid, seconds, len(chunk)))
-            for index, result in zip(chunk, chunk_results):
-                results[index] = result
+        for ordinal, chunk in enumerate(chunks):
+            while True:
+                attempt = attempts[ordinal]
+                try:
+                    pid, seconds, chunk_results = futures[ordinal].result()
+                except WorkerFault as exc:
+                    attempts[ordinal] += 1
+                    if attempts[ordinal] >= max_attempts:
+                        raise RetryBudgetExceeded(
+                            f"kernel {kernel_name!r} chunk {ordinal} failed "
+                            f"{max_attempts} times"
+                        ) from exc
+                    self._record_retry(kernel_name, "crash", attempt)
+                    time.sleep(self._backoff_seconds(attempt))
+                    futures[ordinal] = self._submit_chunk(
+                        kernel_name, items, chunk, ordinal, attempts[ordinal]
+                    )
+                except BrokenProcessPool as exc:
+                    attempts[ordinal] += 1
+                    if attempts[ordinal] >= max_attempts:
+                        raise RetryBudgetExceeded(
+                            f"process pool broke {max_attempts} times running "
+                            f"kernel {kernel_name!r}"
+                        ) from exc
+                    self._record_retry(kernel_name, "pool_rebuild", attempt)
+                    time.sleep(self._backoff_seconds(attempt))
+                    self._rebuild_pool()
+                    # A broken pool voids every outstanding future, not
+                    # just this chunk's — resubmit all uncollected work.
+                    for later in range(ordinal, len(chunks)):
+                        futures[later] = self._submit_chunk(
+                            kernel_name, items, chunks[later], later, attempts[later]
+                        )
+                else:
+                    self._record(TaskEvent(pid, seconds, len(chunk)))
+                    for index, result in zip(chunk, chunk_results):
+                        results[index] = result
+                    break
         return results
 
     def _chunks(

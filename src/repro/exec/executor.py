@@ -47,7 +47,13 @@ class PipelineExecutor:
                 metrics.add_stage(
                     stage.name, wall, stats, backend.pop_events(), stage.parallel
                 )
+                for event in backend.pop_retry_events():
+                    if event.kind == "slow":
+                        ctx.quality.worker_slowdowns += 1
+                    else:
+                        ctx.quality.record_retry(event.kind)
         finally:
             backend.close()
         metrics.wall_seconds = time.perf_counter() - run_start
+        metrics.data_quality = ctx.quality.to_dict()
         return metrics

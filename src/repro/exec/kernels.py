@@ -17,6 +17,9 @@ import os
 import time
 from typing import Any, Callable
 
+from repro.faults.errors import InjectedWorkerCrash
+from repro.faults.plan import CRASH, SLOW
+
 _INPUTS: Any = None
 _CONFIG: Any = None
 
@@ -43,8 +46,24 @@ def worker_init(inputs: Any, config: Any) -> None:
     set_context(inputs, config)
 
 
-def run_chunk(name: str, chunk: list) -> tuple[int, float, list]:
-    """Execute one chunk, reporting (pid, busy seconds, per-item results)."""
+def run_chunk(
+    name: str, chunk: list, fault: str | None = None
+) -> tuple[int, float, list]:
+    """Execute one chunk, reporting (pid, busy seconds, per-item results).
+
+    ``fault`` is a directive the parent drew from its fault plan before
+    dispatch: ``"crash"`` raises :class:`InjectedWorkerCrash` before any
+    work happens (the backend's retry loop catches it), ``"slow:MS"``
+    sleeps ``MS`` milliseconds first.  ``None`` — the only value an
+    empty plan ever produces — leaves the kernel untouched.
+    """
+    if fault is not None:
+        if fault == CRASH:
+            raise InjectedWorkerCrash(
+                f"injected worker crash in kernel {name!r} (pid {os.getpid()})"
+            )
+        if fault.startswith(SLOW):
+            time.sleep(int(fault.split(":", 1)[1]) / 1000.0)
     start = time.perf_counter()
     results = KERNELS[name](chunk)
     return os.getpid(), time.perf_counter() - start, results

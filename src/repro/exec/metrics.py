@@ -16,7 +16,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-MANIFEST_SCHEMA = "repro.exec.run-manifest/1"
+MANIFEST_SCHEMA = "repro.exec.run-manifest/2"
+
+#: Older manifests (no ``data_quality`` section) still load.
+_READABLE_SCHEMAS = frozenset({MANIFEST_SCHEMA, "repro.exec.run-manifest/1"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,6 +29,21 @@ class TaskEvent:
     pid: int
     seconds: float
     items: int
+
+
+@dataclass(frozen=True, slots=True)
+class RetryEvent:
+    """One fault the backend absorbed instead of aborting the run.
+
+    ``kind`` is ``"crash"`` (a worker task raised an injected crash and
+    was retried), ``"pool_rebuild"`` (the process pool broke and was
+    rebuilt before resubmission), or ``"slow"`` (an injected slowdown —
+    recorded, not retried).
+    """
+
+    kernel: str
+    kind: str
+    attempt: int
 
 
 @dataclass
@@ -98,6 +116,9 @@ class RunMetrics:
     wall_seconds: float = 0.0
     stages: list[StageMetrics] = field(default_factory=list)
     funnel: dict[str, int] = field(default_factory=dict)
+    #: The run's DataQuality ledger (``DataQuality.to_dict()`` shape);
+    #: None for manifests written before schema /2.
+    data_quality: dict[str, Any] | None = None
 
     def add_stage(
         self,
@@ -141,14 +162,15 @@ class RunMetrics:
             "wall_seconds": round(self.wall_seconds, 6),
             "stages": [stage.to_dict() for stage in self.stages],
             "funnel": dict(self.funnel),
+            "data_quality": self.data_quality,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> RunMetrics:
-        if data.get("schema") != MANIFEST_SCHEMA:
+        if data.get("schema") not in _READABLE_SCHEMAS:
             raise ValueError(
                 f"unsupported manifest schema {data.get('schema')!r} "
-                f"(expected {MANIFEST_SCHEMA!r})"
+                f"(expected one of {sorted(_READABLE_SCHEMAS)})"
             )
         return cls(
             backend=data["backend"],
@@ -157,6 +179,7 @@ class RunMetrics:
             wall_seconds=data["wall_seconds"],
             stages=[StageMetrics.from_dict(s) for s in data["stages"]],
             funnel=dict(data.get("funnel", {})),
+            data_quality=data.get("data_quality"),
         )
 
     def write(self, path: str | Path) -> None:
@@ -190,4 +213,11 @@ def format_run_metrics(metrics: RunMetrics) -> str:
         targeted = metrics.funnel.get("n_targeted")
         if hijacked is not None:
             lines.append(f"verdicts: {hijacked} hijacked, {targeted} targeted")
+    if metrics.data_quality and metrics.data_quality.get("degraded"):
+        workers = metrics.data_quality.get("workers", {})
+        lines.append(
+            "data quality: DEGRADED "
+            f"(worker retries={workers.get('retries', 0)}, "
+            f"pool rebuilds={workers.get('pool_rebuilds', 0)})"
+        )
     return "\n".join(lines)

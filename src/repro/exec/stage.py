@@ -11,10 +11,11 @@ any backend.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.exec.metrics import StageStats
+from repro.faults.quality import DataQuality
 
 if TYPE_CHECKING:
     from repro.exec.backends import ExecutionBackend
@@ -26,11 +27,14 @@ class StageContext:
 
     Concrete pipelines subclass this with typed fields for their
     products; the base carries only what every run needs: the immutable
-    input bundle and the configuration.
+    input bundle, the configuration, and the run's data-quality ledger
+    (empty — ``degraded == False`` — unless faults degraded the inputs
+    or the backend absorbed worker failures).
     """
 
     inputs: Any
     config: Any
+    quality: DataQuality = field(default_factory=DataQuality)
 
 
 class Stage(ABC):

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and graceful degradation.
+
+A :class:`FaultSpec` names the faults a run should suffer (parsed from a
+``--faults`` spec string); a :class:`FaultPlan` binds a spec to a seed so
+every individual fault decision — which weekly scans drop, which sensor
+windows go dark, which worker tasks crash — is a pure function of
+``(seed, spec)`` and therefore fully reproducible.  ``apply_faults``
+derives the degraded input bundle up front, and the execution backends
+consult the same plan for live worker faults, retrying them with bounded
+exponential backoff so an injected crash degrades a run instead of
+aborting it.  Every loss lands in the :class:`DataQuality` ledger, which
+the run manifest exports as its ``data_quality`` section.
+
+The invariant the golden-report tests pin down: an **empty plan is
+byte-identical to no plan at all**, on both backends.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    InjectedWorkerCrash,
+    RetryBudgetExceeded,
+    WorkerFault,
+)
+from repro.faults.inject import apply_faults
+from repro.faults.plan import FaultClock, FaultPlan
+from repro.faults.quality import DataQuality, format_data_quality
+from repro.faults.spec import FaultSpec
+
+__all__ = [
+    "DataQuality",
+    "FaultClock",
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "RetryBudgetExceeded",
+    "WorkerFault",
+    "apply_faults",
+    "format_data_quality",
+]

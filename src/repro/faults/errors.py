@@ -1,0 +1,30 @@
+"""Exceptions of the fault-injection layer.
+
+Kept in a dependency-free module so both the execution backends (which
+must catch worker faults to retry them) and the kernels (which raise the
+injected ones inside workers) can import them without a cycle.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(ValueError):
+    """A fault spec or plan could not be constructed."""
+
+
+class WorkerFault(RuntimeError):
+    """A worker-level failure the backend is allowed to retry.
+
+    Genuine kernel exceptions (bugs in stage code) deliberately do NOT
+    inherit from this: retrying them would only mask the defect.  The
+    backends retry ``WorkerFault`` and broken-pool conditions, nothing
+    else.
+    """
+
+
+class InjectedWorkerCrash(WorkerFault):
+    """A deterministic, plan-scheduled worker crash."""
+
+
+class RetryBudgetExceeded(WorkerFault):
+    """A chunk kept failing after the plan's full retry budget."""

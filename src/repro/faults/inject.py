@@ -1,0 +1,107 @@
+"""Applying a fault plan to a pipeline's input bundle.
+
+Dataset faults are applied *up front*: the plan derives degraded copies
+of the scan dataset, the pDNS database, the CT search service, and the
+routing table before the first stage runs, and every derivation is
+recorded in the :class:`DataQuality` ledger.  Degrading inputs rather
+than query paths keeps the stages oblivious — the same pipeline code
+runs on perfect and on degraded telemetry, and serial / process-pool
+backends stay byte-identical because both consume the same derived
+bundle.  (Worker faults are the exception: they are injected live by
+the execution backends, which retry them; see ``repro.exec.backends``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan
+from repro.faults.quality import DataQuality
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineInputs
+    from repro.pdns.database import PassiveDNSDatabase
+
+
+def _pdns_row_spans(db: PassiveDNSDatabase) -> dict[tuple, tuple]:
+    return {
+        (r.rrname, r.rtype, r.rdata): (r.first_seen, r.last_seen)
+        for r in db.all_records()
+    }
+
+
+def apply_faults(
+    inputs: PipelineInputs, plan: FaultPlan, quality: DataQuality
+) -> PipelineInputs:
+    """Derive the degraded input bundle a plan prescribes.
+
+    Returns a new :class:`PipelineInputs` (the original is untouched)
+    and records every loss in ``quality``.  An empty plan returns the
+    inputs unchanged.
+    """
+    if plan.is_empty:
+        return inputs
+    spec = plan.spec
+    changes: dict[str, object] = {}
+
+    if spec.drop_weeks or spec.drop_ports:
+        scan = inputs.scan
+        drop_dates = tuple(d for d in scan.scan_dates if plan.drops_scan(d))
+        drop_record = plan.drops_record if spec.drop_ports else None
+        degraded = scan.degraded(drop_dates, drop_record)
+        lost = len(scan) - len(degraded)
+        quality.scan_dropped_dates = drop_dates
+        quality.scan_dropped_records = lost
+        if drop_dates or lost:
+            quality.note(
+                f"scan: {len(drop_dates)} weekly scans and {lost} records lost"
+            )
+        changes["scan"] = degraded
+
+    if spec.pdns_blackouts and inputs.scan.scan_dates:
+        start, end = inputs.scan.scan_dates[0], inputs.scan.scan_dates[-1]
+        windows = plan.blackout_windows(start, end)
+        if windows:
+            before = _pdns_row_spans(inputs.pdns)
+            blacked = inputs.pdns.without_windows(list(windows))
+            after = _pdns_row_spans(blacked)
+            quality.pdns_blackouts = windows
+            quality.pdns_rows_dropped = len(before) - len(after)
+            quality.pdns_rows_trimmed = sum(
+                1 for key, span in after.items() if before[key] != span
+            )
+            quality.note(
+                f"pdns: {len(windows)} sensor blackouts "
+                f"({quality.pdns_rows_dropped} rows lost, "
+                f"{quality.pdns_rows_trimmed} trimmed)"
+            )
+            changes["pdns"] = blacked
+
+    if spec.ct_delay_days:
+        horizon = inputs.periods[-1].end if inputs.periods else None
+        delayed = inputs.crtsh.with_publication_delay(
+            spec.ct_delay_days, horizon=horizon
+        )
+        quality.ct_delay_days = spec.ct_delay_days
+        quality.ct_entries_hidden = delayed.hidden_entries
+        quality.note(
+            f"ct: publication lagged {spec.ct_delay_days}d, "
+            f"{delayed.hidden_entries} entries past the analysis horizon"
+        )
+        changes["crtsh"] = delayed
+
+    if spec.routing_stale and inputs.routing is not None:
+        stale = inputs.routing.thinned(plan.hides_prefix)
+        quality.routing_stale_prefixes = len(inputs.routing) - len(stale)
+        if quality.routing_stale_prefixes:
+            quality.note(
+                f"routing: {quality.routing_stale_prefixes} prefixes missing "
+                "from the stale snapshot"
+            )
+        changes["routing"] = stale
+
+    return replace(inputs, **changes) if changes else inputs
+
+
+__all__ = ["apply_faults"]

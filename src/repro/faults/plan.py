@@ -1,0 +1,142 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is the pair ``(seed, spec)``: the spec names how
+hard each channel is degraded, the seed fixes *which* concrete scans,
+records, prefixes, and worker chunks are hit.  Every decision is a
+stateless draw from a keyed hash over the decision's own identity (a
+scan date, a record key, a chunk token), so:
+
+* the same ``(seed, spec)`` always yields the same plan — regardless of
+  evaluation order, backend, or sharding;
+* raising a channel's probability strictly grows the set of faults it
+  fires (the per-identity draw is fixed; only the threshold moves),
+  which is what makes degradation monotone in the fault rate.
+
+:class:`FaultClock` is the draw source plus per-channel monotone tick
+counters for sequenced events (blackout windows, retry accounting).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date, timedelta
+from typing import TYPE_CHECKING
+
+from repro.faults.spec import FaultSpec
+from repro.net.timeline import DateInterval
+
+if TYPE_CHECKING:
+    from repro.scan.annotate import AnnotatedScanRecord
+
+#: Injected worker-fault kinds, as shipped to ``kernels.run_chunk``.
+CRASH = "crash"
+SLOW = "slow"
+
+
+class FaultClock:
+    """Keyed deterministic randomness plus per-channel tick counters."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._key = (seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big")
+        self._ticks: dict[str, int] = {}
+
+    def uniform(self, channel: str, *tokens: object) -> float:
+        """A fixed draw in [0, 1) for this (channel, identity) pair."""
+        message = "|".join([channel, *map(str, tokens)]).encode("utf-8")
+        digest = hashlib.blake2b(message, digest_size=8, key=self._key).digest()
+        return int.from_bytes(digest, "big") / 2**64
+
+    def fires(self, channel: str, probability: float, *tokens: object) -> bool:
+        """Bernoulli(probability) on the fixed draw — monotone in p."""
+        return probability > 0.0 and self.uniform(channel, *tokens) < probability
+
+    def pick(self, channel: str, n: int, *tokens: object) -> int:
+        """A fixed choice from range(n)."""
+        if n <= 0:
+            raise ValueError(f"cannot pick from {n} options")
+        return min(int(self.uniform(channel, *tokens) * n), n - 1)
+
+    def tick(self, channel: str) -> int:
+        """Monotone per-channel event counter (0, 1, 2, ...)."""
+        value = self._ticks.get(channel, 0)
+        self._ticks[channel] = value + 1
+        return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All fault decisions of one run, reproducible from ``(seed, spec)``."""
+
+    spec: FaultSpec
+    seed: int = 0
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec | str | None, seed: int = 0) -> FaultPlan:
+        """Build a plan from a spec object or the spec grammar text."""
+        if spec is None or isinstance(spec, str):
+            spec = FaultSpec.parse(spec)
+        return cls(spec=spec, seed=seed)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.spec.is_empty
+
+    def clock(self) -> FaultClock:
+        """A fresh clock over this plan's seed (ticks start at zero)."""
+        return FaultClock(self.seed)
+
+    # -- dataset fault decisions ----------------------------------------------
+
+    def drops_scan(self, day: date) -> bool:
+        """Is this whole weekly scan lost?"""
+        return self.clock().fires("scan.drop_weeks", self.spec.drop_weeks, day.toordinal())
+
+    def drops_record(self, record: AnnotatedScanRecord) -> bool:
+        """Is this per-port observation lost?"""
+        return self.clock().fires(
+            "scan.drop_ports",
+            self.spec.drop_ports,
+            record.scan_date.toordinal(),
+            record.ip,
+            record.certificate.fingerprint,
+        )
+
+    def blackout_windows(self, start: date, end: date) -> tuple[DateInterval, ...]:
+        """The pDNS sensor blackout windows scheduled inside [start, end]."""
+        if self.spec.pdns_blackouts <= 0 or end < start:
+            return ()
+        clock = self.clock()
+        span = (end - start).days
+        duration = max(1, self.spec.pdns_blackout_days)
+        windows = []
+        for i in range(self.spec.pdns_blackouts):
+            offset = clock.pick("pdns.blackout", max(1, span - duration + 1), i)
+            first = start + timedelta(days=offset)
+            last = min(end, first + timedelta(days=duration - 1))
+            windows.append(DateInterval(first, last))
+        return tuple(sorted(windows, key=lambda w: (w.start, w.end)))
+
+    def hides_prefix(self, prefix: str) -> bool:
+        """Is this prefix missing from the stale routing snapshot?"""
+        return self.clock().fires("routing.stale", self.spec.routing_stale, prefix)
+
+    # -- worker fault decisions -----------------------------------------------
+
+    def worker_fault(self, kernel: str, token: str, attempt: int) -> str | None:
+        """The injected fault for one chunk attempt, or None.
+
+        Crashes fire only on the first attempt, so a faulted chunk always
+        succeeds within the retry budget and a degraded run completes.
+        """
+        clock = self.clock()
+        if attempt == 0 and clock.fires("workers.crash", self.spec.worker_crash, kernel, token):
+            return CRASH
+        if clock.fires("workers.slow", self.spec.worker_slow, kernel, token, attempt):
+            return f"{SLOW}:{self.spec.worker_slow_ms}"
+        return None
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Exponential backoff before retry number ``attempt + 1``."""
+        return (self.spec.backoff_ms / 1000.0) * (2**attempt)

@@ -1,0 +1,161 @@
+"""The run's data-quality ledger.
+
+Every degradation the fault layer applies — and every worker fault the
+backends absorb — is recorded here, attached to the run's
+:class:`repro.exec.StageContext`, and exported as the ``data_quality``
+section of the JSON run manifest.  Downstream consumers read it to
+answer "how much telemetry was this verdict actually computed from?";
+the shortlist reads the scan gaps to widen its visibility denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Any
+
+from repro.net.timeline import DateInterval
+
+
+@dataclass
+class DataQuality:
+    """What is known to be missing, late, or retried in one run."""
+
+    scan_dropped_dates: tuple[date, ...] = ()
+    scan_dropped_records: int = 0
+    pdns_blackouts: tuple[DateInterval, ...] = ()
+    pdns_rows_dropped: int = 0
+    pdns_rows_trimmed: int = 0
+    ct_delay_days: int = 0
+    ct_entries_hidden: int = 0
+    routing_stale_prefixes: int = 0
+    worker_crashes: int = 0
+    worker_slowdowns: int = 0
+    worker_retries: int = 0
+    pool_rebuilds: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Did anything at all fall short of perfect telemetry?"""
+        return bool(
+            self.scan_dropped_dates
+            or self.scan_dropped_records
+            or self.pdns_blackouts
+            or self.pdns_rows_dropped
+            or self.pdns_rows_trimmed
+            or self.ct_delay_days
+            or self.ct_entries_hidden
+            or self.routing_stale_prefixes
+            or self.worker_crashes
+            or self.worker_slowdowns
+            or self.worker_retries
+            or self.pool_rebuilds
+        )
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def record_retry(self, kind: str) -> None:
+        """Fold one backend retry event into the worker counters."""
+        self.worker_retries += 1
+        if kind == "crash":
+            self.worker_crashes += 1
+        elif kind == "pool_rebuild":
+            self.pool_rebuilds += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        """The manifest's ``data_quality`` section."""
+        return {
+            "degraded": self.degraded,
+            "scan": {
+                "dropped_dates": [d.isoformat() for d in self.scan_dropped_dates],
+                "dropped_records": self.scan_dropped_records,
+            },
+            "pdns": {
+                "blackouts": [
+                    {"start": w.start.isoformat(), "end": w.end.isoformat()}
+                    for w in self.pdns_blackouts
+                ],
+                "rows_dropped": self.pdns_rows_dropped,
+                "rows_trimmed": self.pdns_rows_trimmed,
+            },
+            "ct": {
+                "delay_days": self.ct_delay_days,
+                "entries_hidden": self.ct_entries_hidden,
+            },
+            "routing": {"stale_prefixes": self.routing_stale_prefixes},
+            "workers": {
+                "crashes": self.worker_crashes,
+                "slowdowns": self.worker_slowdowns,
+                "retries": self.worker_retries,
+                "pool_rebuilds": self.pool_rebuilds,
+            },
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> DataQuality:
+        """Rebuild a ledger from a manifest's ``data_quality`` section."""
+        scan = data.get("scan", {})
+        pdns = data.get("pdns", {})
+        ct = data.get("ct", {})
+        routing = data.get("routing", {})
+        workers = data.get("workers", {})
+        return cls(
+            scan_dropped_dates=tuple(
+                date.fromisoformat(d) for d in scan.get("dropped_dates", [])
+            ),
+            scan_dropped_records=scan.get("dropped_records", 0),
+            pdns_blackouts=tuple(
+                DateInterval(
+                    date.fromisoformat(w["start"]), date.fromisoformat(w["end"])
+                )
+                for w in pdns.get("blackouts", [])
+            ),
+            pdns_rows_dropped=pdns.get("rows_dropped", 0),
+            pdns_rows_trimmed=pdns.get("rows_trimmed", 0),
+            ct_delay_days=ct.get("delay_days", 0),
+            ct_entries_hidden=ct.get("entries_hidden", 0),
+            routing_stale_prefixes=routing.get("stale_prefixes", 0),
+            worker_crashes=workers.get("crashes", 0),
+            worker_slowdowns=workers.get("slowdowns", 0),
+            worker_retries=workers.get("retries", 0),
+            pool_rebuilds=workers.get("pool_rebuilds", 0),
+            notes=list(data.get("notes", [])),
+        )
+
+
+def format_data_quality(quality: DataQuality) -> str:
+    """Render the ledger as a short human-readable block."""
+    if not quality.degraded:
+        return "data quality: complete (no known gaps)"
+    lines = ["data quality: DEGRADED"]
+    if quality.scan_dropped_dates:
+        lines.append(
+            f"  scans dropped:     {len(quality.scan_dropped_dates)} weekly scans"
+        )
+    if quality.scan_dropped_records:
+        lines.append(f"  records dropped:   {quality.scan_dropped_records}")
+    if quality.pdns_blackouts:
+        windows = ", ".join(str(w) for w in quality.pdns_blackouts)
+        lines.append(f"  pDNS blackouts:    {windows}")
+    if quality.pdns_rows_dropped or quality.pdns_rows_trimmed:
+        lines.append(
+            f"  pDNS rows:         {quality.pdns_rows_dropped} dropped, "
+            f"{quality.pdns_rows_trimmed} trimmed"
+        )
+    if quality.ct_delay_days:
+        lines.append(
+            f"  CT publication:    lagged {quality.ct_delay_days}d "
+            f"({quality.ct_entries_hidden} entries past horizon)"
+        )
+    if quality.routing_stale_prefixes:
+        lines.append(f"  routing table:     {quality.routing_stale_prefixes} stale prefixes")
+    if quality.worker_retries or quality.worker_slowdowns:
+        lines.append(
+            f"  worker faults:     {quality.worker_crashes} crashes, "
+            f"{quality.worker_slowdowns} slowdowns, {quality.worker_retries} retries, "
+            f"{quality.pool_rebuilds} pool rebuilds"
+        )
+    return "\n".join(lines)

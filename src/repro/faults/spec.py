@@ -1,0 +1,126 @@
+"""The fault-spec grammar.
+
+A spec is a comma-separated list of ``channel=value`` clauses naming how
+hard each telemetry source is degraded, e.g.::
+
+    scan.drop_weeks=0.1,pdns.blackouts=2,ct.delay_days=21,workers.crash=0.2
+
+Channels (all default to "off"):
+
+========================  =====================================================
+``scan.drop_weeks``       probability each weekly scan is lost entirely
+``scan.drop_ports``       probability each per-port scan observation is lost
+``pdns.blackouts``        number of sensor blackout windows to schedule
+``pdns.blackout_days``    length of each blackout window in days (default 14)
+``ct.delay_days``         CT log publication lag in days
+``routing.stale``         probability each prefix is missing from the stale table
+``workers.crash``         probability a chunk's first attempt crashes its worker
+``workers.slow``          probability a chunk is artificially slowed
+``workers.slow_ms``       injected latency per slowed chunk (default 25 ms)
+``workers.max_retries``   retry budget per chunk (default 3)
+``workers.backoff_ms``    base backoff before a retry, doubled per attempt
+========================  =====================================================
+
+Probabilities must lie in [0, 1]; counts must be non-negative.  An empty
+(or all-zero) spec is the identity: a plan built from it injects nothing
+and the pipeline's output is byte-identical to an un-faulted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.faults.errors import FaultError
+
+_PROBABILITY_KEYS = {
+    "scan.drop_weeks": "drop_weeks",
+    "scan.drop_ports": "drop_ports",
+    "routing.stale": "routing_stale",
+    "workers.crash": "worker_crash",
+    "workers.slow": "worker_slow",
+}
+_COUNT_KEYS = {
+    "pdns.blackouts": "pdns_blackouts",
+    "pdns.blackout_days": "pdns_blackout_days",
+    "ct.delay_days": "ct_delay_days",
+    "workers.slow_ms": "worker_slow_ms",
+    "workers.max_retries": "max_retries",
+    "workers.backoff_ms": "backoff_ms",
+}
+#: Spec keys that tune the retry policy rather than injecting a fault.
+_POLICY_FIELDS = ("pdns_blackout_days", "worker_slow_ms", "max_retries", "backoff_ms")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One parsed fault spec; immutable and hashable."""
+
+    drop_weeks: float = 0.0
+    drop_ports: float = 0.0
+    pdns_blackouts: int = 0
+    pdns_blackout_days: int = 14
+    ct_delay_days: int = 0
+    routing_stale: float = 0.0
+    worker_crash: float = 0.0
+    worker_slow: float = 0.0
+    worker_slow_ms: int = 25
+    max_retries: int = 3
+    backoff_ms: int = 20
+
+    def __post_init__(self) -> None:
+        for key, attr in _PROBABILITY_KEYS.items():
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise FaultError(f"{key} must be a probability in [0, 1]: {value!r}")
+        for key, attr in _COUNT_KEYS.items():
+            value = getattr(self, attr)
+            if value < 0:
+                raise FaultError(f"{key} must be >= 0: {value!r}")
+        if self.max_retries < 1:
+            raise FaultError(f"workers.max_retries must be >= 1: {self.max_retries!r}")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no fault channel is active (policy knobs ignored)."""
+        return all(
+            not getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in _POLICY_FIELDS
+        )
+
+    @classmethod
+    def parse(cls, text: str | None) -> FaultSpec:
+        """Parse the ``channel=value[,channel=value...]`` grammar."""
+        if text is None or not text.strip():
+            return cls()
+        values: dict[str, float | int] = {}
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            key, sep, raw = clause.partition("=")
+            key = key.strip()
+            if not sep:
+                raise FaultError(f"fault clause {clause!r} is not channel=value")
+            if key in _PROBABILITY_KEYS:
+                attr, value = _PROBABILITY_KEYS[key], float(raw)
+            elif key in _COUNT_KEYS:
+                attr, value = _COUNT_KEYS[key], int(raw)
+            else:
+                known = ", ".join(sorted({**_PROBABILITY_KEYS, **_COUNT_KEYS}))
+                raise FaultError(f"unknown fault channel {key!r} (known: {known})")
+            if attr in values:
+                raise FaultError(f"fault channel {key!r} given twice")
+            values[attr] = value
+        return cls(**values)
+
+    def format(self) -> str:
+        """Render back to the spec grammar (only non-default clauses)."""
+        reverse = {attr: key for key, attr in (_PROBABILITY_KEYS | _COUNT_KEYS).items()}
+        default = FaultSpec()
+        clauses = [
+            f"{reverse[f.name]}={getattr(self, f.name)}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        ]
+        return ",".join(clauses)

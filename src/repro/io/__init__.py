@@ -15,6 +15,14 @@ from repro.io.datasets import (
     save_pdns,
     save_scan_dataset,
 )
+from repro.io.golden import (
+    GOLDEN_SCHEMA,
+    encode_report,
+    golden_filename,
+    read_golden,
+    report_to_dict,
+    write_golden,
+)
 from repro.io.intel import load_as2org, load_ct, save_as2org, save_ct
 from repro.io.reports import load_findings, save_findings
 
@@ -31,4 +39,10 @@ __all__ = [
     "save_ct",
     "load_findings",
     "save_findings",
+    "GOLDEN_SCHEMA",
+    "encode_report",
+    "golden_filename",
+    "read_golden",
+    "report_to_dict",
+    "write_golden",
 ]

@@ -1,0 +1,185 @@
+"""Canonical golden-report serialization for regression pinning.
+
+A golden file is the canonical JSON rendering of one
+:class:`PipelineReport` — every funnel counter, finding, classification,
+shortlist entry, inspection verdict, and pivot, with dates as ISO
+strings, enums by name, and every unordered collection sorted.  Two
+reports are behaviorally identical iff their encodings are
+byte-identical, which is exactly what ``tests/test_golden_reports.py``
+asserts for the pinned seeds across backends and the empty fault plan.
+
+Regenerate after an *intentional* behavior change with::
+
+    python -m repro.cli golden --update
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import PipelineReport
+
+GOLDEN_SCHEMA = "repro.io.golden-report/1"
+
+
+def golden_filename(seed: int) -> str:
+    return f"paper_seed{seed}.json"
+
+
+def _iso(value: date | None) -> str | None:
+    return value.isoformat() if value is not None else None
+
+
+def _name(value: Enum | None) -> str | None:
+    return value.name if value is not None else None
+
+
+def _deployment(deployment) -> dict[str, Any]:
+    return {
+        "asn": deployment.asn,
+        "first_seen": _iso(deployment.first_seen),
+        "last_seen": _iso(deployment.last_seen),
+        "n_groups": len(deployment.groups),
+        "ips": sorted(deployment.ips),
+        "countries": sorted(deployment.countries),
+    }
+
+
+def _finding(finding) -> dict[str, Any]:
+    return {
+        "domain": finding.domain,
+        "verdict": _name(finding.verdict),
+        "detection": _name(finding.detection),
+        "first_evidence": _iso(finding.first_evidence),
+        "subdomain": finding.subdomain,
+        "pdns_corroborated": finding.pdns_corroborated,
+        "ct_corroborated": finding.ct_corroborated,
+        "attacker_ips": list(finding.attacker_ips),
+        "attacker_asn": finding.attacker_asn,
+        "attacker_cc": finding.attacker_cc,
+        "attacker_ns": list(finding.attacker_ns),
+        "victim_asns": list(finding.victim_asns),
+        "victim_ccs": list(finding.victim_ccs),
+        "crtsh_id": finding.crtsh_id,
+        "issuer_ca": finding.issuer_ca,
+        "notes": list(finding.notes),
+    }
+
+
+def _classification(key, classification) -> dict[str, Any]:
+    domain, period_index = key
+    return {
+        "domain": domain,
+        "period_index": period_index,
+        "kind": classification.kind.name,
+        "subpatterns": [s.name for s in classification.subpatterns],
+        "stable": [_deployment(d) for d in classification.stable],
+        "transitions": [_deployment(d) for d in classification.transitions],
+        "transients": [_deployment(d) for d in classification.transients],
+    }
+
+
+def _shortlist_entry(entry) -> dict[str, Any]:
+    return {
+        "domain": entry.domain,
+        "period_index": entry.period_index,
+        "transient": _deployment(entry.transient),
+        "subpattern": entry.subpattern.name,
+        "truly_anomalous": entry.truly_anomalous,
+        "sensitive_names": list(entry.sensitive_names),
+        "n_transient_records": len(entry.transient_records),
+    }
+
+
+def _inspection(result) -> dict[str, Any]:
+    evidence = result.evidence
+    return {
+        "domain": result.entry.domain,
+        "period_index": result.entry.period_index,
+        "verdict": _name(result.verdict),
+        "detection": _name(result.detection),
+        "window": {
+            "start": _iso(evidence.window.start),
+            "end": _iso(evidence.window.end),
+        },
+        "n_ns_changes": len(evidence.ns_changes),
+        "n_a_redirects": len(evidence.a_redirects),
+        "n_ct_entries": len(evidence.ct_entries),
+        "stale_certificate": evidence.stale_certificate,
+        "notes": list(evidence.notes),
+        "malicious_crtsh_id": (
+            result.malicious_cert.crtsh_id if result.malicious_cert else None
+        ),
+        "attacker_ips": sorted(result.attacker_ips),
+        "attacker_ns": sorted(result.attacker_ns),
+        "pending_t1_star": result.pending_t1_star,
+    }
+
+
+def _pivot(pivot) -> dict[str, Any]:
+    return {
+        "domain": pivot.domain,
+        "detection": pivot.detection.name,
+        "verdict": _name(pivot.verdict),
+        "via": pivot.via,
+        "n_pdns_rows": len(pivot.pdns_rows),
+        "malicious_crtsh_id": (
+            pivot.malicious_cert.crtsh_id if pivot.malicious_cert else None
+        ),
+        "attacker_ips": sorted(pivot.attacker_ips),
+        "attacker_ns": sorted(pivot.attacker_ns),
+    }
+
+
+def report_to_dict(report: PipelineReport) -> dict[str, Any]:
+    """The report as a canonical, JSON-safe dictionary."""
+    funnel = report.funnel
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "funnel": {
+            "n_domains": funnel.n_domains,
+            "n_maps": funnel.n_maps,
+            "n_stable": funnel.n_stable,
+            "n_transition": funnel.n_transition,
+            "n_transient": funnel.n_transient,
+            "n_noisy": funnel.n_noisy,
+            "n_shortlisted": funnel.n_shortlisted,
+            "n_truly_anomalous": funnel.n_truly_anomalous,
+            "n_worth_examining": funnel.n_worth_examining,
+            "n_t1_hijacked": funnel.n_t1_hijacked,
+            "n_t2_hijacked": funnel.n_t2_hijacked,
+            "n_t1_star": funnel.n_t1_star,
+            "n_pivot_ip": funnel.n_pivot_ip,
+            "n_pivot_ns": funnel.n_pivot_ns,
+            "n_targeted": funnel.n_targeted,
+            "n_hijacked": funnel.n_hijacked,
+            "prune_reasons": dict(sorted(funnel.prune_reasons.items())),
+        },
+        "findings": [_finding(f) for f in report.findings],
+        "classifications": [
+            _classification(key, c)
+            for key, c in sorted(report.classifications.items())
+        ],
+        "shortlist": [_shortlist_entry(e) for e in report.shortlist],
+        "inspections": [_inspection(r) for r in report.inspections],
+        "pivots": [_pivot(p) for p in report.pivots],
+        "attacker_ips": sorted(report.attacker_ips),
+        "attacker_ns": sorted(report.attacker_ns),
+    }
+
+
+def encode_report(report: PipelineReport) -> str:
+    """The canonical byte-comparable text encoding of a report."""
+    return json.dumps(report_to_dict(report), sort_keys=True, indent=1) + "\n"
+
+
+def write_golden(report: PipelineReport, path: str | Path) -> None:
+    Path(path).write_text(encode_report(report))
+
+
+def read_golden(path: str | Path) -> str:
+    return Path(path).read_text()

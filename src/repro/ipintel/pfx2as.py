@@ -9,7 +9,9 @@ O(#distinct-lengths) per query with no per-query allocation.
 
 from __future__ import annotations
 
-from repro.net.ipv4 import IPv4Prefix, ip_to_int
+from typing import Callable, Iterator
+
+from repro.net.ipv4 import IPv4Prefix, int_to_ip, ip_to_int
 
 
 class RoutingTable:
@@ -45,6 +47,25 @@ class RoutingTable:
             if asn is not None:
                 return asn
         return None
+
+    def prefixes(self) -> Iterator[tuple[str, int]]:
+        """Every ``(CIDR text, origin ASN)`` announcement, sorted."""
+        for length in sorted(self._by_length):
+            for network in sorted(self._by_length[length]):
+                yield f"{int_to_ip(network)}/{length}", self._by_length[length][network]
+
+    def thinned(self, drop: Callable[[str], bool]) -> RoutingTable:
+        """A stale snapshot missing every prefix ``drop`` selects.
+
+        Models an out-of-date pfx2as table: lookups under a dropped
+        prefix fall through to any covering shorter prefix, or to None —
+        the caller's unknown-ASN fallback path.
+        """
+        table = RoutingTable()
+        for prefix, asn in self.prefixes():
+            if not drop(prefix):
+                table.add(prefix, asn)
+        return table
 
     def __len__(self) -> int:
         return self._count

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from datetime import date
+from datetime import date, timedelta
 
 from repro.dns.records import RRType
 from repro.net.names import registered_domain
@@ -129,6 +129,56 @@ class PassiveDNSDatabase:
             registered_domain(r.rrname)
             for r in self.query_rdata(ns_fqdn, RRType.NS, window)
         }
+
+    def _insert_row(self, key: tuple[str, RRType, str], first: date, last: date, count: int) -> None:
+        """Install one aggregated row directly, maintaining the indexes."""
+        rrname, _rtype, rdata = key
+        self._rows[key] = [first, last, count]
+        self._by_name.setdefault(rrname, set()).add(key)
+        self._by_rdata.setdefault(rdata, set()).add(key)
+
+    def without_windows(self, blackouts: list[DateInterval]) -> PassiveDNSDatabase:
+        """Derive the database a sensor network dark during ``blackouts``
+        would have aggregated.
+
+        Rows wholly inside a blackout vanish; rows straddling one keep
+        their visible span with ``first_seen``/``last_seen`` pulled out
+        of the dark ranges and their count scaled to the visible days
+        (observations inside a window were never received).  The closed
+        intervals must all have an end date.
+        """
+        windows = [w for w in blackouts if w.end is not None]
+        derived = PassiveDNSDatabase()
+        if not windows:
+            for key, (first, last, count) in self._rows.items():
+                derived._insert_row(key, first, last, count)
+            return derived
+
+        def covered(day: date) -> DateInterval | None:
+            for window in windows:
+                if window.contains(day):
+                    return window
+            return None
+
+        for key, (first, last, count) in self._rows.items():
+            new_first, new_last = first, last
+            while (window := covered(new_first)) is not None and new_first <= last:
+                new_first = window.end + timedelta(days=1)
+            if new_first > last:
+                continue  # the whole row fell inside blackouts
+            while (window := covered(new_last)) is not None and new_last >= new_first:
+                new_last = window.start - timedelta(days=1)
+            if new_last < new_first:
+                continue
+            span = (last - first).days + 1
+            visible = (new_last - new_first).days + 1
+            for window in windows:
+                clipped = window.clipped(new_first, new_last)
+                if clipped is not None:
+                    visible -= clipped.days
+            visible = max(1, visible)
+            derived._insert_row(key, new_first, new_last, max(1, count * visible // span))
+        return derived
 
     def all_records(self) -> list[PdnsRecord]:
         """Every aggregated row, in (rrname, rtype, rdata) order."""

@@ -5,11 +5,19 @@ secure, and knows the full scan calendar, so downstream stages can ask
 both "what did we see for this domain?" and "in how many scans of this
 period was the domain visible at all?" — the denominator of the
 shortlist's visibility check.
+
+A dataset can also carry *known telemetry gaps*: scans that were
+scheduled but lost (collector outage, injected fault).  The calendar
+keeps the lost dates — period boundaries and gap indices stay anchored
+to the true schedule — while ``known_missing_dates`` lets visibility
+checks exclude them from their denominators instead of mistaking an
+observation gap for a domain going dark.
 """
 
 from __future__ import annotations
 
 from datetime import date
+from typing import Callable, Iterable
 
 from repro.net.timeline import Period
 from repro.scan.annotate import AnnotatedScanRecord
@@ -22,21 +30,29 @@ class ScanDataset:
         self,
         records: list[AnnotatedScanRecord],
         scan_dates: tuple[date, ...],
+        known_missing_dates: Iterable[date] = (),
     ) -> None:
         self._records = list(records)
         self.scan_dates = tuple(sorted(scan_dates))
-        self._by_domain: dict[str, list[AnnotatedScanRecord]] = {}
+        self.known_missing_dates = frozenset(known_missing_dates)
+        buckets: dict[str, list[AnnotatedScanRecord]] = {}
         for record in self._records:
             for base in record.base_domains:
-                self._by_domain.setdefault(base, []).append(record)
-        for bucket in self._by_domain.values():
-            bucket.sort(key=lambda r: (r.scan_date, r.ip))
+                buckets.setdefault(base, []).append(record)
+        # Buckets are frozen to tuples: records_for is called per-domain
+        # per-period inside the stage fan-out, and handing out the stored
+        # tuple is a zero-copy immutable view (was: a fresh list per call).
+        self._by_domain: dict[str, tuple[AnnotatedScanRecord, ...]] = {
+            base: tuple(sorted(bucket, key=lambda r: (r.scan_date, r.ip)))
+            for base, bucket in buckets.items()
+        }
 
     def domains(self) -> tuple[str, ...]:
         return tuple(sorted(self._by_domain))
 
-    def records_for(self, domain: str) -> list[AnnotatedScanRecord]:
-        return list(self._by_domain.get(domain, ()))
+    def records_for(self, domain: str) -> tuple[AnnotatedScanRecord, ...]:
+        """The domain's records as an immutable view (do not mutate)."""
+        return self._by_domain.get(domain, ())
 
     def records(self) -> list[AnnotatedScanRecord]:
         return list(self._records)
@@ -44,9 +60,22 @@ class ScanDataset:
     def scan_dates_in(self, period: Period) -> tuple[date, ...]:
         return tuple(d for d in self.scan_dates if period.contains(d))
 
+    def observed_dates_in(self, period: Period) -> tuple[date, ...]:
+        """The period's scans that actually ran (known gaps excluded)."""
+        return tuple(
+            d
+            for d in self.scan_dates
+            if period.contains(d) and d not in self.known_missing_dates
+        )
+
     def presence(self, domain: str, period: Period) -> float:
-        """Fraction of the period's scans in which the domain appears."""
-        dates_in_period = self.scan_dates_in(period)
+        """Fraction of the period's *observed* scans showing the domain.
+
+        Known-missing scans are excluded from the denominator: a scan
+        that never ran says nothing about the domain's visibility.
+        With no known gaps this is exactly the naive ratio.
+        """
+        dates_in_period = self.observed_dates_in(period)
         if not dates_in_period:
             return 0.0
         seen = {
@@ -55,6 +84,32 @@ class ScanDataset:
             if period.contains(r.scan_date)
         }
         return len(seen) / len(dates_in_period)
+
+    def degraded(
+        self,
+        drop_dates: Iterable[date] = (),
+        drop_record: Callable[[AnnotatedScanRecord], bool] | None = None,
+    ) -> ScanDataset:
+        """Derive a dataset with known telemetry gaps.
+
+        ``drop_dates`` removes whole weekly scans (recorded in
+        ``known_missing_dates``); ``drop_record`` removes individual
+        per-port observations.  The scan calendar is preserved so period
+        boundaries and deployment-gap indices stay on the true schedule.
+        """
+        calendar = set(self.scan_dates)
+        missing = frozenset(d for d in drop_dates if d in calendar)
+        kept = [
+            r
+            for r in self._records
+            if r.scan_date not in missing
+            and (drop_record is None or not drop_record(r))
+        ]
+        return ScanDataset(
+            kept,
+            self.scan_dates,
+            known_missing_dates=self.known_missing_dates | missing,
+        )
 
     def __len__(self) -> int:
         return len(self._records)

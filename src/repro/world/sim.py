@@ -52,24 +52,32 @@ class StudyDatasets:
     ground_truth: GroundTruthLedger
     world: World
 
-    def pipeline(self, config: PipelineConfig | None = None) -> HijackPipeline:
-        """Build the detection pipeline over these datasets."""
-        return HijackPipeline.from_study(self, config=config)
+    def pipeline(
+        self, config: PipelineConfig | None = None, faults=None
+    ) -> HijackPipeline:
+        """Build the detection pipeline over these datasets.
+
+        ``faults`` takes a :class:`repro.faults.FaultPlan` (or a spec /
+        spec string, bound to seed 0) to degrade the run.
+        """
+        return HijackPipeline.from_study(self, config=config, faults=faults)
 
     def run_pipeline(
         self,
         config: PipelineConfig | None = None,
         backend: ExecutionBackend | None = None,
+        faults=None,
     ) -> PipelineReport:
-        return self.pipeline(config).run(backend)
+        return self.pipeline(config, faults=faults).run(backend)
 
     def profile_pipeline(
         self,
         config: PipelineConfig | None = None,
         backend: ExecutionBackend | None = None,
+        faults=None,
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the pipeline and return its report plus the run manifest."""
-        return self.pipeline(config).profile(backend)
+        return self.pipeline(config, faults=faults).profile(backend)
 
 
 def run_study(

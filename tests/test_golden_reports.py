@@ -1,0 +1,83 @@
+"""Golden-report regression harness.
+
+The canonical encodings of the paper-scenario reports for seeds 7, 11,
+and 13 are pinned under ``tests/golden/``.  Any behavioral drift in the
+funnel — a different verdict, a reordered finding, a changed prune —
+shows up as a byte diff against the pinned file, on either backend, and
+the empty fault plan is required to be indistinguishable from no plan
+at all.
+
+After an intentional behavior change, regenerate with::
+
+    python -m repro.cli golden --update
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import GOLDEN_BACKGROUND, GOLDEN_SEEDS
+from repro.exec import ProcessPoolBackend, SerialBackend
+from repro.faults import FaultPlan, FaultSpec
+from repro.io.golden import GOLDEN_SCHEMA, encode_report, golden_filename
+from repro.world.scenarios import paper_study
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_STUDIES: dict[int, object] = {}
+
+
+def _study(seed: int):
+    if seed not in _STUDIES:
+        _STUDIES[seed] = paper_study(seed=seed, n_background=GOLDEN_BACKGROUND)
+    return _STUDIES[seed]
+
+
+def _golden_text(seed: int) -> str:
+    path = GOLDEN_DIR / golden_filename(seed)
+    assert path.exists(), (
+        f"{path} missing — generate with `python -m repro.cli golden --update`"
+    )
+    return path.read_text()
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_golden_files_carry_schema(seed):
+    data = json.loads(_golden_text(seed))
+    assert data["schema"] == GOLDEN_SCHEMA
+    assert data["findings"], "a pinned report with no findings is suspicious"
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_serial_run_matches_golden(seed):
+    report = _study(seed).run_pipeline(backend=SerialBackend())
+    assert encode_report(report) == _golden_text(seed)
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_process_pool_run_matches_golden(seed):
+    report = _study(seed).run_pipeline(backend=ProcessPoolBackend(jobs=2))
+    assert encode_report(report) == _golden_text(seed)
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [None, "", FaultSpec(), FaultPlan.from_spec(None, seed=99)],
+    ids=["none", "empty-string", "empty-spec", "empty-plan"],
+)
+def test_empty_fault_plan_is_byte_identical_serial(faults):
+    """The tentpole invariant: an empty plan changes nothing, byte for byte."""
+    report = _study(GOLDEN_SEEDS[0]).run_pipeline(
+        backend=SerialBackend(), faults=faults
+    )
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+
+
+def test_empty_fault_plan_is_byte_identical_process_pool():
+    report = _study(GOLDEN_SEEDS[0]).run_pipeline(
+        backend=ProcessPoolBackend(jobs=2), faults=FaultPlan.from_spec(None)
+    )
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])

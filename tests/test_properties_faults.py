@@ -1,0 +1,132 @@
+"""Property-based tests for the fault layer (hypothesis).
+
+Three laws the design promises:
+
+1. a fault plan is a pure function of ``(seed, spec)`` — two plans built
+   from the same pair make identical decisions everywhere;
+2. funnel breadth (``n_maps``, ``n_domains``) is monotonically
+   non-increasing in the scan-drop rate, because keyed-hash draws nest:
+   every scan dropped at rate r is also dropped at every rate > r;
+3. no fault plan can conjure a HIJACKED verdict out of a benign world —
+   faults only ever *remove* evidence.
+"""
+
+from __future__ import annotations
+
+from datetime import date, timedelta
+from functools import lru_cache
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import Verdict
+from repro.faults import FaultPlan, FaultSpec
+
+_PROBE_DATES = tuple(date(2019, 1, 7) + timedelta(days=7 * i) for i in range(60))
+
+_spec_strategy = st.builds(
+    FaultSpec,
+    drop_weeks=st.floats(0.0, 1.0, allow_nan=False),
+    drop_ports=st.floats(0.0, 1.0, allow_nan=False),
+    pdns_blackouts=st.integers(0, 4),
+    ct_delay_days=st.integers(0, 120),
+    routing_stale=st.floats(0.0, 1.0, allow_nan=False),
+    worker_crash=st.floats(0.0, 1.0, allow_nan=False),
+)
+
+
+@given(seed=st.integers(0, 2**63 - 1), spec=_spec_strategy)
+@settings(max_examples=40, deadline=None)
+def test_same_seed_and_spec_give_identical_plans(seed, spec):
+    a = FaultPlan.from_spec(spec, seed=seed)
+    b = FaultPlan.from_spec(spec, seed=seed)
+    assert [a.drops_scan(d) for d in _PROBE_DATES] == [
+        b.drops_scan(d) for d in _PROBE_DATES
+    ]
+    assert a.blackout_windows(_PROBE_DATES[0], _PROBE_DATES[-1]) == (
+        b.blackout_windows(_PROBE_DATES[0], _PROBE_DATES[-1])
+    )
+    assert [
+        a.worker_fault("deployment", i, attempt) for i in range(20) for attempt in (0, 1)
+    ] == [
+        b.worker_fault("deployment", i, attempt) for i in range(20) for attempt in (0, 1)
+    ]
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    low=st.floats(0.0, 1.0, allow_nan=False),
+    high=st.floats(0.0, 1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_dropped_scans_nest_as_rate_rises(seed, low, high):
+    low, high = sorted((low, high))
+    drops_low = {
+        d
+        for d in _PROBE_DATES
+        if FaultPlan.from_spec(FaultSpec(drop_weeks=low), seed=seed).drops_scan(d)
+    }
+    drops_high = {
+        d
+        for d in _PROBE_DATES
+        if FaultPlan.from_spec(FaultSpec(drop_weeks=high), seed=seed).drops_scan(d)
+    }
+    assert drops_low <= drops_high
+
+
+_DROP_RATES = (0.0, 0.15, 0.4, 0.7, 0.95)
+
+
+@lru_cache(maxsize=None)
+def _small_study():
+    from repro.world.scenarios import small_world
+    from repro.world.sim import run_study
+
+    return run_study(small_world())
+
+
+@lru_cache(maxsize=None)
+def _funnel_at_drop_rate(rate: float):
+    plan = FaultPlan.from_spec(FaultSpec(drop_weeks=rate), seed=21)
+    report = _small_study().run_pipeline(faults=plan)
+    return report.funnel.n_maps, report.funnel.n_domains
+
+
+@given(rates=st.tuples(st.sampled_from(_DROP_RATES), st.sampled_from(_DROP_RATES)))
+@settings(max_examples=25, deadline=None)
+def test_funnel_breadth_monotone_in_scan_drop_rate(rates):
+    low, high = sorted(rates)
+    maps_low, domains_low = _funnel_at_drop_rate(low)
+    maps_high, domains_high = _funnel_at_drop_rate(high)
+    # More dropped scans can only erase (domain, period) visibility,
+    # never create it: breadth is non-increasing in the drop rate.
+    assert maps_high <= maps_low
+    assert domains_high <= domains_low
+
+
+@lru_cache(maxsize=None)
+def _benign_study():
+    from repro.world.randomized import RandomWorldConfig, random_world
+    from repro.world.sim import run_study
+
+    world = random_world(
+        seed=5, config=RandomWorldConfig(n_victims=0, n_background=12)
+    )
+    return run_study(world)
+
+
+@given(
+    fault_seed=st.integers(0, 2**16),
+    drop_weeks=st.sampled_from((0.0, 0.3, 0.6)),
+    blackouts=st.integers(0, 2),
+    ct_delay=st.sampled_from((0, 60)),
+)
+@settings(max_examples=8, deadline=None)
+def test_no_fault_plan_frames_a_benign_world(fault_seed, drop_weeks, blackouts, ct_delay):
+    spec = FaultSpec(
+        drop_weeks=drop_weeks, pdns_blackouts=blackouts, ct_delay_days=ct_delay
+    )
+    report = _benign_study().run_pipeline(
+        faults=FaultPlan.from_spec(spec, seed=fault_seed)
+    )
+    verdicts = {f.verdict for f in report.findings}
+    assert Verdict.HIJACKED not in verdicts  # faults only remove evidence

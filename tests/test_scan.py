@@ -143,7 +143,7 @@ class TestScanDataset:
         dataset = self.make_dataset()
         assert dataset.domains() == ("x.gr",)
         assert len(dataset.records_for("x.gr")) == 25  # active through Jun 30
-        assert dataset.records_for("other.org") == []
+        assert dataset.records_for("other.org") == ()
 
     def test_presence(self):
         dataset = self.make_dataset()
