@@ -26,6 +26,11 @@
     repro-hunt monitor [--seed N]
         The Section 7.1 reactive-monitoring demo over the paper world.
 
+    repro-hunt explain DOMAIN [--seed N] [--background N]
+        Print the decision provenance for one identified victim: every
+        funnel transition the domain passed through, with the scan /
+        pDNS / CT / routing evidence that drove it.
+
     repro-hunt sweep [--parameter P]
         Threshold-sensitivity sweeps over the paper study.
 
@@ -41,11 +46,20 @@ Fault injection: ``paper``, ``hunt``, and ``profile`` accept
 ``--fault-seed N``; the run degrades deterministically and its losses
 are reported in the manifest's ``data_quality`` section.  See
 docs/fault_injection.md for the spec grammar.
+
+Observability: ``paper``, ``hunt``, and ``profile`` accept
+``--trace FILE`` to record a hierarchical span trace of the run — FILE
+gets Chrome trace-event JSON (load it in Perfetto or chrome://tracing)
+and FILE.spans.jsonl the raw span stream.  Diagnostics go to stderr
+through :mod:`logging`; tune with ``--log-level`` or silence with
+``-q`` (report tables always stay on stdout).  See
+docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from datetime import datetime
 from pathlib import Path
@@ -71,6 +85,9 @@ from repro.io import (
     save_pdns,
     save_scan_dataset,
 )
+from repro.obs import Tracer, format_provenance
+
+logger = logging.getLogger("repro.cli")
 
 
 def _make_backend(jobs: int, chunk_size: int | None = None) -> ExecutionBackend:
@@ -120,6 +137,28 @@ def _fault_plan(args: argparse.Namespace) -> FaultPlan:
     return FaultPlan.from_spec(args.faults, seed=args.fault_seed)
 
 
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a span trace: Chrome trace-event JSON at FILE "
+        "(Perfetto / chrome://tracing) plus FILE.spans.jsonl",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    return Tracer() if args.trace else None
+
+
+def _write_trace(tracer: Tracer | None, args: argparse.Namespace) -> None:
+    if tracer is None:
+        return
+    tracer.write_chrome(args.trace)
+    tracer.write_jsonl(f"{args.trace}.spans.jsonl")
+    logger.info(
+        "trace written to %s (spans: %s.spans.jsonl)", args.trace, args.trace
+    )
+
+
 def _print_data_quality(metrics: RunMetrics) -> None:
     if metrics.data_quality and metrics.data_quality.get("degraded"):
         from repro.faults.quality import DataQuality
@@ -131,10 +170,16 @@ def _print_data_quality(metrics: RunMetrics) -> None:
 def _cmd_paper(args: argparse.Namespace) -> int:
     from repro.world.scenarios import paper_study
 
-    print(f"building paper scenario (seed={args.seed}, background={args.background})...")
+    logger.info(
+        "building paper scenario (seed=%d, background=%d)...",
+        args.seed, args.background,
+    )
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
-    report, metrics = study.profile_pipeline(backend=backend, faults=_fault_plan(args))
+    tracer = _make_tracer(args)
+    report, metrics = study.profile_pipeline(
+        backend=backend, faults=_fault_plan(args), tracer=tracer
+    )
 
     _print_data_quality(metrics)
     print()
@@ -162,10 +207,11 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         save_ct(study.ct_log, study.revocations, directory / "ct.jsonl")
         save_as2org(study.as2org, directory / "as2org.jsonl")
         save_findings(report.findings, directory / "findings.jsonl")
-        print(f"study exported to {directory}/")
+        logger.info("study exported to %s/", directory)
     if args.profile:
         metrics.write(args.profile)
-        print(f"run manifest written to {args.profile}")
+        logger.info("run manifest written to %s", args.profile)
+    _write_trace(tracer, args)
     return 0
 
 
@@ -183,20 +229,24 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
 
 def _cmd_hunt(args: argparse.Namespace) -> int:
     directory = Path(args.dir)
-    print(f"loading study from {directory}/ ...")
+    logger.info("loading study from %s/ ...", directory)
     try:
         pipeline = HijackPipeline.from_directory(directory, faults=_fault_plan(args))
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    report, metrics = pipeline.profile(_make_backend(args.jobs, args.chunk_size))
+    tracer = _make_tracer(args)
+    report, metrics = pipeline.profile(
+        _make_backend(args.jobs, args.chunk_size), tracer=tracer
+    )
     _print_data_quality(metrics)
     print(format_funnel(report.funnel))
     print()
     print(format_findings_table(report.findings))
     if args.out:
         save_findings(report.findings, args.out)
-        print(f"\nfindings written to {args.out}")
+        logger.info("findings written to %s", args.out)
+    _write_trace(tracer, args)
     return 0
 
 
@@ -219,19 +269,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from repro.world.scenarios import paper_study
 
-    print(
-        f"profiling paper scenario (seed={args.seed}, "
-        f"background={args.background}, jobs={args.jobs})..."
+    logger.info(
+        "profiling paper scenario (seed=%d, background=%d, jobs=%d)...",
+        args.seed, args.background, args.jobs,
     )
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
-    _report, metrics = study.profile_pipeline(backend=backend, faults=_fault_plan(args))
-    print()
+    tracer = _make_tracer(args)
+    _report, metrics = study.profile_pipeline(
+        backend=backend, faults=_fault_plan(args), tracer=tracer
+    )
     print(format_run_metrics(metrics))
     _print_data_quality(metrics)
     if args.out:
         metrics.write(args.out)
-        print(f"\nrun manifest written to {args.out}")
+        logger.info("run manifest written to %s", args.out)
+    _write_trace(tracer, args)
     return 0
 
 
@@ -271,6 +324,25 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         return 2
     events = reconstruct_timeline(finding, study.scan, study.pdns, study.crtsh)
     print(format_timeline(args.domain, events))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.world.scenarios import paper_study
+
+    logger.info(
+        "building paper scenario (seed=%d, background=%d)...",
+        args.seed, args.background,
+    )
+    study = paper_study(seed=args.seed, n_background=args.background)
+    report = study.run_pipeline()
+    finding = report.finding_for(args.domain)
+    if finding is None:
+        print(f"error: {args.domain} is not an identified victim", file=sys.stderr)
+        known = ", ".join(sorted(f.domain for f in report.findings)[:8])
+        print(f"hint: try one of {known}, ...", file=sys.stderr)
+        return 2
+    print(format_provenance(finding.domain, finding.provenance))
     return 0
 
 
@@ -348,9 +420,28 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-hunt",
         description="Retroactive identification of targeted DNS infrastructure hijacking",
     )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default="info", help="stderr diagnostics verbosity (default: info)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", default=False,
+        help="suppress progress diagnostics (same as --log-level error)",
+    )
+    # The same flags are accepted after the subcommand; SUPPRESS keeps a
+    # subparser's untouched defaults from clobbering root-level values.
+    logging_flags = argparse.ArgumentParser(add_help=False)
+    logging_flags.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"],
+        default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+    )
+    logging_flags.add_argument(
+        "-q", "--quiet", action="store_true",
+        default=argparse.SUPPRESS, help=argparse.SUPPRESS,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    paper = sub.add_parser("paper", help="run the full paper scenario")
+    paper = sub.add_parser("paper", parents=[logging_flags], help="run the full paper scenario")
     paper.add_argument("--seed", type=int, default=7)
     paper.add_argument("--background", type=int, default=150)
     paper.add_argument("--save", metavar="DIR", help="export datasets + findings")
@@ -359,20 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(paper)
     _add_faults_args(paper)
+    _add_trace_arg(paper)
     paper.set_defaults(func=_cmd_paper)
 
-    quickstart = sub.add_parser("quickstart", help="one-hijack demo world")
+    quickstart = sub.add_parser("quickstart", parents=[logging_flags], help="one-hijack demo world")
     quickstart.set_defaults(func=_cmd_quickstart)
 
-    hunt = sub.add_parser("hunt", help="run the pipeline over an exported study")
+    hunt = sub.add_parser("hunt", parents=[logging_flags], help="run the pipeline over an exported study")
     hunt.add_argument("--dir", required=True, help="directory with *.jsonl exports")
     hunt.add_argument("--out", help="write findings JSONL here")
     _add_executor_args(hunt)
     _add_faults_args(hunt)
+    _add_trace_arg(hunt)
     hunt.set_defaults(func=_cmd_hunt)
 
     profile = sub.add_parser(
-        "profile", help="per-stage wall time / cardinality profile of a run"
+        "profile", parents=[logging_flags], help="per-stage wall time / cardinality profile of a run"
     )
     profile.add_argument("--seed", type=int, default=7)
     profile.add_argument("--background", type=int, default=150)
@@ -382,23 +475,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(profile)
     _add_faults_args(profile)
+    _add_trace_arg(profile)
     profile.set_defaults(func=_cmd_profile)
 
-    gallery = sub.add_parser("gallery", help="render the pattern gallery")
+    gallery = sub.add_parser("gallery", parents=[logging_flags], help="render the pattern gallery")
     gallery.set_defaults(func=_cmd_gallery)
 
-    monitor = sub.add_parser("monitor", help="reactive CT monitoring demo")
+    monitor = sub.add_parser("monitor", parents=[logging_flags], help="reactive CT monitoring demo")
     monitor.add_argument("--seed", type=int, default=7)
     monitor.set_defaults(func=_cmd_monitor)
 
     timeline = sub.add_parser(
-        "timeline", help="incident timeline for one identified victim"
+        "timeline", parents=[logging_flags], help="incident timeline for one identified victim"
     )
     timeline.add_argument("--domain", required=True)
     timeline.add_argument("--seed", type=int, default=7)
     timeline.set_defaults(func=_cmd_timeline)
 
-    sweep = sub.add_parser("sweep", help="threshold-sensitivity sweeps")
+    explain = sub.add_parser(
+        "explain", parents=[logging_flags], help="decision provenance for one identified victim"
+    )
+    explain.add_argument("domain", help="victim domain to explain")
+    explain.add_argument("--seed", type=int, default=7)
+    explain.add_argument("--background", type=int, default=150)
+    explain.set_defaults(func=_cmd_explain)
+
+    sweep = sub.add_parser("sweep", parents=[logging_flags], help="threshold-sensitivity sweeps")
     sweep.add_argument(
         "--parameter", choices=["transient", "visibility", "window", "all"],
         default="all",
@@ -407,7 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     robustness = sub.add_parser(
-        "robustness", help="randomized-world recall/precision trials"
+        "robustness", parents=[logging_flags], help="randomized-world recall/precision trials"
     )
     robustness.add_argument("--trials", type=int, default=5)
     robustness.add_argument("--victims", type=int, default=6)
@@ -415,7 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.set_defaults(func=_cmd_robustness)
 
     golden = sub.add_parser(
-        "golden", help="check or regenerate the golden regression reports"
+        "golden", parents=[logging_flags], help="check or regenerate the golden regression reports"
     )
     golden.add_argument(
         "--update", action="store_true", help="rewrite the pinned reports"
@@ -429,7 +531,21 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    level = logging.ERROR if args.quiet else getattr(logging, args.log_level.upper())
+    # Scope the handler to this invocation: the library stays silent when
+    # imported, and repeated in-process calls (tests, REPL) never leave a
+    # handler bound to a stale stderr behind.
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    root = logging.getLogger()
+    previous_level = root.level
+    root.addHandler(handler)
+    root.setLevel(level)
+    try:
+        return args.func(args)
+    finally:
+        root.removeHandler(handler)
+        root.setLevel(previous_level)
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.core.types import DetectionType, SubPattern, Verdict
 from repro.ct.crtsh import CrtShEntry, CrtShService
 from repro.net.names import is_sensitive_name, registered_domain
 from repro.net.timeline import DateInterval
+from repro.obs.metrics import get_registry
 from repro.pdns.database import PassiveDNSDatabase, PdnsRecord
 from repro.tls.certificate import Certificate
 
@@ -118,6 +119,7 @@ class Inspector:
         self, domain: str, window: DateInterval
     ) -> list[PdnsRecord]:
         """Short-lived NS rows that differ from the long-term delegation."""
+        get_registry().inc("inspection.pdns_lookups")
         rows = self._pdns.ns_history(domain)
         if not rows:
             return []
@@ -136,6 +138,7 @@ class Inspector:
         self, entry: ShortlistEntry, window: DateInterval, extra_names: tuple[str, ...] = ()
     ) -> list[PdnsRecord]:
         """pDNS A rows pointing names under the domain at the transient IPs."""
+        get_registry().inc("inspection.pdns_lookups", 1 + len(extra_names))
         transient_ips = entry.transient.ips
         redirects: list[PdnsRecord] = []
         for row in self._pdns.query_domain(entry.domain, window):
@@ -160,6 +163,7 @@ class Inspector:
         ``mail.victim.gov`` certificate from a free CA where the domain
         always bought multi-SAN certificates from another.
         """
+        get_registry().inc("inspection.ct_searches")
         stable_fps = entry.classification.stable_cert_fingerprints()
         history = self._crtsh.search(entry.domain)
         seen_combos = {
@@ -193,6 +197,7 @@ class Inspector:
         return [self.inspect(entry) for entry in entries]
 
     def inspect(self, entry: ShortlistEntry) -> InspectionResult:
+        get_registry().inc("inspection.inspected")
         window = self._window_for(entry)
         evidence = Evidence(window=window)
 

@@ -49,6 +49,9 @@ from repro.ipintel.as2org import AS2Org
 from repro.ipintel.geo import GeoDB
 from repro.ipintel.pfx2as import RoutingTable
 from repro.net.timeline import Period
+from repro.obs.metrics import get_registry
+from repro.obs.provenance import trail_from_inspection, trail_from_pivot
+from repro.obs.trace import Tracer
 from repro.pdns.database import PassiveDNSDatabase
 from repro.scan.dataset import ScanDataset
 
@@ -248,6 +251,7 @@ class _FindingBuilder:
         victim_asns, victim_ccs = self._victim_infra(classifications, entry.domain)
         return DomainFinding(
             domain=entry.domain,
+            provenance=trail_from_inspection(result, self._locate_ip),
             verdict=result.verdict,
             detection=result.detection,
             first_evidence=first_evidence,
@@ -296,6 +300,7 @@ class _FindingBuilder:
         victim_asns, victim_ccs = self._victim_infra(classifications, pivot.domain)
         return DomainFinding(
             domain=pivot.domain,
+            provenance=trail_from_pivot(pivot, self._locate_ip),
             verdict=pivot.verdict,
             detection=pivot.detection,
             first_evidence=first_evidence,
@@ -332,6 +337,9 @@ class DeploymentMapStage(Stage):
         for map_ in ctx.maps.values():
             attach_period_records(map_, ctx.inputs.scan)
         n_domains = len({d for d, _ in ctx.maps})
+        registry = get_registry()
+        registry.set_gauge("deployment.maps", len(ctx.maps))
+        registry.set_gauge("deployment.domains", n_domains)
         logger.info(
             "step 1: %d deployment maps over %d domains", len(ctx.maps), n_domains
         )
@@ -363,6 +371,9 @@ class ClassificationStage(Stage):
             kinds[classification.kind.name.lower()] = (
                 kinds.get(classification.kind.name.lower(), 0) + 1
             )
+        registry = get_registry()
+        for kind, count in kinds.items():
+            registry.inc(f"classify.{kind}", count)
         n_transient = kinds.get("transient", 0)
         logger.info("step 2: %d transient maps", n_transient)
         return StageStats(n_in=len(items), n_out=len(ctx.classifications), detail=kinds)
@@ -393,6 +404,10 @@ class ShortlistStage(Stage):
         for decision in ctx.decisions:
             if not decision.kept:
                 pruned[decision.reason] = pruned.get(decision.reason, 0) + 1
+        registry = get_registry()
+        registry.set_gauge("shortlist.candidates", len(ctx.shortlist))
+        for reason, count in pruned.items():
+            registry.inc(f"shortlist.pruned.{reason}", count)
         logger.info(
             "step 3: %d shortlisted (%d pruned)",
             len(ctx.shortlist), sum(pruned.values()),
@@ -437,6 +452,9 @@ class InspectionStage(Stage):
             for r in ctx.inspections
             if r.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
         )
+        registry = get_registry()
+        registry.inc("inspection.t1_star_upgraded", n_upgraded)
+        registry.set_gauge("inspection.positive", n_out)
         return StageStats(
             n_in=len(ctx.shortlist),
             n_out=n_out,
@@ -468,6 +486,7 @@ class PivotStage(Stage):
                 "step 5: pivot on %d IPs / %d nameservers found %d more victims",
                 len(ctx.confirmed_ips), len(ctx.confirmed_ns), len(ctx.pivots),
             )
+        get_registry().set_gauge("pivot.findings", len(ctx.pivots))
         return StageStats(n_in=n_infra, n_out=len(ctx.pivots))
 
 
@@ -509,6 +528,12 @@ class AssembleStage(Stage):
             pivots=ctx.pivots,
             attacker_ips=frozenset(ctx.confirmed_ips),
             attacker_ns=frozenset(ctx.confirmed_ns),
+        )
+        registry = get_registry()
+        registry.set_gauge("report.findings", len(findings))
+        registry.set_gauge(
+            "report.hijacked",
+            sum(1 for f in findings if f.verdict is Verdict.HIJACKED),
         )
         n_in = len(ctx.inspections) + len(ctx.pivots)
         return StageStats(n_in=n_in, n_out=len(findings))
@@ -690,7 +715,9 @@ class HijackPipeline:
         return report
 
     def profile(
-        self, backend: ExecutionBackend | None = None
+        self,
+        backend: ExecutionBackend | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the funnel and return the report plus its run manifest.
 
@@ -699,11 +726,16 @@ class HijackPipeline:
         the manifest's ``data_quality`` section) and the backend injects
         the plan's worker faults, absorbing them via retry/backoff.  An
         empty plan takes exactly the fault-free code path.
+
+        An enabled :class:`repro.obs.Tracer` collects the run's
+        hierarchical span tree (run → stage → task-chunk across worker
+        pids); the report is required to be byte-identical with tracing
+        on or off.
         """
         quality = DataQuality()
         inputs = apply_faults(self._inputs, self._faults, quality)
         ctx = HuntContext(inputs=inputs, config=self._config, quality=quality)
-        executor = PipelineExecutor(build_stages(), backend=backend)
+        executor = PipelineExecutor(build_stages(), backend=backend, tracer=tracer)
         executor.backend.install_faults(self._faults)
         metrics = executor.execute(ctx)
         assert ctx.report is not None

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from datetime import date
 
 from repro.core.types import DetectionType, Verdict
+from repro.obs.provenance import FunnelTransition
 
 
 @dataclass
@@ -34,6 +35,10 @@ class DomainFinding:
     crtsh_id: int = 0
     issuer_ca: str = ""
     notes: tuple[str, ...] = ()
+    #: The decision provenance trail: one typed transition per funnel
+    #: step this domain passed through, each citing the scan / pDNS /
+    #: CT / routing evidence that drove it (``repro-hunt explain``).
+    provenance: tuple[FunnelTransition, ...] = ()
 
     @property
     def hijack_month(self) -> str:

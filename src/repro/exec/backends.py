@@ -119,7 +119,9 @@ class ExecutionBackend(ABC):
         for attempt in range(max_attempts):
             fault = self._chunk_fault(kernel_name, "inline", attempt)
             try:
-                pid, seconds, results = kernels.run_chunk(kernel_name, items, fault)
+                pid, seconds, results, obs = kernels.run_chunk(
+                    kernel_name, items, fault
+                )
             except WorkerFault as exc:
                 if attempt + 1 >= max_attempts:
                     raise RetryBudgetExceeded(
@@ -128,7 +130,7 @@ class ExecutionBackend(ABC):
                 self._record_retry(kernel_name, "crash", attempt)
                 time.sleep(self._backoff_seconds(attempt))
                 continue
-            self._record(TaskEvent(pid, seconds, len(items)))
+            self._record(TaskEvent(pid, seconds, len(items), kernel_name, obs))
             return results
         raise AssertionError("unreachable: retry loop exits via return or raise")
 
@@ -244,7 +246,7 @@ class ProcessPoolBackend(ExecutionBackend):
             while True:
                 attempt = attempts[ordinal]
                 try:
-                    pid, seconds, chunk_results = futures[ordinal].result()
+                    pid, seconds, chunk_results, obs = futures[ordinal].result()
                 except WorkerFault as exc:
                     attempts[ordinal] += 1
                     if attempts[ordinal] >= max_attempts:
@@ -274,7 +276,7 @@ class ProcessPoolBackend(ExecutionBackend):
                             kernel_name, items, chunks[later], later, attempts[later]
                         )
                 else:
-                    self._record(TaskEvent(pid, seconds, len(chunk)))
+                    self._record(TaskEvent(pid, seconds, len(chunk), kernel_name, obs))
                     for index, result in zip(chunk, chunk_results):
                         results[index] = result
                     break

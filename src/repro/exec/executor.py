@@ -5,6 +5,15 @@ stage, close after the last, even on failure) and produces one
 :class:`RunMetrics` per execution.  It is deliberately ignorant of what
 the stages compute — the same executor runs the hijack funnel today and
 any other staged analysis tomorrow.
+
+It is also the run's observability reducer: it installs a fresh
+:class:`repro.obs.MetricsRegistry` per run, folds worker-side metric
+snapshots (riding the ``TaskEvent`` return path) back into it, feeds
+per-kernel latency histograms, and — when given an enabled
+:class:`repro.obs.Tracer` — emits the run → stage → task-chunk span
+tree with fault retries, slowdowns, and pool rebuilds attached as span
+events.  With the default disabled tracer every trace call is a single
+attribute test, keeping untraced runs at baseline cost.
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ from typing import Sequence
 from repro.exec.backends import ExecutionBackend, SerialBackend
 from repro.exec.metrics import RunMetrics
 from repro.exec.stage import Stage, StageContext
+from repro.obs.metrics import MetricsRegistry, set_registry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 class PipelineExecutor:
@@ -24,36 +35,76 @@ class PipelineExecutor:
         self,
         stages: Sequence[Stage],
         backend: ExecutionBackend | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._stages = list(stages)
         self._backend = backend or SerialBackend()
+        self._tracer = tracer or NULL_TRACER
 
     @property
     def backend(self) -> ExecutionBackend:
         return self._backend
 
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
     def execute(self, ctx: StageContext) -> RunMetrics:
         backend = self._backend
+        tracer = self._tracer
+        registry = set_registry(MetricsRegistry())
         metrics = RunMetrics(
             backend=backend.name, jobs=backend.jobs, chunk_size=backend.chunk_size
         )
         run_start = time.perf_counter()
-        backend.start(ctx.inputs, ctx.config)
-        try:
-            for stage in self._stages:
-                stage_start = time.perf_counter()
-                stats = stage.run(ctx, backend)
-                wall = time.perf_counter() - stage_start
-                metrics.add_stage(
-                    stage.name, wall, stats, backend.pop_events(), stage.parallel
-                )
-                for event in backend.pop_retry_events():
-                    if event.kind == "slow":
-                        ctx.quality.worker_slowdowns += 1
-                    else:
-                        ctx.quality.record_retry(event.kind)
-        finally:
-            backend.close()
+        with tracer.span(
+            "run", category="run", backend=backend.name, jobs=backend.jobs
+        ):
+            backend.start(ctx.inputs, ctx.config)
+            try:
+                for stage in self._stages:
+                    with tracer.span(
+                        stage.name, category="stage", parallel=stage.parallel
+                    ):
+                        stage_start = time.perf_counter()
+                        stats = stage.run(ctx, backend)
+                        wall = time.perf_counter() - stage_start
+                        events = backend.pop_events()
+                        self._reduce_task_events(events, registry, tracer)
+                        metrics.add_stage(stage.name, wall, stats, events, stage.parallel)
+                        for event in backend.pop_retry_events():
+                            tracer.event(
+                                event.kind, kernel=event.kernel, attempt=event.attempt
+                            )
+                            if event.kind == "slow":
+                                ctx.quality.worker_slowdowns += 1
+                            else:
+                                ctx.quality.record_retry(event.kind)
+            finally:
+                backend.close()
         metrics.wall_seconds = time.perf_counter() - run_start
         metrics.data_quality = ctx.quality.to_dict()
+        metrics.metrics = registry.snapshot()
         return metrics
+
+    @staticmethod
+    def _reduce_task_events(
+        events: list, registry: MetricsRegistry, tracer: Tracer
+    ) -> None:
+        """Fold chunk observability payloads into the run's registry/trace."""
+        for event in events:
+            if event.kernel:
+                registry.observe(f"kernel.{event.kernel}.seconds", event.seconds)
+            if event.obs is None:
+                continue
+            chunk_start, chunk_end, snapshot = event.obs
+            if snapshot is not None:
+                registry.merge(snapshot)
+            if tracer.enabled:
+                tracer.add_task_span(
+                    f"chunk:{event.kernel}",
+                    chunk_start,
+                    chunk_end,
+                    event.pid,
+                    items=event.items,
+                )

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 from repro.faults.errors import InjectedWorkerCrash
 from repro.faults.plan import CRASH, SLOW
+from repro.obs.metrics import drain_worker_snapshot, mark_worker
 
 _INPUTS: Any = None
 _CONFIG: Any = None
@@ -44,19 +45,28 @@ def set_context(inputs: Any, config: Any) -> None:
 def worker_init(inputs: Any, config: Any) -> None:
     """Process-pool initializer: runs once in every worker."""
     set_context(inputs, config)
+    mark_worker()
 
 
 def run_chunk(
     name: str, chunk: list, fault: str | None = None
-) -> tuple[int, float, list]:
-    """Execute one chunk, reporting (pid, busy seconds, per-item results).
+) -> tuple[int, float, list, tuple]:
+    """Execute one chunk: (pid, busy seconds, per-item results, obs).
 
     ``fault`` is a directive the parent drew from its fault plan before
     dispatch: ``"crash"`` raises :class:`InjectedWorkerCrash` before any
     work happens (the backend's retry loop catches it), ``"slow:MS"``
     sleeps ``MS`` milliseconds first.  ``None`` — the only value an
     empty plan ever produces — leaves the kernel untouched.
+
+    ``obs`` piggybacks this process's observability data on the return
+    path: the chunk's (start, end) ``perf_counter`` readings — spanning
+    any injected slowdown, unlike the busy seconds — plus the process's
+    drained metrics snapshot (None when nothing was recorded).  The
+    executor grafts the timings into the trace as task-chunk spans and
+    merges the snapshot into the run's registry.
     """
+    chunk_start = time.perf_counter()
     if fault is not None:
         if fault == CRASH:
             raise InjectedWorkerCrash(
@@ -66,7 +76,9 @@ def run_chunk(
             time.sleep(int(fault.split(":", 1)[1]) / 1000.0)
     start = time.perf_counter()
     results = KERNELS[name](chunk)
-    return os.getpid(), time.perf_counter() - start, results
+    end = time.perf_counter()
+    obs = (chunk_start, end, drain_worker_snapshot())
+    return os.getpid(), end - start, results, obs
 
 
 # -- the pipeline's kernels ----------------------------------------------------

@@ -16,19 +16,31 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-MANIFEST_SCHEMA = "repro.exec.run-manifest/2"
+MANIFEST_SCHEMA = "repro.exec.run-manifest/3"
 
-#: Older manifests (no ``data_quality`` section) still load.
-_READABLE_SCHEMAS = frozenset({MANIFEST_SCHEMA, "repro.exec.run-manifest/1"})
+#: Older manifests still load: /1 lacks ``data_quality``, /2 lacks the
+#: ``metrics`` registry section.
+_READABLE_SCHEMAS = frozenset(
+    {MANIFEST_SCHEMA, "repro.exec.run-manifest/1", "repro.exec.run-manifest/2"}
+)
 
 
 @dataclass(frozen=True, slots=True)
 class TaskEvent:
-    """One dispatched chunk of work, as observed by the backend."""
+    """One dispatched chunk of work, as observed by the backend.
+
+    ``obs`` is the chunk's observability payload off the kernel return
+    path — ``(start, end, metrics_snapshot | None)`` with perf-counter
+    timestamps measured inside the executing process — consumed by the
+    executor for trace task-spans, per-kernel latency histograms, and
+    the worker-metrics merge.  It never reaches the manifest directly.
+    """
 
     pid: int
     seconds: float
     items: int
+    kernel: str = ""
+    obs: tuple | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +131,10 @@ class RunMetrics:
     #: The run's DataQuality ledger (``DataQuality.to_dict()`` shape);
     #: None for manifests written before schema /2.
     data_quality: dict[str, Any] | None = None
+    #: The merged metrics-registry snapshot
+    #: (``MetricsRegistry.snapshot()`` shape); None for manifests
+    #: written before schema /3.
+    metrics: dict[str, Any] | None = None
 
     def add_stage(
         self,
@@ -129,7 +145,10 @@ class RunMetrics:
         parallel: bool,
     ) -> StageMetrics:
         busy = sum(e.seconds for e in events)
-        budget = self.jobs * wall_seconds
+        # Utilization is busy time over the stage's *actual* worker-
+        # second budget: a serial stage only ever had one process to
+        # keep busy, so charging it jobs × wall would cap it at 1/jobs.
+        budget = (self.jobs if parallel else 1) * wall_seconds
         stage = StageMetrics(
             name=name,
             wall_seconds=wall_seconds,
@@ -163,6 +182,7 @@ class RunMetrics:
             "stages": [stage.to_dict() for stage in self.stages],
             "funnel": dict(self.funnel),
             "data_quality": self.data_quality,
+            "metrics": self.metrics,
         }
 
     @classmethod
@@ -180,6 +200,7 @@ class RunMetrics:
             stages=[StageMetrics.from_dict(s) for s in data["stages"]],
             funnel=dict(data.get("funnel", {})),
             data_quality=data.get("data_quality"),
+            metrics=data.get("metrics"),
         )
 
     def write(self, path: str | Path) -> None:
@@ -196,9 +217,10 @@ def format_run_metrics(metrics: RunMetrics) -> str:
         f"{'stage':<16} {'wall':>9} {'in':>8} {'out':>8} {'delta':>8} "
         f"{'tasks':>6} {'workers':>8} {'util':>7}"
     )
+    chunk_size = "auto" if metrics.chunk_size is None else str(metrics.chunk_size)
     lines = [
         f"run profile: backend={metrics.backend} jobs={metrics.jobs} "
-        f"wall={metrics.wall_seconds:.3f}s",
+        f"chunk_size={chunk_size} wall={metrics.wall_seconds:.3f}s",
         header,
         "-" * len(header),
     ]

@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.core.report import DomainFinding
 from repro.core.types import DetectionType, Verdict
 from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.obs.provenance import transitions_from_dicts, transitions_to_dicts
 
 
 def save_findings(findings: list[DomainFinding], path: str | Path) -> int:
@@ -33,6 +34,7 @@ def save_findings(findings: list[DomainFinding], path: str | Path) -> int:
                 "crtsh_id": finding.crtsh_id,
                 "issuer_ca": finding.issuer_ca,
                 "notes": list(finding.notes),
+                "provenance": transitions_to_dicts(finding.provenance),
             }
 
     return write_jsonl(path, rows())
@@ -65,6 +67,7 @@ def load_findings(path: str | Path) -> list[DomainFinding]:
                 crtsh_id=row.get("crtsh_id", 0),
                 issuer_ca=row.get("issuer_ca", ""),
                 notes=tuple(row.get("notes", ())),
+                provenance=transitions_from_dicts(row.get("provenance", [])),
             )
         )
     return findings

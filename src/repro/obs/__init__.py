@@ -1,0 +1,63 @@
+"""Observability: tracing, metrics, and decision provenance.
+
+Zero-dependency instrumentation threaded through the staged executor,
+both backends, the fault layer, and the CLI:
+
+* ``trace`` — hierarchical spans (run → stage → task-chunk) with fault
+  retries / slowdowns / pool rebuilds as span events, exported as JSONL
+  and Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+  Opt-in: a disabled tracer is a no-op and untraced runs stay at
+  seed-baseline cost.
+* ``metrics`` — a process-local registry of named counters, gauges, and
+  latency histograms; worker snapshots ride the ``TaskEvent`` return
+  path and are merged by the executor into the run manifest's
+  ``metrics`` section (schema ``run-manifest/3``).
+* ``provenance`` — a typed per-domain evidence trail recording which
+  scan snapshots, pDNS rows, CT entries, and routing decisions drove
+  each funnel transition; rendered by ``repro-hunt explain``.
+
+See docs/observability.md for the span model and naming conventions.
+"""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    MetricsRegistry,
+    drain_worker_snapshot,
+    get_registry,
+    mark_worker,
+    set_registry,
+)
+from repro.obs.provenance import (
+    EVIDENCE_KINDS,
+    EvidenceRef,
+    FunnelTransition,
+    format_provenance,
+    routing_ref,
+    trail_from_inspection,
+    trail_from_pivot,
+    transitions_from_dicts,
+    transitions_to_dicts,
+)
+from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "MetricsRegistry",
+    "drain_worker_snapshot",
+    "get_registry",
+    "mark_worker",
+    "set_registry",
+    "EVIDENCE_KINDS",
+    "EvidenceRef",
+    "FunnelTransition",
+    "format_provenance",
+    "routing_ref",
+    "trail_from_inspection",
+    "trail_from_pivot",
+    "transitions_from_dicts",
+    "transitions_to_dicts",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+]

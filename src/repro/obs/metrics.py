@@ -1,0 +1,207 @@
+"""Process-local metrics registry: named counters, gauges, histograms.
+
+Every process — the parent and each pool worker — owns exactly one
+*current* registry.  Pipeline code increments it through plain calls
+(``inc`` / ``set_gauge`` / ``observe``); the executor installs a fresh
+registry per run and folds worker-side snapshots back in as they arrive
+on the ``TaskEvent`` return path, so the manifest's ``metrics`` section
+is the union of every process's observations.
+
+Fork safety: a pool worker forked from the parent inherits the parent's
+registry object *with the parent's counts already in it*.  Shipping
+those inherited counts back would double-count them, so the registry is
+pid-stamped — the first :func:`get_registry` call in a forked child
+discards the inherited state and starts from zero.
+
+Metric names are dotted paths, ``<subsystem>.<quantity>`` (e.g.
+``inspection.pdns_lookups``, ``kernel.inspect.seconds``); see
+docs/observability.md for the naming conventions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+#: Histogram bucket upper bounds, in the metric's native unit (latency
+#: histograms observe seconds).  Shared by every histogram so snapshots
+#: merge bucket-by-bucket without negotiation.
+BUCKET_BOUNDS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _Histogram:
+    """Count/sum/min/max plus fixed exponential buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        # One slot per bound plus the +inf overflow slot.
+        self.buckets = [0] * (len(BUCKET_BOUNDS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": round(self.min, 9),
+            "max": round(self.max, 9),
+            "buckets": list(self.buckets),
+        }
+
+    def merge_dict(self, data: dict[str, Any]) -> None:
+        self.count += data["count"]
+        self.total += data["sum"]
+        self.min = min(self.min, data["min"])
+        self.max = max(self.max, data["max"])
+        for i, n in enumerate(data["buckets"]):
+            self.buckets[i] += n
+
+
+class MetricsRegistry:
+    """One process's named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = _Histogram()
+        histogram.observe(value)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> dict[str, Any] | None:
+        histogram = self._histograms.get(name)
+        return histogram.to_dict() if histogram is not None else None
+
+    @property
+    def empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-safe copy of everything recorded so far, keys sorted."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].to_dict() for k in sorted(self._histograms)
+            },
+        }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another process's snapshot in: counters and histograms
+        add, gauges take the incoming value (last write wins)."""
+        for name, n in snapshot.get("counters", {}).items():
+            self.inc(name, n)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = _Histogram()
+            histogram.merge_dict(data)
+
+    def drain(self) -> dict[str, Any] | None:
+        """Snapshot-and-reset; None when nothing was recorded.
+
+        Workers call this after every chunk so each snapshot carries
+        only that chunk's deltas.
+        """
+        if self.empty:
+            return None
+        snapshot = self.snapshot()
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        return snapshot
+
+
+_CURRENT = MetricsRegistry()
+_OWNER_PID = os.getpid()
+#: True in pool workers: chunk ends drain per-chunk deltas for the
+#: reducer.  False in the process that owns the run's registry — its
+#: counts are already *in* that registry, and draining them would make
+#: the executor's merge double-count every parent-side chunk.
+_DRAIN_DELTAS = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The calling process's current registry.
+
+    A forked child sees the parent's registry object on first call and
+    replaces it with a fresh one so inherited counts are never shipped
+    back as if the child had observed them; from then on the child
+    drains per-chunk deltas.
+    """
+    global _CURRENT, _OWNER_PID, _DRAIN_DELTAS
+    if os.getpid() != _OWNER_PID:
+        _CURRENT = MetricsRegistry()
+        _OWNER_PID = os.getpid()
+        _DRAIN_DELTAS = True
+    return _CURRENT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as this process's current one (per run)."""
+    global _CURRENT, _OWNER_PID, _DRAIN_DELTAS
+    _CURRENT = registry
+    _OWNER_PID = os.getpid()
+    _DRAIN_DELTAS = False
+    return registry
+
+
+def mark_worker() -> None:
+    """Declare this process a pool worker (spawn-platform initializer)."""
+    global _DRAIN_DELTAS
+    get_registry()
+    _DRAIN_DELTAS = True
+
+
+def drain_worker_snapshot() -> dict[str, Any] | None:
+    """Chunk-end hook: a worker's per-chunk metric deltas, else None.
+
+    In the parent the chunk's counts already live in the run's registry,
+    so nothing ships and nothing is cleared.
+    """
+    registry = get_registry()
+    if not _DRAIN_DELTAS:
+        return None
+    return registry.drain()

@@ -1,0 +1,305 @@
+"""Per-domain decision provenance: why did this verdict happen?
+
+The paper's authors manually walked scan, pDNS, and CT evidence for
+every candidate (§5); this module makes that walk a first-class,
+machine-readable artifact.  Each identified domain carries a trail of
+:class:`FunnelTransition`\\ s — one per funnel step the domain passed
+through — and every transition cites the concrete data rows that drove
+it as typed :class:`EvidenceRef`\\ s:
+
+* ``scan``    — an annotated scan snapshot (date + IP) of the transient;
+* ``pdns``    — a passive-DNS aggregate row (NS change or A redirect);
+* ``ct``      — a CT log entry (crt.sh id, issuer, names);
+* ``routing`` — an IP → ASN / country attribution lookup;
+* ``rule``    — a methodology rule that fired without a data row.
+
+Trails are assembled in the parent during report assembly from products
+that are identical on every backend, so two backends produce equal
+trails and the golden reports (which do not serialize trails) stay
+byte-identical.  ``repro-hunt explain <domain>`` renders the trail.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from dataclasses import dataclass
+
+if TYPE_CHECKING:
+    from repro.core.inspection import Evidence, InspectionResult
+    from repro.core.pivot import PivotFinding
+    from repro.core.shortlist import ShortlistEntry
+    from repro.ct.crtsh import CrtShEntry
+    from repro.pdns.database import PdnsRecord
+
+#: kinds an :class:`EvidenceRef` may carry.
+EVIDENCE_KINDS = ("scan", "pdns", "ct", "routing", "rule")
+
+
+@dataclass(frozen=True, slots=True)
+class EvidenceRef:
+    """One concrete piece of data behind a funnel transition."""
+
+    kind: str   # one of EVIDENCE_KINDS
+    ref: str    # the row's identity (date+IP, rrset, crt.sh id, ...)
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVIDENCE_KINDS:
+            raise ValueError(
+                f"unknown evidence kind {self.kind!r} (expected one of {EVIDENCE_KINDS})"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class FunnelTransition:
+    """One funnel step the domain passed through, with its evidence."""
+
+    stage: str      # "classify" | "shortlist" | "inspect" | "t1_star" | "pivot" | "assemble"
+    outcome: str    # e.g. "TRANSIENT (period 2)", "HIJACKED (T1)"
+    rationale: str
+    evidence: tuple[EvidenceRef, ...] = ()
+
+
+# -- evidence-ref constructors -------------------------------------------------
+
+
+def _pdns_ref(row: PdnsRecord) -> EvidenceRef:
+    return EvidenceRef(
+        kind="pdns",
+        ref=f"{row.rrname} {row.rtype.value} {row.rdata}",
+        detail=f"seen {row.first_seen.isoformat()}..{row.last_seen.isoformat()} "
+        f"({row.count} obs)",
+    )
+
+
+def _ct_ref(entry: CrtShEntry) -> EvidenceRef:
+    names = ", ".join(entry.certificate.sans)
+    return EvidenceRef(
+        kind="ct",
+        ref=f"crt.sh #{entry.crtsh_id}",
+        detail=f"{entry.issuer} for [{names}], issued {entry.issued_on.isoformat()}, "
+        f"logged {entry.logged_at.isoformat()}",
+    )
+
+
+def _sorted_pdns(rows: list[PdnsRecord]) -> list[PdnsRecord]:
+    return sorted(rows, key=lambda r: (r.first_seen, r.rrname, r.rtype.value, r.rdata))
+
+
+def routing_ref(ip: str, asn: int | None, cc: str | None) -> EvidenceRef:
+    located = " ".join(
+        part
+        for part in (f"AS{asn}" if asn is not None else None, cc)
+        if part is not None
+    )
+    return EvidenceRef(
+        kind="routing",
+        ref=ip,
+        detail=f"attributed to {located}" if located else "no attribution available",
+    )
+
+
+# -- trail builders ------------------------------------------------------------
+
+
+def _classify_transition(entry: ShortlistEntry) -> FunnelTransition:
+    transient = entry.transient
+    snapshots = tuple(
+        EvidenceRef(
+            kind="scan",
+            ref=f"{record.scan_date.isoformat()} {record.ip}",
+            detail=f"AS{record.asn} {record.country}, "
+            f"cert crt.sh #{record.crtsh_id or '?'} by {record.issuer}",
+        )
+        for record in sorted(
+            entry.transient_records, key=lambda r: (r.scan_date, r.ip)
+        )
+    )
+    return FunnelTransition(
+        stage="classify",
+        outcome=f"TRANSIENT (period {entry.period_index})",
+        rationale=(
+            f"deployment map shows a transient on AS{transient.asn} "
+            f"({transient.first_seen.isoformat()}..{transient.last_seen.isoformat()}) "
+            "alongside the stable infrastructure"
+        ),
+        evidence=snapshots,
+    )
+
+
+def _shortlist_transition(entry: ShortlistEntry) -> FunnelTransition:
+    reasons = [
+        "transient ASN not org-related to stable ASNs",
+        "transient country differs from stable countries",
+    ]
+    evidence = [
+        EvidenceRef(kind="rule", ref="sensitive-name", detail=name)
+        for name in entry.sensitive_names
+    ]
+    if entry.truly_anomalous:
+        reasons.append("truly anomalous: stable the full period before and after")
+        evidence.append(
+            EvidenceRef(
+                kind="rule",
+                ref="truly-anomalous",
+                detail="stable classification in the adjacent periods",
+            )
+        )
+    return FunnelTransition(
+        stage="shortlist",
+        outcome=f"shortlisted as {entry.subpattern.name}",
+        rationale="; ".join(reasons),
+        evidence=tuple(evidence),
+    )
+
+
+def _inspection_evidence(evidence: Evidence) -> tuple[EvidenceRef, ...]:
+    refs: list[EvidenceRef] = []
+    refs.extend(_pdns_ref(row) for row in _sorted_pdns(evidence.ns_changes))
+    refs.extend(_pdns_ref(row) for row in _sorted_pdns(evidence.a_redirects))
+    refs.extend(
+        _ct_ref(entry)
+        for entry in sorted(evidence.ct_entries, key=lambda e: e.crtsh_id)
+    )
+    return tuple(refs)
+
+
+def trail_from_inspection(
+    result: InspectionResult,
+    locate: Callable[[str], tuple[int | None, str | None]] | None = None,
+) -> tuple[FunnelTransition, ...]:
+    """The full funnel trail for a directly-inspected finding."""
+    entry = result.entry
+    transitions = [
+        _classify_transition(entry),
+        _shortlist_transition(entry),
+    ]
+
+    verdict = result.verdict.name
+    detection = result.detection.value if result.detection else "-"
+    evidence = list(_inspection_evidence(result.evidence))
+    if result.malicious_cert is not None:
+        cert_ref = _ct_ref(result.malicious_cert)
+        if cert_ref not in evidence:
+            evidence.append(cert_ref)
+    window = result.evidence.window
+    rationale = "; ".join(result.evidence.notes) or (
+        f"corroborated in window {window.start.isoformat()}.."
+        f"{window.end.isoformat() if window.end else '...'}"
+    )
+    transitions.append(
+        FunnelTransition(
+            stage="inspect",
+            outcome=f"{verdict} ({detection})",
+            rationale=rationale,
+            evidence=tuple(evidence),
+        )
+    )
+
+    from repro.core.types import DetectionType  # local: avoid import cycle
+
+    if result.detection is DetectionType.T1_STAR:
+        transitions.append(
+            FunnelTransition(
+                stage="t1_star",
+                outcome="upgraded to HIJACKED (T1*)",
+                rationale="transient IPs shared with independently confirmed hijacks",
+                evidence=tuple(
+                    EvidenceRef(kind="rule", ref="shared-infrastructure", detail=ip)
+                    for ip in sorted(result.attacker_ips)
+                ),
+            )
+        )
+
+    transitions.append(_assemble_transition(sorted(result.attacker_ips), locate))
+    return tuple(transitions)
+
+
+def trail_from_pivot(
+    pivot: PivotFinding,
+    locate: Callable[[str], tuple[int | None, str | None]] | None = None,
+) -> tuple[FunnelTransition, ...]:
+    """The trail for a victim found through shared attacker infrastructure."""
+    evidence = [_pdns_ref(row) for row in _sorted_pdns(pivot.pdns_rows)]
+    if pivot.malicious_cert is not None:
+        evidence.append(_ct_ref(pivot.malicious_cert))
+    transitions = [
+        FunnelTransition(
+            stage="pivot",
+            outcome=f"{pivot.verdict.name} ({pivot.detection.value})",
+            rationale=(
+                f"pDNS pivot on confirmed attacker infrastructure {pivot.via}: "
+                "short-lived resolutions tie this domain to it"
+            ),
+            evidence=tuple(evidence),
+        ),
+        _assemble_transition(sorted(pivot.attacker_ips), locate),
+    ]
+    return tuple(transitions)
+
+
+def _assemble_transition(
+    attacker_ips: list[str],
+    locate: Callable[[str], tuple[int | None, str | None]] | None,
+) -> FunnelTransition:
+    refs: list[EvidenceRef] = []
+    for ip in attacker_ips:
+        asn, cc = locate(ip) if locate is not None else (None, None)
+        refs.append(routing_ref(ip, asn, cc))
+    return FunnelTransition(
+        stage="assemble",
+        outcome="finding assembled",
+        rationale="attacker infrastructure attributed via routing table / geolocation",
+        evidence=tuple(refs),
+    )
+
+
+# -- serialization + rendering -------------------------------------------------
+
+
+def transitions_to_dicts(transitions: tuple[FunnelTransition, ...]) -> list[dict]:
+    return [
+        {
+            "stage": t.stage,
+            "outcome": t.outcome,
+            "rationale": t.rationale,
+            "evidence": [
+                {"kind": e.kind, "ref": e.ref, "detail": e.detail} for e in t.evidence
+            ],
+        }
+        for t in transitions
+    ]
+
+
+def transitions_from_dicts(rows: list[dict]) -> tuple[FunnelTransition, ...]:
+    return tuple(
+        FunnelTransition(
+            stage=row["stage"],
+            outcome=row["outcome"],
+            rationale=row.get("rationale", ""),
+            evidence=tuple(
+                EvidenceRef(
+                    kind=e["kind"], ref=e["ref"], detail=e.get("detail", "")
+                )
+                for e in row.get("evidence", [])
+            ),
+        )
+        for row in rows
+    )
+
+
+def format_provenance(
+    domain: str, transitions: tuple[FunnelTransition, ...]
+) -> str:
+    """Render a trail as the ``repro-hunt explain`` block."""
+    if not transitions:
+        return f"{domain}: no provenance recorded"
+    lines = [f"provenance: {domain}"]
+    for transition in transitions:
+        lines.append(f"  [{transition.stage}] {transition.outcome}")
+        lines.append(f"      why: {transition.rationale}")
+        for ref in transition.evidence:
+            detail = f"  ({ref.detail})" if ref.detail else ""
+            lines.append(f"      {ref.kind:<8} {ref.ref}{detail}")
+    return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Hierarchical run tracing with Chrome trace-event export.
+
+A trace is a tree of spans — run → stage → task-chunk — plus point
+events (fault retries, injected slowdowns, pool rebuilds) attached to
+whichever span was open when they happened.  Parent-side spans are
+opened and closed with :meth:`Tracer.span`; worker-side chunk timings
+ride home on the existing ``TaskEvent`` return path and are grafted in
+with :meth:`Tracer.add_task_span`, so no extra IPC channel exists for
+tracing.
+
+Timestamps are ``time.perf_counter()`` readings.  On platforms where
+that clock is system-wide (Linux ``CLOCK_MONOTONIC``) worker and parent
+spans share a timebase; elsewhere worker tracks may be offset, which
+skews the picture but never the durations.
+
+Two export formats:
+
+* :meth:`Tracer.write_jsonl` — one span per line, full structure, for
+  programmatic analysis;
+* :meth:`Tracer.write_chrome` — the Chrome trace-event JSON object
+  format, loadable in Perfetto or ``chrome://tracing``.
+
+A disabled tracer (``Tracer(enabled=False)``, or the shared
+:data:`NULL_TRACER`) turns every call into an immediate no-op, which is
+what keeps untraced runs at seed-baseline cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Iterator
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, slowdown, rebuild)."""
+
+    name: str
+    ts: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed node of the run → stage → task-chunk hierarchy."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str  # "run" | "stage" | "task"
+    start: float
+    end: float
+    pid: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects one run's span tree; inert when ``enabled`` is False."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, category: str, **attrs: Any) -> Iterator[Span | None]:
+        """Open a child of the innermost open span for the block's duration."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            category=category,
+            start=perf_counter(),
+            end=0.0,
+            pid=os.getpid(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = perf_counter()
+            self._stack.pop()
+            self._spans.append(span)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Attach a point event to the innermost open span."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].events.append(SpanEvent(name, perf_counter(), dict(attrs)))
+
+    def add_task_span(
+        self, name: str, start: float, end: float, pid: int, **attrs: Any
+    ) -> None:
+        """Graft a worker-measured chunk span under the open stage span.
+
+        The (start, end) pair traveled back with the chunk's
+        ``TaskEvent``; the span is recorded against the *worker's* pid
+        so each worker renders as its own track.
+        """
+        if not self.enabled:
+            return
+        self._spans.append(
+            Span(
+                span_id=self._next_id,
+                parent_id=self._stack[-1].span_id if self._stack else None,
+                name=name,
+                category="task",
+                start=start,
+                end=end,
+                pid=pid,
+                attrs=dict(attrs),
+            )
+        )
+        self._next_id += 1
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Closed spans, in completion order."""
+        return list(self._spans)
+
+    def worker_pids(self) -> set[int]:
+        return {span.pid for span in self._spans if span.category == "task"}
+
+    # -- export --------------------------------------------------------------
+
+    def _origin(self) -> float:
+        return min((s.start for s in self._spans), default=0.0)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per span, timestamps in µs from run start."""
+        origin = self._origin()
+        lines = []
+        for span in self._spans:
+            lines.append(
+                json.dumps(
+                    {
+                        "span_id": span.span_id,
+                        "parent_id": span.parent_id,
+                        "name": span.name,
+                        "category": span.category,
+                        "ts_us": round((span.start - origin) * 1e6, 1),
+                        "dur_us": round(span.duration * 1e6, 1),
+                        "pid": span.pid,
+                        "attrs": span.attrs,
+                        "events": [
+                            {
+                                "name": e.name,
+                                "ts_us": round((e.ts - origin) * 1e6, 1),
+                                "attrs": e.attrs,
+                            }
+                            for e in span.events
+                        ],
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The Chrome trace-event JSON object format.
+
+        Spans become complete ("ph": "X") events; span events become
+        instants ("ph": "i"); process-name metadata labels the parent
+        and each worker track.
+        """
+        origin = self._origin()
+        trace_events: list[dict[str, Any]] = []
+        named_pids: set[int] = set()
+        for span in self._spans:
+            if span.pid not in named_pids:
+                named_pids.add(span.pid)
+                role = "worker" if span.category == "task" else "pipeline"
+                trace_events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": span.pid,
+                        "tid": 0,
+                        "args": {"name": f"{role} (pid {span.pid})"},
+                    }
+                )
+            trace_events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": round((span.start - origin) * 1e6, 1),
+                    "dur": round(span.duration * 1e6, 1),
+                    "pid": span.pid,
+                    "tid": 0,
+                    "args": dict(span.attrs),
+                }
+            )
+            for event in span.events:
+                trace_events.append(
+                    {
+                        "name": event.name,
+                        "cat": span.category,
+                        "ph": "i",
+                        "s": "t",
+                        "ts": round((event.ts - origin) * 1e6, 1),
+                        "pid": span.pid,
+                        "tid": 0,
+                        "args": dict(event.attrs),
+                    }
+                )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_jsonl(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl())
+
+    def write_chrome(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_chrome(), indent=1) + "\n")
+
+
+#: Shared inert tracer: every record call is a single attribute test.
+NULL_TRACER = Tracer(enabled=False)

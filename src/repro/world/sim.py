@@ -75,9 +75,14 @@ class StudyDatasets:
         config: PipelineConfig | None = None,
         backend: ExecutionBackend | None = None,
         faults=None,
+        tracer=None,
     ) -> tuple[PipelineReport, RunMetrics]:
-        """Run the pipeline and return its report plus the run manifest."""
-        return self.pipeline(config, faults=faults).profile(backend)
+        """Run the pipeline and return its report plus the run manifest.
+
+        ``tracer`` takes an enabled :class:`repro.obs.Tracer` to collect
+        the run's hierarchical span tree alongside the manifest.
+        """
+        return self.pipeline(config, faults=faults).profile(backend, tracer=tracer)
 
 
 def run_study(

@@ -80,3 +80,87 @@ class TestCommands:
     def test_timeline_requires_domain(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["timeline"])
+
+
+def _export_study(study, directory):
+    from repro.io import save_as2org, save_ct, save_pdns, save_scan_dataset
+
+    save_scan_dataset(study.scan, directory / "scan.jsonl")
+    save_pdns(study.pdns, directory / "pdns.jsonl")
+    save_ct(study.ct_log, study.revocations, directory / "ct.jsonl")
+    save_as2org(study.as2org, directory / "as2org.jsonl")
+
+
+class TestLoggingFlags:
+    def test_quiet_accepted_before_and_after_subcommand(self):
+        assert build_parser().parse_args(["-q", "quickstart"]).quiet is True
+        assert build_parser().parse_args(["quickstart", "-q"]).quiet is True
+        assert build_parser().parse_args(["quickstart"]).quiet is False
+
+    def test_log_level_after_subcommand_overrides_default(self):
+        args = build_parser().parse_args(["paper", "--log-level", "debug"])
+        assert args.log_level == "debug"
+        assert build_parser().parse_args(["paper"]).log_level == "info"
+
+    def test_progress_goes_to_stderr_not_stdout(self, small_study, tmp_path, capsys):
+        _export_study(small_study, tmp_path)
+        assert main(["hunt", "--dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "loading study from" in captured.err
+        assert "loading study from" not in captured.out
+        assert "example-ministry.gr" in captured.out  # tables stay on stdout
+
+    def test_quiet_silences_progress(self, small_study, tmp_path, capsys):
+        _export_study(small_study, tmp_path)
+        assert main(["hunt", "--dir", str(tmp_path), "-q"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "example-ministry.gr" in captured.out
+
+    def test_no_handler_left_behind(self, small_study, tmp_path):
+        import logging
+
+        _export_study(small_study, tmp_path)
+        before = list(logging.getLogger().handlers)
+        assert main(["hunt", "--dir", str(tmp_path), "-q"]) == 0
+        assert logging.getLogger().handlers == before
+
+
+class TestTraceFlag:
+    def test_hunt_trace_writes_chrome_and_spans(self, small_study, tmp_path, capsys):
+        import json
+
+        _export_study(small_study, tmp_path)
+        trace_path = tmp_path / "trace.json"
+        assert main(["hunt", "--dir", str(tmp_path), "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        data = json.loads(trace_path.read_text())
+        events = data["traceEvents"]
+        assert events
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "run" in names
+        assert any(name.startswith("chunk:") for name in names)
+        spans_path = tmp_path / "trace.json.spans.jsonl"
+        assert len(spans_path.read_text().splitlines()) >= len(names)
+
+
+class TestExplain:
+    def test_explain_prints_the_funnel_trail(self, capsys):
+        assert main(["explain", "adpolice.gov.ae", "--background", "40", "-q"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("provenance: adpolice.gov.ae")
+        for stage in ("[classify]", "[shortlist]", "[inspect]", "[assemble]"):
+            assert stage in out
+        assert "pdns" in out
+
+    def test_explain_unknown_domain_hints_and_fails(self, capsys):
+        assert main(["explain", "nope.example", "--background", "40", "-q"]) == 2
+        err = capsys.readouterr().err
+        assert "not an identified victim" in err
+        assert "hint: try one of" in err
+
+    def test_explain_requires_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain"])

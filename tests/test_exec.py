@@ -131,6 +131,28 @@ def test_format_run_metrics_renders_every_stage(profiled):
         assert name in rendered
 
 
+def test_format_run_metrics_header_shows_chunk_size(profiled):
+    _report, metrics = profiled
+    header = format_run_metrics(metrics).splitlines()[0]
+    assert "chunk_size=auto" in header  # SerialBackend leaves it unset
+    explicit = RunMetrics(backend="process", jobs=2, chunk_size=16)
+    assert "chunk_size=16" in format_run_metrics(explicit).splitlines()[0]
+
+
+def test_serial_stage_utilization_uses_single_process_budget():
+    """A serial stage only ever had one process to keep busy; charging
+    it jobs × wall would cap its utilization at 1/jobs."""
+    from repro.exec.metrics import StageStats, TaskEvent
+
+    metrics = RunMetrics(backend="process", jobs=4)
+    events = [TaskEvent(pid=1, seconds=1.5, items=10, kernel="pivot")]
+    stats = StageStats(n_in=10, n_out=10)
+    serial = metrics.add_stage("pivot", 2.0, stats, events, parallel=False)
+    assert serial.utilization == pytest.approx(1.5 / 2.0)
+    parallel = metrics.add_stage("classify", 2.0, stats, events, parallel=True)
+    assert parallel.utilization == pytest.approx(1.5 / (4 * 2.0))
+
+
 def test_pool_manifest_records_worker_activity():
     study = paper_study(seed=7, n_background=40)
     _report, metrics = study.profile_pipeline(backend=ProcessPoolBackend(jobs=2))

@@ -81,3 +81,27 @@ def test_empty_fault_plan_is_byte_identical_process_pool():
         backend=ProcessPoolBackend(jobs=2), faults=FaultPlan.from_spec(None)
     )
     assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+
+
+def test_traced_run_is_byte_identical_serial():
+    """Observability must be read-only: an enabled tracer cannot change
+    a single byte of the report."""
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    report, _metrics = _study(GOLDEN_SEEDS[0]).profile_pipeline(
+        backend=SerialBackend(), tracer=tracer
+    )
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+    assert tracer.spans  # it really was tracing
+
+
+def test_traced_run_is_byte_identical_process_pool():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    report, _metrics = _study(GOLDEN_SEEDS[0]).profile_pipeline(
+        backend=ProcessPoolBackend(jobs=2), tracer=tracer
+    )
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+    assert tracer.worker_pids()

@@ -1,0 +1,101 @@
+"""Run-manifest schema compatibility.
+
+The manifest is a long-lived artifact: profiles saved by older builds
+must keep loading.  Schema /1 predates the ``data_quality`` ledger,
+/2 predates the ``metrics`` registry section, and /3 is current; all
+three load, and /3 round-trips losslessly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import MANIFEST_SCHEMA, RunMetrics
+from repro.exec.metrics import StageStats, TaskEvent
+
+
+def _stage_dict(name: str = "classify") -> dict:
+    return {
+        "name": name,
+        "wall_seconds": 0.25,
+        "n_in": 100,
+        "n_out": 40,
+        "funnel_delta": 60,
+        "parallel": True,
+        "tasks": 4,
+        "workers_used": 2,
+        "busy_seconds": 0.4,
+        "utilization": 0.8,
+        "detail": {"kinds": {"stable": 90}},
+    }
+
+
+def _manifest_dict(schema: str) -> dict:
+    data = {
+        "schema": schema,
+        "backend": "process-pool",
+        "jobs": 2,
+        "chunk_size": 16,
+        "wall_seconds": 1.5,
+        "stages": [_stage_dict()],
+        "funnel": {"n_maps": 100, "n_hijacked": 3},
+    }
+    if schema.endswith("/2") or schema.endswith("/3"):
+        data["data_quality"] = {"degraded": False}
+    return data
+
+
+def test_schema_1_manifest_loads():
+    metrics = RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/1"))
+    assert metrics.backend == "process-pool"
+    assert metrics.stages[0].name == "classify"
+    assert metrics.data_quality is None
+    assert metrics.metrics is None
+
+
+def test_schema_2_manifest_loads():
+    metrics = RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/2"))
+    assert metrics.data_quality == {"degraded": False}
+    assert metrics.metrics is None
+
+
+def test_schema_3_round_trip_is_lossless(tmp_path):
+    metrics = RunMetrics(backend="serial", jobs=1, chunk_size=None)
+    metrics.wall_seconds = 0.75
+    metrics.add_stage(
+        "inspect",
+        wall_seconds=0.5,
+        stats=StageStats(n_in=10, n_out=4, detail={"positive": 4}),
+        events=[TaskEvent(pid=1234, seconds=0.4, items=10, kernel="inspect")],
+        parallel=False,
+    )
+    metrics.funnel = {"n_maps": 10, "n_hijacked": 4}
+    metrics.data_quality = {"degraded": False}
+    metrics.metrics = {
+        "counters": {"inspection.inspected": 10},
+        "gauges": {"report.findings": 4.0},
+        "histograms": {
+            "kernel.inspect.seconds": {
+                "count": 1, "sum": 0.4, "min": 0.4, "max": 0.4,
+                "buckets": [0] * 9 + [1] + [0] * 5,
+            }
+        },
+    }
+    path = tmp_path / "manifest.json"
+    metrics.write(path)
+    loaded = RunMetrics.read(path)
+    assert loaded.to_dict() == metrics.to_dict()
+    assert loaded.to_dict()["schema"] == MANIFEST_SCHEMA
+    assert loaded.metrics == metrics.metrics
+
+
+def test_unknown_schema_still_raises():
+    with pytest.raises(ValueError, match="unsupported manifest schema"):
+        RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/99"))
+
+
+def test_missing_schema_raises():
+    data = _manifest_dict(MANIFEST_SCHEMA)
+    del data["schema"]
+    with pytest.raises(ValueError):
+        RunMetrics.from_dict(data)
