@@ -70,15 +70,18 @@ INTERNAL_CA = CAProfile(
 
 _DEFAULT_PROFILES = (LETS_ENCRYPT, COMODO, DIGICERT, INTERNAL_CA)
 
-_serials = itertools.count(1)
-
-
 class CertificateAuthority:
     """An issuing CA: mints certificates under its profile's policy."""
 
     def __init__(self, profile: CAProfile, revocations: RevocationRegistry) -> None:
         self.profile = profile
         self._revocations = revocations
+        # Serials are per-CA (as in the real PKI) and restart at 1 for
+        # every authority instance, so two worlds built from the same
+        # seed mint byte-identical certificates — which is what lets
+        # the stage cache's content digest recognize them as the same
+        # inputs.
+        self._serials = itertools.count(1)
         revocations.set_mechanism(profile.name, profile.revocation)
 
     @property
@@ -95,7 +98,7 @@ class CertificateAuthority:
         if not names:
             raise ValueError("cannot issue a certificate with no names")
         return Certificate(
-            serial=next(_serials),
+            serial=next(self._serials),
             common_name=names[0],
             sans=tuple(names),
             issuer=self.profile.name,

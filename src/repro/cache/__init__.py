@@ -1,0 +1,57 @@
+"""Content-addressed incremental stage cache.
+
+Sweep-style workloads — parameter grids, fault-rate matrices, re-runs
+with one changed input — recompute the same stage results over and over.
+This package makes repeat runs cache loads instead:
+
+* ``fingerprint`` — canonical content digests of everything that can
+  change a stage's output (input bundle, fault plan, configuration,
+  stage code versions), composed into per-stage fingerprints through the
+  :func:`repro.io.golden.canonical_json` encoder.  Fingerprints are
+  independent of dict ordering and of the execution backend.
+* ``store`` — :class:`StageCache`, the checksummed on-disk store those
+  fingerprints address.  Corrupt entries are detected, evicted, and
+  recomputed; writes are atomic.
+
+The executor (``repro.exec.executor``) probes the cache before each
+cacheable stage and loads the stage's reduced products on a hit, so
+serial and process-pool backends produce byte-identical reports warm or
+cold — ``tests/test_golden_reports.py`` pins that equivalence against
+the golden files.
+"""
+
+from repro.cache.fingerprint import (
+    CACHE_SALT,
+    RunKey,
+    config_digest,
+    derive_run_key,
+    inputs_digest,
+    jsonable,
+    plan_digest,
+    stage_fingerprint,
+    value_digest,
+)
+from repro.cache.store import (
+    CacheCounters,
+    CacheEntry,
+    CacheStats,
+    GCResult,
+    StageCache,
+)
+
+__all__ = [
+    "CACHE_SALT",
+    "RunKey",
+    "config_digest",
+    "derive_run_key",
+    "inputs_digest",
+    "jsonable",
+    "plan_digest",
+    "stage_fingerprint",
+    "value_digest",
+    "CacheCounters",
+    "CacheEntry",
+    "CacheStats",
+    "GCResult",
+    "StageCache",
+]

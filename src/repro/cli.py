@@ -41,6 +41,16 @@
         Check (or, with ``--update``, regenerate) the golden regression
         reports pinned under tests/golden/.
 
+    repro-hunt cache {stats,clear,gc} [--dir DIR] [--max-bytes N]
+        Inspect or maintain the content-addressed stage cache.
+
+Stage caching: ``paper``, ``hunt``, and ``profile`` accept
+``--cache DIR`` (default: the ``REPRO_CACHE_DIR`` environment variable)
+to reuse stage results across runs, and ``--no-cache`` to force a full
+recompute even when the environment variable is set.  Warm runs are
+byte-identical to cold ones; hit/miss counters land in the manifest's
+``cache`` section.  See docs/caching.md.
+
 Fault injection: ``paper``, ``hunt``, and ``profile`` accept
 ``--faults SPEC`` (e.g. ``scan.drop_weeks=0.1,workers.crash=0.2``) plus
 ``--fault-seed N``; the run degrades deterministically and its losses
@@ -60,6 +70,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 from datetime import datetime
 from pathlib import Path
@@ -137,6 +148,25 @@ def _fault_plan(args: argparse.Namespace) -> FaultPlan:
     return FaultPlan.from_spec(args.faults, seed=args.fault_seed)
 
 
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", metavar="DIR", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="stage-cache directory (default: $REPRO_CACHE_DIR; unset = off)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", default=False,
+        help="disable the stage cache even when $REPRO_CACHE_DIR is set",
+    )
+
+
+def _make_cache(args: argparse.Namespace):
+    if args.no_cache or not args.cache:
+        return None
+    from repro.cache import StageCache
+
+    return StageCache(args.cache)
+
+
 def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -178,7 +208,8 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     backend = _make_backend(args.jobs, args.chunk_size)
     tracer = _make_tracer(args)
     report, metrics = study.profile_pipeline(
-        backend=backend, faults=_fault_plan(args), tracer=tracer
+        backend=backend, faults=_fault_plan(args), tracer=tracer,
+        cache=_make_cache(args),
     )
 
     _print_data_quality(metrics)
@@ -237,7 +268,8 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         return 2
     tracer = _make_tracer(args)
     report, metrics = pipeline.profile(
-        _make_backend(args.jobs, args.chunk_size), tracer=tracer
+        _make_backend(args.jobs, args.chunk_size), tracer=tracer,
+        cache=_make_cache(args),
     )
     _print_data_quality(metrics)
     print(format_funnel(report.funnel))
@@ -277,7 +309,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     backend = _make_backend(args.jobs, args.chunk_size)
     tracer = _make_tracer(args)
     _report, metrics = study.profile_pipeline(
-        backend=backend, faults=_fault_plan(args), tracer=tracer
+        backend=backend, faults=_fault_plan(args), tracer=tracer,
+        cache=_make_cache(args),
     )
     print(format_run_metrics(metrics))
     _print_data_quality(metrics)
@@ -405,6 +438,36 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import StageCache
+
+    directory = args.dir or os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        print(
+            "error: no cache directory (pass --dir or set $REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = StageCache(directory)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache {cache.root}: {stats.entries} entries, {stats.total_bytes} bytes")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.root}: removed {removed} entries")
+    else:  # gc
+        if args.max_bytes is None:
+            print("error: gc requires --max-bytes", file=sys.stderr)
+            return 2
+        result = cache.gc(args.max_bytes)
+        print(
+            f"cache {cache.root}: evicted {result.removed} entries "
+            f"({result.freed_bytes} bytes), kept {result.kept} "
+            f"({result.kept_bytes} bytes)"
+        )
+    return 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.analysis.robustness import format_robustness, run_trials
     from repro.world.randomized import RandomWorldConfig
@@ -450,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(paper)
     _add_faults_args(paper)
+    _add_cache_args(paper)
     _add_trace_arg(paper)
     paper.set_defaults(func=_cmd_paper)
 
@@ -461,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--out", help="write findings JSONL here")
     _add_executor_args(hunt)
     _add_faults_args(hunt)
+    _add_cache_args(hunt)
     _add_trace_arg(hunt)
     hunt.set_defaults(func=_cmd_hunt)
 
@@ -475,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_args(profile)
     _add_faults_args(profile)
+    _add_cache_args(profile)
     _add_trace_arg(profile)
     profile.set_defaults(func=_cmd_profile)
 
@@ -525,6 +591,22 @@ def build_parser() -> argparse.ArgumentParser:
     golden.add_argument("--dir", default="tests/golden", help="golden file directory")
     golden.add_argument("--background", type=int, default=GOLDEN_BACKGROUND)
     golden.set_defaults(func=_cmd_golden)
+
+    cache = sub.add_parser(
+        "cache", parents=[logging_flags], help="inspect or maintain the stage cache"
+    )
+    cache.add_argument(
+        "action", choices=["stats", "clear", "gc"], help="what to do"
+    )
+    cache.add_argument(
+        "--dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="byte budget for gc (least-recently-used entries beyond it are evicted)",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -24,6 +24,10 @@ import warnings
 from dataclasses import dataclass, field, fields
 from datetime import date
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cache.store import StageCache
 
 logger = logging.getLogger(__name__)
 
@@ -327,6 +331,8 @@ class DeploymentMapStage(Stage):
 
     name = "deployment_maps"
     parallel = True
+    products = ("maps",)
+    config_deps = ("max_gap_scans",)
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         domains = ctx.inputs.scan.domains()
@@ -347,16 +353,33 @@ class DeploymentMapStage(Stage):
             n_in=len(domains), n_out=len(ctx.maps), detail={"domains_mapped": n_domains}
         )
 
+    def cache_products(self, ctx: HuntContext) -> dict[str, object]:
+        # Strip the raw records before pickling — the same halving the
+        # worker kernel applies on the wire; restore_products reattaches
+        # them from the parent's dataset.
+        for map_ in ctx.maps.values():
+            map_.records = []
+        return {"maps": ctx.maps}
+
+    def restore_products(self, ctx: HuntContext, products: dict) -> None:
+        ctx.maps = products["maps"]
+        for map_ in ctx.maps.values():
+            attach_period_records(map_, ctx.inputs.scan)
+
 
 class ClassificationStage(Stage):
     """Step 2: classify every map as stable/transition/transient/noisy.
 
     Runs inline in the parent on every backend: classifying a map costs
     microseconds while shipping it to a worker costs kilobytes, so
-    fan-out can only lose here.
+    fan-out can only lose here.  The same arithmetic keeps it out of the
+    stage cache (``products = ()``): unpickling the classification
+    object graph costs several times the recompute, so a warm run
+    reclassifies the cached maps instead of loading an entry.
     """
 
     name = "classify"
+    config_deps = ("patterns",)
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         items = list(ctx.maps.items())
@@ -387,6 +410,8 @@ class ShortlistStage(Stage):
     """
 
     name = "shortlist"
+    products = ("shortlist", "decisions")
+    config_deps = ("shortlist",)
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         shortlister = Shortlister(
@@ -420,6 +445,8 @@ class InspectionStage(Stage):
 
     name = "inspect"
     parallel = True
+    products = ("inspections", "confirmed_ips", "confirmed_ns")
+    config_deps = ("inspection", "enable_t1_star")
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         ctx.inspections = backend.map(
@@ -466,6 +493,8 @@ class PivotStage(Stage):
     """Step 5: pivot on confirmed attacker IPs and nameservers."""
 
     name = "pivot"
+    products = ("pivots",)
+    config_deps = ("enable_pivot", "inspection")
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         ctx.pivots = []
@@ -491,7 +520,12 @@ class PivotStage(Stage):
 
 
 class AssembleStage(Stage):
-    """Merge verdicts into per-domain findings, the funnel, the report."""
+    """Merge verdicts into per-domain findings, the funnel, the report.
+
+    Deliberately uncacheable (``products = ()``): it is cheap parent-side
+    bookkeeping over the cached upstream products, and always running it
+    keeps the report gauges in the run's metrics registry on warm runs.
+    """
 
     name = "assemble"
 
@@ -709,15 +743,20 @@ class HijackPipeline:
 
     # -- the run ---------------------------------------------------------------
 
-    def run(self, backend: ExecutionBackend | None = None) -> PipelineReport:
+    def run(
+        self,
+        backend: ExecutionBackend | None = None,
+        cache: StageCache | None = None,
+    ) -> PipelineReport:
         """Run the funnel; identical reports under every backend."""
-        report, _ = self.profile(backend)
+        report, _ = self.profile(backend, cache=cache)
         return report
 
     def profile(
         self,
         backend: ExecutionBackend | None = None,
         tracer: Tracer | None = None,
+        cache: StageCache | None = None,
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the funnel and return the report plus its run manifest.
 
@@ -731,11 +770,25 @@ class HijackPipeline:
         hierarchical span tree (run → stage → task-chunk across worker
         pids); the report is required to be byte-identical with tracing
         on or off.
+
+        A :class:`repro.cache.StageCache` turns repeat runs into cache
+        loads: the run key is derived from the *degraded* input bundle
+        (so dataset faults key distinctly), the fault plan, and the
+        configuration.  Warm runs are required to produce byte-identical
+        reports under every backend.
         """
         quality = DataQuality()
         inputs = apply_faults(self._inputs, self._faults, quality)
         ctx = HuntContext(inputs=inputs, config=self._config, quality=quality)
-        executor = PipelineExecutor(build_stages(), backend=backend, tracer=tracer)
+        run_key = None
+        if cache is not None:
+            from repro.cache.fingerprint import derive_run_key
+
+            run_key = derive_run_key(inputs, self._faults, self._config)
+        executor = PipelineExecutor(
+            build_stages(), backend=backend, tracer=tracer,
+            cache=cache, run_key=run_key,
+        )
         executor.backend.install_faults(self._faults)
         metrics = executor.execute(ctx)
         assert ctx.report is not None

@@ -14,18 +14,31 @@ per-kernel latency histograms, and — when given an enabled
 tree with fault retries, slowdowns, and pool rebuilds attached as span
 events.  With the default disabled tracer every trace call is a single
 attribute test, keeping untraced runs at baseline cost.
+
+Given a :class:`repro.cache.StageCache` plus the run's
+:class:`repro.cache.RunKey`, the executor probes the cache before each
+cacheable stage (one whose ``Stage.products`` is non-empty): a hit
+restores the stage's products onto the context without running any
+kernels; a miss runs the stage and stores its products.  Probe traffic
+is counted in the run's metrics registry (``cache.hits`` /
+``cache.misses`` / ``cache.stores`` / ``cache.bytes_*``) and summarized
+in the manifest's ``cache`` section.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.exec.backends import ExecutionBackend, SerialBackend
 from repro.exec.metrics import RunMetrics
 from repro.exec.stage import Stage, StageContext
 from repro.obs.metrics import MetricsRegistry, set_registry
 from repro.obs.trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:
+    from repro.cache.fingerprint import RunKey
+    from repro.cache.store import StageCache
 
 
 class PipelineExecutor:
@@ -36,10 +49,14 @@ class PipelineExecutor:
         stages: Sequence[Stage],
         backend: ExecutionBackend | None = None,
         tracer: Tracer | None = None,
+        cache: StageCache | None = None,
+        run_key: RunKey | None = None,
     ) -> None:
         self._stages = list(stages)
         self._backend = backend or SerialBackend()
         self._tracer = tracer or NULL_TRACER
+        self._cache = cache if run_key is not None else None
+        self._run_key = run_key if cache is not None else None
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -52,10 +69,19 @@ class PipelineExecutor:
     def execute(self, ctx: StageContext) -> RunMetrics:
         backend = self._backend
         tracer = self._tracer
+        cache = self._cache
         registry = set_registry(MetricsRegistry())
         metrics = RunMetrics(
             backend=backend.name, jobs=backend.jobs, chunk_size=backend.chunk_size
         )
+        tally = {
+            "hits": 0, "misses": 0, "stores": 0,
+            "bytes_read": 0, "bytes_written": 0,
+        }
+        # The fingerprint chain: (name, cache_version, config_deps) of
+        # every stage so far.  Uncacheable stages still extend it —
+        # their code shapes downstream products just the same.
+        chain: list[tuple[str, int, tuple[str, ...] | None]] = []
         run_start = time.perf_counter()
         with tracer.span(
             "run", category="run", backend=backend.name, jobs=backend.jobs
@@ -67,6 +93,18 @@ class PipelineExecutor:
                         stage.name, category="stage", parallel=stage.parallel
                     ):
                         stage_start = time.perf_counter()
+                        fingerprint = None
+                        if cache is not None:
+                            chain.append(
+                                (stage.name, stage.cache_version, stage.config_deps)
+                            )
+                            if stage.products:
+                                fingerprint = self._probe(
+                                    cache, chain, stage, ctx, metrics,
+                                    registry, tracer, tally, stage_start,
+                                )
+                                if fingerprint is None:
+                                    continue  # cache hit, stage satisfied
                         stats = stage.run(ctx, backend)
                         wall = time.perf_counter() - stage_start
                         events = backend.pop_events()
@@ -80,12 +118,60 @@ class PipelineExecutor:
                                 ctx.quality.worker_slowdowns += 1
                             else:
                                 ctx.quality.record_retry(event.kind)
+                        if fingerprint is not None:
+                            products = stage.cache_products(ctx)
+                            nbytes = cache.put(
+                                fingerprint, stage.name, stats, products
+                            )
+                            # Undo any stripping cache_products performed
+                            # (the mapping shares objects with the ctx).
+                            stage.restore_products(ctx, products)
+                            registry.inc("cache.stores")
+                            registry.inc("cache.bytes_written", nbytes)
+                            tally["stores"] += 1
+                            tally["bytes_written"] += nbytes
             finally:
                 backend.close()
         metrics.wall_seconds = time.perf_counter() - run_start
         metrics.data_quality = ctx.quality.to_dict()
+        if cache is not None:
+            metrics.cache = {
+                "enabled": True,
+                "dir": str(cache.root),
+                **tally,
+            }
         metrics.metrics = registry.snapshot()
         return metrics
+
+    def _probe(
+        self, cache, chain, stage, ctx, metrics, registry, tracer, tally,
+        stage_start,
+    ) -> str | None:
+        """Try to satisfy a cacheable stage from the cache.
+
+        Returns the stage's fingerprint on a miss (the caller stores the
+        freshly computed products under it) or None on a hit (the stage
+        is already satisfied and must be skipped).
+        """
+        from repro.cache.fingerprint import stage_fingerprint
+
+        fingerprint = stage_fingerprint(self._run_key, chain)
+        entry = cache.get(fingerprint)
+        if entry is None:
+            registry.inc("cache.misses")
+            tally["misses"] += 1
+            return fingerprint
+        stage.restore_products(ctx, entry.products)
+        registry.inc("cache.hits")
+        registry.inc("cache.bytes_read", entry.nbytes)
+        tally["hits"] += 1
+        tally["bytes_read"] += entry.nbytes
+        tracer.event("cache_hit", stage=stage.name, fingerprint=fingerprint)
+        wall = time.perf_counter() - stage_start
+        metrics.add_stage(
+            stage.name, wall, entry.stats, [], stage.parallel, cached=True
+        )
+        return None
 
     @staticmethod
     def _reduce_task_events(

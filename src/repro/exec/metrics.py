@@ -16,12 +16,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-MANIFEST_SCHEMA = "repro.exec.run-manifest/3"
+MANIFEST_SCHEMA = "repro.exec.run-manifest/4"
 
 #: Older manifests still load: /1 lacks ``data_quality``, /2 lacks the
-#: ``metrics`` registry section.
+#: ``metrics`` registry section, /3 lacks the ``cache`` section and the
+#: per-stage ``cached`` flag.
 _READABLE_SCHEMAS = frozenset(
-    {MANIFEST_SCHEMA, "repro.exec.run-manifest/1", "repro.exec.run-manifest/2"}
+    {
+        MANIFEST_SCHEMA,
+        "repro.exec.run-manifest/1",
+        "repro.exec.run-manifest/2",
+        "repro.exec.run-manifest/3",
+    }
 )
 
 
@@ -81,6 +87,9 @@ class StageMetrics:
     busy_seconds: float
     utilization: float
     detail: dict[str, Any] = field(default_factory=dict)
+    #: True when the stage was satisfied from the stage cache (no
+    #: kernels ran; wall time is the entry load).
+    cached: bool = False
 
     @property
     def funnel_delta(self) -> int:
@@ -99,6 +108,7 @@ class StageMetrics:
             "workers_used": self.workers_used,
             "busy_seconds": round(self.busy_seconds, 6),
             "utilization": round(self.utilization, 4),
+            "cached": self.cached,
             "detail": dict(self.detail),
         }
 
@@ -114,6 +124,7 @@ class StageMetrics:
             workers_used=data["workers_used"],
             busy_seconds=data["busy_seconds"],
             utilization=data["utilization"],
+            cached=data.get("cached", False),
             detail=dict(data.get("detail", {})),
         )
 
@@ -135,6 +146,10 @@ class RunMetrics:
     #: (``MetricsRegistry.snapshot()`` shape); None for manifests
     #: written before schema /3.
     metrics: dict[str, Any] | None = None
+    #: The run's stage-cache accounting (hits/misses/stores/bytes plus
+    #: the cache directory); None when caching was disabled or for
+    #: manifests written before schema /4.
+    cache: dict[str, Any] | None = None
 
     def add_stage(
         self,
@@ -143,11 +158,15 @@ class RunMetrics:
         stats: StageStats,
         events: list[TaskEvent],
         parallel: bool,
+        cached: bool = False,
     ) -> StageMetrics:
         busy = sum(e.seconds for e in events)
         # Utilization is busy time over the stage's *actual* worker-
         # second budget: a serial stage only ever had one process to
         # keep busy, so charging it jobs × wall would cap it at 1/jobs.
+        # A cache-satisfied stage ran no kernels at all — its wall time
+        # is the entry load — so it reports zero utilization instead of
+        # a load-time/wall-time ratio that would pollute the figure.
         budget = (self.jobs if parallel else 1) * wall_seconds
         stage = StageMetrics(
             name=name,
@@ -157,8 +176,9 @@ class RunMetrics:
             parallel=parallel,
             tasks=len(events),
             workers_used=len({e.pid for e in events}),
-            busy_seconds=busy,
-            utilization=(busy / budget) if budget > 0 else 0.0,
+            busy_seconds=0.0 if cached else busy,
+            utilization=0.0 if cached else (busy / budget) if budget > 0 else 0.0,
+            cached=cached,
             detail=dict(stats.detail),
         )
         self.stages.append(stage)
@@ -183,6 +203,7 @@ class RunMetrics:
             "funnel": dict(self.funnel),
             "data_quality": self.data_quality,
             "metrics": self.metrics,
+            "cache": self.cache,
         }
 
     @classmethod
@@ -201,6 +222,7 @@ class RunMetrics:
             funnel=dict(data.get("funnel", {})),
             data_quality=data.get("data_quality"),
             metrics=data.get("metrics"),
+            cache=data.get("cache"),
         )
 
     def write(self, path: str | Path) -> None:
@@ -225,10 +247,21 @@ def format_run_metrics(metrics: RunMetrics) -> str:
         "-" * len(header),
     ]
     for stage in metrics.stages:
+        # A cache-satisfied stage ran no kernels; its utilization is a
+        # meaningless 0/0, so the column says what actually happened.
+        util = f"{'cached':>6}" if stage.cached else f"{stage.utilization:>6.1%}"
         lines.append(
             f"{stage.name:<16} {stage.wall_seconds * 1e3:>8.1f}ms "
             f"{stage.n_in:>8} {stage.n_out:>8} {stage.funnel_delta:>8} "
-            f"{stage.tasks:>6} {stage.workers_used:>8} {stage.utilization:>6.1%}"
+            f"{stage.tasks:>6} {stage.workers_used:>8} {util}"
+        )
+    if metrics.cache:
+        lines.append(
+            f"cache: {metrics.cache.get('hits', 0)} hits, "
+            f"{metrics.cache.get('misses', 0)} misses, "
+            f"{metrics.cache.get('stores', 0)} stores "
+            f"({metrics.cache.get('bytes_read', 0)}B read, "
+            f"{metrics.cache.get('bytes_written', 0)}B written)"
         )
     if metrics.funnel:
         hijacked = metrics.funnel.get("n_hijacked")

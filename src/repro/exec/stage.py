@@ -47,9 +47,46 @@ class Stage(ABC):
     #: for the manifest; serial stages still receive the backend).
     parallel: bool = False
 
+    #: Context fields this stage produces.  A stage-cache hit restores
+    #: exactly these onto the context and skips ``run``; an empty tuple
+    #: marks the stage uncacheable (it always runs).
+    products: tuple[str, ...] = ()
+
+    #: Salts the stage's cache fingerprint.  Bump whenever the stage's
+    #: computation changes meaning, so entries written by older code
+    #: miss instead of resurrecting stale results.
+    cache_version: int = 1
+
+    #: Top-level config fields this stage's computation reads.  The
+    #: stage's cache fingerprint folds in only these (plus those of
+    #: every upstream stage), so sweeps over unrelated knobs still hit.
+    #: ``None`` — the conservative default — depends on the whole
+    #: config.
+    config_deps: tuple[str, ...] | None = None
+
     @abstractmethod
     def run(self, ctx: StageContext, backend: ExecutionBackend) -> StageStats:
         """Execute the stage, mutating ``ctx``, and report cardinalities."""
+
+    def cache_products(self, ctx: StageContext) -> dict[str, Any]:
+        """The product mapping the cache stores on a miss.
+
+        Override to shrink the pickled entry by stripping anything
+        rederivable from the inputs (the same trick the worker kernels
+        use on the wire); pair every override with
+        :meth:`restore_products`, which must undo the stripping exactly.
+        """
+        return {name: getattr(ctx, name) for name in self.products}
+
+    def restore_products(self, ctx: StageContext, products: dict[str, Any]) -> None:
+        """Install a stored product mapping onto the context.
+
+        Called on a cache hit, and again right after a store (the stored
+        mapping shares objects with the context, so any stripping
+        ``cache_products`` did must be reversed either way).
+        """
+        for name in self.products:
+            setattr(ctx, name, products[name])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

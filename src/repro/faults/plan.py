@@ -19,7 +19,7 @@ counters for sequenced events (blackout windows, retry accounting).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from datetime import date, timedelta
 from typing import TYPE_CHECKING
 
@@ -82,6 +82,18 @@ class FaultPlan:
     @property
     def is_empty(self) -> bool:
         return self.spec.is_empty
+
+    def fingerprint_payload(self) -> dict[str, object]:
+        """The plan's identity as a JSON-safe dict, for cache keying.
+
+        Every spec knob participates plus the seed — a run replayed
+        under a different ``--fault-seed`` degrades different scans and
+        chunks, so it must fingerprint differently.  Empty plans inject
+        nothing regardless of seed (the tentpole byte-identity
+        invariant), so their seed is normalized away.
+        """
+        spec = {f.name: getattr(self.spec, f.name) for f in fields(self.spec)}
+        return {"seed": 0 if self.is_empty else self.seed, "spec": spec}
 
     def clock(self) -> FaultClock:
         """A fresh clock over this plan's seed (ticks start at zero)."""

@@ -8,6 +8,10 @@ reports are behaviorally identical iff their encodings are
 byte-identical, which is exactly what ``tests/test_golden_reports.py``
 asserts for the pinned seeds across backends and the empty fault plan.
 
+The same canonical-encoding discipline backs the stage cache:
+:func:`canonical_json` and :func:`canonical_digest` are the byte-stable
+value encoder ``repro.cache`` fingerprints run inputs with.
+
 Regenerate after an *intentional* behavior change with::
 
     python -m repro.cli golden --update
@@ -15,15 +19,36 @@ Regenerate after an *intentional* behavior change with::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from datetime import date
 from enum import Enum
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.core.pipeline import PipelineReport
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineReport
 
 GOLDEN_SCHEMA = "repro.io.golden-report/1"
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical compact JSON encoding of a JSON-safe value.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    values — regardless of dict insertion order — encode to identical
+    bytes.  This is the stable-hash substrate for cache fingerprints.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    )
+
+
+def canonical_digest(value: Any, digest_size: int = 16) -> str:
+    """A hex blake2b digest of a value's canonical JSON encoding."""
+    return hashlib.blake2b(
+        canonical_json(value).encode("utf-8"), digest_size=digest_size
+    ).hexdigest()
 
 
 def golden_filename(seed: int) -> str:

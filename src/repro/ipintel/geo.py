@@ -7,7 +7,7 @@ deployment (Section 4.3), so country-level resolution is all we need.
 
 from __future__ import annotations
 
-from repro.net.ipv4 import IPv4Prefix, ip_to_int
+from repro.net.ipv4 import IPv4Prefix, int_to_ip, ip_to_int
 
 _VALID_CC_LEN = 2
 
@@ -25,6 +25,20 @@ class GeoDB:
         parsed = prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix.parse(prefix)
         self._by_length.setdefault(parsed.length, {})[parsed.network] = country.upper()
         self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
+
+    def items(self) -> list[tuple[str, str]]:
+        """Every ``(CIDR text, country)`` mapping, sorted by prefix.
+
+        The database's full content in a canonical order — what exports
+        and cache fingerprints iterate.
+        """
+        rows = [
+            (f"{int_to_ip(network)}/{length}", country)
+            for length, bucket in self._by_length.items()
+            for network, country in bucket.items()
+        ]
+        rows.sort()
+        return rows
 
     def lookup(self, ip: str | int) -> str | None:
         """Country code of the most-specific prefix covering ``ip``."""

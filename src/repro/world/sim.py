@@ -67,8 +67,9 @@ class StudyDatasets:
         config: PipelineConfig | None = None,
         backend: ExecutionBackend | None = None,
         faults=None,
+        cache=None,
     ) -> PipelineReport:
-        return self.pipeline(config, faults=faults).run(backend)
+        return self.pipeline(config, faults=faults).run(backend, cache=cache)
 
     def profile_pipeline(
         self,
@@ -76,13 +77,18 @@ class StudyDatasets:
         backend: ExecutionBackend | None = None,
         faults=None,
         tracer=None,
+        cache=None,
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the pipeline and return its report plus the run manifest.
 
         ``tracer`` takes an enabled :class:`repro.obs.Tracer` to collect
-        the run's hierarchical span tree alongside the manifest.
+        the run's hierarchical span tree alongside the manifest; ``cache``
+        takes a :class:`repro.cache.StageCache` to satisfy repeat runs
+        from disk.
         """
-        return self.pipeline(config, faults=faults).profile(backend, tracer=tracer)
+        return self.pipeline(config, faults=faults).profile(
+            backend, tracer=tracer, cache=cache
+        )
 
 
 def run_study(

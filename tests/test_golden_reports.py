@@ -5,7 +5,9 @@ and 13 are pinned under ``tests/golden/``.  Any behavioral drift in the
 funnel — a different verdict, a reordered finding, a changed prune —
 shows up as a byte diff against the pinned file, on either backend, and
 the empty fault plan is required to be indistinguishable from no plan
-at all.
+at all.  The stage cache rides the same harness: cold (cache-filling)
+and warm (cache-satisfied) runs must both match the pinned bytes, and
+entries must be portable across backends.
 
 After an intentional behavior change, regenerate with::
 
@@ -81,6 +83,63 @@ def test_empty_fault_plan_is_byte_identical_process_pool():
         backend=ProcessPoolBackend(jobs=2), faults=FaultPlan.from_spec(None)
     )
     assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_cold_then_warm_cache_matches_golden_serial(seed, tmp_path):
+    """The cache tentpole invariant, differentially: a cold run filling
+    the cache and a warm run satisfied from it are both byte-identical
+    to the pinned report."""
+    from repro.cache import StageCache
+
+    cache = StageCache(tmp_path / "cache")
+    golden = _golden_text(seed)
+    cold, cold_metrics = _study(seed).profile_pipeline(
+        backend=SerialBackend(), cache=cache
+    )
+    assert encode_report(cold) == golden
+    assert cold_metrics.cache["hits"] == 0
+    assert cold_metrics.cache["stores"] > 0
+    warm, warm_metrics = _study(seed).profile_pipeline(
+        backend=SerialBackend(), cache=cache
+    )
+    assert encode_report(warm) == golden
+    assert warm_metrics.cache["misses"] == 0
+    assert warm_metrics.cache["stores"] == 0
+    assert warm_metrics.cache["hits"] == cold_metrics.cache["stores"]
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_cold_then_warm_cache_matches_golden_process_pool(seed, tmp_path):
+    from repro.cache import StageCache
+
+    cache = StageCache(tmp_path / "cache")
+    golden = _golden_text(seed)
+    cold = _study(seed).run_pipeline(
+        backend=ProcessPoolBackend(jobs=2), cache=cache
+    )
+    assert encode_report(cold) == golden
+    warm, warm_metrics = _study(seed).profile_pipeline(
+        backend=ProcessPoolBackend(jobs=2), cache=cache
+    )
+    assert encode_report(warm) == golden
+    assert warm_metrics.cache["misses"] == 0
+
+
+def test_cache_entries_are_backend_portable(tmp_path):
+    """Entries written by a serial run satisfy a process-pool run (and
+    the other way around) — fingerprints carry no backend material."""
+    from repro.cache import StageCache
+
+    cache = StageCache(tmp_path / "cache")
+    golden = _golden_text(GOLDEN_SEEDS[0])
+    _study(GOLDEN_SEEDS[0]).run_pipeline(backend=SerialBackend(), cache=cache)
+    warm, metrics = _study(GOLDEN_SEEDS[0]).profile_pipeline(
+        backend=ProcessPoolBackend(jobs=2), cache=cache
+    )
+    assert encode_report(warm) == golden
+    assert metrics.cache["misses"] == 0
+    assert metrics.cache["hits"] > 0
 
 
 def test_traced_run_is_byte_identical_serial():

@@ -2,8 +2,9 @@
 
 The manifest is a long-lived artifact: profiles saved by older builds
 must keep loading.  Schema /1 predates the ``data_quality`` ledger,
-/2 predates the ``metrics`` registry section, and /3 is current; all
-three load, and /3 round-trips losslessly.
+/2 predates the ``metrics`` registry section, /3 predates the ``cache``
+section and the per-stage ``cached`` flag, and /4 is current; all four
+load, and /4 round-trips losslessly.
 """
 
 from __future__ import annotations
@@ -40,8 +41,18 @@ def _manifest_dict(schema: str) -> dict:
         "stages": [_stage_dict()],
         "funnel": {"n_maps": 100, "n_hijacked": 3},
     }
-    if schema.endswith("/2") or schema.endswith("/3"):
+    version = int(schema.rsplit("/", 1)[1])
+    if version >= 2:
         data["data_quality"] = {"degraded": False}
+    if version >= 3:
+        data["metrics"] = {"counters": {}, "gauges": {}, "histograms": {}}
+    if version >= 4:
+        data["stages"][0]["cached"] = False
+        data["cache"] = {
+            "enabled": True, "dir": "/tmp/cache",
+            "hits": 3, "misses": 1, "stores": 1,
+            "bytes_read": 1024, "bytes_written": 256,
+        }
     return data
 
 
@@ -59,7 +70,20 @@ def test_schema_2_manifest_loads():
     assert metrics.metrics is None
 
 
-def test_schema_3_round_trip_is_lossless(tmp_path):
+def test_schema_3_manifest_loads():
+    metrics = RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/3"))
+    assert metrics.metrics == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert metrics.cache is None
+    assert metrics.stages[0].cached is False
+
+
+def test_schema_4_manifest_loads_cache_section():
+    metrics = RunMetrics.from_dict(_manifest_dict(MANIFEST_SCHEMA))
+    assert metrics.cache["hits"] == 3
+    assert metrics.cache["bytes_read"] == 1024
+
+
+def test_schema_4_round_trip_is_lossless(tmp_path):
     metrics = RunMetrics(backend="serial", jobs=1, chunk_size=None)
     metrics.wall_seconds = 0.75
     metrics.add_stage(
@@ -69,8 +93,21 @@ def test_schema_3_round_trip_is_lossless(tmp_path):
         events=[TaskEvent(pid=1234, seconds=0.4, items=10, kernel="inspect")],
         parallel=False,
     )
+    metrics.add_stage(
+        "pivot",
+        wall_seconds=0.001,
+        stats=StageStats(n_in=4, n_out=2),
+        events=[],
+        parallel=False,
+        cached=True,
+    )
     metrics.funnel = {"n_maps": 10, "n_hijacked": 4}
     metrics.data_quality = {"degraded": False}
+    metrics.cache = {
+        "enabled": True, "dir": "/tmp/cache",
+        "hits": 1, "misses": 4, "stores": 4,
+        "bytes_read": 512, "bytes_written": 4096,
+    }
     metrics.metrics = {
         "counters": {"inspection.inspected": 10},
         "gauges": {"report.findings": 4.0},
@@ -87,6 +124,9 @@ def test_schema_3_round_trip_is_lossless(tmp_path):
     assert loaded.to_dict() == metrics.to_dict()
     assert loaded.to_dict()["schema"] == MANIFEST_SCHEMA
     assert loaded.metrics == metrics.metrics
+    assert loaded.cache == metrics.cache
+    assert loaded.stages[1].cached is True
+    assert loaded.stages[1].busy_seconds == 0.0
 
 
 def test_unknown_schema_still_raises():
