@@ -103,6 +103,12 @@ class _Hasher:
 def _scan_rows(scan) -> Iterable[dict[str, Any]]:
     # Record order is part of the dataset's content (downstream lists
     # preserve it), so rows are fed in dataset order, not sorted.
+    table = getattr(scan, "table", None)
+    if table is not None:
+        # Columnar fast path: walk the typed arrays directly — same row
+        # shape, no record objects materialized.
+        yield from table.row_dicts()
+        return
     for record in scan.records():
         yield {
             "d": record.scan_date.isoformat(),

@@ -14,7 +14,7 @@
         Run the pipeline over a previously exported study directory
         (scan.jsonl / pdns.jsonl / ct.jsonl / as2org.jsonl).
 
-    repro-hunt profile [--seed N] [--jobs N] [--out FILE]
+    repro-hunt profile [--seed N] [--jobs N] [--out FILE] [--json FILE]
                        [--manifest FILE]
         Profile a paper-scenario run: per-stage wall time, funnel
         cardinalities, and worker utilization — or render a previously
@@ -317,6 +317,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if args.out:
         metrics.write(args.out)
         logger.info("run manifest written to %s", args.out)
+    if args.json:
+        from repro.obs.perf import perf_summary, write_perf_summary
+
+        summary = perf_summary(study.scan, study.periods, metrics)
+        write_perf_summary(args.json, summary)
+        kernel = summary["deployment_kernel"]
+        logger.info(
+            "perf summary written to %s (deployment kernel %sx faster, "
+            "payload %sx smaller)",
+            args.json, kernel["speedup"], kernel["payload_ratio"],
+        )
     _write_trace(tracer, args)
     return 0
 
@@ -535,6 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=7)
     profile.add_argument("--background", type=int, default=150)
     profile.add_argument("--out", metavar="FILE", help="write the run manifest (JSON)")
+    profile.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write a BENCH_perf.json summary (stage wall times, dataset "
+        "bytes, measured legacy-vs-columnar kernel time and payload bytes)",
+    )
     profile.add_argument(
         "--manifest", metavar="FILE", help="render an existing manifest instead"
     )

@@ -7,12 +7,30 @@ all deployments of a domain within one six-month period form its
 *deployment map*.  A long gap in an ASN's presence splits it into two
 deployments, so a provider that disappears for months and returns reads
 as two events rather than one continuous deployment.
+
+Two construction paths exist:
+
+* the **columnar kernel** (:func:`encode_domain_maps` +
+  :func:`decode_domain_maps`, wrapped by :func:`build_domain_maps`)
+  clusters directly over the dataset's
+  :class:`~repro.scan.table.ScanTable` column slices — each period is a
+  bisect-found contiguous CSR slice, cells aggregate interned integer
+  ids, and the result is a compact int-tuple *encoded* form that worker
+  results and cache entries ship instead of object graphs;
+* the **row path** (:func:`build_deployment_map`) takes explicit record
+  lists — the original reference algorithm, still the API for callers
+  holding loose records and the oracle the differential property tests
+  compare the columnar kernel against.
+
+Both are required to produce identical maps (group partition, ordering,
+and ``map.records``) for any dataset.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import date
+from functools import cached_property
 
 from repro.net.timeline import DateInterval, Period
 from repro.scan.annotate import AnnotatedScanRecord
@@ -31,9 +49,44 @@ class DeploymentGroup:
     countries: frozenset[str]
 
 
+_group_new = DeploymentGroup.__new__
+_group_set = object.__setattr__
+
+
+def _make_group(
+    domain: str,
+    scan_date: date,
+    asn: int,
+    ips: frozenset[str],
+    cert_fingerprints: frozenset[str],
+    countries: frozenset[str],
+) -> DeploymentGroup:
+    """Construct a group bypassing the frozen-dataclass ``__init__``.
+
+    The generated init re-enters ``__setattr__`` per field through the
+    FrozenInstanceError guard; the decode path builds tens of thousands
+    of groups per run, so it pays the plain-slot-store price instead.
+    """
+    group = _group_new(DeploymentGroup)
+    _group_set(group, "domain", domain)
+    _group_set(group, "scan_date", scan_date)
+    _group_set(group, "asn", asn)
+    _group_set(group, "ips", ips)
+    _group_set(group, "cert_fingerprints", cert_fingerprints)
+    _group_set(group, "countries", countries)
+    return group
+
+
 @dataclass
 class Deployment:
-    """A deployment group seen longitudinally: one ASN over time."""
+    """A deployment group seen longitudinally: one ASN over time.
+
+    The union views (``ips``, ``cert_fingerprints``, ``countries``) and
+    ``interval`` are cached on first access: classification, the
+    shortlist checks, and inspection all hit them repeatedly, and a
+    deployment's groups are fixed once clustering assembled it.  Call
+    :meth:`invalidate` after mutating ``groups`` by hand.
+    """
 
     domain: str
     asn: int
@@ -55,21 +108,26 @@ class Deployment:
     def scan_count(self) -> int:
         return len(self.groups)
 
-    @property
+    @cached_property
     def ips(self) -> frozenset[str]:
         return frozenset().union(*(g.ips for g in self.groups))
 
-    @property
+    @cached_property
     def cert_fingerprints(self) -> frozenset[str]:
         return frozenset().union(*(g.cert_fingerprints for g in self.groups))
 
-    @property
+    @cached_property
     def countries(self) -> frozenset[str]:
         return frozenset().union(*(g.countries for g in self.groups))
 
-    @property
+    @cached_property
     def interval(self) -> DateInterval:
         return DateInterval(self.first_seen, self.last_seen)
+
+    def invalidate(self) -> None:
+        """Drop the cached union views after a manual ``groups`` edit."""
+        for name in ("ips", "cert_fingerprints", "countries", "interval"):
+            self.__dict__.pop(name, None)
 
     def dates(self) -> tuple[date, ...]:
         return tuple(g.scan_date for g in self.groups)
@@ -144,12 +202,14 @@ def build_deployment_map(
     max_gap_scans: int = 6,
     with_records: bool = True,
 ) -> DeploymentMap:
-    """Build one domain's deployment map for one period.
+    """Build one domain's deployment map for one period (row path).
 
-    ``with_records=False`` leaves ``map.records`` empty — the execution
-    backends use this so worker results ship only the clustered groups,
-    and :func:`attach_period_records` restores the raw records in the
-    parent from its own copy of the dataset.
+    This is the reference row-at-a-time algorithm over explicit record
+    lists; dataset-wide construction goes through the columnar kernel
+    (:func:`build_domain_maps`), which must produce identical maps.
+
+    ``with_records=False`` leaves ``map.records`` empty — callers then
+    restore the raw records with :func:`attach_period_records`.
     """
     in_period = [r for r in records if period.contains(r.scan_date)]
     cells: dict[tuple[date, int], dict[str, set]] = {}
@@ -186,13 +246,220 @@ def attach_period_records(map_: DeploymentMap, dataset: ScanDataset) -> None:
     """Restore ``map.records`` on a map built with ``with_records=False``.
 
     Produces the exact list ``build_deployment_map`` would have attached:
-    the domain's records filtered to the map's period, in dataset order.
+    the domain's records filtered to the map's period, in dataset order —
+    one bisect-found contiguous CSR slice of the columnar table.
     """
-    map_.records = [
-        r
-        for r in dataset.records_for(map_.domain)
-        if map_.period.contains(r.scan_date)
-    ]
+    table = dataset.table
+    lo, hi = table.period_slice(map_.domain, map_.period.start, map_.period.end)
+    map_.records = [table.record(table.csr_rows[i]) for i in range(lo, hi)]
+
+
+# -- the columnar kernel and its compact encoded form --------------------------
+
+#: One encoded content run: ``(scan_indices, ip_ids, cert_ids,
+#: country_ids)`` — a maximal stretch of *consecutive* groups within one
+#: deployment whose observable content is identical.  Scan indices point
+#: into the period's scan calendar (``dataset.scan_dates_in(period)``),
+#: and every id resolves through the dataset table's shared intern
+#: pools.  A stable deployment — the overwhelmingly common case — is a
+#: single run: one content triple plus one small index per scan date,
+#: instead of one full group tuple per date.
+EncodedRun = tuple[
+    tuple[int, ...], tuple[int, ...], tuple[int, ...], tuple[int, ...]
+]
+
+#: One encoded deployment: ``(asn_id, runs)``, runs being consecutive
+#: date-ordered segments (content alternation yields multiple runs).
+EncodedDeployment = tuple[int, tuple[EncodedRun, ...]]
+
+#: One domain's encoded maps: ``period.index -> deployments`` pairs.
+EncodedDomainMaps = list[tuple[int, tuple[EncodedDeployment, ...]]]
+
+
+def _canonical_ids(
+    ids: set[int], memo: dict[tuple[int, ...], tuple[int, ...]]
+) -> tuple[int, ...]:
+    """The set as a sorted tuple, interned via the table's tuple memo.
+
+    Handing back one shared tuple per distinct content means pickle
+    memoizes the repeats a stable deployment emits week after week —
+    worker results and cache entries serialize each content once.
+    """
+    if len(ids) == 1:
+        for value in ids:
+            key = (value,)
+            break
+    else:
+        key = tuple(sorted(ids))
+    return memo.setdefault(key, key)
+
+
+def encode_domain_maps(
+    dataset: ScanDataset,
+    domain: str,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+) -> EncodedDomainMaps:
+    """Cluster one domain's deployments straight off the column slices.
+
+    Works entirely in interned-id space: the period is a bisect slice of
+    the domain's CSR rows, cells aggregate integer ids, and clustering
+    compares scan-calendar indices.  The slice is date-sorted, so cells
+    are built one scan date at a time with plain-int ASN keys, each
+    ASN's cell sequence comes out date-ordered with no sort, and
+    consecutive cells with identical content collapse into one
+    :data:`EncodedRun` (content tuples are interned, so "identical"
+    is an ``is`` check).  The output is the compact encoded form;
+    :func:`decode_domain_maps` materializes the object maps the rest of
+    the pipeline consumes.
+    """
+    table = dataset.table
+    asn_id_col = table.asn_id
+    ip_id_col = table.ip_id
+    cert_id_col = table.cert_id
+    country_id_col = table.country_id
+    asns = table.asns
+    id_tuples = table.id_tuples
+
+    encoded: EncodedDomainMaps = []
+    for period in periods:
+        dates_in_period = dataset.scan_dates_in(period)
+        if not dates_in_period:
+            continue
+        lo, hi = table.period_slice(domain, period.start, period.end)
+        if lo == hi:
+            continue
+        rows = table.csr_rows[lo:hi].tolist()
+        ordinals = table.csr_dates[lo:hi].tolist()
+        index_of = {d.toordinal(): i for i, d in enumerate(dates_in_period)}
+        # by_asn keys appear in first-appearance order over the slice —
+        # the same insertion order the row path's cell dict produces —
+        # and each ASN's (scan_index, content) cells are date-ordered by
+        # construction.
+        by_asn: dict[int, list[tuple[int, tuple]]] = {}
+        n = len(rows)
+        i = 0
+        while i < n:
+            ordinal = ordinals[i]
+            scan_index = index_of[ordinal]
+            run_cells: dict[int, tuple[set[int], set[int], set[int]]] = {}
+            while i < n and ordinals[i] == ordinal:
+                row = rows[i]
+                asn_id = asn_id_col[row]
+                cell = run_cells.get(asn_id)
+                if cell is None:
+                    cell = (set(), set(), set())
+                    run_cells[asn_id] = cell
+                cell[0].add(ip_id_col[row])
+                cell[1].add(cert_id_col[row])
+                cell[2].add(country_id_col[row])
+                i += 1
+            for asn_id, (ips, certs, ccs) in run_cells.items():
+                content = (
+                    _canonical_ids(ips, id_tuples),
+                    _canonical_ids(certs, id_tuples),
+                    _canonical_ids(ccs, id_tuples),
+                )
+                content = id_tuples.setdefault(content, content)
+                bucket = by_asn.get(asn_id)
+                if bucket is None:
+                    by_asn[asn_id] = [(scan_index, content)]
+                else:
+                    bucket.append((scan_index, content))
+
+        # Longitudinal clustering on scan-calendar indices (split an
+        # ASN's date-ordered cells on gaps > max_gap_scans), collapsing
+        # consecutive same-content cells into runs as we go.
+        deployments: list[tuple[int, int, int, tuple[EncodedRun, ...]]] = []
+        for asn_id, cells in by_asn.items():
+            asn = asns[asn_id]
+            first_index, current = cells[0]
+            runs: list[EncodedRun] = []
+            indices = [first_index]
+            previous_index = first_index
+            for scan_index, content in cells[1:]:
+                if scan_index - previous_index > max_gap_scans:
+                    runs.append((tuple(indices),) + current)
+                    deployments.append((first_index, asn, asn_id, tuple(runs)))
+                    runs = []
+                    indices = [scan_index]
+                    current = content
+                    first_index = scan_index
+                elif content is current:
+                    indices.append(scan_index)
+                else:
+                    runs.append((tuple(indices),) + current)
+                    indices = [scan_index]
+                    current = content
+                previous_index = scan_index
+            runs.append((tuple(indices),) + current)
+            deployments.append((first_index, asn, asn_id, tuple(runs)))
+        # The row path orders deployments by (first_seen, asn *value*);
+        # scan indices are monotone in scan date, so the key matches.
+        deployments.sort(key=lambda d: (d[0], d[1]))
+        encoded.append(
+            (
+                period.index,
+                tuple((asn_id, runs) for _, _, asn_id, runs in deployments),
+            )
+        )
+    return encoded
+
+
+def decode_domain_maps(
+    domain: str,
+    encoded: EncodedDomainMaps,
+    dataset: ScanDataset,
+    periods: tuple[Period, ...],
+    with_records: bool = True,
+) -> list[tuple[tuple[str, int], DeploymentMap]]:
+    """Materialize object maps from the encoded form via the table pools.
+
+    Each run resolves its content once — decoded frozensets are interned
+    on the table per id tuple, so a stable deployment's unchanged
+    IP/cert/country sets are one shared object across all its weekly
+    groups — then fans out into one group per scan index, with dates
+    read straight from the period's (memoized) scan calendar.
+    """
+    table = dataset.table
+    asns = table.asns
+    interned_set = table.interned_set
+    by_index = {p.index: p for p in periods}
+
+    maps: list[tuple[tuple[str, int], DeploymentMap]] = []
+    for period_index, enc_deployments in encoded:
+        period = by_index[period_index]
+        dates_in_period = dataset.scan_dates_in(period)
+        deployments: list[Deployment] = []
+        for asn_id, runs in enc_deployments:
+            asn = asns[asn_id]
+            groups: list[DeploymentGroup] = []
+            for indices, ip_ids, cert_ids, cc_ids in runs:
+                ips = interned_set("ips", ip_ids)
+                fps = interned_set("cert_fps", cert_ids)
+                ccs = interned_set("countries", cc_ids)
+                for scan_index in indices:
+                    groups.append(
+                        _make_group(
+                            domain,
+                            dates_in_period[scan_index],
+                            asn,
+                            ips,
+                            fps,
+                            ccs,
+                        )
+                    )
+            deployments.append(Deployment(domain=domain, asn=asn, groups=groups))
+        map_ = DeploymentMap(
+            domain=domain,
+            period=period,
+            deployments=deployments,
+            scan_dates_in_period=dates_in_period,
+        )
+        if with_records:
+            attach_period_records(map_, dataset)
+        maps.append(((domain, period_index), map_))
+    return maps
 
 
 def build_domain_maps(
@@ -205,27 +472,13 @@ def build_domain_maps(
     """Build one domain's maps across all periods, keyed (domain, index).
 
     This is the per-domain unit of work the execution backends shard:
-    it touches only the one domain's records, so any partition of the
-    domain set rebuilds exactly :func:`build_deployment_maps`.
+    it touches only the one domain's column slices, so any partition of
+    the domain set rebuilds exactly :func:`build_deployment_maps`.
     """
-    records = dataset.records_for(domain)
-    maps: list[tuple[tuple[str, int], DeploymentMap]] = []
-    for period in periods:
-        dates_in_period = dataset.scan_dates_in(period)
-        if not dates_in_period:
-            continue
-        if not any(period.contains(r.scan_date) for r in records):
-            continue
-        maps.append(
-            (
-                (domain, period.index),
-                build_deployment_map(
-                    domain, records, period, dates_in_period, max_gap_scans,
-                    with_records=with_records,
-                ),
-            )
-        )
-    return maps
+    encoded = encode_domain_maps(dataset, domain, periods, max_gap_scans)
+    return decode_domain_maps(
+        domain, encoded, dataset, periods, with_records=with_records
+    )
 
 
 def build_deployment_maps(

@@ -31,7 +31,7 @@ if TYPE_CHECKING:
 
 logger = logging.getLogger(__name__)
 
-from repro.core.deployment import attach_period_records
+from repro.core.deployment import decode_domain_maps
 from repro.core.inspection import InspectionConfig, InspectionResult, Inspector
 from repro.core.patterns import Classification, PatternConfig
 from repro.core.pivot import PivotAnalyzer, PivotFinding
@@ -174,6 +174,7 @@ class HuntContext(StageContext):
     inputs: PipelineInputs
     config: PipelineConfig
     maps: dict[tuple[str, int], object] = field(default_factory=dict)
+    maps_encoded: list = field(default_factory=list)
     classifications: dict[tuple[str, int], Classification] = field(default_factory=dict)
     shortlist: list[ShortlistEntry] = field(default_factory=list)
     decisions: list[PruneDecision] = field(default_factory=list)
@@ -332,16 +333,34 @@ class DeploymentMapStage(Stage):
     name = "deployment_maps"
     parallel = True
     products = ("maps",)
+    cache_version = 2  # entries now store the encoded columnar form
     config_deps = ("max_gap_scans",)
+
+    @staticmethod
+    def _decode_all(
+        ctx: HuntContext, encoded_by_domain: list
+    ) -> dict[tuple[str, int], object]:
+        maps: dict[tuple[str, int], object] = {}
+        for domain, encoded in encoded_by_domain:
+            maps.update(
+                decode_domain_maps(
+                    domain, encoded, ctx.inputs.scan, ctx.inputs.periods
+                )
+            )
+        return maps
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
         domains = ctx.inputs.scan.domains()
+        # Workers ship the compact int-tuple encoding — pool ids over
+        # the shared scan table, not object graphs; materialize the map
+        # objects (and their raw records) here against the parent table.
         per_domain = backend.map("deployment", domains, key=lambda d: d)
-        ctx.maps = {key: map_ for pairs in per_domain for key, map_ in pairs}
-        # The kernel ships maps without their raw records (half the
-        # transfer); restore them here from the parent's dataset.
-        for map_ in ctx.maps.values():
-            attach_period_records(map_, ctx.inputs.scan)
+        ctx.maps_encoded = [
+            (domain, encoded)
+            for domain, encoded in zip(domains, per_domain)
+            if encoded
+        ]
+        ctx.maps = self._decode_all(ctx, ctx.maps_encoded)
         n_domains = len({d for d, _ in ctx.maps})
         registry = get_registry()
         registry.set_gauge("deployment.maps", len(ctx.maps))
@@ -354,17 +373,18 @@ class DeploymentMapStage(Stage):
         )
 
     def cache_products(self, ctx: HuntContext) -> dict[str, object]:
-        # Strip the raw records before pickling — the same halving the
-        # worker kernel applies on the wire; restore_products reattaches
-        # them from the parent's dataset.
-        for map_ in ctx.maps.values():
-            map_.records = []
-        return {"maps": ctx.maps}
+        # Entries store the encoded columnar form — the same int-tuple
+        # payload the workers shipped — never the map object graphs.
+        # Decoding on a hit resolves pool ids against the restoring
+        # process's table, whose interning is a pure function of the
+        # digested row stream, so ids mean the same thing there.
+        return {"encoded_maps": ctx.maps_encoded}
 
     def restore_products(self, ctx: HuntContext, products: dict) -> None:
-        ctx.maps = products["maps"]
-        for map_ in ctx.maps.values():
-            attach_period_records(map_, ctx.inputs.scan)
+        ctx.maps_encoded = products["encoded_maps"]
+        if ctx.maps:
+            return  # post-store call: the context already holds the maps
+        ctx.maps = self._decode_all(ctx, ctx.maps_encoded)
 
 
 class ClassificationStage(Stage):

@@ -86,18 +86,18 @@ def run_chunk(
 
 @kernel("deployment")
 def _deployment_kernel(domains: list[str]) -> list[list]:
-    """Step 1: each domain's deployment maps across all periods.
+    """Step 1: each domain's deployment maps, in columnar encoded form.
 
-    Maps are built *without* their raw records so worker results ship
-    only the clustered deployments; the deployment stage reattaches the
-    records in the parent (see ``attach_period_records``).
+    Clusters directly over the scan table's column slices and ships back
+    the compact int-tuple encoding — interned pool ids, not object
+    graphs (see ``encode_domain_maps``).  The deployment stage decodes
+    against the parent's table and reattaches the raw records there.
     """
-    from repro.core.deployment import build_domain_maps
+    from repro.core.deployment import encode_domain_maps
 
     return [
-        build_domain_maps(
-            _INPUTS.scan, domain, _INPUTS.periods, _CONFIG.max_gap_scans,
-            with_records=False,
+        encode_domain_maps(
+            _INPUTS.scan, domain, _INPUTS.periods, _CONFIG.max_gap_scans
         )
         for domain in domains
     ]

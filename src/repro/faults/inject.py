@@ -48,8 +48,10 @@ def apply_faults(
     if spec.drop_weeks or spec.drop_ports:
         scan = inputs.scan
         drop_dates = tuple(d for d in scan.scan_dates if plan.drops_scan(d))
-        drop_record = plan.drops_record if spec.drop_ports else None
-        degraded = scan.degraded(drop_dates, drop_record)
+        # The columnar drop path: decisions draw on identity fields read
+        # straight from the table's columns, no records materialized.
+        drop_row = plan.drops_record_fields if spec.drop_ports else None
+        degraded = scan.degraded(drop_dates, drop_row=drop_row)
         lost = len(scan) - len(degraded)
         quality.scan_dropped_dates = drop_dates
         quality.scan_dropped_records = lost

@@ -107,12 +107,26 @@ class FaultPlan:
 
     def drops_record(self, record: AnnotatedScanRecord) -> bool:
         """Is this per-port observation lost?"""
+        return self.drops_record_fields(
+            record.scan_date.toordinal(), record.ip, record.certificate.fingerprint
+        )
+
+    def drops_record_fields(
+        self, date_ordinal: int, ip: str, cert_fingerprint: str
+    ) -> bool:
+        """:meth:`drops_record` on the record's identity fields.
+
+        The columnar degradation path (``ScanDataset.degraded`` with
+        ``drop_row``) draws the decision straight from the scan table's
+        columns, so no record object is ever materialized; both entry
+        points hash the identical identity and agree on every row.
+        """
         return self.clock().fires(
             "scan.drop_ports",
             self.spec.drop_ports,
-            record.scan_date.toordinal(),
-            record.ip,
-            record.certificate.fingerprint,
+            date_ordinal,
+            ip,
+            cert_fingerprint,
         )
 
     def blackout_windows(self, start: date, end: date) -> tuple[DateInterval, ...]:

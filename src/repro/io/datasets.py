@@ -15,7 +15,6 @@ from typing import Any
 from repro.dns.records import RRType
 from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.pdns.database import PassiveDNSDatabase
-from repro.scan.annotate import AnnotatedScanRecord
 from repro.scan.dataset import ScanDataset
 from repro.tls.certificate import Certificate, ValidationLevel
 
@@ -49,31 +48,46 @@ def _cert_from_dict(data: dict[str, Any]) -> Certificate:
 
 
 def save_scan_dataset(dataset: ScanDataset, path: str | Path) -> int:
-    """Persist a scan dataset (header line + one line per record)."""
+    """Persist a scan dataset (header line + one line per record).
+
+    Walks the columnar table directly — no record objects are
+    materialized, and each interned value is read from its pool.
+    """
+    table = dataset.table
+
     def rows():
         yield {"kind": "header", "scan_dates": [d.isoformat() for d in dataset.scan_dates]}
-        for record in dataset.records():
+        for row in range(len(table)):
             yield {
                 "kind": "record",
-                "scan_date": record.scan_date.isoformat(),
-                "ip": record.ip,
-                "ports": list(record.ports),
-                "asn": record.asn,
-                "country": record.country,
-                "trusted": record.trusted,
-                "sensitive": record.sensitive,
-                "names": list(record.names),
-                "base_domains": list(record.base_domains),
-                "certificate": _cert_to_dict(record.certificate),
+                "scan_date": date.fromordinal(table.date_ord[row]).isoformat(),
+                "ip": table.ips[table.ip_id[row]],
+                "ports": list(table.port_sets[table.ports_id[row]]),
+                "asn": table.asns[table.asn_id[row]],
+                "country": table.countries[table.country_id[row]],
+                "trusted": table.trusted(row),
+                "sensitive": table.sensitive(row),
+                "names": list(table.name_sets[table.names_id[row]]),
+                "base_domains": list(table.base_sets[table.bases_id[row]]),
+                "certificate": _cert_to_dict(table.certs[table.cert_id[row]]),
             }
 
     return write_jsonl(path, rows())
 
 
 def load_scan_dataset(path: str | Path) -> ScanDataset:
-    """Load a scan dataset saved by :func:`save_scan_dataset`."""
+    """Load a scan dataset saved by :func:`save_scan_dataset`.
+
+    Rows append straight into a columnar :class:`~repro.scan.table
+    .ScanTable`: every repeated value — IPs, ASNs, countries, port /
+    name / base-domain tuples, and certificates (reconstructed once per
+    fingerprint) — is interned on the way in, so a loaded dataset shares
+    values exactly like the one that was saved.
+    """
+    from repro.scan.table import ScanTable
+
     scan_dates: tuple[date, ...] | None = None
-    records: list[AnnotatedScanRecord] = []
+    builder = ScanTable.build()
     cert_cache: dict[str, Certificate] = {}
     for row in read_jsonl(path):
         if row["kind"] == "header":
@@ -81,23 +95,21 @@ def load_scan_dataset(path: str | Path) -> ScanDataset:
             continue
         cert = _cert_from_dict(row["certificate"])
         cert = cert_cache.setdefault(cert.fingerprint, cert)
-        records.append(
-            AnnotatedScanRecord(
-                scan_date=date.fromisoformat(row["scan_date"]),
-                ip=row["ip"],
-                ports=tuple(row["ports"]),
-                asn=row["asn"],
-                country=row["country"],
-                certificate=cert,
-                trusted=row["trusted"],
-                sensitive=row["sensitive"],
-                names=tuple(row["names"]),
-                base_domains=tuple(row["base_domains"]),
-            )
+        builder.append_row(
+            date.fromisoformat(row["scan_date"]).toordinal(),
+            row["ip"],
+            row["asn"],
+            cert,
+            row["country"],
+            tuple(row["ports"]),
+            tuple(row["names"]),
+            tuple(row["base_domains"]),
+            bool(row["trusted"]),
+            bool(row["sensitive"]),
         )
     if scan_dates is None:
         raise ValueError(f"{path}: missing header line")
-    return ScanDataset(records, scan_dates)
+    return ScanDataset.from_table(builder.finish(), scan_dates)
 
 
 def save_pdns(db: PassiveDNSDatabase, path: str | Path) -> int:

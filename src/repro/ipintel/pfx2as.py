@@ -20,7 +20,9 @@ class RoutingTable:
     def __init__(self) -> None:
         # length -> {masked network int -> asn}
         self._by_length: dict[int, dict[int, int]] = {}
-        self._lengths_desc: tuple[int, ...] = ()
+        # Lazily (re)derived: sorting on every add made bulk loading
+        # O(n·k log k); a new length bucket only invalidates the order.
+        self._lengths_desc: tuple[int, ...] | None = ()
         self._count = 0
 
     def add(self, prefix: str | IPv4Prefix, asn: int) -> None:
@@ -32,16 +34,23 @@ class RoutingTable:
         if asn <= 0:
             raise ValueError(f"ASN must be positive: {asn}")
         parsed = prefix if isinstance(prefix, IPv4Prefix) else IPv4Prefix.parse(prefix)
-        bucket = self._by_length.setdefault(parsed.length, {})
+        bucket = self._by_length.get(parsed.length)
+        if bucket is None:
+            bucket = self._by_length[parsed.length] = {}
+            self._lengths_desc = None
         if parsed.network not in bucket:
             self._count += 1
         bucket[parsed.network] = asn
-        self._lengths_desc = tuple(sorted(self._by_length, reverse=True))
 
     def lookup(self, ip: str | int) -> int | None:
         """Origin ASN of the most-specific prefix covering ``ip``."""
         value = ip if isinstance(ip, int) else ip_to_int(ip)
-        for length in self._lengths_desc:
+        lengths = self._lengths_desc
+        if lengths is None:
+            lengths = self._lengths_desc = tuple(
+                sorted(self._by_length, reverse=True)
+            )
+        for length in lengths:
             mask = 0 if length == 0 else (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
             asn = self._by_length[length].get(value & mask)
             if asn is not None:

@@ -1,0 +1,224 @@
+"""Performance accounting: the ``BENCH_perf.json`` summary.
+
+One JSON document per profiled run, recording the three quantities the
+perf trajectory tracks across commits and Python versions:
+
+* per-stage wall times (straight from the run manifest);
+* dataset footprint — row/domain counts, resident typed-array bytes of
+  the columnar :class:`~repro.scan.table.ScanTable`, and the pickled
+  payload the process backends ship to spawn workers;
+* worker/cache payload bytes of the deployment-map stage, measured for
+  both representations — the legacy object-graph maps and the columnar
+  int-tuple encoding — alongside a timed before/after of the kernel
+  itself (the pre-columnar row path is kept here as the *before*).
+
+Everything is measured on the actual study being profiled, never
+hand-asserted; ``repro-hunt profile --json FILE`` writes the document
+and CI uploads it as an artifact per Python version.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pickle
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.exec.metrics import RunMetrics
+    from repro.net.timeline import Period
+    from repro.scan.dataset import ScanDataset
+
+PERF_SCHEMA = "repro.bench.perf/1"
+
+
+def legacy_domain_maps(
+    dataset: ScanDataset,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+) -> dict[tuple[str, int], Any]:
+    """The pre-columnar deployment kernel, kept as the measured *before*.
+
+    Re-filters each domain's record objects once per period and clusters
+    row-at-a-time — exactly what the deployment kernel did before the
+    columnar rewrite (maps built without records, as on the wire),
+    including the per-call ``scan_dates_in`` recompute the old dataset
+    performed.  The differential tests also use it as the row-path
+    oracle (there via the memoized dataset API; the oracle is the
+    clustering, not the date filter).
+    """
+    from repro.core.deployment import build_deployment_map
+
+    maps: dict[tuple[str, int], Any] = {}
+    for domain in dataset.domains():
+        records = list(dataset.records_for(domain))
+        for period in periods:
+            dates_in_period = tuple(
+                d for d in dataset.scan_dates if period.contains(d)
+            )
+            if not dates_in_period:
+                continue
+            if not any(period.contains(r.scan_date) for r in records):
+                continue
+            maps[(domain, period.index)] = build_deployment_map(
+                domain, records, period, dates_in_period, max_gap_scans,
+                with_records=False,
+            )
+    return maps
+
+
+def measure_deployment_kernel(
+    dataset: ScanDataset,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+) -> dict[str, Any]:
+    """Time and weigh the deployment-map kernel, before vs after.
+
+    Two speedups are reported, both measured:
+
+    * ``speedup`` compares the kernels alone — the legacy row path over
+      pre-materialized records versus columnar encode + decode (both
+      producing maps without records, as on the wire);
+    * ``roundtrip_speedup`` adds what the process backend pays on top —
+      pickling the worker-result form, unpickling it in the parent, and
+      attaching period records (the legacy per-map record filter versus
+      the decode-side CSR slice).
+
+    Payload bytes are the pickled worker-result forms: object-graph
+    maps before, the run-length int encoding after.
+    """
+    from repro.core.deployment import decode_domain_maps, encode_domain_maps
+
+    # Pre-materialize the row view: the pre-columnar dataset held eager
+    # record objects, so the legacy kernel must not be charged for lazy
+    # materialization.  Each phase frees its intermediates and collects
+    # before the next so neither timing pays the other's garbage.
+    records = {
+        domain: list(dataset.records_for(domain)) for domain in dataset.domains()
+    }
+    gc.collect()
+
+    t0 = time.perf_counter()
+    encoded = [
+        (domain, encode_domain_maps(dataset, domain, periods, max_gap_scans))
+        for domain in dataset.domains()
+    ]
+    columnar_maps: dict[tuple[str, int], Any] = {}
+    for domain, enc in encoded:
+        columnar_maps.update(
+            decode_domain_maps(domain, enc, dataset, periods, with_records=False)
+        )
+    columnar_seconds = time.perf_counter() - t0
+    n_maps = len(columnar_maps)
+    columnar_maps.clear()
+    gc.collect()
+
+    t0 = time.perf_counter()
+    encoded_blob = pickle.dumps([pair for pair in encoded if pair[1]], protocol=5)
+    for domain, enc in pickle.loads(encoded_blob):
+        decode_domain_maps(domain, enc, dataset, periods, with_records=True)
+    columnar_roundtrip = time.perf_counter() - t0
+    gc.collect()
+
+    t0 = time.perf_counter()
+    legacy = legacy_domain_maps(dataset, periods, max_gap_scans)
+    legacy_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    legacy_blob = pickle.dumps(list(legacy.items()), protocol=5)
+    legacy_loaded = pickle.loads(legacy_blob)
+    for (domain, _), map_ in legacy_loaded:
+        map_.records = [
+            r for r in records[domain] if map_.period.contains(r.scan_date)
+        ]
+    legacy_roundtrip = time.perf_counter() - t0
+    del legacy, legacy_loaded, records
+    gc.collect()
+
+    def _ratio(a: float, b: float) -> float | None:
+        return round(a / b, 2) if b > 0 else None
+
+    return {
+        "maps": n_maps,
+        "legacy_seconds": round(legacy_seconds, 6),
+        "columnar_seconds": round(columnar_seconds, 6),
+        "speedup": _ratio(legacy_seconds, columnar_seconds),
+        "legacy_roundtrip_seconds": round(legacy_roundtrip, 6),
+        "columnar_roundtrip_seconds": round(columnar_roundtrip, 6),
+        "roundtrip_speedup": _ratio(
+            legacy_seconds + legacy_roundtrip,
+            columnar_seconds + columnar_roundtrip,
+        ),
+        "legacy_payload_bytes": len(legacy_blob),
+        "encoded_payload_bytes": len(encoded_blob),
+        "payload_ratio": _ratio(len(legacy_blob), len(encoded_blob)),
+    }
+
+
+def measure_dataset(dataset: ScanDataset) -> dict[str, Any]:
+    """Footprint of the scan dataset in both representations."""
+    table = dataset.table
+    columnar_pickle = len(pickle.dumps(dataset, protocol=5))
+    legacy_pickle = len(pickle.dumps(dataset.records(), protocol=5))
+    return {
+        "records": len(dataset),
+        "domains": len(dataset.domains()),
+        "scan_dates": len(dataset.scan_dates),
+        "column_bytes": table.column_bytes(),
+        "columnar_pickle_bytes": columnar_pickle,
+        "legacy_pickle_bytes": legacy_pickle,
+        "pickle_ratio": round(legacy_pickle / columnar_pickle, 2)
+        if columnar_pickle > 0
+        else None,
+    }
+
+
+def perf_summary(
+    dataset: ScanDataset,
+    periods: tuple[Period, ...],
+    metrics: RunMetrics | None = None,
+    max_gap_scans: int = 6,
+) -> dict[str, Any]:
+    """The full ``BENCH_perf.json`` document for one profiled run."""
+    summary: dict[str, Any] = {
+        "schema": PERF_SCHEMA,
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "dataset": measure_dataset(dataset),
+        "deployment_kernel": measure_deployment_kernel(
+            dataset, periods, max_gap_scans
+        ),
+    }
+    if metrics is not None:
+        summary["stages"] = [
+            {
+                "name": stage.name,
+                "wall_seconds": round(stage.wall_seconds, 6),
+                "n_in": stage.n_in,
+                "n_out": stage.n_out,
+                "cached": stage.cached,
+            }
+            for stage in metrics.stages
+        ]
+        summary["total_wall_seconds"] = round(
+            sum(stage.wall_seconds for stage in metrics.stages), 6
+        )
+    return summary
+
+
+def write_perf_summary(path: str | Path, summary: dict[str, Any]) -> None:
+    Path(path).write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "PERF_SCHEMA",
+    "legacy_domain_maps",
+    "measure_deployment_kernel",
+    "measure_dataset",
+    "perf_summary",
+    "write_perf_summary",
+]

@@ -6,17 +6,22 @@ realistic liveness noise; the annotator joins each raw observation with
 the IP-intelligence tables and certificate metadata to produce records
 with the Table 1 schema; and the dataset indexes annotated records by
 the registered domains their SANs secure — the input to deployment maps.
+Storage is columnar: datasets are backed by the struct-of-arrays
+:class:`ScanTable` (interned value pools, CSR per-domain index), with
+record objects materialized lazily where the row API hands them out.
 """
 
 from repro.scan.annotate import AnnotatedScanRecord, Annotator
 from repro.scan.dataset import ScanDataset
 from repro.scan.engine import RawScanObservation, ScanEngine
 from repro.scan.host import HostPopulation, TLS_PORTS
+from repro.scan.table import ScanTable
 
 __all__ = [
     "AnnotatedScanRecord",
     "Annotator",
     "ScanDataset",
+    "ScanTable",
     "RawScanObservation",
     "ScanEngine",
     "HostPopulation",

@@ -90,22 +90,25 @@ class Annotator:
             self._cert_cache[cert.fingerprint] = cached
         return cached
 
-    def annotate(self, observations: list[RawScanObservation]) -> list[AnnotatedScanRecord]:
-        """Aggregate per (date, ip, cert) and annotate."""
+    @staticmethod
+    def _aggregated(
+        observations: list[RawScanObservation],
+    ) -> list[list[RawScanObservation]]:
+        """Per-(date, ip, cert) observation buckets, first-seen order."""
         grouped: dict[tuple[date, str, str], list[RawScanObservation]] = {}
-        order: list[tuple[date, str, str]] = []
         for obs in observations:
             key = (obs.scan_date, obs.ip, obs.certificate.fingerprint)
             bucket = grouped.get(key)
             if bucket is None:
                 grouped[key] = [obs]
-                order.append(key)
             else:
                 bucket.append(obs)
+        return list(grouped.values())
 
+    def annotate(self, observations: list[RawScanObservation]) -> list[AnnotatedScanRecord]:
+        """Aggregate per (date, ip, cert) and annotate."""
         records: list[AnnotatedScanRecord] = []
-        for key in order:
-            bucket = grouped[key]
+        for bucket in self._aggregated(observations):
             first = bucket[0]
             asn, country = self._ip_info(first.ip)
             trusted, sensitive, names, bases = self._cert_info(first.certificate)
@@ -124,3 +127,41 @@ class Annotator:
                 )
             )
         return records
+
+    def annotate_dataset(
+        self,
+        observations: list[RawScanObservation],
+        scan_dates: tuple[date, ...],
+        known_missing_dates: tuple[date, ...] = (),
+    ):
+        """Annotate straight into a columnar :class:`ScanDataset`.
+
+        The annotation-time fast path: rows append into the table's
+        typed columns (values interned as they first appear) and no
+        :class:`AnnotatedScanRecord` objects are built — they stay lazy
+        until something asks for the row view.  Produces a dataset
+        equivalent to ``ScanDataset(self.annotate(obs), scan_dates)``.
+        """
+        from repro.scan.dataset import ScanDataset
+        from repro.scan.table import ScanTable
+
+        builder = ScanTable.build()
+        for bucket in self._aggregated(observations):
+            first = bucket[0]
+            asn, country = self._ip_info(first.ip)
+            trusted, sensitive, names, bases = self._cert_info(first.certificate)
+            builder.append_row(
+                first.scan_date.toordinal(),
+                first.ip,
+                asn,
+                first.certificate,
+                country,
+                tuple(sorted({o.port for o in bucket})),
+                names,
+                bases,
+                trusted,
+                sensitive,
+            )
+        return ScanDataset.from_table(
+            builder.finish(), tuple(scan_dates), known_missing_dates
+        )

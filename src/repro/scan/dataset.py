@@ -6,6 +6,16 @@ both "what did we see for this domain?" and "in how many scans of this
 period was the domain visible at all?" — the denominator of the
 shortlist's visibility check.
 
+Storage is columnar: every dataset is backed by a
+:class:`repro.scan.table.ScanTable` (struct-of-arrays columns with
+shared intern pools and a CSR per-domain index), built once at
+construction.  The record-object API is unchanged — ``records_for``
+hands out the same (date, ip)-sorted immutable tuple views as before —
+but rows are materialized lazily from the columns, per-domain counting
+is a bisect over pre-sorted date ordinals, and pickling the dataset
+(the process-pool spawn path) ships flat arrays plus each interned
+value once instead of one object graph per record.
+
 A dataset can also carry *known telemetry gaps*: scans that were
 scheduled but lost (collector outage, injected fault).  The calendar
 keeps the lost dates — period boundaries and gap indices stay anchored
@@ -17,10 +27,11 @@ observation gap for a domain going dark.
 from __future__ import annotations
 
 from datetime import date
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.net.timeline import Period
 from repro.scan.annotate import AnnotatedScanRecord
+from repro.scan.table import ScanTable
 
 
 class ScanDataset:
@@ -32,41 +43,61 @@ class ScanDataset:
         scan_dates: tuple[date, ...],
         known_missing_dates: Iterable[date] = (),
     ) -> None:
-        self._records = list(records)
+        self._table = (
+            records if isinstance(records, ScanTable)
+            else ScanTable.from_records(records)
+        )
         self.scan_dates = tuple(sorted(scan_dates))
         self.known_missing_dates = frozenset(known_missing_dates)
-        buckets: dict[str, list[AnnotatedScanRecord]] = {}
-        for record in self._records:
-            for base in record.base_domains:
-                buckets.setdefault(base, []).append(record)
-        # Buckets are frozen to tuples: records_for is called per-domain
-        # per-period inside the stage fan-out, and handing out the stored
-        # tuple is a zero-copy immutable view (was: a fresh list per call).
-        self._by_domain: dict[str, tuple[AnnotatedScanRecord, ...]] = {
-            base: tuple(sorted(bucket, key=lambda r: (r.scan_date, r.ip)))
-            for base, bucket in buckets.items()
-        }
+        # Period memos: periods are frozen (hashable) and the calendar
+        # is immutable, so both date subsets are computed once per
+        # period instead of once per (domain, period) presence check.
+        self._period_dates: dict[Period, tuple[date, ...]] = {}
+        self._period_observed: dict[Period, tuple[date, ...]] = {}
+
+    @classmethod
+    def from_table(
+        cls,
+        table: ScanTable,
+        scan_dates: tuple[date, ...],
+        known_missing_dates: Iterable[date] = (),
+    ) -> ScanDataset:
+        """Wrap a pre-built columnar table (annotation-time fast path)."""
+        return cls(table, scan_dates, known_missing_dates)
+
+    @property
+    def table(self) -> ScanTable:
+        """The columnar backing store (read-only; shared, do not mutate)."""
+        return self._table
 
     def domains(self) -> tuple[str, ...]:
-        return tuple(sorted(self._by_domain))
+        return self._table.domains
 
     def records_for(self, domain: str) -> tuple[AnnotatedScanRecord, ...]:
         """The domain's records as an immutable view (do not mutate)."""
-        return self._by_domain.get(domain, ())
+        return self._table.records_for(domain)
 
     def records(self) -> list[AnnotatedScanRecord]:
-        return list(self._records)
+        return self._table.records()
 
     def scan_dates_in(self, period: Period) -> tuple[date, ...]:
-        return tuple(d for d in self.scan_dates if period.contains(d))
+        dates = self._period_dates.get(period)
+        if dates is None:
+            dates = tuple(d for d in self.scan_dates if period.contains(d))
+            self._period_dates[period] = dates
+        return dates
 
     def observed_dates_in(self, period: Period) -> tuple[date, ...]:
         """The period's scans that actually ran (known gaps excluded)."""
-        return tuple(
-            d
-            for d in self.scan_dates
-            if period.contains(d) and d not in self.known_missing_dates
-        )
+        dates = self._period_observed.get(period)
+        if dates is None:
+            dates = tuple(
+                d
+                for d in self.scan_dates_in(period)
+                if d not in self.known_missing_dates
+            )
+            self._period_observed[period] = dates
+        return dates
 
     def presence(self, domain: str, period: Period) -> float:
         """Fraction of the period's *observed* scans showing the domain.
@@ -78,38 +109,66 @@ class ScanDataset:
         dates_in_period = self.observed_dates_in(period)
         if not dates_in_period:
             return 0.0
-        seen = {
-            r.scan_date
-            for r in self._by_domain.get(domain, ())
-            if period.contains(r.scan_date)
-        }
-        return len(seen) / len(dates_in_period)
+        seen = self._table.distinct_dates_in(domain, period.start, period.end)
+        return seen / len(dates_in_period)
 
     def degraded(
         self,
         drop_dates: Iterable[date] = (),
         drop_record: Callable[[AnnotatedScanRecord], bool] | None = None,
+        *,
+        drop_row: Callable[[int, str, str], bool] | None = None,
     ) -> ScanDataset:
         """Derive a dataset with known telemetry gaps.
 
         ``drop_dates`` removes whole weekly scans (recorded in
         ``known_missing_dates``); ``drop_record`` removes individual
-        per-port observations.  The scan calendar is preserved so period
-        boundaries and deployment-gap indices stay on the true schedule.
+        per-port observations.  ``drop_row`` is the columnar equivalent
+        of ``drop_record`` — called with ``(date_ordinal, ip,
+        cert_fingerprint)`` straight from the columns, so no record
+        objects are materialized (the fault injector uses this).  The
+        scan calendar is preserved so period boundaries and
+        deployment-gap indices stay on the true schedule.
         """
         calendar = set(self.scan_dates)
         missing = frozenset(d for d in drop_dates if d in calendar)
-        kept = [
-            r
-            for r in self._records
-            if r.scan_date not in missing
-            and (drop_record is None or not drop_record(r))
-        ]
-        return ScanDataset(
-            kept,
+        missing_ords = {d.toordinal() for d in missing}
+        table = self._table
+        date_ord = table.date_ord
+        kept: list[int] = []
+        for row in range(len(table)):
+            if date_ord[row] in missing_ords:
+                continue
+            if drop_row is not None and drop_row(
+                date_ord[row],
+                table.ips[table.ip_id[row]],
+                table.cert_fps[table.cert_id[row]],
+            ):
+                continue
+            if drop_record is not None and drop_record(table.record(row)):
+                continue
+            kept.append(row)
+        return ScanDataset.from_table(
+            table.select(kept),
             self.scan_dates,
             known_missing_dates=self.known_missing_dates | missing,
         )
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._table)
+
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Period memos are cheap to rebuild and the content digest stays
+        # valid (datasets are never mutated in place) — ship the
+        # columnar table, the calendar, and the digest memo only.
+        state = self.__dict__.copy()
+        state["_period_dates"] = None
+        state["_period_observed"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._period_dates = {}
+        self._period_observed = {}

@@ -107,8 +107,9 @@ def run_study(
     engine = ScanEngine(world.hosts, seed=world.seed, port_loss=port_loss)
     raw = engine.run(world.scan_dates)
     annotator = Annotator(world.routing, world.geo, world.trust)
-    records = annotator.annotate(raw)
-    scan = ScanDataset(records, world.scan_dates)
+    # Columnar fast path: annotation appends straight into the scan
+    # table's typed arrays; record objects stay lazy until asked for.
+    scan = annotator.annotate_dataset(raw, world.scan_dates)
 
     pdns = PassiveDNSDatabase()
     sensor = SensorNetwork(
