@@ -1,0 +1,48 @@
+"""The detector arena over the full paper scenario.
+
+Sweeps every registered detector across the paper pack (the other packs
+are covered by ``repro-hunt arena``, which produces the committed
+``BENCH_arena.json``) and records each method's precision/recall/F1 and
+detection latency.  The funnel must top the leaderboard here: the
+paper's core argument is that the constructive method dominates the
+feature baselines on its own scenario.
+"""
+
+from repro.detect.arena import run_arena
+
+from conftest import show
+
+
+def test_arena_paper_pack(benchmark, paper):
+    result = benchmark.pedantic(
+        lambda: run_arena(packs=["paper"], studies={"paper": paper}),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = result.leaderboard()
+    lines = [f"{'detector':<18} {'mean F1':>8} {'P':>6} {'R':>6} {'detect s':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row['detector']:<18} {row['mean_f1']:>8.3f} "
+            f"{row['mean_precision']:>6.2f} {row['mean_recall']:>6.2f} "
+            f"{row['total_detect_seconds']:>9.3f}"
+        )
+    show("Detector arena, paper pack (measured)", lines)
+
+    by_name = {row["detector"]: row for row in rows}
+    funnel = by_name["funnel"]
+    # The constructive funnel dominates on its own scenario.
+    assert funnel["mean_precision"] == 1.0
+    assert funnel["mean_f1"] >= max(
+        row["mean_f1"] for name, row in by_name.items() if name != "funnel"
+    )
+    # Every shipped detector beats doing nothing (recalls something).
+    for name, row in by_name.items():
+        assert row["mean_recall"] > 0.0, name
+
+    for row in rows:
+        benchmark.extra_info[f"{row['detector']}_f1"] = row["mean_f1"]
+        benchmark.extra_info[f"{row['detector']}_detect_s"] = row[
+            "total_detect_seconds"
+        ]

@@ -9,7 +9,8 @@ constructive pipeline keeps precision at 1.0.  The benchmark measures
 baseline training.
 """
 
-from repro.baseline.model import compare_methods, train_baseline
+from repro.baseline.model import train_baseline
+from repro.detect.arena import score_sets
 
 from conftest import show
 
@@ -29,7 +30,10 @@ def test_baseline_vs_pipeline(benchmark, paper, paper_report):
     flagged = classifier.flagged_domains(candidates)
     pipeline_found = {f.domain for f in paper_report.findings}
 
-    rows = compare_methods(flagged, pipeline_found, truth, set(candidates))
+    rows = [
+        score_sets("ml-baseline", flagged, truth),
+        score_sets("pipeline", pipeline_found, truth),
+    ]
     lines = [f"{'method':<14} {'precision':>10} {'recall':>8} {'F1':>8}"]
     for row in rows:
         lines.append(

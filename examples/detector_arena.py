@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Detector arena: every registered method, side by side.
+
+The funnel pipeline is one detector among peers now.  This example lists
+everything in the registry, sweeps the full roster across the "small"
+scenario pack, and prints the leaderboard — then degrades the world (a
+pDNS blackout plus dropped scan weeks) and runs the sweep again to show
+which methods survive broken telemetry.
+
+Run:  python examples/detector_arena.py
+"""
+
+from repro import api
+from repro.detect.arena import format_arena
+
+
+def main() -> None:
+    print("Registered detectors:")
+    for name in api.list_detectors():
+        print(f"  - {name}")
+    print()
+
+    print("Sweeping all detectors over the 'small' pack...\n")
+    result = api.run_arena(packs=["small"])
+    print(format_arena(result))
+    print()
+
+    faults = "pdns.blackouts=2,pdns.blackout_days=60,scan.drop_weeks=0.2"
+    print(f"Same sweep with degraded telemetry ({faults})...\n")
+    degraded = api.run_arena(packs=["small"], faults=faults, fault_seed=5)
+    print(format_arena(degraded))
+    print()
+    print(
+        "Takeaway: methods that lean on a single data channel collapse when\n"
+        "that channel goes dark; the funnel's corroboration needs pDNS, while\n"
+        "the certificate detector keeps working from CT alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,13 +17,13 @@ Run:  python examples/incident_response.py    (~10 s)
 from repro.analysis.attribution import cluster_campaigns, format_clusters
 from repro.analysis.notification import build_notification
 from repro.analysis.timeline import format_timeline, reconstruct_timeline
-from repro.world.scenarios import paper_study
+from repro import api
 
 
 def main() -> None:
     print("Building the full paper scenario and running the pipeline...\n")
-    study = paper_study()
-    report = study.run_pipeline()
+    run = api.run_study("paper")
+    study, report = run.study, run.report
 
     print("1. CAMPAIGN ATTRIBUTION (shared attacker infrastructure)\n")
     clusters = cluster_campaigns(report.findings)

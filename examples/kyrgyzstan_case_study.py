@@ -14,16 +14,15 @@ their own.
 Run:  python examples/kyrgyzstan_case_study.py
 """
 
+from repro import api
 from repro.core.render import render_classification
 from repro.core.types import DetectionType
-from repro.world.scenarios import kyrgyzstan_world
-from repro.world.sim import run_study
 
 
 def main() -> None:
     print("Building the Kyrgyzstan scenario (2020-2021)...\n")
-    study = run_study(kyrgyzstan_world())
-    report = study.run_pipeline()
+    run = api.run_study("kyrgyzstan")
+    study, report = run.study, run.report
 
     # Step-by-step narrative, mirroring Section 5.1.
     print("STEP 1-2: the deployment map of mfa.gov.kg (2020H2):\n")

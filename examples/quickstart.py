@@ -11,22 +11,20 @@ scan / passive-DNS / CT datasets and prints the verdict with evidence.
 Run:  python examples/quickstart.py
 """
 
-from repro.core.pipeline import HijackPipeline
+from repro import api
 from repro.core.report import format_findings_table, format_funnel
-from repro.world.scenarios import small_world
-from repro.world.sim import run_study
 
 
 def main() -> None:
     print("Building world (1 hijack + 25 benign domains, year 2018)...")
-    study = run_study(small_world())
+    run = api.run_study("small")
+    study, report = run.study, run.report
     print(
         f"  datasets: {len(study.scan)} scan records, {len(study.pdns)} pDNS rows, "
         f"{len(study.ct_log)} CT entries\n"
     )
 
-    print("Running the five-step pipeline...\n")
-    report = HijackPipeline.from_study(study).run()
+    print("The five-step pipeline ran over them...\n")
 
     print(format_funnel(report.funnel))
     print()

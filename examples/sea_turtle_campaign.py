@@ -21,13 +21,13 @@ from repro.analysis.certificates import (
 from repro.analysis.evaluation import evaluate_report
 from repro.analysis.sectors import format_sector_table, sector_table
 from repro.core.report import format_findings_table, format_funnel
-from repro.world.scenarios import paper_study
+from repro import api
 
 
 def main() -> None:
     print("Building the full paper scenario (this takes a few seconds)...\n")
-    study = paper_study()
-    report = study.run_pipeline()
+    run = api.run_study("paper")
+    study, report = run.study, run.report
 
     print(format_funnel(report.funnel))
     print()

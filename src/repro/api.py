@@ -1,0 +1,96 @@
+"""The small stable facade for external callers.
+
+Examples, notebooks, and downstream tooling should import from here
+instead of reaching into deep module paths: these few names are the
+supported surface, and they stay put while the internals keep moving.
+
+    from repro import api
+
+    run = api.run_study("small")                # build + run a scenario pack
+    print(len(run.report.findings))
+
+    names = api.list_detectors()                # every registered method
+    result = api.run_arena(packs=["small"])     # the evaluation arena
+    findings = api.load_report("findings.jsonl")
+
+Everything here is a thin delegation; the heavy imports happen lazily
+inside each call so ``import repro.api`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineReport
+    from repro.core.report import DomainFinding
+    from repro.detect.arena import ArenaResult
+    from repro.exec.metrics import RunMetrics
+
+
+@dataclass
+class StudyRun:
+    """What :func:`run_study` hands back: the world's datasets, the
+    pipeline's report, and the run manifest."""
+
+    scenario: str
+    study: Any
+    report: "PipelineReport"
+    metrics: "RunMetrics"
+
+
+def run_study(
+    scenario: str = "paper",
+    *,
+    seed: int | None = None,
+    n_background: int | None = None,
+    config: Any = None,
+    faults: Any = None,
+    backend: Any = None,
+) -> StudyRun:
+    """Build a registered scenario pack and run the funnel over it.
+
+    ``scenario`` is a pack name from
+    :func:`repro.world.scenarios.list_packs` ("paper", "kyrgyzstan",
+    "small", or anything registered since).  ``seed`` / ``n_background``
+    override the pack's canonical defaults.
+    """
+    from repro.world.scenarios import build_pack
+
+    study = build_pack(scenario, seed=seed, n_background=n_background)
+    report, metrics = study.profile_pipeline(
+        config=config, backend=backend, faults=faults
+    )
+    return StudyRun(scenario=scenario, study=study, report=report, metrics=metrics)
+
+
+def load_report(path: str | Path) -> "list[DomainFinding]":
+    """Load findings previously exported as JSONL (``save_findings`` /
+    ``repro-hunt hunt --out`` / ``repro-hunt paper --save``)."""
+    from repro.io import load_findings
+
+    return load_findings(path)
+
+
+def list_detectors() -> tuple[str, ...]:
+    """Every registered detector name (built-ins plus entry points)."""
+    import repro.detect as detect
+
+    return detect.list_detectors()
+
+
+def run_arena(
+    packs: Sequence[str] | None = None,
+    detectors: Sequence[str] | None = None,
+    **kwargs: Any,
+) -> "ArenaResult":
+    """Sweep registered detectors across scenario packs; see
+    :func:`repro.detect.arena.run_arena` for the full signature."""
+    from repro.detect.arena import run_arena as _run_arena
+
+    return _run_arena(packs, detectors, **kwargs)
+
+
+__all__ = ["StudyRun", "list_detectors", "load_report", "run_arena", "run_study"]

@@ -99,6 +99,12 @@ def train_baseline(
 
 @dataclass
 class ComparisonRow:
+    """Deprecated shim: use :class:`repro.detect.arena.DetectorScore`.
+
+    Kept only so old callers of :func:`compare_methods` keep working;
+    the arena scorer is the single scoring implementation now.
+    """
+
     method: str
     precision: float
     recall: float
@@ -116,16 +122,28 @@ def compare_methods(
     truth: set[str],
     all_domains: set[str],
 ) -> list[ComparisonRow]:
-    """Precision/recall of the baseline vs the constructive pipeline."""
+    """Deprecated: delegate to :func:`repro.detect.arena.score_sets`.
 
-    def row(method: str, positives: set[str]) -> ComparisonRow:
-        tp = len(positives & truth)
-        precision = tp / len(positives) if positives else 1.0
-        recall = tp / len(truth) if truth else 1.0
-        return ComparisonRow(method=method, precision=precision, recall=recall)
+    The evaluation arena scores every registered detector with one
+    implementation; this shim survives one release for callers that
+    still compare "the baseline vs the pipeline" by hand.
+    """
+    import warnings
 
-    del all_domains  # kept for signature clarity; rates need only the sets
+    from repro.detect.arena import score_sets
+
+    warnings.warn(
+        "compare_methods is deprecated; score flagged sets with "
+        "repro.detect.arena.score_sets (or run the full sweep with "
+        "repro.detect.arena.run_arena)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    del all_domains  # kept for signature compatibility; rates need only the sets
     return [
-        row("ml-baseline", flagged),
-        row("pipeline", pipeline_found),
+        ComparisonRow(method=s.method, precision=s.precision, recall=s.recall)
+        for s in (
+            score_sets("ml-baseline", flagged, truth),
+            score_sets("pipeline", pipeline_found, truth),
+        )
     ]

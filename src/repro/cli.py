@@ -37,6 +37,13 @@
     repro-hunt robustness [--trials N]
         Randomized-world trials: recall/precision across fresh worlds.
 
+    repro-hunt arena [--packs NAMES] [--detectors NAMES] [--faults SPEC]
+                     [--seed N] [--background N] [--json FILE] [--list]
+        Sweep every registered detector across the scenario packs,
+        scoring precision/recall/F1/latency per cell against each
+        pack's ground truth, and optionally write the BENCH_arena.json
+        leaderboard.  See docs/detectors.md.
+
     repro-hunt golden [--update] [--dir DIR]
         Check (or, with ``--update``, regenerate) the golden regression
         reports pinned under tests/golden/.
@@ -479,6 +486,51 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_arena(args: argparse.Namespace) -> int:
+    import repro.detect  # registers the built-in detectors
+    from repro.detect import list_detectors
+    from repro.detect.arena import format_arena, run_arena, write_arena_summary
+    from repro.world.scenarios import get_pack, list_packs
+
+    if args.list:
+        print("scenario packs:")
+        for name in list_packs():
+            pack = get_pack(name)
+            print(f"  {name:<12} seed={pack.default_seed} "
+                  f"background={pack.default_background}  {pack.description}")
+        print("detectors:")
+        for name in list_detectors():
+            detector = repro.detect.create_detector(name)
+            print(f"  {name:<18} inputs={','.join(detector.inputs)}")
+        return 0
+
+    packs = args.packs.split(",") if args.packs else None
+    detectors = args.detectors.split(",") if args.detectors else None
+    logger.info(
+        "arena sweep: packs=%s detectors=%s",
+        ",".join(packs) if packs else "all",
+        ",".join(detectors) if detectors else "all",
+    )
+    try:
+        result = run_arena(
+            packs,
+            detectors,
+            seed=args.seed,
+            n_background=args.background,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            cache=_make_cache(args),
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print(format_arena(result))
+    if args.json:
+        write_arena_summary(result, args.json)
+        logger.info("arena summary written to %s", args.json)
+    return 0
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.analysis.robustness import format_robustness, run_trials
     from repro.world.randomized import RandomWorldConfig
@@ -598,6 +650,38 @@ def build_parser() -> argparse.ArgumentParser:
     robustness.add_argument("--victims", type=int, default=6)
     robustness.add_argument("--seed", type=int, default=100)
     robustness.set_defaults(func=_cmd_robustness)
+
+    arena = sub.add_parser(
+        "arena", parents=[logging_flags],
+        help="sweep every registered detector across the scenario packs",
+    )
+    arena.add_argument(
+        "--packs", metavar="NAMES", default=None,
+        help="comma-separated scenario packs (default: all registered)",
+    )
+    arena.add_argument(
+        "--detectors", metavar="NAMES", default=None,
+        help="comma-separated detectors (default: all registered)",
+    )
+    arena.add_argument(
+        "--seed", type=int, default=None,
+        help="override every pack's canonical seed",
+    )
+    arena.add_argument(
+        "--background", type=int, default=None,
+        help="override every pack's background-domain count",
+    )
+    arena.add_argument(
+        "--json", metavar="FILE",
+        help="write the BENCH_arena.json leaderboard summary",
+    )
+    arena.add_argument(
+        "--list", action="store_true", default=False,
+        help="list registered packs and detectors, then exit",
+    )
+    _add_faults_args(arena)
+    _add_cache_args(arena)
+    arena.set_defaults(func=_cmd_arena)
 
     golden = sub.add_parser(
         "golden", parents=[logging_flags], help="check or regenerate the golden regression reports"

@@ -20,7 +20,6 @@ to produce identical :class:`PipelineReport`\\ s.
 from __future__ import annotations
 
 import logging
-import warnings
 from dataclasses import dataclass, field, fields
 from datetime import date
 from pathlib import Path
@@ -660,64 +659,25 @@ def _funnel_summary(funnel: FunnelStats) -> dict[str, int]:
     return summary
 
 
-_LEGACY_ARGS = ("scan", "pdns", "crtsh", "as2org", "periods", "routing", "geo", "config")
-
-
 class HijackPipeline:
     """End-to-end retroactive hijack identification."""
 
     def __init__(
         self,
-        inputs: PipelineInputs | None = None,
-        *args,
+        inputs: PipelineInputs,
         config: PipelineConfig | None = None,
+        *,
         faults: FaultPlan | FaultSpec | str | None = None,
-        **kwargs,
     ) -> None:
-        if isinstance(inputs, PipelineInputs):
-            if kwargs or len(args) > 1:
-                raise TypeError(
-                    "HijackPipeline(inputs) takes at most a config besides the bundle"
-                )
-            if args:
-                if config is not None:
-                    raise TypeError("config given twice")
-                config = args[0]
-            self._inputs = inputs
-        else:
-            # Legacy signature: HijackPipeline(scan, pdns, crtsh, as2org,
-            # periods, routing=None, geo=None, config=None).
-            positional = ([] if inputs is None else [inputs]) + list(args)
-            if len(positional) > len(_LEGACY_ARGS):
-                raise TypeError("too many positional arguments")
-            legacy = dict(zip(_LEGACY_ARGS, positional))
-            for name, value in kwargs.items():
-                if name not in _LEGACY_ARGS:
-                    raise TypeError(f"unexpected keyword argument {name!r}")
-                if name in legacy:
-                    raise TypeError(f"argument {name!r} given twice")
-                legacy[name] = value
-            if "config" in legacy:
-                if config is not None:
-                    raise TypeError("config given twice")
-                config = legacy.pop("config")
-            missing = [
-                name
-                for name in ("scan", "pdns", "crtsh", "as2org", "periods")
-                if name not in legacy
-            ]
-            if missing:
-                raise TypeError(
-                    f"HijackPipeline missing required inputs: {', '.join(missing)}"
-                )
-            warnings.warn(
-                "passing datasets individually to HijackPipeline is deprecated; "
-                "bundle them in PipelineInputs or use HijackPipeline.from_study / "
-                "from_directory",
-                DeprecationWarning,
-                stacklevel=2,
+        if not isinstance(inputs, PipelineInputs):
+            # The PR-1-deprecated eight-argument form (scan, pdns, crtsh,
+            # as2org, periods, ...) is gone: bundling is the only path.
+            raise TypeError(
+                "HijackPipeline takes a PipelineInputs bundle (got "
+                f"{type(inputs).__name__}); build one with PipelineInputs(...) "
+                "or use HijackPipeline.from_study / from_directory"
             )
-            self._inputs = PipelineInputs(**legacy)
+        self._inputs = inputs
         self._config = config or PipelineConfig()
         # A plan passes through as-is (its seed matters); a bare spec or
         # spec string binds to seed 0.

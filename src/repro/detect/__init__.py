@@ -1,0 +1,71 @@
+"""Pluggable detection methods and the cross-scenario evaluation arena.
+
+Importing this package registers the five built-in detectors:
+
+========================  =========================================
+``funnel``                the paper's five-step retroactive funnel
+``logreg``                Houser-style pDNS/scan-feature classifier
+``cert-anomaly``          CERTainty-style certificate-feature rules
+``pdns-churn``            passive-DNS resolution-churn rules
+``naive-transients``      steps-1-2 ablation (every transient flags)
+========================  =========================================
+
+Third parties add their own through :func:`register_detector` or the
+``repro.detectors`` entry-point group.  ``repro.detect.arena`` sweeps
+whatever is registered across the scenario packs.
+"""
+
+from repro.detect.adapters import FunnelDetector, LogRegDetector
+from repro.detect.base import (
+    INPUT_CHANNELS,
+    POSITIVE_VERDICTS,
+    Detector,
+    DetectorFindings,
+    DomainVerdict,
+    restrict_inputs,
+)
+from repro.detect.baselines import (
+    CertAnomalyDetector,
+    NaiveTransientDetector,
+    PdnsChurnDetector,
+)
+from repro.detect.registry import (
+    ENTRY_POINT_GROUP,
+    create_detector,
+    create_detectors,
+    list_detectors,
+    register,
+    register_detector,
+    unregister_detector,
+)
+
+for _builtin in (
+    FunnelDetector,
+    LogRegDetector,
+    CertAnomalyDetector,
+    PdnsChurnDetector,
+    NaiveTransientDetector,
+):
+    register_detector(_builtin.name, _builtin, replace=True)
+del _builtin
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "INPUT_CHANNELS",
+    "POSITIVE_VERDICTS",
+    "CertAnomalyDetector",
+    "Detector",
+    "DetectorFindings",
+    "DomainVerdict",
+    "FunnelDetector",
+    "LogRegDetector",
+    "NaiveTransientDetector",
+    "PdnsChurnDetector",
+    "create_detector",
+    "create_detectors",
+    "list_detectors",
+    "register",
+    "register_detector",
+    "restrict_inputs",
+    "unregister_detector",
+]

@@ -1,0 +1,200 @@
+"""The pluggable detector protocol.
+
+A *detector* is any method that takes the analyst's third-party view of
+the Internet — the :class:`repro.core.pipeline.PipelineInputs` bundle —
+and names the domains it believes were attacked.  The paper's
+retroactive funnel is one detector; the Houser-style classifier is
+another; the survey literature (Zhauniarovich et al.) and CERTainty
+(Tsai et al.) describe whole families more.  This module gives them one
+shape so the evaluation arena can sweep them side by side:
+
+* every detector **declares** the input channels it reads
+  (:data:`INPUT_CHANNELS`); the conformance suite verifies the
+  declaration is *sufficient* by stripping every undeclared channel and
+  re-running detection;
+* ``fit(study)`` is the optional training hook — it receives a
+  simulated :class:`repro.world.sim.StudyDatasets` *with* its
+  ground-truth ledger (detectors must never read ground truth inside
+  ``detect``);
+* ``detect(bundle)`` returns a :class:`DetectorFindings`: typed
+  per-domain verdicts, each citing concrete
+  :class:`repro.obs.provenance.EvidenceRef` rows, so ``repro-hunt
+  explain``-style auditing works for every method, not just the funnel.
+
+Findings round-trip through plain dictionaries (``to_dict`` /
+``from_dict``) so arena cells can be cached, diffed, and committed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.core.types import Verdict
+from repro.obs.provenance import EvidenceRef
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineInputs
+    from repro.exec.backends import ExecutionBackend
+
+#: Channels a detector may declare in ``Detector.inputs``.  ``scan`` and
+#: ``periods`` are always present in a bundle; the rest are replaced by
+#: empty datasets when a detector does not declare them.
+INPUT_CHANNELS = ("scan", "pdns", "ct", "as2org", "routing", "geo")
+
+#: Verdicts that count as "the detector flagged this domain".
+POSITIVE_VERDICTS = frozenset({Verdict.HIJACKED, Verdict.TARGETED})
+
+
+@dataclass(frozen=True, slots=True)
+class DomainVerdict:
+    """One detector's decision about one domain."""
+
+    domain: str
+    verdict: Verdict
+    score: float = 1.0
+    rationale: str = ""
+    evidence: tuple[EvidenceRef, ...] = ()
+
+    @property
+    def positive(self) -> bool:
+        return self.verdict in POSITIVE_VERDICTS
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "verdict": self.verdict.name,
+            "score": self.score,
+            "rationale": self.rationale,
+            "evidence": [
+                {"kind": e.kind, "ref": e.ref, "detail": e.detail}
+                for e in self.evidence
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> DomainVerdict:
+        return cls(
+            domain=data["domain"],
+            verdict=Verdict[data["verdict"]],
+            score=float(data.get("score", 1.0)),
+            rationale=data.get("rationale", ""),
+            evidence=tuple(
+                EvidenceRef(kind=e["kind"], ref=e["ref"], detail=e.get("detail", ""))
+                for e in data.get("evidence", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DetectorFindings:
+    """Everything one detector produced over one input bundle."""
+
+    detector: str
+    verdicts: tuple[DomainVerdict, ...] = ()
+    stats: tuple[tuple[str, int], ...] = ()
+
+    def flagged(self) -> frozenset[str]:
+        """Domains with a positive (HIJACKED / TARGETED) verdict."""
+        return frozenset(v.domain for v in self.verdicts if v.positive)
+
+    def verdict_for(self, domain: str) -> DomainVerdict | None:
+        for verdict in self.verdicts:
+            if verdict.domain == domain:
+                return verdict
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "detector": self.detector,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "stats": [[name, value] for name, value in self.stats],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> DetectorFindings:
+        return cls(
+            detector=data["detector"],
+            verdicts=tuple(
+                DomainVerdict.from_dict(v) for v in data.get("verdicts", [])
+            ),
+            stats=tuple(
+                (str(name), int(value)) for name, value in data.get("stats", [])
+            ),
+        )
+
+
+class Detector(ABC):
+    """One registered detection method.
+
+    Subclasses set ``name`` (the registry key), ``inputs`` (the declared
+    channels, a subset of :data:`INPUT_CHANNELS`), and implement
+    :meth:`detect`.  Methods that train set ``requires_fit = True`` and
+    implement :meth:`fit`; the arena always fits before detecting.
+    Detection must be deterministic: the same bundle must produce equal
+    findings on every call and under every execution backend.
+    """
+
+    #: Registry key; stable across releases (it names arena rows).
+    name: str = ""
+
+    #: Channels ``detect`` reads.  The conformance suite strips every
+    #: channel *not* listed here and requires detection to still work.
+    inputs: tuple[str, ...] = ()
+
+    #: True if :meth:`fit` must run before :meth:`detect`.
+    requires_fit: bool = False
+
+    def fit(self, study) -> None:
+        """Train on a simulated study (ground truth available here only)."""
+
+    @abstractmethod
+    def detect(
+        self, bundle: PipelineInputs, backend: ExecutionBackend | None = None
+    ) -> DetectorFindings:
+        """Run detection over the bundle; backend is optional fan-out."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} inputs={self.inputs}>"
+
+
+def restrict_inputs(bundle: PipelineInputs, channels: tuple[str, ...]) -> PipelineInputs:
+    """A copy of the bundle with every undeclared channel emptied.
+
+    ``scan`` and ``periods`` always pass through (every bundle has them);
+    ``pdns`` / ``ct`` / ``as2org`` become empty datasets and ``routing``
+    / ``geo`` become None unless declared.  This is how the conformance
+    suite checks that a detector's declaration is sufficient.
+    """
+    from repro.ct.crtsh import CrtShService
+    from repro.ipintel.as2org import AS2Org
+    from repro.pdns.database import PassiveDNSDatabase
+
+    unknown = [c for c in channels if c not in INPUT_CHANNELS]
+    if unknown:
+        raise ValueError(
+            f"unknown input channels {unknown!r} (expected among {INPUT_CHANNELS})"
+        )
+    changes: dict[str, Any] = {}
+    if "pdns" not in channels:
+        changes["pdns"] = PassiveDNSDatabase()
+    if "ct" not in channels:
+        changes["crtsh"] = CrtShService()
+    if "as2org" not in channels:
+        changes["as2org"] = AS2Org()
+    if "routing" not in channels:
+        changes["routing"] = None
+    if "geo" not in channels:
+        changes["geo"] = None
+    return replace(bundle, **changes)
+
+
+__all__ = [
+    "INPUT_CHANNELS",
+    "POSITIVE_VERDICTS",
+    "Detector",
+    "DetectorFindings",
+    "DomainVerdict",
+    "restrict_inputs",
+]

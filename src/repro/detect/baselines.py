@@ -1,0 +1,246 @@
+"""New baseline detectors built directly on the protocol.
+
+Three methods from the comparison literature, each reading a different
+slice of the analyst's view:
+
+* :class:`CertAnomalyDetector` — CERTainty-style certificate-feature
+  rules: a CT-logged certificate covering a sensitive name, issued by a
+  CA the domain's stable scan history never used, is treated as a
+  hijack artifact;
+* :class:`PdnsChurnDetector` — resolution-churn rules: a short-lived
+  pDNS row intruding on an otherwise stable rrset is treated as a
+  temporary redirection;
+* :class:`NaiveTransientDetector` — the existing steps-1-2 ablation
+  (:func:`repro.baseline.naive.flag_all_transients`) behind the
+  protocol, as the floor every smarter method should beat.
+
+All three are deterministic rule sets — no training — so
+``requires_fit`` stays False and arena runs are reproducible by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.types import Verdict
+from repro.detect.base import Detector, DetectorFindings, DomainVerdict
+from repro.net.names import is_sensitive_name
+from repro.obs.provenance import EvidenceRef
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import PipelineInputs
+    from repro.exec.backends import ExecutionBackend
+
+
+class CertAnomalyDetector(Detector):
+    """Certificate-feature rules in the spirit of CERTainty (Tsai et al.).
+
+    For each domain, the scan history establishes which CAs its real
+    operators use: an issuer is *established* once its certificates were
+    observed deployed on ``established_scans`` or more distinct scan
+    dates.  Any CT-logged certificate that (a) covers a sensitive name
+    (mail/webmail/vpn/...) and (b) comes from an issuer outside the
+    established set is flagged as an anomalous issuance.
+    """
+
+    name = "cert-anomaly"
+    inputs = ("scan", "ct")
+
+    def __init__(self, established_scans: int = 3) -> None:
+        self._established_scans = established_scans
+
+    def detect(
+        self, bundle: PipelineInputs, backend: ExecutionBackend | None = None
+    ) -> DetectorFindings:
+        verdicts: list[DomainVerdict] = []
+        n_ct_entries = 0
+        n_anomalous = 0
+        for domain in sorted(bundle.scan.domains()):
+            seen_dates_by_issuer: dict[str, set] = {}
+            for record in bundle.scan.records_for(domain):
+                seen_dates_by_issuer.setdefault(
+                    record.certificate.issuer, set()
+                ).add(record.scan_date)
+            established = {
+                issuer
+                for issuer, dates in seen_dates_by_issuer.items()
+                if len(dates) >= self._established_scans
+            }
+            evidence: list[EvidenceRef] = []
+            for entry in bundle.crtsh.search(domain):
+                n_ct_entries += 1
+                cert = entry.certificate
+                if cert.issuer in established:
+                    continue
+                sensitive = [s for s in cert.sans if is_sensitive_name(s)]
+                if not sensitive:
+                    continue
+                n_anomalous += 1
+                evidence.append(
+                    EvidenceRef(
+                        kind="ct",
+                        ref=f"crtsh:{entry.crtsh_id}",
+                        detail=(
+                            f"issuer {cert.issuer!r} not established; "
+                            f"sensitive SAN {sensitive[0]}"
+                        ),
+                    )
+                )
+            if evidence:
+                verdicts.append(
+                    DomainVerdict(
+                        domain=domain,
+                        verdict=Verdict.TARGETED,
+                        score=1.0,
+                        rationale=(
+                            f"{len(evidence)} sensitive-SAN certificate(s) "
+                            "from non-established issuer(s)"
+                        ),
+                        evidence=tuple(evidence),
+                    )
+                )
+        return DetectorFindings(
+            detector=self.name,
+            verdicts=tuple(verdicts),
+            stats=(
+                ("domains", len(bundle.scan.domains())),
+                ("ct_entries", n_ct_entries),
+                ("anomalous_certs", n_anomalous),
+                ("flagged", len(verdicts)),
+            ),
+        )
+
+
+class PdnsChurnDetector(Detector):
+    """Resolution-churn rules over the passive-DNS aggregate.
+
+    For each (rrname, rrtype) the domain exposes, the long-lived rows
+    (span >= ``stable_min_days``) define the stable rdata set.  A
+    short-lived row (span <= ``churn_max_days``) whose rdata is *not*
+    in that stable set is an interloper — the shape a temporary
+    redirection of an otherwise healthy name leaves behind.  Domains
+    with any interloper on an rrset that does have a stable baseline
+    are flagged.
+    """
+
+    name = "pdns-churn"
+    inputs = ("scan", "pdns")
+
+    def __init__(
+        self, stable_min_days: int = 60, churn_max_days: int = 14
+    ) -> None:
+        self._stable_min_days = stable_min_days
+        self._churn_max_days = churn_max_days
+
+    def detect(
+        self, bundle: PipelineInputs, backend: ExecutionBackend | None = None
+    ) -> DetectorFindings:
+        verdicts: list[DomainVerdict] = []
+        n_rows = 0
+        n_interlopers = 0
+        for domain in sorted(bundle.scan.domains()):
+            rows = bundle.pdns.query_domain(domain)
+            n_rows += len(rows)
+            by_rrset: dict[tuple[str, str], list] = {}
+            for row in rows:
+                by_rrset.setdefault((row.rrname, row.rtype.value), []).append(row)
+            evidence: list[EvidenceRef] = []
+            for (rrname, rtype), group in sorted(by_rrset.items()):
+                stable = {
+                    row.rdata
+                    for row in group
+                    if row.span_days >= self._stable_min_days
+                }
+                if not stable:
+                    continue  # no baseline to deviate from
+                for row in group:
+                    if row.span_days > self._churn_max_days:
+                        continue
+                    if row.rdata in stable:
+                        continue
+                    n_interlopers += 1
+                    evidence.append(
+                        EvidenceRef(
+                            kind="pdns",
+                            ref=f"{rrname} {rtype} {row.rdata}",
+                            detail=(
+                                f"{row.span_days}d interloper vs "
+                                f"{len(stable)} stable value(s)"
+                            ),
+                        )
+                    )
+            if evidence:
+                verdicts.append(
+                    DomainVerdict(
+                        domain=domain,
+                        verdict=Verdict.HIJACKED,
+                        score=1.0,
+                        rationale=(
+                            f"{len(evidence)} short-lived interloper row(s) "
+                            "against stable rrsets"
+                        ),
+                        evidence=tuple(evidence),
+                    )
+                )
+        return DetectorFindings(
+            detector=self.name,
+            verdicts=tuple(verdicts),
+            stats=(
+                ("domains", len(bundle.scan.domains())),
+                ("pdns_rows", n_rows),
+                ("interlopers", n_interlopers),
+                ("flagged", len(verdicts)),
+            ),
+        )
+
+
+class NaiveTransientDetector(Detector):
+    """Every transient deployment is an incident (funnel steps 1-2 only).
+
+    Reuses :func:`repro.baseline.naive.flag_all_transients`, so the
+    arena row for this detector is exactly the ablation the naive
+    module already measures — now scored by the same scorer as
+    everything else.
+    """
+
+    name = "naive-transients"
+    inputs = ("scan",)
+
+    def detect(
+        self, bundle: PipelineInputs, backend: ExecutionBackend | None = None
+    ) -> DetectorFindings:
+        from repro.baseline.naive import flag_all_transients
+
+        result = flag_all_transients(bundle.scan, bundle.periods)
+        verdicts = tuple(
+            DomainVerdict(
+                domain=domain,
+                verdict=Verdict.HIJACKED,
+                score=1.0,
+                rationale="transient deployment observed (no corroboration)",
+                evidence=(
+                    EvidenceRef(
+                        kind="rule",
+                        ref="all-transients",
+                        detail="steps 1-2 ablation",
+                    ),
+                ),
+            )
+            for domain in sorted(result.flagged)
+        )
+        return DetectorFindings(
+            detector=self.name,
+            verdicts=verdicts,
+            stats=(
+                ("domains", len(bundle.scan.domains())),
+                ("flagged", len(verdicts)),
+            ),
+        )
+
+
+__all__ = [
+    "CertAnomalyDetector",
+    "PdnsChurnDetector",
+    "NaiveTransientDetector",
+]

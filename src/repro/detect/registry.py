@@ -1,0 +1,111 @@
+"""The detector registry.
+
+Detectors register under a stable name — either with the
+:func:`register` decorator (in-process, how the built-ins register when
+``repro.detect`` imports) or through the ``repro.detectors`` entry-point
+group (how an external package ships one without touching this repo).
+The arena and the ``repro.api`` facade enumerate the registry; nothing
+in the scoring path special-cases any one method.
+
+Registration stores a zero-argument *factory*, not an instance:
+detectors may hold fitted state, so every arena cell gets a fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.detect.base import Detector
+
+ENTRY_POINT_GROUP = "repro.detectors"
+
+_FACTORIES: dict[str, Callable[[], Detector]] = {}
+_ENTRY_POINTS_LOADED = False
+
+
+def register_detector(
+    name: str, factory: Callable[[], Detector], *, replace: bool = False
+) -> None:
+    """Register a detector factory under ``name``."""
+    if not name:
+        raise ValueError("detector name must be non-empty")
+    if name in _FACTORIES and not replace:
+        raise ValueError(f"detector {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def register(cls: type[Detector]) -> type[Detector]:
+    """Class decorator: register a ``Detector`` subclass by its ``name``."""
+    if not issubclass(cls, Detector):
+        raise TypeError(f"{cls!r} is not a Detector subclass")
+    register_detector(cls.name, cls)
+    return cls
+
+
+def unregister_detector(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _FACTORIES.pop(name, None)
+
+
+def list_detectors() -> tuple[str, ...]:
+    """Registered detector names, sorted."""
+    _load_entry_points()
+    return tuple(sorted(_FACTORIES))
+
+
+def create_detector(name: str) -> Detector:
+    """Instantiate a fresh detector by registry name."""
+    _load_entry_points()
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_FACTORIES)) or "none"
+        raise KeyError(f"unknown detector {name!r} (registered: {known})")
+    detector = factory()
+    if not isinstance(detector, Detector):
+        raise TypeError(
+            f"factory for {name!r} returned {type(detector).__name__}, "
+            "not a Detector"
+        )
+    return detector
+
+
+def create_detectors(names: Iterable[str] | None = None) -> list[Detector]:
+    """Fresh instances for ``names`` (default: every registered detector)."""
+    selected = list(names) if names is not None else list(list_detectors())
+    return [create_detector(name) for name in selected]
+
+
+def _load_entry_points() -> None:
+    """Fold in third-party detectors published as package entry points.
+
+    Loaded lazily and once; a broken third-party registration must not
+    take the built-ins down with it, so failures are swallowed per
+    entry point.
+    """
+    global _ENTRY_POINTS_LOADED
+    if _ENTRY_POINTS_LOADED:
+        return
+    _ENTRY_POINTS_LOADED = True
+    try:
+        from importlib.metadata import entry_points
+
+        for entry in entry_points(group=ENTRY_POINT_GROUP):
+            if entry.name in _FACTORIES:
+                continue
+            try:
+                register_detector(entry.name, entry.load())
+            except Exception:  # pragma: no cover - depends on environment
+                continue
+    except Exception:  # pragma: no cover - importlib.metadata missing
+        pass
+
+
+__all__ = [
+    "ENTRY_POINT_GROUP",
+    "create_detector",
+    "create_detectors",
+    "list_detectors",
+    "register",
+    "register_detector",
+    "unregister_detector",
+]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import date
+from typing import Callable
 
 from repro.core.types import DetectionType
 from repro.net.timeline import STUDY_END, STUDY_START, DateInterval
@@ -618,6 +619,64 @@ def _stage_kyrgyz_http(world: World, victim: DomainDeployment, extended: bool) -
         world.plan.add_dense_window("mail.mfa.gov.kg", may_start, radius_days=5)
 
 
+# -- the scenario-pack registry ------------------------------------------------
+#
+# A *pack* is a named, buildable scenario the evaluation arena (and any
+# other cross-scenario sweep) can enumerate: a builder producing a full
+# StudyDatasets — simulated datasets plus the ground-truth ledger the
+# scorer needs — with the pack's canonical seed and background size as
+# defaults.
+
+
+@dataclass(frozen=True)
+class ScenarioPack:
+    """One registered scenario: how to build it, and its defaults."""
+
+    name: str
+    build: "Callable[[int, int], StudyDatasets]"
+    default_seed: int
+    default_background: int
+    description: str = ""
+
+    def study(
+        self, seed: int | None = None, n_background: int | None = None
+    ) -> StudyDatasets:
+        return self.build(
+            self.default_seed if seed is None else seed,
+            self.default_background if n_background is None else n_background,
+        )
+
+
+_PACKS: "dict[str, ScenarioPack]" = {}
+
+
+def register_pack(pack: ScenarioPack, *, replace: bool = False) -> None:
+    """Register a scenario pack under its name."""
+    if pack.name in _PACKS and not replace:
+        raise ValueError(f"scenario pack {pack.name!r} is already registered")
+    _PACKS[pack.name] = pack
+
+
+def list_packs() -> tuple[str, ...]:
+    """Registered pack names, sorted."""
+    return tuple(sorted(_PACKS))
+
+
+def get_pack(name: str) -> ScenarioPack:
+    pack = _PACKS.get(name)
+    if pack is None:
+        known = ", ".join(sorted(_PACKS)) or "none"
+        raise KeyError(f"unknown scenario pack {name!r} (registered: {known})")
+    return pack
+
+
+def build_pack(
+    name: str, seed: int | None = None, n_background: int | None = None
+) -> StudyDatasets:
+    """Build and run a registered pack (defaults from the registration)."""
+    return get_pack(name).study(seed, n_background)
+
+
 def small_world(seed: int = 3, n_background: int = 25) -> World:
     """One T1 hijack against a small benign background (fast; for tests
     and the quickstart example)."""
@@ -647,3 +706,31 @@ def small_world(seed: int = 3, n_background: int = 25) -> World:
     if n_background:
         populate_background(world, n_background, DateInterval(world.start, world.end))
     return world
+
+
+# The built-in packs.  "paper" is the study of record; "kyrgyzstan" the
+# Section 5.1 case study; "small" the fast single-victim scenario tests
+# and CI smoke runs use.
+register_pack(ScenarioPack(
+    name="paper",
+    build=lambda seed, n_background: paper_study(seed, n_background),
+    default_seed=7,
+    default_background=150,
+    description="full paper scenario (Tables 2 + 3, 65 victims)",
+), replace=True)
+register_pack(ScenarioPack(
+    name="kyrgyzstan",
+    build=lambda seed, n_background: run_study(
+        kyrgyzstan_world(seed, n_background)
+    ),
+    default_seed=7,
+    default_background=30,
+    description="Section 5.1 case study (four .kg victims)",
+), replace=True)
+register_pack(ScenarioPack(
+    name="small",
+    build=lambda seed, n_background: run_study(small_world(seed, n_background)),
+    default_seed=3,
+    default_background=25,
+    description="one T1 hijack against a small background (fast)",
+), replace=True)

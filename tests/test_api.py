@@ -1,0 +1,61 @@
+"""Tests for the ``repro.api`` stable facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+
+
+class TestRunStudy:
+    def test_small_pack_end_to_end(self, small_report):
+        run = api.run_study("small")
+        assert run.scenario == "small"
+        assert [f.domain for f in run.report.findings] == [
+            f.domain for f in small_report.findings
+        ]
+        assert run.metrics.stages  # the run manifest came along
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="small"):
+            api.run_study("not-a-pack")
+
+    def test_faults_pass_through(self):
+        clean = api.run_study("small")
+        dark = api.run_study("small", faults="pdns.blackouts=2,pdns.blackout_days=200")
+        assert len(dark.report.findings) <= len(clean.report.findings)
+
+
+def test_load_report_round_trips(small_report, tmp_path):
+    from repro.io import save_findings
+
+    path = tmp_path / "findings.jsonl"
+    save_findings(small_report.findings, path)
+    loaded = api.load_report(path)
+    assert [f.domain for f in loaded] == [f.domain for f in small_report.findings]
+
+
+def test_list_detectors_matches_registry():
+    import repro.detect as detect
+
+    assert api.list_detectors() == detect.list_detectors()
+    assert "funnel" in api.list_detectors()
+
+
+def test_run_arena_delegates(small_study):
+    result = api.run_arena(
+        packs=["small"],
+        detectors=["naive-transients"],
+        studies={"small": small_study},
+    )
+    assert result.cell("small", "naive-transients").score.recall == 1.0
+
+
+def test_facade_exports_are_stable():
+    assert sorted(api.__all__) == [
+        "StudyRun", "list_detectors", "load_report", "run_arena", "run_study",
+    ]
+    for name in api.__all__:
+        assert hasattr(api, name)

@@ -92,12 +92,13 @@ class TestTrainedBaseline:
 
     def test_comparison_rows(self, small_study):
         truth = small_study.ground_truth.domains()
-        rows = compare_methods(
-            flagged={"example-ministry.gr", "bg000001.com"},
-            pipeline_found={"example-ministry.gr"},
-            truth=truth,
-            all_domains=set(small_study.scan.domains()),
-        )
+        with pytest.warns(DeprecationWarning, match="score_sets"):
+            rows = compare_methods(
+                flagged={"example-ministry.gr", "bg000001.com"},
+                pipeline_found={"example-ministry.gr"},
+                truth=truth,
+                all_domains=set(small_study.scan.domains()),
+            )
         baseline_row = next(r for r in rows if r.method == "ml-baseline")
         pipeline_row = next(r for r in rows if r.method == "pipeline")
         assert baseline_row.recall == 1.0

@@ -164,3 +164,42 @@ class TestExplain:
     def test_explain_requires_domain(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explain"])
+
+
+class TestArena:
+    def test_list_shows_packs_and_detectors(self, capsys):
+        assert main(["arena", "--list"]) == 0
+        out = capsys.readouterr().out
+        for pack in ("paper", "kyrgyzstan", "small"):
+            assert pack in out
+        for detector in ("funnel", "logreg", "cert-anomaly"):
+            assert detector in out
+
+    def test_small_sweep_writes_valid_summary(self, tmp_path, capsys):
+        import json
+
+        from repro.detect.arena import validate_arena_summary
+
+        path = tmp_path / "BENCH_arena.json"
+        assert main([
+            "arena", "--packs", "small",
+            "--detectors", "naive-transients,pdns-churn",
+            "--json", str(path), "-q",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "naive-transients" in out
+        assert "pdns-churn" in out
+        payload = json.loads(path.read_text())
+        assert validate_arena_summary(payload) == []
+        assert payload["packs"] == ["small"]
+
+    def test_unknown_detector_fails_cleanly(self, capsys):
+        assert main(["arena", "--packs", "small", "--detectors", "nope"]) == 2
+        assert "unknown detector" in capsys.readouterr().err
+
+    def test_arena_defaults(self):
+        args = build_parser().parse_args(["arena"])
+        assert args.packs is None
+        assert args.detectors is None
+        assert args.seed is None
+        assert args.json is None

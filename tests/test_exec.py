@@ -190,9 +190,9 @@ def test_from_directory_reports_missing_files(tmp_path):
         PipelineInputs.from_directory(tmp_path)
 
 
-def test_legacy_constructor_still_works(small_study, small_report):
-    with pytest.warns(DeprecationWarning):
-        pipeline = HijackPipeline(
+def test_legacy_constructor_removed(small_study):
+    with pytest.raises(TypeError):
+        HijackPipeline(
             small_study.scan,
             small_study.pdns,
             small_study.crtsh,
@@ -201,8 +201,6 @@ def test_legacy_constructor_still_works(small_study, small_report):
             small_study.routing,
             small_study.geo,
         )
-    assert pipeline.inputs == PipelineInputs.from_study(small_study)
-    assert pipeline.run() == small_report
 
 
 def test_new_constructor_does_not_warn(small_study):
@@ -211,17 +209,9 @@ def test_new_constructor_does_not_warn(small_study):
         HijackPipeline(PipelineInputs.from_study(small_study))
 
 
-def test_legacy_keyword_arguments(small_study):
-    with pytest.warns(DeprecationWarning):
-        pipeline = HijackPipeline(
-            scan=small_study.scan,
-            pdns=small_study.pdns,
-            crtsh=small_study.crtsh,
-            as2org=small_study.as2org,
-            periods=small_study.periods,
-        )
-    assert pipeline.inputs.scan is small_study.scan
-    assert pipeline.inputs.routing is None
+def test_constructor_rejects_non_bundle(small_study):
+    with pytest.raises(TypeError, match="ScanDataset"):
+        HijackPipeline(small_study.scan)
 
 
 # ---------------------------------------------------------------------------
