@@ -325,15 +325,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         metrics.write(args.out)
         logger.info("run manifest written to %s", args.out)
     if args.json:
+        from repro.core.pipeline import PipelineInputs
         from repro.obs.perf import perf_summary, write_perf_summary
 
-        summary = perf_summary(study.scan, study.periods, metrics)
+        summary = perf_summary(
+            study.scan,
+            study.periods,
+            metrics,
+            inputs=PipelineInputs.from_study(study),
+        )
         write_perf_summary(args.json, summary)
         kernel = summary["deployment_kernel"]
+        funnel = summary["funnel_stages"]
         logger.info(
             "perf summary written to %s (deployment kernel %sx faster, "
-            "payload %sx smaller)",
+            "payload %sx smaller; classify %sx, shortlist %sx, "
+            "inspect %sx, assemble %sx)",
             args.json, kernel["speedup"], kernel["payload_ratio"],
+            funnel["classify"]["speedup"], funnel["shortlist"]["speedup"],
+            funnel["inspect"]["speedup"], funnel["assemble"]["speedup"],
         )
     _write_trace(tracer, args)
     return 0
@@ -424,19 +434,41 @@ GOLDEN_SEEDS = (7, 11, 13)
 #: Background-domain count for the golden runs (kept small so the check
 #: finishes in seconds; the funnel is identical in shape to the default).
 GOLDEN_BACKGROUND = 40
+#: The fault-degraded golden variant: one seed's study run under this
+#: canonical data-channel fault plan (no worker channels, so every
+#: backend takes the identical degradation path).  Pinned alongside the
+#: fault-free reports to lock the degraded funnel's behavior too.
+GOLDEN_FAULT_SEED = 11
+GOLDEN_FAULT_SPEC = "scan.drop_weeks=0.2,pdns.blackouts=1,ct.delay_days=3"
+
+
+def _golden_fault_plan():
+    from repro.faults import FaultPlan
+
+    return FaultPlan.from_spec(GOLDEN_FAULT_SPEC, seed=GOLDEN_FAULT_SEED)
 
 
 def _cmd_golden(args: argparse.Namespace) -> int:
-    from repro.io.golden import encode_report, golden_filename
+    from repro.io.golden import encode_report, golden_faults_filename, golden_filename
     from repro.world.scenarios import paper_study
 
     directory = Path(args.dir)
     failures = 0
-    for seed in GOLDEN_SEEDS:
+    variants = [
+        (seed, golden_filename(seed), None) for seed in GOLDEN_SEEDS
+    ]
+    variants.append(
+        (
+            GOLDEN_FAULT_SEED,
+            golden_faults_filename(GOLDEN_FAULT_SEED),
+            _golden_fault_plan(),
+        )
+    )
+    for seed, filename, faults in variants:
         study = paper_study(seed=seed, n_background=args.background)
-        report = study.run_pipeline()
+        report = study.run_pipeline(faults=faults)
         encoded = encode_report(report)
-        path = directory / golden_filename(seed)
+        path = directory / filename
         if args.update:
             directory.mkdir(parents=True, exist_ok=True)
             path.write_text(encoded)

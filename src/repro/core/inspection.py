@@ -346,3 +346,109 @@ class Inspector:
                 result.pending_t1_star = False
                 upgraded.append(result)
         return upgraded
+
+
+# -- the compact wire form -----------------------------------------------------
+
+#: Canonical code tables for the encoded result: codes index these
+#: tuples, a pure function of the enum declaration order.
+ENCODED_VERDICTS: tuple[Verdict, ...] = tuple(Verdict)
+ENCODED_DETECTIONS: tuple[DetectionType, ...] = tuple(DetectionType)
+_VERDICT_CODE = {verdict: code for code, verdict in enumerate(ENCODED_VERDICTS)}
+_DETECTION_CODE = {det: code for code, det in enumerate(ENCODED_DETECTIONS)}
+
+
+def encode_inspection(
+    result: InspectionResult,
+    pdns: PassiveDNSDatabase,
+    crtsh: CrtShService,
+) -> tuple:
+    """One result as plain ints and strings — the worker return value
+    and the inspection stage's cache product.
+
+    Evidence rows travel as references into the columnar stores: pDNS
+    rows by table row id (the table's row order is canonical, a pure
+    function of the aggregated content) and CT entries by
+    ``(certificate fingerprint, publication ordinal)`` (stable even
+    across log insertion orders).  The shortlist entry itself is *not*
+    encoded — results align positionally with the stage's shortlist.
+    """
+    ptable = pdns.table
+    evidence = result.evidence
+    window = (
+        evidence.window.start.toordinal(),
+        evidence.window.end.toordinal() if evidence.window.end is not None else None,
+    )
+    ctable = crtsh.table
+
+    def ct_ref(entry: CrtShEntry) -> tuple[str, int]:
+        ordinal = entry.logged_at.toordinal()
+        # Resolves now so a malformed reference fails at encode time.
+        ctable.row_of(entry.certificate.fingerprint, ordinal)
+        return (entry.certificate.fingerprint, ordinal)
+
+    return (
+        _VERDICT_CODE[result.verdict],
+        None if result.detection is None else _DETECTION_CODE[result.detection],
+        window,
+        tuple(ptable.row_of(r.rrname, r.rtype, r.rdata) for r in evidence.ns_changes),
+        tuple(ptable.row_of(r.rrname, r.rtype, r.rdata) for r in evidence.a_redirects),
+        tuple(ct_ref(entry) for entry in evidence.ct_entries),
+        evidence.stale_certificate,
+        tuple(evidence.notes),
+        None if result.malicious_cert is None else ct_ref(result.malicious_cert),
+        tuple(sorted(result.attacker_ips)),
+        tuple(sorted(result.attacker_ns)),
+        result.pending_t1_star,
+    )
+
+
+def decode_inspection(
+    encoded: tuple,
+    entry: ShortlistEntry,
+    pdns: PassiveDNSDatabase,
+    crtsh: CrtShService,
+) -> InspectionResult:
+    """Materialize one result against the restoring process's tables."""
+    (
+        verdict_code,
+        detection_code,
+        (start_ord, end_ord),
+        ns_rows,
+        a_rows,
+        ct_refs,
+        stale,
+        notes,
+        malicious_ref,
+        attacker_ips,
+        attacker_ns,
+        pending,
+    ) = encoded
+    ptable = pdns.table
+    evidence = Evidence(
+        window=DateInterval(
+            date.fromordinal(start_ord),
+            date.fromordinal(end_ord) if end_ord is not None else None,
+        ),
+        ns_changes=[ptable.record(row) for row in ns_rows],
+        a_redirects=[ptable.record(row) for row in a_rows],
+        ct_entries=[crtsh.entry_at(fp, ordinal) for fp, ordinal in ct_refs],
+        stale_certificate=stale,
+        notes=list(notes),
+    )
+    return InspectionResult(
+        entry=entry,
+        verdict=ENCODED_VERDICTS[verdict_code],
+        detection=(
+            None if detection_code is None else ENCODED_DETECTIONS[detection_code]
+        ),
+        evidence=evidence,
+        malicious_cert=(
+            None
+            if malicious_ref is None
+            else crtsh.entry_at(malicious_ref[0], malicious_ref[1])
+        ),
+        attacker_ips=frozenset(attacker_ips),
+        attacker_ns=frozenset(attacker_ns),
+        pending_t1_star=pending,
+    )

@@ -31,8 +31,14 @@ if TYPE_CHECKING:
 logger = logging.getLogger(__name__)
 
 from repro.core.deployment import decode_domain_maps
-from repro.core.inspection import InspectionConfig, InspectionResult, Inspector
-from repro.core.patterns import Classification, PatternConfig
+from repro.core.inspection import (
+    InspectionConfig,
+    InspectionResult,
+    Inspector,
+    decode_inspection,
+    encode_inspection,
+)
+from repro.core.patterns import Classification, PatternConfig, decode_classification
 from repro.core.pivot import PivotAnalyzer, PivotFinding
 from repro.core.report import DomainFinding, FunnelStats
 from repro.core.shortlist import (
@@ -40,6 +46,8 @@ from repro.core.shortlist import (
     ShortlistConfig,
     ShortlistEntry,
     Shortlister,
+    decode_shortlist,
+    encode_shortlist,
 )
 from repro.core.types import DetectionType, PatternKind, Verdict
 from repro.ct.crtsh import CrtShService
@@ -48,6 +56,7 @@ from repro.exec.executor import PipelineExecutor
 from repro.exec.metrics import RunMetrics, StageStats
 from repro.exec.stage import Stage, StageContext
 from repro.faults import DataQuality, FaultPlan, FaultSpec, apply_faults
+from repro.io.reports import finding_from_row, finding_to_row
 from repro.ipintel.as2org import AS2Org
 from repro.ipintel.geo import GeoDB
 from repro.ipintel.pfx2as import RoutingTable
@@ -175,6 +184,7 @@ class HuntContext(StageContext):
     maps: dict[tuple[str, int], object] = field(default_factory=dict)
     maps_encoded: list = field(default_factory=list)
     classifications: dict[tuple[str, int], Classification] = field(default_factory=dict)
+    classifications_encoded: list = field(default_factory=list)
     shortlist: list[ShortlistEntry] = field(default_factory=list)
     decisions: list[PruneDecision] = field(default_factory=list)
     inspections: list[InspectionResult] = field(default_factory=list)
@@ -191,14 +201,46 @@ class HuntContext(StageContext):
 class _FindingBuilder:
     """Turns inspection / pivot results into per-domain findings."""
 
-    def __init__(self, inputs: PipelineInputs) -> None:
+    def __init__(
+        self,
+        inputs: PipelineInputs,
+        classifications: dict[tuple[str, int], Classification] | None = None,
+    ) -> None:
         self._routing = inputs.routing
         self._geo = inputs.geo
+        # One sorted pass over the classification table precomputes every
+        # domain's stable infrastructure, so assembling N findings stops
+        # rescanning the whole table N times.  Matches the row-at-a-time
+        # reference (:meth:`_victim_infra`) per domain exactly.
+        self._infra: dict[str, tuple[tuple[int, ...], tuple[str, ...]]] = {}
+        if classifications is not None:
+            acc: dict[str, tuple[list[int], list[str]]] = {}
+            for (domain, _), classification in sorted(classifications.items()):
+                asns, ccs = acc.setdefault(domain, ([], []))
+                for deployment in classification.stable:
+                    if deployment.asn not in asns:
+                        asns.append(deployment.asn)
+                    for cc in sorted(deployment.countries):
+                        if cc not in ccs:
+                            ccs.append(cc)
+            self._infra = {
+                domain: (tuple(asns), tuple(ccs))
+                for domain, (asns, ccs) in acc.items()
+            }
 
     def _locate_ip(self, ip: str) -> tuple[int | None, str | None]:
         asn = self._routing.lookup(ip) if self._routing else None
         cc = self._geo.lookup(ip) if self._geo else None
         return asn, cc
+
+    def _victim_infra_for(
+        self,
+        classifications: dict[tuple[str, int], Classification],
+        domain: str,
+    ) -> tuple[tuple[int, ...], tuple[str, ...]]:
+        if self._infra:
+            return self._infra.get(domain, ((), ()))
+        return self._victim_infra(classifications, domain)
 
     @staticmethod
     def _victim_infra(
@@ -252,7 +294,7 @@ class _FindingBuilder:
             if name != entry.domain and name.endswith("." + entry.domain):
                 subdomain = name[: -(len(entry.domain) + 1)]
 
-        victim_asns, victim_ccs = self._victim_infra(classifications, entry.domain)
+        victim_asns, victim_ccs = self._victim_infra_for(classifications, entry.domain)
         return DomainFinding(
             domain=entry.domain,
             provenance=trail_from_inspection(result, self._locate_ip),
@@ -301,7 +343,7 @@ class _FindingBuilder:
             if name.endswith("." + pivot.domain):
                 subdomain = name[: -(len(pivot.domain) + 1)]
 
-        victim_asns, victim_ccs = self._victim_infra(classifications, pivot.domain)
+        victim_asns, victim_ccs = self._victim_infra_for(classifications, pivot.domain)
         return DomainFinding(
             domain=pivot.domain,
             provenance=trail_from_pivot(pivot, self._locate_ip),
@@ -391,23 +433,39 @@ class ClassificationStage(Stage):
 
     Runs inline in the parent on every backend: classifying a map costs
     microseconds while shipping it to a worker costs kilobytes, so
-    fan-out can only lose here.  The same arithmetic keeps it out of the
-    stage cache (``products = ()``): unpickling the classification
-    object graph costs several times the recompute, so a warm run
-    reclassifies the cached maps instead of loading an entry.
+    fan-out can only lose here.  The classifier operates on the
+    deployment stage's *encoded* maps — scan-calendar indices and pool
+    ids, no object graphs — and its compact
+    :data:`~repro.core.patterns.EncodedClassification` wire form doubles
+    as the stage's cache product: a warm run restores the codes and
+    decodes them against the already-restored maps, instead of the old
+    uncacheable reclassify-every-map path.
     """
 
     name = "classify"
+    products = ("classifications",)
+    cache_version = 2  # entries now store the encoded columnar form
     config_deps = ("patterns",)
 
+    @staticmethod
+    def _decode_all(
+        ctx: HuntContext, encoded_by_domain: list
+    ) -> dict[tuple[str, int], Classification]:
+        classifications: dict[tuple[str, int], Classification] = {}
+        for domain, per_domain in encoded_by_domain:
+            for period_index, encoded in per_domain:
+                key = (domain, period_index)
+                classifications[key] = decode_classification(ctx.maps[key], encoded)
+        return classifications
+
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
-        items = list(ctx.maps.items())
-        classified = backend.run_inline("classify", items)
-        ctx.classifications = dict(classified)
-        # The kernel detaches each classification's map (kept pure for
-        # any backend routing); point them back at the parent's maps.
-        for key, classification in ctx.classifications.items():
-            classification.map = ctx.maps[key]
+        items = ctx.maps_encoded
+        encoded = backend.run_inline("classify", items)
+        ctx.classifications_encoded = [
+            (domain, per_domain)
+            for (domain, _), per_domain in zip(items, encoded)
+        ]
+        ctx.classifications = self._decode_all(ctx, ctx.classifications_encoded)
         kinds: dict[str, int] = {}
         for classification in ctx.classifications.values():
             kinds[classification.kind.name.lower()] = (
@@ -418,7 +476,18 @@ class ClassificationStage(Stage):
             registry.inc(f"classify.{kind}", count)
         n_transient = kinds.get("transient", 0)
         logger.info("step 2: %d transient maps", n_transient)
-        return StageStats(n_in=len(items), n_out=len(ctx.classifications), detail=kinds)
+        return StageStats(
+            n_in=len(ctx.maps), n_out=len(ctx.classifications), detail=kinds
+        )
+
+    def cache_products(self, ctx: HuntContext) -> dict[str, object]:
+        return {"encoded": ctx.classifications_encoded}
+
+    def restore_products(self, ctx: HuntContext, products: dict) -> None:
+        ctx.classifications_encoded = products["encoded"]
+        if ctx.classifications:
+            return  # post-store call: the context already holds the objects
+        ctx.classifications = self._decode_all(ctx, ctx.classifications_encoded)
 
 
 class ShortlistStage(Stage):
@@ -430,6 +499,7 @@ class ShortlistStage(Stage):
 
     name = "shortlist"
     products = ("shortlist", "decisions")
+    cache_version = 2  # entries now store the encoded columnar form
     config_deps = ("shortlist",)
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
@@ -437,6 +507,7 @@ class ShortlistStage(Stage):
             ctx.inputs.as2org,
             ctx.config.shortlist,
             known_missing=ctx.inputs.scan.known_missing_dates,
+            dataset=ctx.inputs.scan,
         )
         ctx.shortlist, ctx.decisions = shortlister.evaluate(ctx.classifications)
         n_transient = sum(
@@ -458,6 +529,19 @@ class ShortlistStage(Stage):
         )
         return StageStats(n_in=n_transient, n_out=len(ctx.shortlist), detail=pruned)
 
+    def cache_products(self, ctx: HuntContext) -> dict[str, object]:
+        # Entries are positional references — transient index inside the
+        # classification, scan-table row ids for the evidence records —
+        # not the entry object graphs (see ``encode_shortlist``).
+        return {"encoded": encode_shortlist(ctx.shortlist, ctx.decisions)}
+
+    def restore_products(self, ctx: HuntContext, products: dict) -> None:
+        if ctx.shortlist or ctx.decisions:
+            return  # post-store call: the context already holds the objects
+        ctx.shortlist, ctx.decisions = decode_shortlist(
+            products["encoded"], ctx.classifications, ctx.inputs.scan
+        )
+
 
 class InspectionStage(Stage):
     """Step 4: corroborate entries (fan-out) plus the T1* second pass."""
@@ -465,12 +549,18 @@ class InspectionStage(Stage):
     name = "inspect"
     parallel = True
     products = ("inspections", "confirmed_ips", "confirmed_ns")
+    cache_version = 2  # entries now store the encoded columnar form
     config_deps = ("inspection", "enable_t1_star")
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
-        ctx.inspections = backend.map(
-            "inspect", ctx.shortlist, key=lambda e: e.domain
-        )
+        # Workers ship each result's compact wire form — pDNS row ids
+        # and (fingerprint, ordinal) CT references; materialize the
+        # evidence object graphs here against the parent's tables.
+        encoded = backend.map("inspect", ctx.shortlist, key=lambda e: e.domain)
+        ctx.inspections = [
+            decode_inspection(enc, entry, ctx.inputs.pdns, ctx.inputs.crtsh)
+            for entry, enc in zip(ctx.shortlist, encoded)
+        ]
         logger.info(
             "step 4: %d hijacked, %d targeted from direct inspection",
             sum(1 for r in ctx.inspections if r.verdict is Verdict.HIJACKED),
@@ -507,6 +597,29 @@ class InspectionStage(Stage):
             detail={"t1_star_upgraded": n_upgraded},
         )
 
+    def cache_products(self, ctx: HuntContext) -> dict[str, object]:
+        # Results re-encode *after* the T1* second pass, so a warm run
+        # restores the upgraded verdicts without repeating it.  Results
+        # align positionally with the (restored) shortlist.
+        return {
+            "encoded": tuple(
+                encode_inspection(result, ctx.inputs.pdns, ctx.inputs.crtsh)
+                for result in ctx.inspections
+            ),
+            "confirmed_ips": tuple(sorted(ctx.confirmed_ips)),
+            "confirmed_ns": tuple(sorted(ctx.confirmed_ns)),
+        }
+
+    def restore_products(self, ctx: HuntContext, products: dict) -> None:
+        ctx.confirmed_ips = set(products["confirmed_ips"])
+        ctx.confirmed_ns = set(products["confirmed_ns"])
+        if ctx.inspections:
+            return  # post-store call: the context already holds the objects
+        ctx.inspections = [
+            decode_inspection(enc, entry, ctx.inputs.pdns, ctx.inputs.crtsh)
+            for entry, enc in zip(ctx.shortlist, products["encoded"])
+        ]
+
 
 class PivotStage(Stage):
     """Step 5: pivot on confirmed attacker IPs and nameservers."""
@@ -541,15 +654,20 @@ class PivotStage(Stage):
 class AssembleStage(Stage):
     """Merge verdicts into per-domain findings, the funnel, the report.
 
-    Deliberately uncacheable (``products = ()``): it is cheap parent-side
-    bookkeeping over the cached upstream products, and always running it
-    keeps the report gauges in the run's metrics registry on warm runs.
+    Cacheable since the wire-form rework: findings serialize as the same
+    JSON-safe rows :func:`repro.io.reports.save_findings` writes, so a
+    warm run restores them with :func:`finding_from_row` instead of
+    re-walking provenance trails, then reassembles the (cheap) funnel
+    and report from the restored upstream products — keeping the report
+    gauges in the run's metrics registry either way.
     """
 
     name = "assemble"
+    products = ("findings",)
+    cache_version = 2  # entries store finding rows, not object graphs
 
     def run(self, ctx: HuntContext, backend: ExecutionBackend) -> StageStats:
-        builder = _FindingBuilder(ctx.inputs)
+        builder = _FindingBuilder(ctx.inputs, ctx.classifications)
         findings: list[DomainFinding] = []
         seen: set[str] = set()
         for result in ctx.inspections:
@@ -567,14 +685,20 @@ class AssembleStage(Stage):
             key=lambda f: ((f.victim_ccs[0] if f.victim_ccs else "zz"), f.domain)
         )
         ctx.findings = findings
+        self._finish(ctx)
+        n_in = len(ctx.inspections) + len(ctx.pivots)
+        return StageStats(n_in=n_in, n_out=len(findings))
 
+    @staticmethod
+    def _finish(ctx: HuntContext) -> None:
+        """Funnel, report, and gauges over the context's products."""
         funnel = _funnel_stats(
             ctx.classifications, ctx.shortlist, ctx.decisions, ctx.inspections,
             ctx.pivots,
         )
         ctx.report = PipelineReport(
             funnel=funnel,
-            findings=findings,
+            findings=ctx.findings,
             classifications=ctx.classifications,
             shortlist=ctx.shortlist,
             inspections=ctx.inspections,
@@ -583,13 +707,20 @@ class AssembleStage(Stage):
             attacker_ns=frozenset(ctx.confirmed_ns),
         )
         registry = get_registry()
-        registry.set_gauge("report.findings", len(findings))
+        registry.set_gauge("report.findings", len(ctx.findings))
         registry.set_gauge(
             "report.hijacked",
-            sum(1 for f in findings if f.verdict is Verdict.HIJACKED),
+            sum(1 for f in ctx.findings if f.verdict is Verdict.HIJACKED),
         )
-        n_in = len(ctx.inspections) + len(ctx.pivots)
-        return StageStats(n_in=n_in, n_out=len(findings))
+
+    def cache_products(self, ctx: HuntContext) -> dict[str, object]:
+        return {"finding_rows": tuple(finding_to_row(f) for f in ctx.findings)}
+
+    def restore_products(self, ctx: HuntContext, products: dict) -> None:
+        if ctx.report is not None:
+            return  # post-store call: the report is already assembled
+        ctx.findings = [finding_from_row(row) for row in products["finding_rows"]]
+        self._finish(ctx)
 
 
 #: The funnel stages, in paper order, plus the report assembly.

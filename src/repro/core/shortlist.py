@@ -17,16 +17,24 @@ Four pruning checks, then the keep rule:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import date
-from typing import Collection
+from typing import TYPE_CHECKING, Collection
 
 from repro.core.deployment import Deployment, DeploymentMap
-from repro.core.patterns import Classification, transient_subpattern_of
+from repro.core.patterns import (
+    ENCODED_SUBPATTERNS,
+    SUBPATTERN_CODE,
+    Classification,
+    transient_subpattern_of,
+)
 from repro.core.types import PatternKind, SubPattern
 from repro.ipintel.as2org import AS2Org
 from repro.net.names import is_sensitive_name
 from repro.scan.annotate import AnnotatedScanRecord
+
+if TYPE_CHECKING:
+    from repro.scan.dataset import ScanDataset
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +55,12 @@ class ShortlistEntry:
     truly_anomalous: bool
     sensitive_names: tuple[str, ...]
     transient_records: list[AnnotatedScanRecord]
+    #: Scan-table row ids behind ``transient_records`` when the columnar
+    #: path produced them (None on the row-at-a-time reference path).
+    #: Excluded from equality: the two paths must compare equal.
+    transient_rows: tuple[int, ...] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def transient_ips(self) -> frozenset[str]:
@@ -75,6 +89,7 @@ class Shortlister:
         as2org: AS2Org,
         config: ShortlistConfig | None = None,
         known_missing: Collection[date] = (),
+        dataset: ScanDataset | None = None,
     ) -> None:
         self._as2org = as2org
         self._config = config or ShortlistConfig()
@@ -82,6 +97,13 @@ class Shortlister:
         # injected faults): excluded from the visibility denominator so a
         # missing scan is not mistaken for the domain going dark.
         self._known_missing = frozenset(known_missing)
+        # With the scan dataset attached, transient evidence rows come
+        # from bisect slices of its columnar table instead of filtering
+        # the map's record list, and sensitive-name screening memoizes
+        # per interned SAN set; without it the row-at-a-time reference
+        # below answers (the differential suites compare the two).
+        self._dataset = dataset
+        self._sensitive_memo: dict[int, tuple[str, ...]] = {}
 
     # -- individual checks ---------------------------------------------------
 
@@ -152,6 +174,50 @@ class Shortlister:
             and r.ip in transient.ips
         ]
 
+    def _transient_rows(
+        self, classification: Classification, transient: Deployment
+    ) -> tuple[int, ...]:
+        """Columnar mirror of :meth:`_transient_records`: the matching
+        scan-table row ids, in the same (date, ip)-sorted CSR order the
+        map's record list carries."""
+        table = self._dataset.table
+        map_ = classification.map
+        lo, hi = table.period_slice(map_.domain, map_.period.start, map_.period.end)
+        wanted = {d.toordinal() for d in transient.dates()}
+        asn = transient.asn
+        ips = transient.ips
+        csr_rows, csr_dates = table.csr_rows, table.csr_dates
+        asn_id, asns = table.asn_id, table.asns
+        ip_id, ip_pool = table.ip_id, table.ips
+        rows: list[int] = []
+        for i in range(lo, hi):
+            if csr_dates[i] not in wanted:
+                continue
+            row = csr_rows[i]
+            if asns[asn_id[row]] != asn or ip_pool[ip_id[row]] not in ips:
+                continue
+            rows.append(row)
+        return tuple(rows)
+
+    def _sensitive_from_rows(self, rows: tuple[int, ...]) -> tuple[str, ...]:
+        """Columnar mirror of :meth:`_sensitive_trusted_names`, memoized
+        per interned SAN-set id (the screen is a pure name predicate)."""
+        table = self._dataset.table
+        names: list[str] = []
+        names_id, name_sets = table.names_id, table.name_sets
+        for row in rows:
+            if not table.trusted(row):
+                continue
+            ident = names_id[row]
+            sensitive = self._sensitive_memo.get(ident)
+            if sensitive is None:
+                sensitive = tuple(
+                    n for n in name_sets[ident] if is_sensitive_name(n)
+                )
+                self._sensitive_memo[ident] = sensitive
+            names.extend(sensitive)
+        return tuple(dict.fromkeys(names))
+
     def _sensitive_trusted_names(
         self, classification: Classification, transient: Deployment
     ) -> tuple[str, ...]:
@@ -169,6 +235,24 @@ class Shortlister:
         """Shortlist every transient deployment across all maps."""
         entries: list[ShortlistEntry] = []
         decisions: list[PruneDecision] = []
+        columnar = self._dataset is not None
+
+        # One pass indexes every domain's transient periods so the
+        # recurring-transient check stops rescanning the whole table per
+        # candidate (the sorted-subset order matches the per-domain
+        # comprehension it replaces).
+        transient_periods: dict[str, list[int]] = {}
+        for (domain, period_index), classification in classifications.items():
+            if classification.kind is PatternKind.TRANSIENT:
+                transient_periods.setdefault(domain, []).append(period_index)
+
+        def chronic(domain: str) -> bool:
+            indices = sorted(transient_periods.get(domain, ()))
+            run = best = 1 if indices else 0
+            for previous, current in zip(indices, indices[1:]):
+                run = run + 1 if current == previous + 1 else 1
+                best = max(best, run)
+            return best >= self._config.recurring_periods
 
         for (domain, period_index), classification in sorted(classifications.items()):
             if classification.kind is not PatternKind.TRANSIENT:
@@ -180,7 +264,7 @@ class Shortlister:
             if self.low_visibility(classification.map):
                 prune("low-visibility")
                 continue
-            if self.chronically_transient(domain, classifications):
+            if chronic(domain):
                 prune("recurring-transients")
                 continue
 
@@ -192,10 +276,16 @@ class Shortlister:
                     prune("same-country")
                     continue
                 anomalous = self.truly_anomalous(domain, period_index, classifications)
-                sensitive = self._sensitive_trusted_names(classification, transient)
+                if columnar:
+                    rows = self._transient_rows(classification, transient)
+                    sensitive = self._sensitive_from_rows(rows)
+                else:
+                    rows = None
+                    sensitive = self._sensitive_trusted_names(classification, transient)
                 if not sensitive and not anomalous:
                     prune("no-sensitive-name")
                     continue
+                table = self._dataset.table if columnar else None
                 entries.append(
                     ShortlistEntry(
                         domain=domain,
@@ -205,10 +295,81 @@ class Shortlister:
                         subpattern=transient_subpattern_of(classification, transient),
                         truly_anomalous=anomalous,
                         sensitive_names=sensitive,
-                        transient_records=self._transient_records(
-                            classification, transient
+                        transient_records=(
+                            [table.record(row) for row in rows]
+                            if columnar
+                            else self._transient_records(classification, transient)
                         ),
+                        transient_rows=rows,
                     )
                 )
                 decisions.append(PruneDecision(domain, period_index, True, "shortlisted"))
         return entries, decisions
+
+
+# -- the compact wire form -----------------------------------------------------
+
+
+def encode_shortlist(
+    entries: list[ShortlistEntry], decisions: list[PruneDecision]
+) -> tuple:
+    """The shortlist stage's cache product: plain ints and strings.
+
+    Each entry is referenced by position — its transient's index inside
+    the classification's ``transients`` list and its evidence rows'
+    scan-table ids — so the payload carries no object graphs and decodes
+    against whatever process restores it.
+    """
+    enc_entries = []
+    for entry in entries:
+        transients = entry.classification.transients
+        position = next(
+            pos for pos, t in enumerate(transients) if t is entry.transient
+        )
+        enc_entries.append(
+            (
+                entry.domain,
+                entry.period_index,
+                position,
+                SUBPATTERN_CODE[entry.subpattern],
+                entry.truly_anomalous,
+                entry.sensitive_names,
+                entry.transient_rows,
+            )
+        )
+    enc_decisions = [
+        (d.domain, d.period_index, d.kept, d.reason) for d in decisions
+    ]
+    return (tuple(enc_entries), tuple(enc_decisions))
+
+
+def decode_shortlist(
+    encoded: tuple,
+    classifications: dict[tuple[str, int], Classification],
+    dataset: ScanDataset,
+) -> tuple[list[ShortlistEntry], list[PruneDecision]]:
+    """Materialize entries/decisions against the restored upstream
+    classifications and the scan table."""
+    enc_entries, enc_decisions = encoded
+    table = dataset.table
+    entries: list[ShortlistEntry] = []
+    for domain, period_index, position, sub_code, anomalous, sensitive, rows in enc_entries:
+        classification = classifications[(domain, period_index)]
+        entries.append(
+            ShortlistEntry(
+                domain=domain,
+                period_index=period_index,
+                classification=classification,
+                transient=classification.transients[position],
+                subpattern=ENCODED_SUBPATTERNS[sub_code],
+                truly_anomalous=anomalous,
+                sensitive_names=sensitive,
+                transient_records=[table.record(row) for row in rows],
+                transient_rows=rows,
+            )
+        )
+    decisions = [
+        PruneDecision(domain, period_index, kept, reason)
+        for domain, period_index, kept, reason in enc_decisions
+    ]
+    return entries, decisions

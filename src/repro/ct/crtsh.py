@@ -11,12 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import date, timedelta
+from typing import TYPE_CHECKING
 
 from repro.ct.log import CTLog
 from repro.net.names import registered_domain
 from repro.tls.certificate import Certificate
 from repro.tls.matching import san_matches
 from repro.tls.revocation import RevocationRegistry, RevocationStatus
+
+if TYPE_CHECKING:
+    from repro.ct.table import CtTable
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,11 +63,61 @@ class CrtShService:
         self._publication_horizon = publication_horizon
         self.hidden_entries = 0
         # registered domain -> list of (cert, logged_at); rebuilt lazily.
+        # Kept as the row-at-a-time reference behind ``use_table``.
         self._index: dict[str, list[tuple[Certificate, date]]] = {}
         self._indexed_counts: dict[int, int] = {}
+        #: Columnar query path toggle; the legacy index stays behind it
+        #: for the differential suites and perf baselines.
+        self.use_table = True
+        self._table: CtTable | None = None
+        self._table_count = -1
+        self._entry_cache: dict[int, CrtShEntry] = {}
+        self._status_cache: dict[str, RevocationStatus] = {}
+        self._status_rev_len = -1
 
     def attach_log(self, log: CTLog) -> None:
         self._logs.append(log)
+
+    @property
+    def table(self) -> CtTable:
+        """The columnar view of the published entries (see
+        :class:`repro.ct.table.CtTable`), built lazily and rebuilt when
+        the attached logs grow."""
+        return self._ensure_table()
+
+    def _ensure_table(self) -> CtTable:
+        total = sum(len(log.entries()) for log in self._logs)
+        if self._table is None or total != self._table_count:
+            from repro.ct.table import CtTable
+
+            self._table = CtTable.from_logs(
+                self._logs,
+                self._publication_delay.days,
+                self._publication_horizon,
+            )
+            self._table_count = total
+            self._entry_cache = {}
+            self.hidden_entries = self._table.hidden_entries
+        return self._table
+
+    def _entry(self, row: int) -> CrtShEntry:
+        """The row as a :class:`CrtShEntry`, memoized per row."""
+        if len(self._revocations) != self._status_rev_len:
+            # New revocations change the status baked into memoized
+            # entries; drop them (``_status`` resets its own memo).
+            self._entry_cache = {}
+        entry = self._entry_cache.get(row)
+        if entry is None:
+            table = self._table
+            cert = table.certs[table.cert_id[row]]
+            entry = CrtShEntry(
+                crtsh_id=table.crtsh_id[row],
+                certificate=cert,
+                logged_at=table.logged_date(row),
+                revocation=self._status(cert),
+            )
+            self._entry_cache[row] = entry
+        return entry
 
     def with_publication_delay(
         self, days: int, horizon: date | None = None
@@ -82,7 +136,11 @@ class CrtShService:
             publication_delay_days=days,
             publication_horizon=horizon,
         )
-        derived._refresh_index()
+        derived.use_table = self.use_table
+        if derived.use_table:
+            derived._ensure_table()
+        else:
+            derived._refresh_index()
         return derived
 
     def _refresh_index(self) -> None:
@@ -109,8 +167,18 @@ class CrtShService:
             self._indexed_counts[log_pos] = len(entries)
 
     def _status(self, cert: Certificate) -> RevocationStatus:
-        asof = self._asof or (cert.not_after + timedelta(days=365))
-        return self._revocations.retroactive_status(cert, asof)
+        # Memoized per fingerprint; the registry is append-only, so the
+        # memo only survives while its size is unchanged.
+        n_revocations = len(self._revocations)
+        if n_revocations != self._status_rev_len:
+            self._status_cache = {}
+            self._status_rev_len = n_revocations
+        status = self._status_cache.get(cert.fingerprint)
+        if status is None:
+            asof = self._asof or (cert.not_after + timedelta(days=365))
+            status = self._revocations.retroactive_status(cert, asof)
+            self._status_cache[cert.fingerprint] = status
+        return status
 
     def fingerprint_payload(self) -> dict:
         """The service's observable content as a JSON-safe dict.
@@ -155,8 +223,16 @@ class CrtShService:
         issued_before: date | None = None,
     ) -> list[CrtShEntry]:
         """All certificates securing names under ``domain``'s registered domain."""
-        self._refresh_index()
         base = registered_domain(domain)
+        if self.use_table:
+            table = self._ensure_table()
+            rows = table.search_rows(
+                base,
+                issued_after.toordinal() if issued_after is not None else None,
+                issued_before.toordinal() if issued_before is not None else None,
+            )
+            return [self._entry(row) for row in rows]
+        self._refresh_index()
         results: list[CrtShEntry] = []
         for cert, logged_at in self._index.get(base, []):
             if issued_after is not None and cert.not_before < issued_after:
@@ -189,12 +265,34 @@ class CrtShService:
 
     def lookup_id(self, crtsh_id: int) -> CrtShEntry | None:
         """Fetch a single entry by its crt.sh identifier."""
+        if self.use_table:
+            row = self._ensure_table().lookup_row(crtsh_id)
+            return None if row is None else self._entry(row)
         self._refresh_index()
         for certs in self._index.values():
             for cert, logged_at in certs:
                 if cert.crtsh_id == crtsh_id:
                     return CrtShEntry(crtsh_id, cert, logged_at, self._status(cert))
         return None
+
+    def entry_at(self, fingerprint: str, logged_ord: int) -> CrtShEntry:
+        """Decode one entry from its wire-form reference — the
+        ``(certificate fingerprint, publication-date ordinal)`` pair the
+        inspection stage's encoded evidence carries."""
+        table = self._ensure_table()
+        return self._entry(table.row_of(fingerprint, logged_ord))
+
+    def __getstate__(self) -> dict:
+        # The columnar view and its decode memos never travel: workers
+        # rebuild them lazily from the logs, interning identical ids
+        # because the (log, entry) row stream is canonical.
+        state = self.__dict__.copy()
+        state["_table"] = None
+        state["_table_count"] = -1
+        state["_entry_cache"] = {}
+        state["_status_cache"] = {}
+        state["_status_rev_len"] = -1
+        return state
 
     def issued_in_window(
         self, fqdn: str, center: date, window_days: int

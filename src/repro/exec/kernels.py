@@ -105,26 +105,53 @@ def _deployment_kernel(domains: list[str]) -> list[list]:
 
 @kernel("classify")
 def _classify_kernel(items: list) -> list:
-    """Step 2: classify (key, map) pairs, returning (key, classification).
+    """Step 2: classify each domain's encoded maps in interned-id space.
 
-    The classification ships back without its map — the parent already
-    holds every map and restores ``classification.map`` after gathering,
-    so the deployments are not pickled a second time on the return trip.
+    Items are the deployment stage's ``(domain, encoded_maps)`` pairs;
+    each result is the domain's ``(period_index, EncodedClassification)``
+    tuple.  Nothing is decoded: the classifier compares scan-calendar
+    indices and pool ids directly (see ``classify_encoded``), and the
+    only calendar quantity — the transient span in days — reads from the
+    period's scan-date ordinals, memoized per period across the chunk.
     """
-    from repro.core.patterns import classify
+    from repro.core.patterns import classify_encoded
 
+    by_index = {p.index: p for p in _INPUTS.periods}
+    date_ords: dict[int, tuple[int, ...]] = {}
     results = []
-    for key, map_ in items:
-        classification = classify(map_, _CONFIG.patterns)
-        classification.map = None
-        results.append((key, classification))
+    for _domain, encoded_maps in items:
+        per_domain = []
+        for period_index, enc_deployments in encoded_maps:
+            ords = date_ords.get(period_index)
+            if ords is None:
+                ords = tuple(
+                    d.toordinal()
+                    for d in _INPUTS.scan.scan_dates_in(by_index[period_index])
+                )
+                date_ords[period_index] = ords
+            per_domain.append(
+                (
+                    period_index,
+                    classify_encoded(enc_deployments, ords, _CONFIG.patterns),
+                )
+            )
+        results.append(tuple(per_domain))
     return results
 
 
 @kernel("inspect")
 def _inspect_kernel(entries: list) -> list:
-    """Step 4: corroborate shortlisted entries against pDNS and CT."""
-    from repro.core.inspection import Inspector
+    """Step 4: corroborate shortlisted entries against pDNS and CT.
+
+    Returns each result in its compact wire form — pDNS-table row ids
+    and ``(fingerprint, publication ordinal)`` CT references, not the
+    evidence object graphs — which the stage decodes against the parent
+    process's columnar tables (the same payload its cache entry stores).
+    """
+    from repro.core.inspection import Inspector, encode_inspection
 
     inspector = Inspector(_INPUTS.pdns, _INPUTS.crtsh, _CONFIG.inspection)
-    return inspector.inspect_many(entries)
+    return [
+        encode_inspection(result, _INPUTS.pdns, _INPUTS.crtsh)
+        for result in inspector.inspect_many(entries)
+    ]

@@ -55,6 +55,11 @@ def golden_filename(seed: int) -> str:
     return f"paper_seed{seed}.json"
 
 
+def golden_faults_filename(seed: int) -> str:
+    """Pinned report of the fault-degraded variant of one seed's study."""
+    return f"paper_seed{seed}_faults.json"
+
+
 def _iso(value: date | None) -> str | None:
     return value.isoformat() if value is not None else None
 

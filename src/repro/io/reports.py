@@ -1,4 +1,9 @@
-"""Findings serialization: export/import pipeline verdicts."""
+"""Findings serialization: export/import pipeline verdicts.
+
+The row codec (:func:`finding_to_row` / :func:`finding_from_row`) is
+shared between the JSONL export below and the assemble stage's cache
+product — one finding shape on disk, whoever wrote it.
+"""
 
 from __future__ import annotations
 
@@ -11,63 +16,64 @@ from repro.io.jsonl import read_jsonl, write_jsonl
 from repro.obs.provenance import transitions_from_dicts, transitions_to_dicts
 
 
+def finding_to_row(finding: DomainFinding) -> dict:
+    """One finding as a JSON-safe dict (plain ints/strings/lists)."""
+    return {
+        "domain": finding.domain,
+        "verdict": finding.verdict.value,
+        "detection": finding.detection.value if finding.detection else None,
+        "first_evidence": (
+            finding.first_evidence.isoformat() if finding.first_evidence else None
+        ),
+        "subdomain": finding.subdomain,
+        "pdns": finding.pdns_corroborated,
+        "ct": finding.ct_corroborated,
+        "attacker_ips": list(finding.attacker_ips),
+        "attacker_asn": finding.attacker_asn,
+        "attacker_cc": finding.attacker_cc,
+        "attacker_ns": list(finding.attacker_ns),
+        "victim_asns": list(finding.victim_asns),
+        "victim_ccs": list(finding.victim_ccs),
+        "crtsh_id": finding.crtsh_id,
+        "issuer_ca": finding.issuer_ca,
+        "notes": list(finding.notes),
+        "provenance": transitions_to_dicts(finding.provenance),
+    }
+
+
+def finding_from_row(row: dict) -> DomainFinding:
+    """Inverse of :func:`finding_to_row` (tolerates missing optionals)."""
+    detection = row.get("detection")
+    return DomainFinding(
+        domain=row["domain"],
+        verdict=Verdict(row["verdict"]),
+        detection=DetectionType(detection) if detection else None,
+        first_evidence=(
+            date.fromisoformat(row["first_evidence"])
+            if row.get("first_evidence")
+            else None
+        ),
+        subdomain=row.get("subdomain", ""),
+        pdns_corroborated=row.get("pdns", False),
+        ct_corroborated=row.get("ct", False),
+        attacker_ips=tuple(row.get("attacker_ips", ())),
+        attacker_asn=row.get("attacker_asn"),
+        attacker_cc=row.get("attacker_cc"),
+        attacker_ns=tuple(row.get("attacker_ns", ())),
+        victim_asns=tuple(row.get("victim_asns", ())),
+        victim_ccs=tuple(row.get("victim_ccs", ())),
+        crtsh_id=row.get("crtsh_id", 0),
+        issuer_ca=row.get("issuer_ca", ""),
+        notes=tuple(row.get("notes", ())),
+        provenance=transitions_from_dicts(row.get("provenance", [])),
+    )
+
+
 def save_findings(findings: list[DomainFinding], path: str | Path) -> int:
     """Persist findings (one JSON object per victim domain)."""
-    def rows():
-        for finding in findings:
-            yield {
-                "domain": finding.domain,
-                "verdict": finding.verdict.value,
-                "detection": finding.detection.value if finding.detection else None,
-                "first_evidence": (
-                    finding.first_evidence.isoformat() if finding.first_evidence else None
-                ),
-                "subdomain": finding.subdomain,
-                "pdns": finding.pdns_corroborated,
-                "ct": finding.ct_corroborated,
-                "attacker_ips": list(finding.attacker_ips),
-                "attacker_asn": finding.attacker_asn,
-                "attacker_cc": finding.attacker_cc,
-                "attacker_ns": list(finding.attacker_ns),
-                "victim_asns": list(finding.victim_asns),
-                "victim_ccs": list(finding.victim_ccs),
-                "crtsh_id": finding.crtsh_id,
-                "issuer_ca": finding.issuer_ca,
-                "notes": list(finding.notes),
-                "provenance": transitions_to_dicts(finding.provenance),
-            }
-
-    return write_jsonl(path, rows())
+    return write_jsonl(path, (finding_to_row(f) for f in findings))
 
 
 def load_findings(path: str | Path) -> list[DomainFinding]:
     """Load findings saved by :func:`save_findings`."""
-    findings: list[DomainFinding] = []
-    for row in read_jsonl(path):
-        detection = row.get("detection")
-        findings.append(
-            DomainFinding(
-                domain=row["domain"],
-                verdict=Verdict(row["verdict"]),
-                detection=DetectionType(detection) if detection else None,
-                first_evidence=(
-                    date.fromisoformat(row["first_evidence"])
-                    if row.get("first_evidence")
-                    else None
-                ),
-                subdomain=row.get("subdomain", ""),
-                pdns_corroborated=row.get("pdns", False),
-                ct_corroborated=row.get("ct", False),
-                attacker_ips=tuple(row.get("attacker_ips", ())),
-                attacker_asn=row.get("attacker_asn"),
-                attacker_cc=row.get("attacker_cc"),
-                attacker_ns=tuple(row.get("attacker_ns", ())),
-                victim_asns=tuple(row.get("victim_asns", ())),
-                victim_ccs=tuple(row.get("victim_ccs", ())),
-                crtsh_id=row.get("crtsh_id", 0),
-                issuer_ca=row.get("issuer_ca", ""),
-                notes=tuple(row.get("notes", ())),
-                provenance=transitions_from_dicts(row.get("provenance", [])),
-            )
-        )
-    return findings
+    return [finding_from_row(row) for row in read_jsonl(path)]

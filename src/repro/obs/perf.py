@@ -10,7 +10,11 @@ perf trajectory tracks across commits and Python versions:
 * worker/cache payload bytes of the deployment-map stage, measured for
   both representations — the legacy object-graph maps and the columnar
   int-tuple encoding — alongside a timed before/after of the kernel
-  itself (the pre-columnar row path is kept here as the *before*).
+  itself (the pre-columnar row path is kept here as the *before*);
+* per-stage funnel timings (``funnel_stages``, when pipeline inputs are
+  supplied) — classify, shortlist, inspect, and assemble each measured
+  legacy vs columnar, the same retained references the differential
+  suites compare for identity.
 
 Everything is measured on the actual study being profiled, never
 hand-asserted; ``repro-hunt profile --json FILE`` writes the document
@@ -159,6 +163,144 @@ def measure_deployment_kernel(
     }
 
 
+def measure_funnel_stages(inputs: Any, config: Any = None) -> dict[str, Any]:
+    """Time funnel stages 2–4 plus assembly, legacy vs columnar.
+
+    Every rewritten stage keeps its row-at-a-time reference alive (the
+    differential suites compare the two for identity); this measures
+    both on the same inputs so the speedups in ``BENCH_perf.json`` are
+    observed, never asserted:
+
+    * **classify** — object-graph :func:`classify` over deployment maps
+      versus :func:`classify_encoded` over the deployment wire form
+      (plus the parent-side decode, what the stage actually pays);
+    * **shortlist** — the datasetless :class:`Shortlister` (per-map
+      record filtering) versus the dataset-attached bisect-slice path;
+    * **inspect** — the same :class:`Inspector` over the linear pDNS /
+      per-base CT indexes (``use_table = False``) versus the CSR and
+      bisect kernels;
+    * **assemble** — the per-finding victim-infrastructure rescan
+      versus the precomputed single-pass index.
+    """
+    from repro.core.deployment import decode_domain_maps, encode_domain_maps
+    from repro.core.inspection import Inspector
+    from repro.core.patterns import classify, classify_encoded, decode_classification
+    from repro.core.pipeline import PipelineConfig, _FindingBuilder
+    from repro.core.shortlist import Shortlister
+    from repro.core.types import Verdict
+
+    config = config or PipelineConfig()
+    dataset, periods = inputs.scan, inputs.periods
+
+    def _ratio(a: float, b: float) -> float | None:
+        return round(a / b, 2) if b > 0 else None
+
+    def _stage(legacy: float, columnar: float) -> dict[str, Any]:
+        return {
+            "legacy_seconds": round(legacy, 6),
+            "columnar_seconds": round(columnar, 6),
+            "speedup": _ratio(legacy, columnar),
+        }
+
+    # Stage-1 products, shared by both sides: the deployment wire forms
+    # and the decoded maps (with period records attached — the legacy
+    # shortlist evidence path filters them).
+    encoded_items = [
+        (domain, encode_domain_maps(dataset, domain, periods, config.max_gap_scans))
+        for domain in dataset.domains()
+    ]
+    maps: dict[tuple[str, int], Any] = {}
+    for domain, enc in encoded_items:
+        maps.update(
+            decode_domain_maps(domain, enc, dataset, periods, with_records=True)
+        )
+    date_ords = {
+        p.index: tuple(d.toordinal() for d in dataset.scan_dates_in(p))
+        for p in periods
+    }
+    gc.collect()
+
+    # -- stage 2: classify -------------------------------------------------
+    t0 = time.perf_counter()
+    classifications = {
+        key: classify(map_, config.patterns) for key, map_ in maps.items()
+    }
+    legacy_classify = time.perf_counter() - t0
+    gc.collect()
+    t0 = time.perf_counter()
+    for domain, enc_maps in encoded_items:
+        for period_index, enc_deployments in enc_maps:
+            encoded = classify_encoded(
+                enc_deployments, date_ords[period_index], config.patterns
+            )
+            decode_classification(maps[(domain, period_index)], encoded)
+    columnar_classify = time.perf_counter() - t0
+    gc.collect()
+
+    # -- stage 3: shortlist ------------------------------------------------
+    known_missing = dataset.known_missing_dates
+    reference = Shortlister(inputs.as2org, config.shortlist, known_missing)
+    t0 = time.perf_counter()
+    reference.evaluate(classifications)
+    legacy_shortlist = time.perf_counter() - t0
+    gc.collect()
+    columnar = Shortlister(
+        inputs.as2org, config.shortlist, known_missing, dataset=dataset
+    )
+    t0 = time.perf_counter()
+    entries, _decisions = columnar.evaluate(classifications)
+    columnar_shortlist = time.perf_counter() - t0
+    gc.collect()
+
+    # -- stage 4: inspect ----------------------------------------------------
+    inspector = Inspector(inputs.pdns, inputs.crtsh, config.inspection)
+    inputs.pdns.use_table = False
+    inputs.crtsh.use_table = False
+    try:
+        t0 = time.perf_counter()
+        inspector.inspect_many(entries)
+        legacy_inspect = time.perf_counter() - t0
+    finally:
+        inputs.pdns.use_table = True
+        inputs.crtsh.use_table = True
+    gc.collect()
+    inputs.pdns.table  # noqa: B018 — prime the lazy builds so the kernel
+    inputs.crtsh.search("warmup.invalid")  # timing excludes one-time setup
+    t0 = time.perf_counter()
+    inspections = inspector.inspect_many(entries)
+    columnar_inspect = time.perf_counter() - t0
+    gc.collect()
+
+    # -- assembly ------------------------------------------------------------
+    flagged = [
+        r
+        for r in inspections
+        if r.verdict in (Verdict.HIJACKED, Verdict.TARGETED)
+    ]
+    t0 = time.perf_counter()
+    builder = _FindingBuilder(inputs)
+    for result in flagged:
+        builder.from_inspection(result, classifications)
+    legacy_assemble = time.perf_counter() - t0
+    gc.collect()
+    t0 = time.perf_counter()
+    builder = _FindingBuilder(inputs, classifications)
+    for result in flagged:
+        builder.from_inspection(result, classifications)
+    columnar_assemble = time.perf_counter() - t0
+    gc.collect()
+
+    return {
+        "n_maps": len(maps),
+        "n_shortlisted": len(entries),
+        "n_flagged": len(flagged),
+        "classify": _stage(legacy_classify, columnar_classify),
+        "shortlist": _stage(legacy_shortlist, columnar_shortlist),
+        "inspect": _stage(legacy_inspect, columnar_inspect),
+        "assemble": _stage(legacy_assemble, columnar_assemble),
+    }
+
+
 def measure_dataset(dataset: ScanDataset) -> dict[str, Any]:
     """Footprint of the scan dataset in both representations."""
     table = dataset.table
@@ -182,8 +324,15 @@ def perf_summary(
     periods: tuple[Period, ...],
     metrics: RunMetrics | None = None,
     max_gap_scans: int = 6,
+    inputs: Any = None,
+    config: Any = None,
 ) -> dict[str, Any]:
-    """The full ``BENCH_perf.json`` document for one profiled run."""
+    """The full ``BENCH_perf.json`` document for one profiled run.
+
+    With ``inputs`` (a :class:`~repro.core.pipeline.PipelineInputs`),
+    the document additionally carries ``funnel_stages`` — the measured
+    legacy-vs-columnar timings of stages 2–4 and assembly.
+    """
     summary: dict[str, Any] = {
         "schema": PERF_SCHEMA,
         "python": platform.python_version(),
@@ -193,6 +342,8 @@ def perf_summary(
             dataset, periods, max_gap_scans
         ),
     }
+    if inputs is not None:
+        summary["funnel_stages"] = measure_funnel_stages(inputs, config)
     if metrics is not None:
         summary["stages"] = [
             {
@@ -219,6 +370,7 @@ __all__ = [
     "legacy_domain_maps",
     "measure_deployment_kernel",
     "measure_dataset",
+    "measure_funnel_stages",
     "perf_summary",
     "write_perf_summary",
 ]

@@ -5,9 +5,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from datetime import date, timedelta
 
+from typing import TYPE_CHECKING
+
 from repro.dns.records import RRType
-from repro.net.names import registered_domain
+from repro.net.names import public_suffix, registered_domain
 from repro.net.timeline import DateInterval
+
+if TYPE_CHECKING:
+    from repro.pdns.table import PdnsTable
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,12 +42,35 @@ class PassiveDNSDatabase:
         self._rows: dict[tuple[str, RRType, str], list] = {}
         self._by_name: dict[str, set[tuple[str, RRType, str]]] = {}
         self._by_rdata: dict[str, set[tuple[str, RRType, str]]] = {}
+        #: Columnar query path toggle; the linear reference stays behind
+        #: it for the differential suites and perf baselines.
+        self.use_table = True
+        self._version = 0
+        self._table: PdnsTable | None = None
+        self._table_version = -1
+
+    @property
+    def table(self) -> PdnsTable:
+        """The columnar view, built lazily and rebuilt after mutation.
+
+        The table is constructed from :meth:`all_records` — the
+        canonical ``(rrname, rtype, rdata)`` order — so its row ids and
+        pool ids are a pure function of the aggregated content, stable
+        across processes and safe to reference from cache entries.
+        """
+        if self._table is None or self._table_version != self._version:
+            from repro.pdns.table import PdnsTable
+
+            self._table = PdnsTable.from_records(self.all_records())
+            self._table_version = self._version
+        return self._table
 
     def add_observation(self, rrname: str, rtype: RRType, rdata: str, day: date) -> None:
         """Fold one observed resolution into the aggregate."""
         rrname = rrname.lower().rstrip(".")
         rdata = rdata.lower().rstrip(".") if rtype is RRType.NS else rdata
         key = (rrname, rtype, rdata)
+        self._version += 1
         row = self._rows.get(key)
         if row is None:
             self._rows[key] = [day, day, 1]
@@ -69,6 +97,21 @@ class PassiveDNSDatabase:
     ) -> list[PdnsRecord]:
         """All aggregated rows for an exact rrname."""
         rrname = rrname.lower().rstrip(".")
+        if self.use_table:
+            table = self.table
+            return [
+                table.record(row)
+                for row in table.query_name_rows(rrname, rtype, window)
+            ]
+        return self._query_name_linear(rrname, rtype, window)
+
+    def _query_name_linear(
+        self,
+        rrname: str,
+        rtype: RRType | None = None,
+        window: DateInterval | None = None,
+    ) -> list[PdnsRecord]:
+        """Row-at-a-time reference for :meth:`query_name` (pre-lowered)."""
         records = [self._materialize(k) for k in self._by_name.get(rrname, ())]
         if rtype is not None:
             records = [r for r in records if r.rtype is rtype]
@@ -82,6 +125,34 @@ class PassiveDNSDatabase:
     ) -> list[PdnsRecord]:
         """All rows for any rrname under the registered domain."""
         base = registered_domain(domain)
+        # The CSR index buckets by each rrname's registered domain, which
+        # only matches plain suffix semantics when the queried base is a
+        # registrable domain itself; a bare public suffix falls back to
+        # the linear reference.
+        if not self.use_table or public_suffix(base) == base:
+            return self._query_domain_linear(base, window)
+        table = self.table
+        rows = table.query_domain_rows(base, window)
+        if table.irregular_rows:
+            # Owner names the bucketing could not place (no parseable
+            # registered domain) still suffix-match the legacy way.
+            suffix = "." + base
+            extra = [
+                row
+                for row in table._window_filter(table.irregular_rows, window)
+                if table.rrnames[table.rrname_id[row]] == base
+                or table.rrnames[table.rrname_id[row]].endswith(suffix)
+            ]
+            if extra:
+                records = [table.record(row) for row in rows + extra]
+                records.sort(key=lambda r: (r.rrname, r.first_seen, r.rdata))
+                return records
+        return [table.record(row) for row in rows]
+
+    def _query_domain_linear(
+        self, base: str, window: DateInterval | None = None
+    ) -> list[PdnsRecord]:
+        """Row-at-a-time reference for :meth:`query_domain`."""
         records: list[PdnsRecord] = []
         for rrname, keys in self._by_name.items():
             if rrname == base or rrname.endswith("." + base):
@@ -133,6 +204,7 @@ class PassiveDNSDatabase:
     def _insert_row(self, key: tuple[str, RRType, str], first: date, last: date, count: int) -> None:
         """Install one aggregated row directly, maintaining the indexes."""
         rrname, _rtype, rdata = key
+        self._version += 1
         self._rows[key] = [first, last, count]
         self._by_name.setdefault(rrname, set()).add(key)
         self._by_rdata.setdefault(rdata, set()).add(key)
@@ -184,6 +256,15 @@ class PassiveDNSDatabase:
         """Every aggregated row, in (rrname, rtype, rdata) order."""
         keys = sorted(self._rows, key=lambda k: (k[0], k[1].value, k[2]))
         return [self._materialize(k) for k in keys]
+
+    def __getstate__(self) -> dict:
+        # The columnar view never travels: its row stream is canonical,
+        # so a worker rebuilding it lazily interns identical ids — and
+        # the payload stays one copy of the aggregates, not two.
+        state = self.__dict__.copy()
+        state["_table"] = None
+        state["_table_version"] = -1
+        return state
 
     def __len__(self) -> int:
         return len(self._rows)

@@ -135,13 +135,17 @@ class TestRunWiring:
         small_study.profile_pipeline(cache=cache)
         _, metrics = small_study.profile_pipeline(cache=cache)
         by_name = {s.name: s for s in metrics.stages}
-        for name in ("deployment_maps", "shortlist", "inspect", "pivot"):
+        for name in (
+            "deployment_maps",
+            "classify",
+            "shortlist",
+            "inspect",
+            "pivot",
+            "assemble",
+        ):
             assert by_name[name].cached is True
             assert by_name[name].busy_seconds == 0.0
             assert by_name[name].utilization == 0.0
-        # Uncacheable stages always run.
-        assert by_name["classify"].cached is False
-        assert by_name["assemble"].cached is False
         rendered = format_run_metrics(metrics)
         assert "cached" in rendered
         assert "cache:" in rendered

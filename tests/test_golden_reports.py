@@ -9,6 +9,12 @@ at all.  The stage cache rides the same harness: cold (cache-filling)
 and warm (cache-satisfied) runs must both match the pinned bytes, and
 entries must be portable across backends.
 
+A fault-degraded variant rides along: seed 11's study run under the
+canonical data-channel plan (``GOLDEN_FAULT_SPEC``) is pinned too, so
+the degraded funnel — blackout-holed pDNS, lagged CT, dropped scan
+weeks — is locked byte-for-byte across backends and cache temperature
+just like the pristine runs.
+
 After an intentional behavior change, regenerate with::
 
     python -m repro.cli golden --update
@@ -21,10 +27,20 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import GOLDEN_BACKGROUND, GOLDEN_SEEDS
+from repro.cli import (
+    GOLDEN_BACKGROUND,
+    GOLDEN_FAULT_SEED,
+    GOLDEN_FAULT_SPEC,
+    GOLDEN_SEEDS,
+)
 from repro.exec import ProcessPoolBackend, SerialBackend
 from repro.faults import FaultPlan, FaultSpec
-from repro.io.golden import GOLDEN_SCHEMA, encode_report, golden_filename
+from repro.io.golden import (
+    GOLDEN_SCHEMA,
+    encode_report,
+    golden_faults_filename,
+    golden_filename,
+)
 from repro.world.scenarios import paper_study
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -140,6 +156,84 @@ def test_cache_entries_are_backend_portable(tmp_path):
     assert encode_report(warm) == golden
     assert metrics.cache["misses"] == 0
     assert metrics.cache["hits"] > 0
+
+
+def _fault_golden_text() -> str:
+    path = GOLDEN_DIR / golden_faults_filename(GOLDEN_FAULT_SEED)
+    assert path.exists(), (
+        f"{path} missing — generate with `python -m repro.cli golden --update`"
+    )
+    return path.read_text()
+
+
+def _fault_plan() -> FaultPlan:
+    return FaultPlan.from_spec(GOLDEN_FAULT_SPEC, seed=GOLDEN_FAULT_SEED)
+
+
+def test_fault_golden_is_a_real_degradation():
+    """The degraded pin must differ from the fault-free pin for the same
+    seed and still carry findings — a no-op or wiped-out plan pins
+    nothing worth pinning."""
+    degraded = json.loads(_fault_golden_text())
+    pristine = json.loads(_golden_text(GOLDEN_FAULT_SEED))
+    assert degraded["schema"] == GOLDEN_SCHEMA
+    assert degraded["findings"]
+    assert degraded != pristine
+
+
+def test_fault_degraded_run_matches_golden_serial():
+    report = _study(GOLDEN_FAULT_SEED).run_pipeline(
+        backend=SerialBackend(), faults=_fault_plan()
+    )
+    assert encode_report(report) == _fault_golden_text()
+
+
+def test_fault_degraded_run_matches_golden_process_pool():
+    """Degradation happens before fan-out, so the pooled funnel walks
+    the same degraded tables and must reproduce the pin byte for byte."""
+    report = _study(GOLDEN_FAULT_SEED).run_pipeline(
+        backend=ProcessPoolBackend(jobs=2), faults=_fault_plan()
+    )
+    assert encode_report(report) == _fault_golden_text()
+
+
+def test_fault_degraded_cold_then_warm_cache_matches_golden(tmp_path):
+    """The degraded world is cacheable too: fault parameters are part of
+    the stage fingerprints, so a warm run restores the degraded report —
+    including the classify/assemble wire products — byte-identically."""
+    from repro.cache import StageCache
+
+    cache = StageCache(tmp_path / "cache")
+    golden = _fault_golden_text()
+    cold, cold_metrics = _study(GOLDEN_FAULT_SEED).profile_pipeline(
+        backend=SerialBackend(), faults=_fault_plan(), cache=cache
+    )
+    assert encode_report(cold) == golden
+    assert cold_metrics.cache["stores"] > 0
+    warm, warm_metrics = _study(GOLDEN_FAULT_SEED).profile_pipeline(
+        backend=SerialBackend(), faults=_fault_plan(), cache=cache
+    )
+    assert encode_report(warm) == golden
+    assert warm_metrics.cache["misses"] == 0
+    by_name = {s.name: s for s in warm_metrics.stages}
+    for name in ("classify", "shortlist", "inspect", "assemble"):
+        assert by_name[name].cached is True
+
+
+def test_fault_cache_does_not_collide_with_pristine(tmp_path):
+    """A cache shared between a degraded and a fault-free run of the
+    same study must never cross-serve entries."""
+    from repro.cache import StageCache
+
+    cache = StageCache(tmp_path / "cache")
+    degraded = _study(GOLDEN_FAULT_SEED).run_pipeline(
+        backend=SerialBackend(), faults=_fault_plan(), cache=cache
+    )
+    assert encode_report(degraded) == _fault_golden_text()
+    pristine = _study(GOLDEN_FAULT_SEED).run_pipeline(
+        backend=SerialBackend(), cache=cache
+    )
+    assert encode_report(pristine) == _golden_text(GOLDEN_FAULT_SEED)
 
 
 def test_traced_run_is_byte_identical_serial():

@@ -145,6 +145,58 @@ class TestDegradedEquivalence:
             assert getattr(degraded.table, column) == getattr(rebuilt.table, column)
 
 
+class TestDoubleDegradation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        _history,
+        st.sets(st.integers(min_value=0, max_value=25), max_size=4),
+        st.sets(st.integers(min_value=0, max_value=25), max_size=4),
+    )
+    def test_degrading_a_degraded_dataset(self, history, first_drop, second_drop):
+        """Regression: ``select()`` on an already-derived table.  The
+        first degradation memoizes ``records_for`` views and per-row
+        record objects on its table; the second must re-intern from the
+        surviving rows, never serve a stale parent memo, and fold both
+        rounds' dropped scans into ``known_missing_dates``."""
+        dataset = _dataset_from(history)
+        drop_a = {DATES[i] for i in first_drop}
+        once = dataset.degraded(drop_dates=drop_a)
+        # Prime every memo on the intermediate table before deriving
+        # from it again — the regression this pins was only reachable
+        # with warm memos.
+        for domain in once.domains():
+            once.records_for(domain)
+        once.records()
+        drop_b = {DATES[i] for i in second_drop}
+        twice = once.degraded(
+            drop_dates=drop_b,
+            drop_row=lambda ordinal, ip, fp: ip.endswith(".0.1"),
+        )
+        expected = [
+            r
+            for r in dataset.records()
+            if r.scan_date not in drop_a
+            and r.scan_date not in drop_b
+            and not r.ip.endswith(".0.1")
+        ]
+        assert twice.records() == expected
+        assert twice.known_missing_dates == frozenset(drop_a | drop_b)
+        for domain in dataset.domains():
+            want = sorted(
+                (r for r in expected if domain in r.base_domains),
+                key=lambda r: (r.scan_date, r.ip),
+            )
+            assert list(twice.records_for(domain)) == want
+        rebuilt = ScanDataset(expected, DATES)
+        assert list(twice.table.row_dicts()) == list(rebuilt.table.row_dicts())
+        for column in ("ip_id", "asn_id", "cert_id", "country_id"):
+            assert getattr(twice.table, column) == getattr(rebuilt.table, column)
+        # The intermediate view is untouched by the second derivation.
+        assert once.records() == [
+            r for r in dataset.records() if r.scan_date not in drop_a
+        ]
+
+
 class TestIORoundTrip:
     @settings(max_examples=25, deadline=None)
     @given(_history)
