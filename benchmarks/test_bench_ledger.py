@@ -1,0 +1,136 @@
+"""Telemetry layer — ledger + events overhead and a recorded profile.
+
+The run ledger and the heartbeat event stream ride the same budget the
+tracer does: observation must be near-free.  The first bench *asserts*
+that a profiled run writing a ledger record and streaming JSONL events
+stays within 2% of a plain ``run_pipeline`` — interleaved best-of-N
+arms plus re-measures, so single-core CI jitter hits both sides
+equally.  (The ledger appends once per run and the event stream emits a
+handful of lines per stage, so the budget is generous; the assert is a
+tripwire against accidental per-task work creeping into either path.)
+The second bench profiles a fully recorded run and reports the ledger
+record and event-stream weight.
+"""
+
+import time
+
+from repro.exec import SerialBackend
+from repro.obs import RunLedger
+from repro.obs.events import JsonlEventSink, read_events
+from repro.world.scenarios import paper_study
+
+from conftest import show
+
+N_BACKGROUND = 150
+ROUNDS = 7
+#: The asserted ceiling for ledger + events overhead.
+MAX_OVERHEAD = 0.02
+#: Re-measure attempts before the assert is allowed to fail — on a
+#: shared single core the noise floor is well above the real ~1% cost.
+RETRIES = 3
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _instrumented_run(study, root):
+    ledger = RunLedger(root / "ledger")
+    sink = JsonlEventSink(root / "events.jsonl")
+    try:
+        return study.profile_pipeline(
+            backend=SerialBackend(), events=sink, ledger=ledger
+        )
+    finally:
+        sink.close()
+
+
+def _measure_overhead(study, root):
+    """Best-of-N for both arms, interleaved in alternating order."""
+    plain_time = ledger_time = float("inf")
+    for i in range(ROUNDS):
+        arms = [("plain", lambda: study.run_pipeline(backend=SerialBackend())),
+                ("ledger", lambda: _instrumented_run(study, root))]
+        if i % 2:
+            arms.reverse()
+        for label, fn in arms:
+            elapsed, _ = _timed(fn)
+            if label == "plain":
+                plain_time = min(plain_time, elapsed)
+            else:
+                ledger_time = min(ledger_time, elapsed)
+    return plain_time, ledger_time
+
+
+def test_ledger_and_events_overhead(benchmark, tmp_path):
+    study = paper_study(seed=7, n_background=N_BACKGROUND)
+    study.run_pipeline(backend=SerialBackend())  # warm-up
+    _instrumented_run(study, tmp_path)  # warm the ledger/events paths too
+
+    plain_time, ledger_time = _measure_overhead(study, tmp_path)
+    overhead = (ledger_time - plain_time) / plain_time
+    attempts = 1
+    while overhead >= MAX_OVERHEAD and attempts <= RETRIES:
+        plain_time, ledger_time = _measure_overhead(study, tmp_path)
+        overhead = (ledger_time - plain_time) / plain_time
+        attempts += 1
+
+    benchmark.pedantic(
+        lambda: _instrumented_run(study, tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+
+    show(
+        f"Ledger + events overhead (asserted < {MAX_OVERHEAD:.0%})",
+        [
+            f"plain run        : {plain_time * 1e3:8.1f} ms (best of {ROUNDS})",
+            f"ledger + events  : {ledger_time * 1e3:8.1f} ms (best of {ROUNDS})",
+            f"overhead         : {overhead:+.2%} ({attempts} measurement pass(es))",
+        ],
+    )
+    benchmark.extra_info["plain_ms"] = round(plain_time * 1e3, 1)
+    benchmark.extra_info["ledger_events_ms"] = round(ledger_time * 1e3, 1)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    assert overhead < MAX_OVERHEAD, (
+        f"ledger + events cost {overhead:.2%} (> {MAX_OVERHEAD:.0%}) "
+        f"after {attempts} measurement passes"
+    )
+
+
+def test_recorded_run_profile(benchmark, tmp_path):
+    study = paper_study(seed=7, n_background=N_BACKGROUND)
+    ledger = RunLedger(tmp_path / "ledger")
+    events_path = tmp_path / "events.jsonl"
+
+    def recorded_run():
+        sink = JsonlEventSink(events_path)
+        try:
+            return study.profile_pipeline(
+                backend=SerialBackend(), events=sink, ledger=ledger,
+                memory=True,
+            )
+        finally:
+            sink.close()
+
+    _report, metrics = benchmark.pedantic(recorded_run, rounds=1, iterations=1)
+
+    record = ledger.load(ledger.latest().run_id)
+    record_path = next((ledger.root / "records").rglob("*.json"))
+    stream = read_events(events_path)
+    show(
+        "Recorded run profile",
+        [
+            f"wall             : {metrics.wall_seconds * 1e3:8.1f} ms",
+            f"ledger record    : ~{record_path.stat().st_size / 1024:.1f} KiB "
+            f"({record.run_id})",
+            f"event stream     : {len(stream)} events, "
+            f"~{events_path.stat().st_size / 1024:.1f} KiB",
+            f"peak rss         : {record.peak_rss_bytes / 1048576:.0f} MiB",
+            f"stages recorded  : {len(record.stages)}",
+        ],
+    )
+    benchmark.extra_info["n_events"] = len(stream)
+    benchmark.extra_info["record_kib"] = round(record_path.stat().st_size / 1024, 1)

@@ -51,6 +51,17 @@
     repro-hunt cache {stats,clear,gc} [--dir DIR] [--max-bytes N]
         Inspect or maintain the content-addressed stage cache.
 
+    repro-hunt runs {list,show,diff,check,gc} [--dir DIR]
+        Query the run ledger: list recorded runs, show one record,
+        diff two runs (per-stage time/memory/cache deltas), check the
+        newest run against its rolling baseline (the regression
+        sentinel; nonzero exit on drift), or compact old history.
+
+    repro-hunt metrics export [--manifest FILE] [--ledger DIR]
+                              [--out FILE] [--check]
+        Render a run manifest's metrics registry and/or the ledger
+        summary as Prometheus/OpenMetrics text.
+
 Stage caching: ``paper``, ``hunt``, and ``profile`` accept
 ``--cache DIR`` (default: the ``REPRO_CACHE_DIR`` environment variable)
 to reuse stage results across runs, and ``--no-cache`` to force a full
@@ -67,10 +78,15 @@ docs/fault_injection.md for the spec grammar.
 Observability: ``paper``, ``hunt``, and ``profile`` accept
 ``--trace FILE`` to record a hierarchical span trace of the run — FILE
 gets Chrome trace-event JSON (load it in Perfetto or chrome://tracing)
-and FILE.spans.jsonl the raw span stream.  Diagnostics go to stderr
-through :mod:`logging`; tune with ``--log-level`` or silence with
-``-q`` (report tables always stay on stdout).  See
-docs/observability.md.
+and FILE.spans.jsonl the raw span stream.  They also accept
+``--events FILE`` (live heartbeat events as JSONL: run/stage/chunk
+boundaries, retries, ETA) and ``--ledger [DIR]`` (append the run's
+durable record to the run ledger; defaults to ``$REPRO_LEDGER_DIR``,
+``--no-ledger`` disables).  On an interactive terminal a one-line
+progress display tracks the run on stderr (``--progress`` forces it,
+``-q`` suppresses it).  Diagnostics go to stderr through
+:mod:`logging`; tune with ``--log-level`` or silence with ``-q``
+(report tables always stay on stdout).  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -174,6 +190,73 @@ def _make_cache(args: argparse.Namespace):
     return StageCache(args.cache)
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="write the live heartbeat event stream as JSONL "
+        "(schema repro.obs.events/1)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", default=False,
+        help="force the one-line TTY progress display even when stderr "
+        "is not a terminal",
+    )
+    _add_ledger_args(parser)
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    from repro.obs.ledger import DEFAULT_LEDGER_DIR, LEDGER_ENV_VAR
+
+    parser.add_argument(
+        "--ledger", metavar="DIR", nargs="?", const=DEFAULT_LEDGER_DIR,
+        default=os.environ.get(LEDGER_ENV_VAR),
+        help="record the run in the ledger at DIR (bare --ledger uses "
+        f"{DEFAULT_LEDGER_DIR}/; default: ${LEDGER_ENV_VAR}; unset = off)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true", default=False,
+        help=f"disable ledger recording even when ${LEDGER_ENV_VAR} is set",
+    )
+
+
+def _make_events(args: argparse.Namespace):
+    """The run's composite event sink, or None when nothing listens.
+
+    The JSONL stream is explicit (``--events FILE``); the TTY progress
+    line is automatic on an interactive stderr unless quieted.  The
+    caller must ``close()`` the sink after the run (use try/finally —
+    a crashed run still flushes what it saw).
+    """
+    from repro.obs.events import (
+        CompositeEventSink,
+        JsonlEventSink,
+        TTYProgressSink,
+    )
+
+    sinks = []
+    if args.events:
+        sinks.append(JsonlEventSink(args.events))
+    quiet = getattr(args, "quiet", False)
+    if args.progress or (not quiet and sys.stderr.isatty()):
+        sinks.append(TTYProgressSink(sys.stderr))
+    if not sinks:
+        return None
+    return sinks[0] if len(sinks) == 1 else CompositeEventSink(sinks)
+
+
+def _close_events(sink) -> None:
+    if sink is not None:
+        sink.close()
+
+
+def _make_ledger(args: argparse.Namespace):
+    if args.no_ledger or not args.ledger:
+        return None
+    from repro.obs import RunLedger
+
+    return RunLedger(args.ledger)
+
+
 def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
@@ -214,10 +297,15 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
     tracer = _make_tracer(args)
-    report, metrics = study.profile_pipeline(
-        backend=backend, faults=_fault_plan(args), tracer=tracer,
-        cache=_make_cache(args),
-    )
+    events = _make_events(args)
+    try:
+        report, metrics = study.profile_pipeline(
+            backend=backend, faults=_fault_plan(args), tracer=tracer,
+            cache=_make_cache(args),
+            events=events, ledger=_make_ledger(args),
+        )
+    finally:
+        _close_events(events)
 
     _print_data_quality(metrics)
     print()
@@ -274,10 +362,15 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     tracer = _make_tracer(args)
-    report, metrics = pipeline.profile(
-        _make_backend(args.jobs, args.chunk_size), tracer=tracer,
-        cache=_make_cache(args),
-    )
+    events = _make_events(args)
+    try:
+        report, metrics = pipeline.profile(
+            _make_backend(args.jobs, args.chunk_size), tracer=tracer,
+            cache=_make_cache(args),
+            events=events, ledger=_make_ledger(args),
+        )
+    finally:
+        _close_events(events)
     _print_data_quality(metrics)
     print(format_funnel(report.funnel))
     print()
@@ -315,10 +408,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     study = paper_study(seed=args.seed, n_background=args.background)
     backend = _make_backend(args.jobs, args.chunk_size)
     tracer = _make_tracer(args)
-    _report, metrics = study.profile_pipeline(
-        backend=backend, faults=_fault_plan(args), tracer=tracer,
-        cache=_make_cache(args),
-    )
+    events = _make_events(args)
+    try:
+        _report, metrics = study.profile_pipeline(
+            backend=backend, faults=_fault_plan(args), tracer=tracer,
+            cache=_make_cache(args),
+            events=events, memory=args.memory, ledger=_make_ledger(args),
+        )
+    finally:
+        _close_events(events)
     print(format_run_metrics(metrics))
     _print_data_quality(metrics)
     if args.out:
@@ -371,6 +469,27 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _unknown_domain(domain: str, report) -> int:
+    """The shared unknown-domain exit path: clear error, best hints.
+
+    Suggests the finding domains *closest to what was typed* (typo
+    recovery via difflib) before falling back to the first few
+    identified victims, and always exits 2 — never a bare traceback.
+    """
+    import difflib
+
+    known = sorted(f.domain for f in report.findings)
+    print(f"error: {domain} is not an identified victim", file=sys.stderr)
+    if not known:
+        print("hint: this run identified no victims at all", file=sys.stderr)
+        return 2
+    close = difflib.get_close_matches(domain, known, n=5, cutoff=0.5)
+    suggested = close if close else known[:8]
+    suffix = "" if len(suggested) == len(known) else ", ..."
+    print(f"hint: try one of {', '.join(suggested)}{suffix}", file=sys.stderr)
+    return 2
+
+
 def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import format_timeline, reconstruct_timeline
     from repro.world.scenarios import paper_study
@@ -379,10 +498,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     report = study.run_pipeline()
     finding = report.finding_for(args.domain)
     if finding is None:
-        print(f"error: {args.domain} is not an identified victim", file=sys.stderr)
-        known = ", ".join(sorted(f.domain for f in report.findings)[:8])
-        print(f"hint: try one of {known}, ...", file=sys.stderr)
-        return 2
+        return _unknown_domain(args.domain, report)
     events = reconstruct_timeline(finding, study.scan, study.pdns, study.crtsh)
     print(format_timeline(args.domain, events))
     return 0
@@ -399,10 +515,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     report = study.run_pipeline()
     finding = report.finding_for(args.domain)
     if finding is None:
-        print(f"error: {args.domain} is not an identified victim", file=sys.stderr)
-        known = ", ".join(sorted(f.domain for f in report.findings)[:8])
-        print(f"hint: try one of {known}, ...", file=sys.stderr)
-        return 2
+        return _unknown_domain(args.domain, report)
+    if args.json:
+        import json
+
+        from repro.io.reports import finding_to_row
+
+        payload = json.dumps(finding_to_row(finding), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            logger.info("findings provenance written to %s", args.json)
+        return 0
     print(format_provenance(finding.domain, finding.provenance))
     return 0
 
@@ -552,6 +677,7 @@ def _cmd_arena(args: argparse.Namespace) -> int:
             faults=args.faults,
             fault_seed=args.fault_seed,
             cache=_make_cache(args),
+            ledger=_make_ledger(args),
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
@@ -560,6 +686,150 @@ def _cmd_arena(args: argparse.Namespace) -> int:
     if args.json:
         write_arena_summary(result, args.json)
         logger.info("arena summary written to %s", args.json)
+    return 0
+
+
+def _runs_ledger(args: argparse.Namespace):
+    from repro.obs import RunLedger
+    from repro.obs.ledger import DEFAULT_LEDGER_DIR, ledger_dir_from_env
+
+    directory = args.dir or ledger_dir_from_env() or DEFAULT_LEDGER_DIR
+    if not Path(directory).exists():
+        print(
+            f"error: no ledger at {directory} "
+            "(pass --dir, set $REPRO_LEDGER_DIR, or record a run with --ledger)",
+            file=sys.stderr,
+        )
+        return None
+    return RunLedger(directory)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import format_diff, format_runs_table
+    from repro.obs.sentinel import Tolerances, check_run, format_sentinel
+
+    ledger = _runs_ledger(args)
+    if ledger is None:
+        return 2
+
+    if args.runs_command == "list":
+        records = ledger.records(kind=args.kind, limit=args.limit)
+        if not records:
+            print(f"ledger {ledger.root}: no runs recorded")
+            return 0
+        print(f"ledger {ledger.root}: {len(records)} run(s)")
+        print(format_runs_table(records))
+        if ledger.evicted:
+            print(
+                f"warning: {ledger.evicted} corrupt entr(y/ies) evicted",
+                file=sys.stderr,
+            )
+        return 0
+
+    if args.runs_command == "show":
+        record = ledger.load(args.run)
+        if record is None:
+            print(
+                f"error: run {args.run!r} not found (or ambiguous / corrupt) "
+                f"in {ledger.root}",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.runs_command == "diff":
+        ids = args.runs
+        if not ids:
+            records = ledger.records(limit=2)
+            if len(records) < 2:
+                print(
+                    f"error: ledger {ledger.root} holds {len(records)} run(s); "
+                    "diff needs two (or pass run ids explicitly)",
+                    file=sys.stderr,
+                )
+                return 2
+            old, new = records[-2], records[-1]
+        else:
+            old, new = ledger.load(ids[0]), ledger.load(ids[1])
+            if old is None or new is None:
+                missing = ids[0] if old is None else ids[1]
+                print(f"error: run {missing!r} not found in {ledger.root}", file=sys.stderr)
+                return 2
+        print(format_diff(old, new))
+        return 0
+
+    if args.runs_command == "check":
+        tolerances = Tolerances.from_args(
+            total_time=args.tolerance_total,
+            stage_time=args.tolerance_stage,
+            memory=args.tolerance_memory,
+            cache_hit_rate=args.tolerance_cache,
+            f1=args.tolerance_f1,
+            min_stage_seconds=args.min_stage_seconds,
+            min_baseline=args.min_baseline,
+        )
+        try:
+            report = check_run(
+                ledger, run_id=args.run, window=args.window,
+                tolerances=tolerances,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(format_sentinel(report))
+        return 0 if report.ok else 1
+
+    # gc
+    result = ledger.gc(args.keep)
+    print(
+        f"ledger {ledger.root}: kept {result['kept']} run(s), dropped "
+        f"{result['dropped_entries']} entr(y/ies), removed "
+        f"{result['removed_files']} record file(s)"
+    )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import RunLedger, render_openmetrics, validate_openmetrics
+    from repro.obs.ledger import ledger_dir_from_env
+
+    snapshot = None
+    funnel = None
+    if args.manifest:
+        try:
+            metrics = RunMetrics.read(args.manifest)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot read manifest: {error}", file=sys.stderr)
+            return 2
+        snapshot = metrics.metrics
+        funnel = metrics.funnel
+    directory = args.ledger or ledger_dir_from_env()
+    ledger = (
+        RunLedger(directory)
+        if directory and Path(directory).exists()
+        else None
+    )
+    if snapshot is None and ledger is None:
+        print(
+            "error: nothing to export (pass --manifest FILE and/or --ledger DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    text = render_openmetrics(snapshot, ledger=ledger, funnel=funnel)
+    if args.check:
+        errors = validate_openmetrics(text)
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 1
+    if args.out:
+        Path(args.out).write_text(text)
+        logger.info("OpenMetrics exposition written to %s", args.out)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -610,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_args(paper)
     _add_cache_args(paper)
     _add_trace_arg(paper)
+    _add_obs_args(paper)
     paper.set_defaults(func=_cmd_paper)
 
     quickstart = sub.add_parser("quickstart", parents=[logging_flags], help="one-hijack demo world")
@@ -622,6 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_args(hunt)
     _add_cache_args(hunt)
     _add_trace_arg(hunt)
+    _add_obs_args(hunt)
     hunt.set_defaults(func=_cmd_hunt)
 
     profile = sub.add_parser(
@@ -639,10 +911,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--manifest", metavar="FILE", help="render an existing manifest instead"
     )
+    profile.add_argument(
+        "--memory", action="store_true", default=False,
+        help="trace per-stage allocations with tracemalloc (slower; "
+        "peak RSS is always recorded)",
+    )
     _add_executor_args(profile)
     _add_faults_args(profile)
     _add_cache_args(profile)
     _add_trace_arg(profile)
+    _add_obs_args(profile)
     profile.set_defaults(func=_cmd_profile)
 
     gallery = sub.add_parser("gallery", parents=[logging_flags], help="render the pattern gallery")
@@ -665,6 +943,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("domain", help="victim domain to explain")
     explain.add_argument("--seed", type=int, default=7)
     explain.add_argument("--background", type=int, default=150)
+    explain.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the finding + provenance trail as JSON ('-' for stdout)",
+    )
     explain.set_defaults(func=_cmd_explain)
 
     sweep = sub.add_parser("sweep", parents=[logging_flags], help="threshold-sensitivity sweeps")
@@ -713,6 +995,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_faults_args(arena)
     _add_cache_args(arena)
+    _add_ledger_args(arena)
     arena.set_defaults(func=_cmd_arena)
 
     golden = sub.add_parser(
@@ -740,6 +1023,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte budget for gc (least-recently-used entries beyond it are evicted)",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    runs = sub.add_parser(
+        "runs", parents=[logging_flags], help="query the run ledger"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        sp = runs_sub.add_parser(name, parents=[logging_flags], help=help_text)
+        sp.add_argument(
+            "--dir", default=None,
+            help="ledger directory (default: $REPRO_LEDGER_DIR, "
+            "else .repro-ledger/)",
+        )
+        sp.set_defaults(func=_cmd_runs)
+        return sp
+
+    runs_list = _runs_parser("list", "list recorded runs, oldest first")
+    runs_list.add_argument(
+        "--kind", choices=["pipeline", "arena"], default=None,
+        help="only runs of this kind",
+    )
+    runs_list.add_argument(
+        "--limit", type=_positive_int, default=None,
+        help="show only the newest N runs",
+    )
+
+    runs_show = _runs_parser("show", "print one run's full record as JSON")
+    runs_show.add_argument("run", help="run id (or unique prefix)")
+
+    runs_diff = _runs_parser(
+        "diff", "per-stage time/memory/cache deltas between two runs"
+    )
+    runs_diff.add_argument(
+        "runs", nargs="*", metavar="RUN",
+        help="two run ids (default: the two newest runs)",
+    )
+
+    runs_check = _runs_parser(
+        "check",
+        "regression sentinel: newest run vs the median of its matching-key "
+        "history (nonzero exit on drift)",
+    )
+    runs_check.add_argument(
+        "--run", default=None, help="candidate run id (default: newest)"
+    )
+    runs_check.add_argument(
+        "--window", type=_positive_int, default=5,
+        help="baseline window: last N matching-key prior runs (default: 5)",
+    )
+    runs_check.add_argument(
+        "--min-baseline", type=_positive_int, default=None, dest="min_baseline",
+        help="comparable prior runs required before the check has teeth "
+        "(default: 1; fewer = vacuous pass)",
+    )
+    runs_check.add_argument(
+        "--tolerance-total", type=float, default=None,
+        help="fractional ceiling on total wall-time growth (default: 0.5)",
+    )
+    runs_check.add_argument(
+        "--tolerance-stage", type=float, default=None,
+        help="fractional ceiling on per-stage wall-time growth (default: 0.75)",
+    )
+    runs_check.add_argument(
+        "--tolerance-memory", type=float, default=None,
+        help="fractional ceiling on peak-RSS growth (default: 0.5)",
+    )
+    runs_check.add_argument(
+        "--tolerance-cache", type=float, default=None,
+        help="absolute ceiling on cache hit-rate drop (default: 0.25)",
+    )
+    runs_check.add_argument(
+        "--tolerance-f1", type=float, default=None,
+        help="absolute ceiling on arena mean-F1 drop (default: 0.05)",
+    )
+    runs_check.add_argument(
+        "--min-stage-seconds", type=float, default=None, dest="min_stage_seconds",
+        help="skip stages whose baseline wall time is below this "
+        "(default: 0.05s; micro-stage jitter)",
+    )
+
+    runs_gc = _runs_parser("gc", "compact the ledger to the newest N runs")
+    runs_gc.add_argument(
+        "--keep", type=_positive_int, required=True,
+        help="how many of the newest runs to keep",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", parents=[logging_flags],
+        help="Prometheus/OpenMetrics text exposition",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_export = metrics_sub.add_parser(
+        "export", parents=[logging_flags],
+        help="render a manifest's metrics registry and/or the ledger "
+        "summary as OpenMetrics text",
+    )
+    metrics_export.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="run manifest whose metrics section to export",
+    )
+    metrics_export.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="ledger whose summary gauges to export "
+        "(default: $REPRO_LEDGER_DIR when it exists)",
+    )
+    metrics_export.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the exposition here instead of stdout",
+    )
+    metrics_export.add_argument(
+        "--check", action="store_true", default=False,
+        help="validate the exposition structurally; nonzero exit on errors",
+    )
+    metrics_export.set_defaults(func=_cmd_metrics)
     return parser
 
 

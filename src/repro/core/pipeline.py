@@ -27,6 +27,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.cache.store import StageCache
+    from repro.obs.events import EventSink
+    from repro.obs.ledger import RunLedger
 
 logger = logging.getLogger(__name__)
 
@@ -51,7 +53,7 @@ from repro.core.shortlist import (
 )
 from repro.core.types import DetectionType, PatternKind, Verdict
 from repro.ct.crtsh import CrtShService
-from repro.exec.backends import ExecutionBackend
+from repro.exec.backends import ExecutionBackend, SerialBackend
 from repro.exec.executor import PipelineExecutor
 from repro.exec.metrics import RunMetrics, StageStats
 from repro.exec.stage import Stage, StageContext
@@ -868,6 +870,10 @@ class HijackPipeline:
         backend: ExecutionBackend | None = None,
         tracer: Tracer | None = None,
         cache: StageCache | None = None,
+        events: EventSink | None = None,
+        memory: bool = False,
+        ledger: RunLedger | None = None,
+        label: str = "hunt",
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the funnel and return the report plus its run manifest.
 
@@ -880,7 +886,13 @@ class HijackPipeline:
         An enabled :class:`repro.obs.Tracer` collects the run's
         hierarchical span tree (run → stage → task-chunk across worker
         pids); the report is required to be byte-identical with tracing
-        on or off.
+        on or off.  Same contract for ``events`` (a live heartbeat
+        :class:`repro.obs.EventSink`) and ``ledger`` (a
+        :class:`repro.obs.RunLedger` the executor appends the run's
+        durable record to, keyed so that timing-only worker faults land
+        with the clean baseline).  ``memory=True`` additionally traces
+        per-stage allocations with :mod:`tracemalloc` — measurably
+        slower, so opt-in; peak RSS is sampled regardless.
 
         A :class:`repro.cache.StageCache` turns repeat runs into cache
         loads: the run key is derived from the *degraded* input bundle
@@ -896,12 +908,63 @@ class HijackPipeline:
             from repro.cache.fingerprint import derive_run_key
 
             run_key = derive_run_key(inputs, self._faults, self._config)
+        ledger_info = None
+        ledger_extra = None
+        if ledger is not None:
+            ledger_info, ledger_extra = self._ledger_identity(backend, label)
         executor = PipelineExecutor(
             build_stages(), backend=backend, tracer=tracer,
             cache=cache, run_key=run_key,
+            events=events, memory=memory,
+            ledger=ledger, ledger_info=ledger_info, ledger_extra=ledger_extra,
         )
         executor.backend.install_faults(self._faults)
         metrics = executor.execute(ctx)
         assert ctx.report is not None
         metrics.funnel = _funnel_summary(ctx.report.funnel)
         return ctx.report, metrics
+
+    def _ledger_identity(self, backend: ExecutionBackend | None, label: str):
+        """The run's ledger identity plus the record-finisher callback.
+
+        The matching key folds in config and *data-channel* faults only
+        — worker faults are timing-only by contract, so an injected
+        slowdown shares the clean run's key and the regression sentinel
+        can compare the two.  The finisher runs at run end inside the
+        executor, attaching what only the pipeline can compute: the
+        funnel summary and the report drift digest.
+        """
+        from repro.cache.fingerprint import config_digest
+        from repro.io.golden import report_digest
+        from repro.obs.ledger import LedgerInfo, data_fault_digest, ledger_key
+
+        cfg_digest = config_digest(self._config)
+        faults_digest = data_fault_digest(self._faults)
+        resolved = backend or SerialBackend()
+        info = LedgerInfo(
+            kind="pipeline",
+            key=ledger_key(
+                "pipeline",
+                label,
+                config_digest=cfg_digest,
+                faults_digest=faults_digest,
+                backend=resolved.name,
+                jobs=resolved.jobs,
+            ),
+            label=label,
+            config_digest=cfg_digest,
+            faults_digest=faults_digest,
+            faults=(
+                "" if self._faults.is_empty else self._faults.spec.format()
+            ),
+        )
+
+        def finish(ctx: StageContext) -> dict:
+            extra: dict = {}
+            report = getattr(ctx, "report", None)
+            if report is not None:
+                extra["funnel"] = _funnel_summary(report.funnel)
+                extra["report_digest"] = report_digest(report)
+            return extra
+
+        return info, finish

@@ -35,6 +35,7 @@ from repro.exec.stage import Stage, StageContext
 if TYPE_CHECKING:
     from repro.cache.store import StageCache
     from repro.exec.backends import ExecutionBackend
+    from repro.obs.ledger import RunLedger
 
 ARENA_SCHEMA = "repro.bench.arena/1"
 
@@ -241,6 +242,7 @@ def run_arena(
     fault_seed: int = 0,
     cache: StageCache | None = None,
     studies: dict[str, Any] | None = None,
+    ledger: RunLedger | None = None,
 ) -> ArenaResult:
     """Sweep detectors across scenario packs and score every cell.
 
@@ -252,7 +254,10 @@ def run_arena(
     shared degraded view, not per-detector luck.  Passing
     ``studies`` (pack name → prebuilt ``StudyDatasets``) skips pack
     construction for those names; unknown names there need no
-    registration at all.
+    registration at all.  ``ledger`` takes a
+    :class:`repro.obs.RunLedger`: the sweep appends one ``arena``
+    record carrying its leaderboard rows so the regression sentinel can
+    watch detection quality (mean F1) drift across history.
     """
     import repro.detect  # noqa: F401  (registers the built-ins)
     from repro.core.pipeline import PipelineInputs
@@ -266,6 +271,7 @@ def run_arena(
     plan = FaultPlan.from_spec(faults, seed=fault_seed)
     faults_text = plan.spec.format() if not plan.is_empty else ""
     config = ArenaConfig(detectors=detector_names)
+    sweep_start = time.perf_counter()
 
     cells: list[ArenaCell] = []
     manifests: dict[str, RunMetrics] = {}
@@ -311,7 +317,7 @@ def run_arena(
                     stats=findings.stats,
                 )
             )
-    return ArenaResult(
+    result = ArenaResult(
         packs=pack_names,
         detectors=detector_names,
         faults=faults_text,
@@ -319,6 +325,53 @@ def run_arena(
         manifests=manifests,
         findings=all_findings,
     )
+    if ledger is not None:
+        _record_arena_run(
+            ledger, result, config, plan, faults_text,
+            time.perf_counter() - sweep_start,
+        )
+    return result
+
+
+def _record_arena_run(
+    ledger: RunLedger,
+    result: ArenaResult,
+    config: ArenaConfig,
+    plan: Any,
+    faults_text: str,
+    wall_seconds: float,
+) -> None:
+    """Append the sweep's ledger record; failures never fail the sweep."""
+    import logging
+
+    try:
+        from repro.cache.fingerprint import config_digest
+        from repro.obs.ledger import arena_record, data_fault_digest, ledger_key
+
+        cfg_digest = config_digest(config)
+        faults_digest = data_fault_digest(plan)
+        label = "arena:" + ",".join(result.packs)
+        record = arena_record(
+            key=ledger_key(
+                "arena",
+                label,
+                config_digest=cfg_digest,
+                faults_digest=faults_digest,
+                backend="serial",
+                jobs=1,
+            ),
+            label=label,
+            leaderboard=result.leaderboard(),
+            wall_seconds=wall_seconds,
+            config_digest=cfg_digest,
+            faults_digest=faults_digest,
+            faults=faults_text,
+        )
+        ledger.append(record)
+    except Exception:
+        logging.getLogger("repro.detect.arena").warning(
+            "ledger: failed to record arena run", exc_info=True
+        )
 
 
 # -- the committed summary -----------------------------------------------------

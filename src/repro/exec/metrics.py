@@ -16,17 +16,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-MANIFEST_SCHEMA = "repro.exec.run-manifest/4"
+MANIFEST_SCHEMA = "repro.exec.run-manifest/5"
 
 #: Older manifests still load: /1 lacks ``data_quality``, /2 lacks the
 #: ``metrics`` registry section, /3 lacks the ``cache`` section and the
-#: per-stage ``cached`` flag.
+#: per-stage ``cached`` flag, /4 lacks the run-level and per-stage
+#: ``memory`` sections (peak RSS + optional tracemalloc deltas).
 _READABLE_SCHEMAS = frozenset(
     {
         MANIFEST_SCHEMA,
         "repro.exec.run-manifest/1",
         "repro.exec.run-manifest/2",
         "repro.exec.run-manifest/3",
+        "repro.exec.run-manifest/4",
     }
 )
 
@@ -90,6 +92,11 @@ class StageMetrics:
     #: True when the stage was satisfied from the stage cache (no
     #: kernels ran; wall time is the entry load).
     cached: bool = False
+    #: Stage-boundary memory sample (``peak_rss_bytes`` — the process
+    #: high-water mark after the stage — plus
+    #: ``tracemalloc_delta_bytes`` / ``tracemalloc_peak_bytes`` when
+    #: allocation tracing was on); None for manifests before schema /5.
+    memory: dict[str, Any] | None = None
 
     @property
     def funnel_delta(self) -> int:
@@ -109,6 +116,7 @@ class StageMetrics:
             "busy_seconds": round(self.busy_seconds, 6),
             "utilization": round(self.utilization, 4),
             "cached": self.cached,
+            "memory": dict(self.memory) if self.memory is not None else None,
             "detail": dict(self.detail),
         }
 
@@ -125,6 +133,7 @@ class StageMetrics:
             busy_seconds=data["busy_seconds"],
             utilization=data["utilization"],
             cached=data.get("cached", False),
+            memory=data.get("memory"),
             detail=dict(data.get("detail", {})),
         )
 
@@ -150,6 +159,10 @@ class RunMetrics:
     #: the cache directory); None when caching was disabled or for
     #: manifests written before schema /4.
     cache: dict[str, Any] | None = None
+    #: Run-level memory accounting (``peak_rss_bytes`` high-water mark,
+    #: ``tracemalloc`` flag, and final tracemalloc figures when
+    #: allocation tracing was on); None for manifests before schema /5.
+    memory: dict[str, Any] | None = None
 
     def add_stage(
         self,
@@ -159,6 +172,7 @@ class RunMetrics:
         events: list[TaskEvent],
         parallel: bool,
         cached: bool = False,
+        memory: dict[str, Any] | None = None,
     ) -> StageMetrics:
         busy = sum(e.seconds for e in events)
         # Utilization is busy time over the stage's *actual* worker-
@@ -179,6 +193,7 @@ class RunMetrics:
             busy_seconds=0.0 if cached else busy,
             utilization=0.0 if cached else (busy / budget) if budget > 0 else 0.0,
             cached=cached,
+            memory=memory,
             detail=dict(stats.detail),
         )
         self.stages.append(stage)
@@ -204,6 +219,7 @@ class RunMetrics:
             "data_quality": self.data_quality,
             "metrics": self.metrics,
             "cache": self.cache,
+            "memory": self.memory,
         }
 
     @classmethod
@@ -223,6 +239,7 @@ class RunMetrics:
             data_quality=data.get("data_quality"),
             metrics=data.get("metrics"),
             cache=data.get("cache"),
+            memory=data.get("memory"),
         )
 
     def write(self, path: str | Path) -> None:
@@ -233,12 +250,32 @@ class RunMetrics:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
+def _mib(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    return f"{value / (1024 * 1024):.1f}M"
+
+
 def format_run_metrics(metrics: RunMetrics) -> str:
-    """Render a run manifest as the aligned per-stage profile table."""
+    """Render a run manifest as the aligned per-stage profile table.
+
+    Manifests carrying per-stage memory samples (schema /5) gain an
+    ``rss`` column — the process high-water mark after the stage — and,
+    when allocation tracing was on, an ``alloc`` column with the stage's
+    tracemalloc delta.  Older manifests render exactly as before.
+    """
+    with_rss = any(s.memory for s in metrics.stages)
+    with_alloc = any(
+        s.memory and "tracemalloc_delta_bytes" in s.memory for s in metrics.stages
+    )
     header = (
         f"{'stage':<16} {'wall':>9} {'in':>8} {'out':>8} {'delta':>8} "
         f"{'tasks':>6} {'workers':>8} {'util':>7}"
     )
+    if with_rss:
+        header += f" {'rss':>9}"
+    if with_alloc:
+        header += f" {'alloc':>10}"
     chunk_size = "auto" if metrics.chunk_size is None else str(metrics.chunk_size)
     lines = [
         f"run profile: backend={metrics.backend} jobs={metrics.jobs} "
@@ -250,11 +287,28 @@ def format_run_metrics(metrics: RunMetrics) -> str:
         # A cache-satisfied stage ran no kernels; its utilization is a
         # meaningless 0/0, so the column says what actually happened.
         util = f"{'cached':>6}" if stage.cached else f"{stage.utilization:>6.1%}"
-        lines.append(
+        line = (
             f"{stage.name:<16} {stage.wall_seconds * 1e3:>8.1f}ms "
             f"{stage.n_in:>8} {stage.n_out:>8} {stage.funnel_delta:>8} "
             f"{stage.tasks:>6} {stage.workers_used:>8} {util}"
         )
+        memory = stage.memory or {}
+        if with_rss:
+            line += f" {_mib(memory.get('peak_rss_bytes')):>9}"
+        if with_alloc:
+            delta = memory.get("tracemalloc_delta_bytes")
+            rendered = f"{delta / (1024 * 1024):+.1f}M" if delta is not None else "-"
+            line += f" {rendered:>10}"
+        lines.append(line)
+    if metrics.memory:
+        rss = _mib(metrics.memory.get("peak_rss_bytes"))
+        traced = ""
+        if metrics.memory.get("tracemalloc"):
+            traced = (
+                f", tracemalloc peak "
+                f"{_mib(metrics.memory.get('tracemalloc_peak_bytes'))}"
+            )
+        lines.append(f"memory: peak rss {rss}{traced}")
     if metrics.cache:
         lines.append(
             f"cache: {metrics.cache.get('hits', 0)} hits, "

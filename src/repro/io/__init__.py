@@ -18,6 +18,7 @@ from repro.io.datasets import (
 from repro.io.golden import (
     GOLDEN_SCHEMA,
     encode_report,
+    report_digest,
     golden_filename,
     read_golden,
     report_to_dict,
@@ -41,6 +42,7 @@ __all__ = [
     "save_findings",
     "GOLDEN_SCHEMA",
     "encode_report",
+    "report_digest",
     "golden_filename",
     "read_golden",
     "report_to_dict",

@@ -207,6 +207,66 @@ def encode_report(report: PipelineReport) -> str:
     return json.dumps(report_to_dict(report), sort_keys=True, indent=1) + "\n"
 
 
+def report_digest(report: PipelineReport, digest_size: int = 16) -> str:
+    """A fast drift digest of a report for the run ledger.
+
+    Byte-level identity is the golden wall's job
+    (:func:`encode_report` against the pinned files); this digest exists
+    so every ledger record can cheaply answer "did the report change
+    since the last run?" without re-encoding the full canonical JSON,
+    which costs tens of milliseconds on paper-scale reports and would
+    blow the telemetry layer's <2% overhead budget.
+
+    It hashes the funnel counters, prune reasons, and the full canonical
+    rendering of every outcome-bearing section — findings, shortlist,
+    inspections, pivots, attacker indicators — plus one line per
+    classification (domain, period, kind, deployment counts).
+    Deployment internals and subpattern labels are summarized rather
+    than serialized: drift in them surfaces through the shortlist and
+    inspection sections, which carry them forward and are hashed in
+    full.  Two behaviorally identical runs — across backends, cache
+    temperatures, and processes — produce the same digest.
+    """
+    funnel = report.funnel
+    h = hashlib.blake2b(digest_size=digest_size)
+    h.update(
+        "\n".join(
+            f"{domain}|{period}|{c.kind.name}"
+            f"|{len(c.stable)},{len(c.transitions)},{len(c.transients)}"
+            for (domain, period), c in sorted(report.classifications.items())
+        ).encode("utf-8")
+    )
+    payload = {
+        "funnel": {
+            "n_domains": funnel.n_domains,
+            "n_maps": funnel.n_maps,
+            "n_stable": funnel.n_stable,
+            "n_transition": funnel.n_transition,
+            "n_transient": funnel.n_transient,
+            "n_noisy": funnel.n_noisy,
+            "n_shortlisted": funnel.n_shortlisted,
+            "n_truly_anomalous": funnel.n_truly_anomalous,
+            "n_worth_examining": funnel.n_worth_examining,
+            "n_t1_hijacked": funnel.n_t1_hijacked,
+            "n_t2_hijacked": funnel.n_t2_hijacked,
+            "n_t1_star": funnel.n_t1_star,
+            "n_pivot_ip": funnel.n_pivot_ip,
+            "n_pivot_ns": funnel.n_pivot_ns,
+            "n_targeted": funnel.n_targeted,
+            "n_hijacked": funnel.n_hijacked,
+        },
+        "prune": dict(sorted(funnel.prune_reasons.items())),
+        "findings": [_finding(f) for f in report.findings],
+        "shortlist": [_shortlist_entry(e) for e in report.shortlist],
+        "inspections": [_inspection(r) for r in report.inspections],
+        "pivots": [_pivot(p) for p in report.pivots],
+        "attacker_ips": sorted(report.attacker_ips),
+        "attacker_ns": sorted(report.attacker_ns),
+    }
+    h.update(canonical_json(payload).encode("utf-8"))
+    return h.hexdigest()
+
+
 def write_golden(report: PipelineReport, path: str | Path) -> None:
     Path(path).write_text(encode_report(report))
 

@@ -1,4 +1,4 @@
-"""Observability: tracing, metrics, and decision provenance.
+"""Observability: tracing, metrics, memory, events, ledger, provenance.
 
 Zero-dependency instrumentation threaded through the staged executor,
 both backends, the fault layer, and the CLI:
@@ -11,7 +11,20 @@ both backends, the fault layer, and the CLI:
 * ``metrics`` — a process-local registry of named counters, gauges, and
   latency histograms; worker snapshots ride the ``TaskEvent`` return
   path and are merged by the executor into the run manifest's
-  ``metrics`` section (schema ``run-manifest/3``).
+  ``metrics`` section.
+* ``memory`` — stage-boundary peak-RSS sampling (always on, one syscall
+  per boundary) plus opt-in tracemalloc allocation deltas, recorded
+  into run-manifest/5.
+* ``events`` — live heartbeat events (run/stage/chunk boundaries,
+  retries, ETA) through composable sinks: a JSONL ``--events`` stream,
+  a TTY progress line, in-memory recording for tests.
+* ``ledger`` — an append-only, checksummed on-disk history of every
+  pipeline/arena run (schema ``repro-ledger/1``), queryable via
+  ``repro-hunt runs``.
+* ``sentinel`` — drift detection: the newest run against the median of
+  its matching-key ledger history, with configurable tolerances.
+* ``exporters`` — Prometheus/OpenMetrics text exposition of the
+  metrics registry and ledger summary (``repro-hunt metrics export``).
 * ``provenance`` — a typed per-domain evidence trail recording which
   scan snapshots, pDNS rows, CT entries, and routing decisions drove
   each funnel transition; rendered by ``repro-hunt explain``.
@@ -19,6 +32,25 @@ both backends, the fault layer, and the CLI:
 See docs/observability.md for the span model and naming conventions.
 """
 
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    CompositeEventSink,
+    EventRecorder,
+    EventSink,
+    JsonlEventSink,
+    NULL_EVENTS,
+    TTYProgressSink,
+    read_events,
+)
+from repro.obs.exporters import render_openmetrics, validate_openmetrics
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    LedgerInfo,
+    RunLedger,
+    RunRecord,
+    ledger_key,
+)
+from repro.obs.memory import MemorySampler, peak_rss_bytes
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     MetricsRegistry,
@@ -38,6 +70,7 @@ from repro.obs.provenance import (
     transitions_from_dicts,
     transitions_to_dicts,
 )
+from repro.obs.sentinel import SentinelReport, Tolerances, check_run, format_sentinel
 from repro.obs.trace import NULL_TRACER, Span, SpanEvent, Tracer
 
 __all__ = [
@@ -47,6 +80,27 @@ __all__ = [
     "get_registry",
     "mark_worker",
     "set_registry",
+    "EVENTS_SCHEMA",
+    "CompositeEventSink",
+    "EventRecorder",
+    "EventSink",
+    "JsonlEventSink",
+    "NULL_EVENTS",
+    "TTYProgressSink",
+    "read_events",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "LEDGER_SCHEMA",
+    "LedgerInfo",
+    "RunLedger",
+    "RunRecord",
+    "ledger_key",
+    "MemorySampler",
+    "peak_rss_bytes",
+    "SentinelReport",
+    "Tolerances",
+    "check_run",
+    "format_sentinel",
     "EVIDENCE_KINDS",
     "EvidenceRef",
     "FunnelTransition",

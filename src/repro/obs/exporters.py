@@ -1,0 +1,242 @@
+"""Prometheus/OpenMetrics text exposition for metrics and the ledger.
+
+:func:`render_openmetrics` turns a :class:`MetricsRegistry` snapshot
+(plus, optionally, a ledger summary and the latest run's per-stage
+figures) into the OpenMetrics text format a Prometheus scrape endpoint
+serves.  ``repro-hunt metrics export`` is the CLI face; the future
+``serve`` daemon mounts the same renderer on ``/metrics``.
+
+Name mapping: dotted registry names become ``repro_``-prefixed
+underscore names (``cache.bytes_read`` → ``repro_cache_bytes_read``),
+counters gain the OpenMetrics-mandated ``_total`` suffix, and histogram
+buckets are converted from the registry's per-bin counts to the
+cumulative ``le``-labeled series Prometheus expects.  The output ends
+with the ``# EOF`` terminator so strict OpenMetrics parsers accept it.
+
+:func:`validate_openmetrics` is a minimal structural checker used by
+tests and ``metrics export --check``: every sample line must parse, be
+preceded by a ``# TYPE`` declaration for its family, and the exposition
+must end with ``# EOF``.  It is not a full OpenMetrics parser — it
+exists to catch renderer regressions, not to certify arbitrary input.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.obs.ledger import RunLedger
+from repro.obs.metrics import BUCKET_BOUNDS
+
+_PREFIX = "repro_"
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def metric_name(dotted: str) -> str:
+    """``cache.bytes_read`` → ``repro_cache_bytes_read``."""
+    return _PREFIX + _NAME_RE.sub("_", dotted.replace(".", "_"))
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value in (float("inf"), float("-inf")):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class _Exposition:
+    """Accumulates TYPE/HELP-declared metric families in order."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(
+        self, name: str, value: Any, labels: dict[str, str] | None = None
+    ) -> None:
+        label_text = ""
+        if labels:
+            inner = ",".join(
+                f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+            )
+            label_text = "{" + inner + "}"
+        self.lines.append(f"{name}{label_text} {_format_value(value)}")
+
+    def counter(self, dotted: str, value: Any, help_text: str) -> None:
+        name = metric_name(dotted)
+        if not name.endswith("_total"):
+            name += "_total"
+        self.declare(name, "counter", help_text)
+        self.sample(name, value)
+
+    def gauge(
+        self,
+        dotted: str,
+        value: Any,
+        help_text: str,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        name = metric_name(dotted)
+        self.declare(name, "gauge", help_text)
+        self.sample(name, value, labels)
+
+    def histogram(self, dotted: str, data: dict[str, Any], help_text: str) -> None:
+        """Registry per-bin buckets → cumulative ``le`` series."""
+        name = metric_name(dotted)
+        self.declare(name, "histogram", help_text)
+        cumulative = 0
+        bins = data.get("buckets", [])
+        for bound, count in zip(BUCKET_BOUNDS, bins):
+            cumulative += count
+            self.sample(f"{name}_bucket", cumulative, {"le": _format_value(bound)})
+        cumulative += bins[len(BUCKET_BOUNDS)] if len(bins) > len(BUCKET_BOUNDS) else 0
+        self.sample(f"{name}_bucket", cumulative, {"le": "+Inf"})
+        self.sample(f"{name}_sum", data.get("sum", 0.0))
+        self.sample(f"{name}_count", data.get("count", 0))
+
+    def render(self) -> str:
+        return "\n".join(self.lines + ["# EOF"]) + "\n"
+
+
+def render_openmetrics(
+    snapshot: dict[str, Any] | None = None,
+    *,
+    ledger: RunLedger | None = None,
+    funnel: dict[str, Any] | None = None,
+) -> str:
+    """Render a metrics snapshot (and optional ledger state) as
+    OpenMetrics text.
+
+    ``snapshot`` is the ``MetricsRegistry.snapshot()`` /
+    run-manifest ``metrics`` shape.  When a ledger is given, its
+    summary gauges and the latest run's total/per-stage wall times,
+    memory, and cache accounting are appended so a scrape sees both
+    live-process metrics and last-run facts.
+    """
+    out = _Exposition()
+    snapshot = snapshot or {}
+    for dotted, value in snapshot.get("counters", {}).items():
+        out.counter(dotted, value, f"Counter {dotted} from the metrics registry.")
+    for dotted, value in snapshot.get("gauges", {}).items():
+        out.gauge(dotted, value, f"Gauge {dotted} from the metrics registry.")
+    for dotted, data in snapshot.get("histograms", {}).items():
+        out.histogram(
+            dotted, data, f"Histogram {dotted} from the metrics registry."
+        )
+    if funnel:
+        for key, value in funnel.items():
+            out.gauge(
+                f"funnel.{key}", value, "Funnel cardinality from the last run."
+            )
+    if ledger is not None:
+        summary = ledger.summary()
+        out.gauge(
+            "ledger.runs",
+            summary["runs"],
+            "Total readable runs recorded in the ledger.",
+        )
+        out.gauge(
+            "ledger.evicted",
+            summary["evicted"],
+            "Corrupt ledger entries evicted during the last read.",
+        )
+        for kind, count in sorted(summary["kinds"].items()):
+            out.gauge(
+                "ledger.runs_by_kind",
+                count,
+                "Ledger runs by kind.",
+                {"kind": kind},
+            )
+        last = ledger.latest()
+        if last is not None:
+            labels = {"run_id": last.run_id, "kind": last.kind}
+            out.gauge(
+                "ledger.last_run.wall_seconds",
+                last.wall_seconds,
+                "Wall time of the newest ledger run.",
+                labels,
+            )
+            if last.peak_rss_bytes is not None:
+                out.gauge(
+                    "ledger.last_run.peak_rss_bytes",
+                    last.peak_rss_bytes,
+                    "Peak RSS of the newest ledger run.",
+                    labels,
+                )
+            if last.cache_hit_rate is not None:
+                out.gauge(
+                    "ledger.last_run.cache_hit_rate",
+                    last.cache_hit_rate,
+                    "Stage-cache hit rate of the newest ledger run.",
+                    labels,
+                )
+            for stage in last.stages:
+                out.gauge(
+                    "ledger.last_run.stage_wall_seconds",
+                    stage.get("wall_seconds"),
+                    "Per-stage wall time of the newest ledger run.",
+                    {"stage": str(stage.get("name"))},
+                )
+    return out.render()
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Structural errors in an exposition; empty when it parses clean."""
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("missing '# EOF' terminator")
+    declared: dict[str, str] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "info",
+            ):
+                errors.append(f"line {lineno}: malformed TYPE declaration")
+            else:
+                declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP and other comments
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        family = re.sub(r"_(bucket|sum|count|total)$", "", name)
+        if name not in declared and family not in declared:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"line {lineno}: non-numeric value {value!r}")
+    return errors
+
+
+__all__ = ["metric_name", "render_openmetrics", "validate_openmetrics"]

@@ -352,12 +352,17 @@ def perf_summary(
                 "n_in": stage.n_in,
                 "n_out": stage.n_out,
                 "cached": stage.cached,
+                "memory": dict(stage.memory) if stage.memory else None,
             }
             for stage in metrics.stages
         ]
         summary["total_wall_seconds"] = round(
             sum(stage.wall_seconds for stage in metrics.stages), 6
         )
+        # Run-level memory accounting (run-manifest/5): peak RSS always,
+        # tracemalloc figures when the run traced allocations.
+        if metrics.memory:
+            summary["memory"] = dict(metrics.memory)
     return summary
 
 

@@ -1,0 +1,313 @@
+"""The regression sentinel: drift detection over ledger history.
+
+``repro-hunt runs check`` compares a candidate run (by default the
+newest ledger entry) against a **rolling baseline**: the per-metric
+median of the last *N* prior runs sharing the candidate's ledger key.
+Medians make the baseline robust to one outlier run; the matching key
+(see :mod:`repro.obs.ledger`) guarantees the candidate is only ever
+compared against runs of the same config/backend/data-fault shape.
+
+Checked dimensions and their default tolerances:
+
+* total wall time (+50% fractional),
+* per-stage wall times (+75% fractional, stages under
+  ``min_stage_seconds`` skipped — micro-stage jitter on a loaded CI
+  box easily exceeds any honest fractional bound),
+* peak RSS (+50% fractional),
+* cache hit rate (-0.25 absolute drop),
+* arena mean F1 (-0.05 absolute drop, arena records only).
+
+Regressions are *one-sided*: a run that got faster, slimmer, or more
+accurate never fails.  With fewer than ``min_baseline`` comparable
+prior runs the check passes vacuously (exit 0) and says so — a fresh
+ledger must not fail CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from repro.obs.ledger import RunLedger, RunRecord
+
+
+@dataclass(frozen=True, slots=True)
+class Tolerances:
+    """How much worse a candidate may be before the sentinel fails it."""
+
+    #: Fractional ceiling on total wall time (0.5 = +50%).
+    total_time: float = 0.5
+    #: Fractional ceiling on any single stage's wall time.
+    stage_time: float = 0.75
+    #: Stages whose baseline wall time is below this are not checked.
+    min_stage_seconds: float = 0.05
+    #: Fractional ceiling on peak RSS growth.
+    memory: float = 0.5
+    #: Absolute ceiling on cache hit-rate drop (0.25 = 25 points).
+    cache_hit_rate: float = 0.25
+    #: Absolute ceiling on arena mean-F1 drop.
+    f1: float = 0.05
+    #: Minimum comparable prior runs before the check has teeth.
+    min_baseline: int = 1
+
+    @classmethod
+    def from_args(cls, **overrides: float | int | None) -> Tolerances:
+        """Build tolerances from CLI flags, ignoring unset (None) ones."""
+        return cls(**{k: v for k, v in overrides.items() if v is not None})
+
+
+@dataclass(frozen=True, slots=True)
+class SentinelRow:
+    """One checked metric: baseline vs candidate and the verdict."""
+
+    metric: str
+    baseline: float
+    candidate: float
+    limit: float  # the failing threshold for the candidate value
+    regressed: bool
+
+    @property
+    def delta_pct(self) -> float | None:
+        if self.baseline == 0:
+            return None
+        return (self.candidate - self.baseline) / self.baseline * 100.0
+
+
+@dataclass
+class SentinelReport:
+    """The full verdict ``runs check`` renders and exits on."""
+
+    key: str
+    candidate_id: str
+    baseline_ids: list[str]
+    rows: list[SentinelRow] = field(default_factory=list)
+    skipped_reason: str | None = None  # set when the check was vacuous
+
+    @property
+    def ok(self) -> bool:
+        return not any(row.regressed for row in self.rows)
+
+    @property
+    def regressions(self) -> list[SentinelRow]:
+        return [row for row in self.rows if row.regressed]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "key": self.key,
+            "candidate": self.candidate_id,
+            "baseline": self.baseline_ids,
+            "skipped_reason": self.skipped_reason,
+            "rows": [
+                {
+                    "metric": row.metric,
+                    "baseline": row.baseline,
+                    "candidate": row.candidate,
+                    "limit": row.limit,
+                    "regressed": row.regressed,
+                    "delta_pct": row.delta_pct,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def _median_of(values: list[float | None]) -> float | None:
+    present = [v for v in values if isinstance(v, (int, float))]
+    return float(median(present)) if present else None
+
+
+def _arena_mean_f1(record: RunRecord) -> float | None:
+    if not record.leaderboard:
+        return None
+    scores = [
+        row.get("mean_f1")
+        for row in record.leaderboard
+        if isinstance(row.get("mean_f1"), (int, float))
+    ]
+    return max(scores) if scores else None
+
+
+def compare(
+    candidate: RunRecord,
+    baseline: list[RunRecord],
+    tolerances: Tolerances = Tolerances(),
+) -> SentinelReport:
+    """Check one run against the medians of its baseline set."""
+    report = SentinelReport(
+        key=candidate.key,
+        candidate_id=candidate.run_id,
+        baseline_ids=[r.run_id for r in baseline],
+    )
+    if len(baseline) < tolerances.min_baseline:
+        report.skipped_reason = (
+            f"only {len(baseline)} comparable prior run(s) in the ledger "
+            f"(need {tolerances.min_baseline}); nothing to regress against"
+        )
+        return report
+
+    def _check_upper(
+        metric: str, base: float | None, cand: float | None, fraction: float
+    ) -> None:
+        """One-sided fractional check: candidate must not exceed
+        baseline × (1 + fraction)."""
+        if base is None or cand is None:
+            return
+        limit = base * (1.0 + fraction)
+        report.rows.append(
+            SentinelRow(
+                metric=metric,
+                baseline=base,
+                candidate=cand,
+                limit=limit,
+                regressed=cand > limit,
+            )
+        )
+
+    def _check_lower(
+        metric: str, base: float | None, cand: float | None, drop: float
+    ) -> None:
+        """One-sided absolute check: candidate must not fall below
+        baseline − drop."""
+        if base is None or cand is None:
+            return
+        limit = base - drop
+        report.rows.append(
+            SentinelRow(
+                metric=metric,
+                baseline=base,
+                candidate=cand,
+                limit=limit,
+                regressed=cand < limit,
+            )
+        )
+
+    _check_upper(
+        "wall_seconds",
+        _median_of([r.wall_seconds for r in baseline]),
+        candidate.wall_seconds,
+        tolerances.total_time,
+    )
+    for stage in candidate.stages:
+        name = stage.get("name")
+        base_walls = []
+        for prior in baseline:
+            prior_stage = prior.stage(name)
+            base_walls.append(prior_stage.get("wall_seconds") if prior_stage else None)
+        base_wall = _median_of(base_walls)
+        if base_wall is None or base_wall < tolerances.min_stage_seconds:
+            continue
+        _check_upper(
+            f"stage.{name}.wall_seconds",
+            base_wall,
+            stage.get("wall_seconds"),
+            tolerances.stage_time,
+        )
+    _check_upper(
+        "peak_rss_bytes",
+        _median_of([r.peak_rss_bytes for r in baseline]),
+        candidate.peak_rss_bytes,
+        tolerances.memory,
+    )
+    _check_lower(
+        "cache_hit_rate",
+        _median_of([r.cache_hit_rate for r in baseline]),
+        candidate.cache_hit_rate,
+        tolerances.cache_hit_rate,
+    )
+    _check_lower(
+        "arena_mean_f1",
+        _median_of([_arena_mean_f1(r) for r in baseline]),
+        _arena_mean_f1(candidate),
+        tolerances.f1,
+    )
+    return report
+
+
+def check_run(
+    ledger: RunLedger,
+    *,
+    run_id: str | None = None,
+    window: int = 5,
+    tolerances: Tolerances = Tolerances(),
+) -> SentinelReport:
+    """Check the named (default: newest) ledger run against its history.
+
+    The baseline is the up-to-``window`` runs *preceding* the candidate
+    that share its ledger key.
+    """
+    entries = ledger.entries()
+    if not entries:
+        report = SentinelReport(key="", candidate_id="", baseline_ids=[])
+        report.skipped_reason = "the ledger is empty; nothing to check"
+        return report
+    if run_id is None:
+        candidate_entry = entries[-1]
+    else:
+        matching = [
+            e for e in entries
+            if e.run_id == run_id or e.run_id.startswith(run_id)
+        ]
+        if len(matching) != 1:
+            raise ValueError(
+                f"run {run_id!r} is {'ambiguous' if matching else 'unknown'} "
+                f"in ledger {ledger.root}"
+            )
+        candidate_entry = matching[0]
+    candidate = ledger.load_entry(candidate_entry)
+    if candidate is None:
+        raise ValueError(
+            f"run {candidate_entry.run_id} failed checksum verification"
+        )
+    prior_entries = [
+        e
+        for e in entries
+        if e.key == candidate_entry.key and e.seq < candidate_entry.seq
+    ][-window:]
+    baseline = [
+        record
+        for record in (ledger.load_entry(e) for e in prior_entries)
+        if record is not None
+    ]
+    return compare(candidate, baseline, tolerances)
+
+
+def format_sentinel(report: SentinelReport) -> str:
+    """Render the verdict as the human-readable delta table."""
+    lines = [
+        f"sentinel: candidate {report.candidate_id or '(none)'} vs "
+        f"median of {len(report.baseline_ids)} baseline run(s) "
+        f"[key {report.key[:12] or '-'}]"
+    ]
+    if report.skipped_reason is not None:
+        lines.append(f"PASS (vacuous): {report.skipped_reason}")
+        return "\n".join(lines)
+    header = (
+        f"{'metric':<34} {'baseline':>12} {'candidate':>12} {'delta':>9} "
+        f"{'limit':>12} {'verdict':>8}"
+    )
+    lines += [header, "-" * len(header)]
+    for row in report.rows:
+        delta = f"{row.delta_pct:+.1f}%" if row.delta_pct is not None else "-"
+        lines.append(
+            f"{row.metric:<34} {row.baseline:>12.4f} {row.candidate:>12.4f} "
+            f"{delta:>9} {row.limit:>12.4f} "
+            f"{'REGRESS' if row.regressed else 'ok':>8}"
+        )
+    verdict = "FAIL" if not report.ok else "PASS"
+    lines.append(
+        f"{verdict}: {len(report.regressions)} regression(s) across "
+        f"{len(report.rows)} checked metric(s)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SentinelReport",
+    "SentinelRow",
+    "Tolerances",
+    "check_run",
+    "compare",
+    "format_sentinel",
+]

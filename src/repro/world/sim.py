@@ -78,16 +78,22 @@ class StudyDatasets:
         faults=None,
         tracer=None,
         cache=None,
+        events=None,
+        memory: bool = False,
+        ledger=None,
     ) -> tuple[PipelineReport, RunMetrics]:
         """Run the pipeline and return its report plus the run manifest.
 
         ``tracer`` takes an enabled :class:`repro.obs.Tracer` to collect
         the run's hierarchical span tree alongside the manifest; ``cache``
         takes a :class:`repro.cache.StageCache` to satisfy repeat runs
-        from disk.
+        from disk; ``events`` a live :class:`repro.obs.EventSink`;
+        ``ledger`` a :class:`repro.obs.RunLedger` to record the run in;
+        ``memory=True`` traces per-stage allocations.
         """
         return self.pipeline(config, faults=faults).profile(
-            backend, tracer=tracer, cache=cache
+            backend, tracer=tracer, cache=cache,
+            events=events, memory=memory, ledger=ledger,
         )
 
 

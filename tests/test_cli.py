@@ -203,3 +203,148 @@ class TestArena:
         assert args.detectors is None
         assert args.seed is None
         assert args.json is None
+
+
+class TestExplainJson:
+    def test_explain_json_to_stdout_carries_provenance(self, capsys):
+        assert main([
+            "explain", "adpolice.gov.ae", "--background", "40",
+            "--json", "-", "-q",
+        ]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["domain"] == "adpolice.gov.ae"
+        assert payload["verdict"]
+        assert payload["provenance"]  # the typed funnel-transition trail
+        assert {t["stage"] for t in payload["provenance"]} >= {"classify"}
+
+    def test_explain_json_to_file(self, tmp_path, capsys):
+        out = tmp_path / "finding.json"
+        assert main([
+            "explain", "adpolice.gov.ae", "--background", "40",
+            "--json", str(out), "-q",
+        ]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["domain"] == "adpolice.gov.ae"
+
+    def test_explain_suggests_close_matches_for_typos(self, capsys):
+        assert main([
+            "explain", "adpolice.gov.a", "--background", "40", "-q",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "not an identified victim" in err
+        assert "hint: try one of" in err
+        assert "adpolice.gov.ae" in err
+
+
+class TestRunsAndMetrics:
+    @pytest.fixture()
+    def ledger_with_two_runs(self, tmp_path):
+        """Two consecutive profile runs recorded in one ledger."""
+        ledger_dir = tmp_path / "ledger"
+        events = tmp_path / "events.jsonl"
+        for _ in range(2):
+            assert main([
+                "profile", "--seed", "7", "--background", "40",
+                "--ledger", str(ledger_dir), "--events", str(events), "-q",
+            ]) == 0
+        return ledger_dir
+
+    def test_two_cli_runs_recorded_then_listed(self, ledger_with_two_runs, capsys):
+        assert main(["runs", "list", "--dir", str(ledger_with_two_runs), "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "000000-" in out and "000001-" in out
+
+    def test_runs_diff_defaults_to_newest_two(self, ledger_with_two_runs, capsys):
+        assert main(["runs", "diff", "--dir", str(ledger_with_two_runs), "-q"]) == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out
+        assert "peak_rss_bytes" in out
+        assert "stage.inspect.wall_seconds" in out
+
+    def test_runs_show_prints_full_record(self, ledger_with_two_runs, capsys):
+        assert main(["runs", "show", "000000", "--dir", str(ledger_with_two_runs), "-q"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-ledger/1"
+        assert payload["kind"] == "pipeline"
+        assert payload["report_digest"]
+
+    def test_runs_check_passes_clean_rerun(self, ledger_with_two_runs, capsys):
+        # Generous tolerances: micro-runs jitter hard on shared machines.
+        assert main([
+            "runs", "check", "--dir", str(ledger_with_two_runs),
+            "--tolerance-total", "20", "--tolerance-stage", "20",
+            "--tolerance-memory", "20", "-q",
+        ]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_runs_check_flags_injected_slowdown(self, ledger_with_two_runs, capsys):
+        """A worker-slowdown run shares the clean key and gets flagged."""
+        assert main([
+            "profile", "--seed", "7", "--background", "40",
+            "--faults", "workers.slow=1.0,workers.slow_ms=400",
+            "--ledger", str(ledger_with_two_runs), "-q",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "runs", "check", "--dir", str(ledger_with_two_runs), "-q",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out
+        assert "FAIL" in out
+
+    def test_runs_gc_compacts(self, ledger_with_two_runs, capsys):
+        assert main([
+            "runs", "gc", "--keep", "1", "--dir", str(ledger_with_two_runs), "-q",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["runs", "list", "--dir", str(ledger_with_two_runs), "-q"]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_runs_without_ledger_fails_cleanly(self, tmp_path, capsys):
+        assert main(["runs", "list", "--dir", str(tmp_path / "nope"), "-q"]) == 2
+        assert "no ledger" in capsys.readouterr().err
+
+    def test_metrics_export_from_manifest_and_ledger(
+        self, ledger_with_two_runs, tmp_path, capsys
+    ):
+        manifest = tmp_path / "manifest.json"
+        assert main([
+            "profile", "--seed", "7", "--background", "40",
+            "--out", str(manifest), "--no-ledger", "-q",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "metrics", "export", "--manifest", str(manifest),
+            "--ledger", str(ledger_with_two_runs), "--check", "-q",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repro_funnel_n_hijacked" in out
+        assert "repro_ledger_runs 2" in out
+        assert "# TYPE" in out and out.rstrip().endswith("# EOF")
+
+    def test_metrics_export_requires_a_source(self, tmp_path, capsys):
+        assert main([
+            "metrics", "export", "--ledger", str(tmp_path / "nope"), "-q",
+        ]) == 2
+        assert "nothing to export" in capsys.readouterr().err
+
+    def test_events_stream_is_replayable(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main([
+            "profile", "--seed", "7", "--background", "40",
+            "--events", str(events), "--no-ledger", "-q",
+        ]) == 0
+        from repro.obs.events import read_events
+
+        stream = read_events(events)
+        kinds = [e.get("event") for e in stream]
+        assert kinds[0] == "header"
+        assert "run_start" in kinds and "run_finish" in kinds
+        assert kinds.count("stage_start") == kinds.count("stage_finish") == 6

@@ -258,3 +258,67 @@ def test_traced_run_is_byte_identical_process_pool():
     )
     assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
     assert tracer.worker_pids()
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_ledger_and_events_run_is_byte_identical_serial(seed, tmp_path):
+    """The telemetry layer is read-only too: recording a run into the
+    ledger while streaming heartbeat events cannot change a byte."""
+    from repro.obs import RunLedger
+    from repro.obs.events import JsonlEventSink
+
+    ledger = RunLedger(tmp_path / "ledger")
+    sink = JsonlEventSink(tmp_path / "events.jsonl")
+    try:
+        report, _metrics = _study(seed).profile_pipeline(
+            backend=SerialBackend(), events=sink, ledger=ledger, memory=True
+        )
+    finally:
+        sink.close()
+    assert encode_report(report) == _golden_text(seed)
+    entry = ledger.latest()
+    assert entry is not None
+    record = ledger.load(entry.run_id)
+    assert record.report_digest  # the ledger pinned what it watched
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_ledger_and_events_run_is_byte_identical_process_pool(seed, tmp_path):
+    from repro.obs import RunLedger
+    from repro.obs.events import JsonlEventSink, read_events
+
+    ledger = RunLedger(tmp_path / "ledger")
+    sink = JsonlEventSink(tmp_path / "events.jsonl")
+    try:
+        report, _metrics = _study(seed).profile_pipeline(
+            backend=ProcessPoolBackend(jobs=2), events=sink, ledger=ledger
+        )
+    finally:
+        sink.close()
+    assert encode_report(report) == _golden_text(seed)
+    kinds = [e.get("event") for e in read_events(tmp_path / "events.jsonl")]
+    assert "run_finish" in kinds
+    assert ledger.latest() is not None
+
+
+def test_fault_degraded_ledger_run_matches_golden_both_backends(tmp_path):
+    """Seed 11 under the canonical data-channel plan, instrumented: the
+    degraded pin survives ledger + events on both backends, and the two
+    records share a report digest."""
+    from repro.obs import RunLedger
+    from repro.obs.events import JsonlEventSink
+
+    ledger = RunLedger(tmp_path / "ledger")
+    digests = []
+    for backend in (SerialBackend(), ProcessPoolBackend(jobs=2)):
+        sink = JsonlEventSink(tmp_path / "events.jsonl")
+        try:
+            report, _metrics = _study(GOLDEN_FAULT_SEED).profile_pipeline(
+                backend=backend, faults=_fault_plan(),
+                events=sink, ledger=ledger,
+            )
+        finally:
+            sink.close()
+        assert encode_report(report) == _fault_golden_text()
+        digests.append(ledger.load(ledger.latest().run_id).report_digest)
+    assert digests[0] == digests[1]

@@ -3,8 +3,9 @@
 The manifest is a long-lived artifact: profiles saved by older builds
 must keep loading.  Schema /1 predates the ``data_quality`` ledger,
 /2 predates the ``metrics`` registry section, /3 predates the ``cache``
-section and the per-stage ``cached`` flag, and /4 is current; all four
-load, and /4 round-trips losslessly.
+section and the per-stage ``cached`` flag, /4 predates the run-level
+and per-stage ``memory`` sections, and /5 is current; all five load,
+and /5 round-trips losslessly.
 """
 
 from __future__ import annotations
@@ -53,6 +54,18 @@ def _manifest_dict(schema: str) -> dict:
             "hits": 3, "misses": 1, "stores": 1,
             "bytes_read": 1024, "bytes_written": 256,
         }
+    if version >= 5:
+        data["stages"][0]["memory"] = {
+            "peak_rss_bytes": 50 * 1024 * 1024,
+            "tracemalloc_delta_bytes": 1024,
+            "tracemalloc_peak_bytes": 4096,
+        }
+        data["memory"] = {
+            "peak_rss_bytes": 51 * 1024 * 1024,
+            "tracemalloc": True,
+            "tracemalloc_current_bytes": 2048,
+            "tracemalloc_peak_bytes": 8192,
+        }
     return data
 
 
@@ -77,13 +90,22 @@ def test_schema_3_manifest_loads():
     assert metrics.stages[0].cached is False
 
 
-def test_schema_4_manifest_loads_cache_section():
-    metrics = RunMetrics.from_dict(_manifest_dict(MANIFEST_SCHEMA))
+def test_schema_4_manifest_loads_without_memory():
+    metrics = RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/4"))
     assert metrics.cache["hits"] == 3
     assert metrics.cache["bytes_read"] == 1024
+    assert metrics.memory is None
+    assert metrics.stages[0].memory is None
 
 
-def test_schema_4_round_trip_is_lossless(tmp_path):
+def test_schema_5_manifest_loads_memory_sections():
+    metrics = RunMetrics.from_dict(_manifest_dict(MANIFEST_SCHEMA))
+    assert metrics.memory["peak_rss_bytes"] == 51 * 1024 * 1024
+    assert metrics.memory["tracemalloc"] is True
+    assert metrics.stages[0].memory["tracemalloc_delta_bytes"] == 1024
+
+
+def test_schema_5_round_trip_is_lossless(tmp_path):
     metrics = RunMetrics(backend="serial", jobs=1, chunk_size=None)
     metrics.wall_seconds = 0.75
     metrics.add_stage(
@@ -92,6 +114,11 @@ def test_schema_4_round_trip_is_lossless(tmp_path):
         stats=StageStats(n_in=10, n_out=4, detail={"positive": 4}),
         events=[TaskEvent(pid=1234, seconds=0.4, items=10, kernel="inspect")],
         parallel=False,
+        memory={
+            "peak_rss_bytes": 48 * 1024 * 1024,
+            "tracemalloc_delta_bytes": 2048,
+            "tracemalloc_peak_bytes": 4096,
+        },
     )
     metrics.add_stage(
         "pivot",
@@ -105,8 +132,14 @@ def test_schema_4_round_trip_is_lossless(tmp_path):
     metrics.data_quality = {"degraded": False}
     metrics.cache = {
         "enabled": True, "dir": "/tmp/cache",
-        "hits": 1, "misses": 4, "stores": 4,
+        "hits": 1, "misses": 4, "stores": 4, "evictions": 0,
         "bytes_read": 512, "bytes_written": 4096,
+    }
+    metrics.memory = {
+        "peak_rss_bytes": 49 * 1024 * 1024,
+        "tracemalloc": True,
+        "tracemalloc_current_bytes": 1024,
+        "tracemalloc_peak_bytes": 8192,
     }
     metrics.metrics = {
         "counters": {"inspection.inspected": 10},
@@ -125,7 +158,10 @@ def test_schema_4_round_trip_is_lossless(tmp_path):
     assert loaded.to_dict()["schema"] == MANIFEST_SCHEMA
     assert loaded.metrics == metrics.metrics
     assert loaded.cache == metrics.cache
+    assert loaded.memory == metrics.memory
+    assert loaded.stages[0].memory["peak_rss_bytes"] == 48 * 1024 * 1024
     assert loaded.stages[1].cached is True
+    assert loaded.stages[1].memory is None
     assert loaded.stages[1].busy_seconds == 0.0
 
 
