@@ -31,6 +31,8 @@ from repro.cache.fingerprint import (
     stage_fingerprint,
     value_digest,
 )
+from repro.cache.resume import MANIFEST_SCHEMA as RESUME_MANIFEST_SCHEMA
+from repro.cache.resume import ResumeManifest
 from repro.cache.store import (
     CacheCounters,
     CacheEntry,
@@ -53,5 +55,7 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "GCResult",
+    "RESUME_MANIFEST_SCHEMA",
+    "ResumeManifest",
     "StageCache",
 ]

@@ -253,9 +253,45 @@ def inputs_digest(inputs: PipelineInputs) -> str:
     return digest
 
 
+#: Spec fields that only perturb the *scheduler* — crash/slowdown
+#: injection and the retry policy.  Kernels are pure per-item maps and
+#: retried chunks recompute identical results, so these knobs can never
+#: change a stage's products; stripping them from the plan digest lets a
+#: crash-interrupted run's clean re-run land on the same stage
+#: fingerprints and resume from its completed shards (and lets a
+#: worker-fault sweep share its data-identical cache entries).
+_WORKER_FIELDS = frozenset(
+    {"worker_crash", "worker_slow", "worker_slow_ms", "max_retries", "backoff_ms"}
+)
+
+#: Spec fields that actually degrade the evidence a stage consumes.
+_DATA_FIELDS = (
+    "drop_weeks",
+    "drop_ports",
+    "pdns_blackouts",
+    "ct_delay_days",
+    "routing_stale",
+)
+
+
 def plan_digest(plan: FaultPlan) -> str:
-    """Digest of a fault plan's (seed, spec) identity."""
-    return value_digest(plan.fingerprint_payload())
+    """Digest of a fault plan's *data* identity.
+
+    Worker-scheduler knobs are normalized away (see ``_WORKER_FIELDS``),
+    and the seed only participates while some data channel is active —
+    a seed that can only ever pick crash victims picks nothing that
+    reaches a product.
+    """
+    payload = plan.fingerprint_payload()
+    spec = {
+        name: value
+        for name, value in payload["spec"].items()
+        if name not in _WORKER_FIELDS
+    }
+    data_active = any(spec[name] for name in _DATA_FIELDS)
+    return value_digest(
+        {"seed": payload["seed"] if data_active else 0, "spec": spec}
+    )
 
 
 def config_digest(config: Any) -> str:

@@ -7,12 +7,26 @@
         ``--jobs`` shards the parallel stages across worker processes;
         ``--profile`` writes the per-stage run manifest as JSON.
 
+    Parallel runs (``paper``, ``hunt``, ``profile``) also accept
+    ``--backend {auto,fork,spawn}`` (worker start method; spawn ships the
+    inputs once through shared memory), ``--partition {hash,shard}``
+    (shard hands workers (lo, hi) item ranges instead of pickled
+    chunks), and ``--shard-cache`` (stream per-shard products into the
+    stage cache so an interrupted run resumes from completed shards).
+
     repro-hunt quickstart
         The one-hijack demo world.
 
-    repro-hunt hunt --dir DIR [--jobs N] [--chunk-size N]
+    repro-hunt hunt (--dir DIR | --segments DIR) [--jobs N] [--chunk-size N]
         Run the pipeline over a previously exported study directory
-        (scan.jsonl / pdns.jsonl / ct.jsonl / as2org.jsonl).
+        (scan.jsonl / pdns.jsonl / ct.jsonl / as2org.jsonl) or over a
+        memory-mapped segment bundle (``repro-hunt segments write``).
+
+    repro-hunt segments {write,inspect,verify}
+        Lay a study (or an ``--scale N`` synthetic world) out as a
+        checksummed ``repro-segment/1`` bundle, print the verified
+        header summaries, or checksum a bundle (nonzero exit on
+        corruption).  See docs/performance.md.
 
     repro-hunt profile [--seed N] [--jobs N] [--out FILE] [--json FILE]
                        [--manifest FILE]
@@ -124,10 +138,17 @@ from repro.obs import Tracer, format_provenance
 logger = logging.getLogger("repro.cli")
 
 
-def _make_backend(jobs: int, chunk_size: int | None = None) -> ExecutionBackend:
-    if jobs <= 1:
+def _make_backend(args: argparse.Namespace) -> ExecutionBackend:
+    if args.jobs <= 1:
         return SerialBackend()
-    return ProcessPoolBackend(jobs=jobs, chunk_size=chunk_size)
+    backend = getattr(args, "backend", "auto")
+    return ProcessPoolBackend(
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        start_method=None if backend == "auto" else backend,
+        partition=getattr(args, "partition", "hash"),
+        shard_cache=getattr(args, "shard_cache", False),
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -145,6 +166,24 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--chunk-size", type=_positive_int, default=None,
         help="items per worker task (default: auto)",
+    )
+    parser.add_argument(
+        "--backend", choices=["auto", "fork", "spawn"], default="auto",
+        help="worker start method: fork inherits the inputs copy-on-write, "
+        "spawn ships them once through shared memory "
+        "(default: auto = fork where available, else spawn)",
+    )
+    parser.add_argument(
+        "--partition", choices=["hash", "shard"], default="hash",
+        help="work partitioning: 'hash' pickles item chunks by key crc32, "
+        "'shard' hands workers (lo, hi) item ranges they slice out of "
+        "their own inputs (default: hash)",
+    )
+    parser.add_argument(
+        "--shard-cache", action="store_true", default=False,
+        help="with --partition shard and --cache: stream each shard's "
+        "products into the stage cache so a killed run resumes from "
+        "completed shards",
     )
 
 
@@ -295,7 +334,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         args.seed, args.background,
     )
     study = paper_study(seed=args.seed, n_background=args.background)
-    backend = _make_backend(args.jobs, args.chunk_size)
+    backend = _make_backend(args)
     tracer = _make_tracer(args)
     events = _make_events(args)
     try:
@@ -354,10 +393,30 @@ def _cmd_quickstart(_args: argparse.Namespace) -> int:
 
 
 def _cmd_hunt(args: argparse.Namespace) -> int:
-    directory = Path(args.dir)
-    logger.info("loading study from %s/ ...", directory)
+    if bool(args.dir) == bool(args.segments):
+        print(
+            "error: pass exactly one of --dir (JSONL export) or "
+            "--segments (segment bundle)",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        pipeline = HijackPipeline.from_directory(directory, faults=_fault_plan(args))
+        if args.segments:
+            from repro.segments import SegmentError, load_segment_inputs
+
+            logger.info("mapping segments from %s/ ...", args.segments)
+            try:
+                inputs = load_segment_inputs(args.segments)
+            except SegmentError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            pipeline = HijackPipeline(inputs, faults=_fault_plan(args))
+        else:
+            directory = Path(args.dir)
+            logger.info("loading study from %s/ ...", directory)
+            pipeline = HijackPipeline.from_directory(
+                directory, faults=_fault_plan(args)
+            )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -365,7 +424,7 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     events = _make_events(args)
     try:
         report, metrics = pipeline.profile(
-            _make_backend(args.jobs, args.chunk_size), tracer=tracer,
+            _make_backend(args), tracer=tracer,
             cache=_make_cache(args),
             events=events, ledger=_make_ledger(args),
         )
@@ -406,7 +465,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         args.seed, args.background, args.jobs,
     )
     study = paper_study(seed=args.seed, n_background=args.background)
-    backend = _make_backend(args.jobs, args.chunk_size)
+    backend = _make_backend(args)
     tracer = _make_tracer(args)
     events = _make_events(args)
     try:
@@ -641,6 +700,64 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"({result.kept_bytes} bytes)"
         )
     return 0
+
+
+def _cmd_segments(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.segments import SegmentError, segment_paths, verify_segment
+
+    if args.segments_command == "write":
+        directory = Path(args.out)
+        if args.scale:
+            from repro.world.scale import write_scale_segments
+
+            logger.info(
+                "writing %d-domain scale world to %s/ ...", args.scale, directory
+            )
+            paths = write_scale_segments(
+                args.scale, directory, n_active=args.active, seed=args.seed
+            )
+        else:
+            from repro.core.pipeline import PipelineInputs
+            from repro.segments import write_segments
+            from repro.world.scenarios import paper_study
+
+            logger.info(
+                "writing paper study (seed=%d, background=%d) to %s/ ...",
+                args.seed, args.background, directory,
+            )
+            study = paper_study(seed=args.seed, n_background=args.background)
+            paths = write_segments(PipelineInputs.from_study(study), directory)
+        total = 0
+        for _name, path in sorted(paths.items()):
+            size = path.stat().st_size
+            total += size
+            print(f"wrote {path} ({size} bytes)")
+        print(f"total {total} bytes in {directory}/")
+        return 0
+
+    # inspect / verify: checksum every segment of the bundle; a typed
+    # SegmentError (truncation, bit flip, wrong table) fails the command
+    # instead of ever surfacing garbage rows.
+    failures = 0
+    summaries = {}
+    for name, path in sorted(segment_paths(args.dir).items()):
+        if not path.exists():
+            print(f"MISSING {path}", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            summaries[name] = verify_segment(path)
+        except SegmentError as error:
+            print(f"CORRUPT {path}: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        if args.segments_command == "verify":
+            print(f"ok {path}")
+    if args.segments_command == "inspect" and summaries:
+        print(json.dumps(summaries, indent=2, sort_keys=True))
+    return 1 if failures else 0
 
 
 def _cmd_arena(args: argparse.Namespace) -> int:
@@ -887,7 +1004,12 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart.set_defaults(func=_cmd_quickstart)
 
     hunt = sub.add_parser("hunt", parents=[logging_flags], help="run the pipeline over an exported study")
-    hunt.add_argument("--dir", required=True, help="directory with *.jsonl exports")
+    hunt.add_argument("--dir", default=None, help="directory with *.jsonl exports")
+    hunt.add_argument(
+        "--segments", metavar="DIR", default=None,
+        help="run over a memory-mapped segment bundle instead of a JSONL "
+        "export (see 'repro-hunt segments write')",
+    )
     hunt.add_argument("--out", help="write findings JSONL here")
     _add_executor_args(hunt)
     _add_faults_args(hunt)
@@ -1007,6 +1129,49 @@ def build_parser() -> argparse.ArgumentParser:
     golden.add_argument("--dir", default="tests/golden", help="golden file directory")
     golden.add_argument("--background", type=int, default=GOLDEN_BACKGROUND)
     golden.set_defaults(func=_cmd_golden)
+
+    segments = sub.add_parser(
+        "segments", parents=[logging_flags],
+        help="write, inspect, or verify memory-mapped segment bundles",
+    )
+    segments_sub = segments.add_subparsers(dest="segments_command", required=True)
+
+    segments_write = segments_sub.add_parser(
+        "write", parents=[logging_flags],
+        help="lay a study out as a segment directory",
+    )
+    segments_write.add_argument(
+        "--out", metavar="DIR", required=True, help="segment bundle directory"
+    )
+    segments_write.add_argument(
+        "--scale", type=_positive_int, default=None, metavar="N",
+        help="write an N-domain synthetic scale world instead of the "
+        "paper study",
+    )
+    segments_write.add_argument(
+        "--active", type=_positive_int, default=200,
+        help="active (full-funnel) domains in the scale world (default: 200)",
+    )
+    segments_write.add_argument("--seed", type=int, default=7)
+    segments_write.add_argument(
+        "--background", type=int, default=150,
+        help="background domains of the paper study (ignored with --scale)",
+    )
+    segments_write.set_defaults(func=_cmd_segments)
+
+    segments_inspect = segments_sub.add_parser(
+        "inspect", parents=[logging_flags],
+        help="print every segment's verified header summary as JSON",
+    )
+    segments_inspect.add_argument("dir", help="segment bundle directory")
+    segments_inspect.set_defaults(func=_cmd_segments)
+
+    segments_verify = segments_sub.add_parser(
+        "verify", parents=[logging_flags],
+        help="checksum every segment of a bundle (nonzero exit on corruption)",
+    )
+    segments_verify.add_argument("dir", help="segment bundle directory")
+    segments_verify.set_defaults(func=_cmd_segments)
 
     cache = sub.add_parser(
         "cache", parents=[logging_flags], help="inspect or maintain the stage cache"

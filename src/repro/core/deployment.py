@@ -300,6 +300,19 @@ def encode_domain_maps(
     periods: tuple[Period, ...],
     max_gap_scans: int = 6,
 ) -> EncodedDomainMaps:
+    """:func:`encode_domain_maps_at` by domain name (one index lookup)."""
+    index = dataset.table.domain_index(domain)
+    if index is None:
+        return []
+    return encode_domain_maps_at(dataset, index, periods, max_gap_scans)
+
+
+def encode_domain_maps_at(
+    dataset: ScanDataset,
+    index: int,
+    periods: tuple[Period, ...],
+    max_gap_scans: int = 6,
+) -> EncodedDomainMaps:
     """Cluster one domain's deployments straight off the column slices.
 
     Works entirely in interned-id space: the period is a bisect slice of
@@ -312,6 +325,10 @@ def encode_domain_maps(
     is an ``is`` check).  The output is the compact encoded form;
     :func:`decode_domain_maps` materializes the object maps the rest of
     the pipeline consumes.
+
+    The domain is named by its ordinal into ``table.domains`` — the CSR
+    row index — so a shard worker sweeping an ordinal range never
+    resolves a domain string at all.
     """
     table = dataset.table
     asn_id_col = table.asn_id
@@ -326,7 +343,7 @@ def encode_domain_maps(
         dates_in_period = dataset.scan_dates_in(period)
         if not dates_in_period:
             continue
-        lo, hi = table.period_slice(domain, period.start, period.end)
+        lo, hi = table.period_slice_at(index, period.start, period.end)
         if lo == hi:
             continue
         rows = table.csr_rows[lo:hi].tolist()

@@ -398,9 +398,12 @@ class DeploymentMapStage(Stage):
         # the shared scan table, not object graphs; materialize the map
         # objects (and their raw records) here against the parent table.
         per_domain = backend.map("deployment", domains, key=lambda d: d)
+        # Index the pool only for domains that mapped to something:
+        # enumerate keeps the sweep over a million-domain population from
+        # decoding a million pooled strings just to pair empty results.
         ctx.maps_encoded = [
-            (domain, encoded)
-            for domain, encoded in zip(domains, per_domain)
+            (domains[i], encoded)
+            for i, encoded in enumerate(per_domain)
             if encoded
         ]
         ctx.maps = self._decode_all(ctx, ctx.maps_encoded)

@@ -7,14 +7,29 @@ per-item maps — is the whole determinism story: stage products are
 assembled in input order, so the serial and process-pool paths produce
 byte-identical reports.
 
-The process-pool backend shards items across workers by a stable hash
-of their domain key (``crc32``, never Python's randomized ``hash``),
-then splits each worker's bucket into chunks so long-running buckets
-pipeline instead of serializing.  On platforms with ``fork`` the heavy
-inputs never travel at all: the parent installs them as kernel globals
-*before* the pool spawns, so workers inherit them copy-on-write;
-elsewhere they ship once per worker via the pool initializer.  Chunks
-carry only the items themselves.
+The process-pool backend has two partition strategies:
+
+* ``partition="hash"`` (default) shards items across workers by a
+  stable hash of their domain key (``crc32``, never Python's randomized
+  ``hash``), then splits each worker's bucket into chunks so
+  long-running buckets pipeline instead of serializing.  Chunks carry
+  the items themselves.
+* ``partition="shard"`` hands workers contiguous ``(lo, hi)`` index
+  ranges of kernels registered in :data:`repro.exec.kernels.ITEM_SOURCES`
+  — the worker regenerates the items from its own process-global inputs,
+  so a million-item fan-out ships two ints per shard and the parent
+  never materializes the item list.  With ``shard_cache=True`` each
+  completed shard's results stream into the stage cache under a
+  shard-scoped key, so a killed run resumes from its completed shards.
+
+Input transport is governed by the start method: with ``fork`` the
+heavy inputs never travel at all — the parent installs them as kernel
+globals *before* the pool spawns, so workers inherit them copy-on-write.
+With ``spawn`` (explicit, or the platform default when fork is missing)
+the parent pickles the inputs *once* into a
+``multiprocessing.shared_memory`` block and every worker — including
+replacements after a crash-triggered pool rebuild — reattaches to the
+same block instead of receiving a per-worker pickled copy.
 """
 
 from __future__ import annotations
@@ -22,19 +37,23 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import pickle
 import time
 import zlib
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from hashlib import blake2b
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.exec import kernels
-from repro.exec.metrics import RetryEvent, TaskEvent
+from repro.exec.metrics import RetryEvent, StageStats, TaskEvent
 from repro.faults.errors import RetryBudgetExceeded, WorkerFault
 from repro.faults.plan import SLOW
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:
+    from repro.cache.store import StageCache
     from repro.faults.plan import FaultPlan
 
 #: How many chunks each worker gets by default when no chunk size is set;
@@ -67,6 +86,18 @@ class ExecutionBackend(ABC):
         no injection, which leaves every dispatch path byte-identical to
         a backend that never heard of faults."""
         self._fault_plan = None if plan is None or plan.is_empty else plan
+
+    def set_shard_context(self, cache: StageCache, fingerprint: str) -> None:
+        """Adopt the running stage's cache handle + fingerprint.
+
+        The executor brackets every cache-missed stage with this call so
+        a sharding backend can stream per-shard products into the stage
+        cache under shard-scoped keys.  The base implementation ignores
+        it — only backends that opt into shard caching act on it.
+        """
+
+    def clear_shard_context(self) -> None:
+        """Drop any shard context installed by :meth:`set_shard_context`."""
 
     @abstractmethod
     def map(
@@ -173,19 +204,59 @@ class SerialBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """Shard kernel work across worker processes by domain hash."""
+    """Shard kernel work across worker processes.
+
+    ``start_method`` picks the multiprocessing start method: ``"fork"``,
+    ``"spawn"``, or None for the platform default (fork where available).
+    ``partition`` selects how items are split — ``"hash"`` (stable
+    domain-hash buckets, items travel in the chunk) or ``"shard"``
+    (contiguous index ranges for kernels with a registered item source;
+    two ints travel per shard).  ``shard_cache=True`` additionally
+    streams each completed shard's results through the stage cache so an
+    interrupted run resumes from its completed shards.
+    """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        chunk_size: int | None = None,
+        *,
+        start_method: str | None = None,
+        partition: str = "hash",
+        shard_cache: bool = False,
+    ) -> None:
         super().__init__()
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if start_method not in (None, "fork", "spawn"):
+            raise ValueError(
+                f"start_method must be 'fork', 'spawn', or None, "
+                f"got {start_method!r}"
+            )
+        if partition not in ("hash", "shard"):
+            raise ValueError(
+                f"partition must be 'hash' or 'shard', got {partition!r}"
+            )
         self.chunk_size = chunk_size
+        self.start_method = start_method
+        self.partition = partition
+        self.shard_cache = bool(shard_cache)
         self._pool: ProcessPoolExecutor | None = None
         self._inputs: Any = None
         self._config: Any = None
+        self._shm: Any = None
+        self._shm_size = 0
+        self._shard_ctx: tuple[Any, str, Any] | None = None
+
+    def _resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "fork"
+        return "spawn"
 
     def start(self, inputs: Any, config: Any) -> None:
         # Install the inputs in the parent first: with the fork start
@@ -195,25 +266,73 @@ class ProcessPoolBackend(ExecutionBackend):
         self._inputs = inputs
         self._config = config
         kernels.set_context(inputs, config)
+        self._release_shm()
+        if self._resolved_start_method() == "spawn":
+            self._create_shm()
         self._spawn_pool()
 
+    def _create_shm(self) -> None:
+        """Pickle the inputs once into a shared-memory block.
+
+        Segment-backed tables reduce to their paths here, so the image
+        stays small; in-RAM bundles pay one pickled copy total instead
+        of one per worker — and pool rebuilds after injected crashes
+        *reattach* to the same block rather than re-copying anything.
+        """
+        from multiprocessing import shared_memory
+
+        payload = pickle.dumps((self._inputs, self._config), protocol=5)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, len(payload))
+        )
+        self._shm.buf[: len(payload)] = payload
+        self._shm_size = len(payload)
+
+    def _release_shm(self) -> None:
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        try:
+            self._shm.unlink()
+        except OSError:
+            pass
+        self._shm = None
+        self._shm_size = 0
+
     def _spawn_pool(self) -> None:
-        if "fork" in multiprocessing.get_all_start_methods():
+        method = self._resolved_start_method()
+        if method == "fork":
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=multiprocessing.get_context("fork"),
             )
-        else:  # spawn-only platforms: ship the inputs once per worker
+        else:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
-                initializer=kernels.worker_init,
-                initargs=(self._inputs, self._config),
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=kernels.worker_init_shm,
+                initargs=(self._shm.name, self._shm_size),
             )
 
     def _rebuild_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
         self._spawn_pool()
+
+    # -- shard caching ---------------------------------------------------------
+
+    def set_shard_context(self, cache: StageCache, fingerprint: str) -> None:
+        if not self.shard_cache:
+            return
+        from repro.cache.resume import ResumeManifest
+
+        self._shard_ctx = (cache, fingerprint, ResumeManifest(cache.root))
+
+    def clear_shard_context(self) -> None:
+        self._shard_ctx = None
 
     def _submit_chunk(
         self, kernel_name: str, items: list, chunk: list[int], ordinal: int, attempt: int
@@ -231,6 +350,8 @@ class ProcessPoolBackend(ExecutionBackend):
     ) -> list:
         if self._pool is None:
             raise RuntimeError("backend not started")
+        if self.partition == "shard" and kernel_name in kernels.ITEM_SOURCES:
+            return self._map_shards(kernel_name, items)
         items = list(items)
         if not items:
             return []
@@ -282,6 +403,128 @@ class ProcessPoolBackend(ExecutionBackend):
                     break
         return results
 
+    # -- the shard partition path ---------------------------------------------
+
+    def _shard_ranges(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous ``(lo, hi)`` index ranges covering ``range(n)``.
+
+        The shard count depends only on ``jobs`` / ``chunk_size``, never
+        on ``n`` beyond capping — so a fault plan's deterministic crash
+        ordinal survives population rescaling, and resume keys (which
+        fold in ``n_shards``) stay stable across re-runs.
+        """
+        if self.chunk_size:
+            count = max(1, math.ceil(n / self.chunk_size))
+        else:
+            count = min(n, self.jobs * _CHUNKS_PER_WORKER)
+        return [(i * n // count, (i + 1) * n // count) for i in range(count)]
+
+    def _submit_shard(
+        self, kernel_name: str, lo: int, hi: int, ordinal: int, attempt: int
+    ):
+        fault = self._chunk_fault(kernel_name, ordinal, attempt)
+        return self._pool.submit(
+            kernels.run_range_chunk, kernel_name, lo, hi, fault
+        )
+
+    def _map_shards(self, kernel_name: str, items: Sequence) -> list:
+        """Range-shard a kernel with a registered item source.
+
+        ``items`` is only measured (``len``) and used for result
+        alignment — it is never pickled or even iterated in the parent,
+        so a lazy segment-backed pool stays on disk.  When a shard
+        context is installed (``shard_cache=True`` and the executor is
+        computing a cacheable stage), each shard probes the cache first
+        and stores its results on completion, giving interrupted runs
+        shard-granular resume.
+        """
+        n = len(items)
+        if not n:
+            return []
+        ranges = self._shard_ranges(n)
+        registry = get_registry()
+        registry.inc("shards.total", len(ranges))
+        cache = fingerprint = manifest = None
+        if self._shard_ctx is not None:
+            cache, fingerprint, manifest = self._shard_ctx
+        results: list = [None] * n
+        keys: list[str | None] = [None] * len(ranges)
+        pending: list[int] = []
+        resumed = 0
+        for ordinal, (lo, hi) in enumerate(ranges):
+            if cache is not None:
+                shard_key = _shard_key(
+                    fingerprint, kernel_name, n, len(ranges), ordinal
+                )
+                keys[ordinal] = shard_key
+                entry = cache.get(shard_key)
+                if entry is not None:
+                    results[lo:hi] = entry.products["results"]
+                    resumed += 1
+                    continue
+            pending.append(ordinal)
+        if resumed:
+            registry.inc("shards.resumed", resumed)
+        max_attempts = self._max_attempts()
+        attempts = {ordinal: 0 for ordinal in pending}
+        futures = {
+            ordinal: self._submit_shard(kernel_name, *ranges[ordinal], ordinal, 0)
+            for ordinal in pending
+        }
+        for position, ordinal in enumerate(pending):
+            lo, hi = ranges[ordinal]
+            while True:
+                attempt = attempts[ordinal]
+                try:
+                    pid, seconds, shard_results, obs = futures[ordinal].result()
+                except WorkerFault as exc:
+                    attempts[ordinal] += 1
+                    if attempts[ordinal] >= max_attempts:
+                        raise RetryBudgetExceeded(
+                            f"kernel {kernel_name!r} shard {ordinal} failed "
+                            f"{max_attempts} times"
+                        ) from exc
+                    self._record_retry(kernel_name, "crash", attempt)
+                    time.sleep(self._backoff_seconds(attempt))
+                    futures[ordinal] = self._submit_shard(
+                        kernel_name, lo, hi, ordinal, attempts[ordinal]
+                    )
+                except BrokenProcessPool as exc:
+                    attempts[ordinal] += 1
+                    if attempts[ordinal] >= max_attempts:
+                        raise RetryBudgetExceeded(
+                            f"process pool broke {max_attempts} times running "
+                            f"kernel {kernel_name!r}"
+                        ) from exc
+                    self._record_retry(kernel_name, "pool_rebuild", attempt)
+                    time.sleep(self._backoff_seconds(attempt))
+                    self._rebuild_pool()
+                    # A broken pool voids every outstanding future —
+                    # resubmit all uncollected shards.
+                    for later in pending[position:]:
+                        futures[later] = self._submit_shard(
+                            kernel_name, *ranges[later], later, attempts[later]
+                        )
+                else:
+                    self._record(
+                        TaskEvent(pid, seconds, hi - lo, kernel_name, obs)
+                    )
+                    results[lo:hi] = shard_results
+                    registry.inc("shards.computed")
+                    if cache is not None:
+                        cache.put(
+                            keys[ordinal],
+                            f"shard:{kernel_name}",
+                            StageStats(n_in=hi - lo, n_out=len(shard_results)),
+                            {"results": list(shard_results)},
+                        )
+                        manifest.record(
+                            fingerprint, kernel_name, n, len(ranges),
+                            ordinal, keys[ordinal],
+                        )
+                    break
+        return results
+
     def _chunks(
         self, items: list, key: Callable[[Any], str]
     ) -> list[list[int]]:
@@ -303,3 +546,19 @@ class ProcessPoolBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        self._release_shm()
+        self._shard_ctx = None
+
+
+def _shard_key(
+    fingerprint: str, kernel: str, n_items: int, n_shards: int, ordinal: int
+) -> str:
+    """The cache key of one shard's results.
+
+    Derived from the stage fingerprint (which already folds in the input
+    bundle, fault plan, config, and stage-chain identity) plus the shard
+    geometry, so a resumed run with identical inputs lands on the same
+    keys while any change to the population or shard count misses.
+    """
+    payload = f"{fingerprint}|{kernel}|{n_items}|{n_shards}|{ordinal}"
+    return blake2b(payload.encode("utf-8"), digest_size=24).hexdigest()

@@ -136,6 +136,14 @@ class PipelineExecutor:
         ):
             backend.start(ctx.inputs, ctx.config)
             try:
+                from repro.segments.inputs import inputs_bytes_mapped
+
+                mapped = inputs_bytes_mapped(ctx.inputs)
+                if mapped:
+                    registry.set_gauge("segments.bytes_mapped", mapped)
+            except Exception:  # pragma: no cover - inputs without segments
+                pass
+            try:
                 for index, stage in enumerate(self._stages, start=1):
                     with tracer.span(
                         stage.name, category="stage", parallel=stage.parallel
@@ -169,7 +177,15 @@ class PipelineExecutor:
                                         sink, metrics, index, total, run_start
                                     )
                                     continue
-                        stats = stage.run(ctx, backend)
+                        if fingerprint is not None:
+                            # Let a sharding backend stream per-shard
+                            # products under this stage's fingerprint.
+                            backend.set_shard_context(cache, fingerprint)
+                        try:
+                            stats = stage.run(ctx, backend)
+                        finally:
+                            if fingerprint is not None:
+                                backend.clear_shard_context()
                         wall = time.perf_counter() - stage_start
                         events = backend.pop_events()
                         self._reduce_task_events(

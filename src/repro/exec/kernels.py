@@ -26,10 +26,46 @@ _CONFIG: Any = None
 
 KERNELS: dict[str, Callable[[list], list]] = {}
 
+#: Kernels whose item sequence a worker can regenerate from the
+#: process-global inputs.  The shard scheduler hands such kernels
+#: ``(lo, hi)`` ranges instead of pickled item lists, so a million-item
+#: fan-out ships two ints per shard and the parent never materializes
+#: the items at all (segment-backed pools decode them transiently).
+ITEM_SOURCES: dict[str, Callable[[], Any]] = {}
+
+#: Kernels that can consume an ``(lo, hi)`` ordinal range *directly*,
+#: without the worker materializing the item objects first.  The shard
+#: path prefers these: at population scale, decoding a million pooled
+#: domain strings per sweep costs more resident memory than the kernel's
+#: actual work (see ``_deployment_range_kernel``).
+RANGE_KERNELS: dict[str, Callable[[int, int], list]] = {}
+
 
 def kernel(name: str) -> Callable:
     def register(fn: Callable[[list], list]) -> Callable[[list], list]:
         KERNELS[name] = fn
+        return fn
+
+    return register
+
+
+def range_kernel(name: str) -> Callable:
+    """Register a kernel's ordinal-range fast path (same results as the
+    item form over ``items[lo:hi]`` — the differential tests hold both
+    to that contract)."""
+
+    def register(fn: Callable[[int, int], list]) -> Callable[[int, int], list]:
+        RANGE_KERNELS[name] = fn
+        return fn
+
+    return register
+
+
+def item_source(name: str) -> Callable:
+    """Register the in-process item sequence of one shardable kernel."""
+
+    def register(fn: Callable[[], Any]) -> Callable[[], Any]:
+        ITEM_SOURCES[name] = fn
         return fn
 
     return register
@@ -44,6 +80,32 @@ def set_context(inputs: Any, config: Any) -> None:
 
 def worker_init(inputs: Any, config: Any) -> None:
     """Process-pool initializer: runs once in every worker."""
+    set_context(inputs, config)
+    mark_worker()
+
+
+def worker_init_shm(name: str, size: int) -> None:
+    """Spawn-path initializer: attach to the parent's shared-memory
+    input image instead of receiving a pickled copy per worker.
+
+    The parent pickled ``(inputs, config)`` once into a
+    ``multiprocessing.shared_memory`` block; every worker (including
+    replacements after a pool rebuild) reattaches to the same block, so
+    the payload crosses process boundaries exactly once regardless of
+    pool size or crash count.
+    """
+    from multiprocessing import shared_memory
+
+    import pickle
+
+    # Attaching re-registers the block with the resource tracker the
+    # worker inherited from the parent; registrations collapse in the
+    # tracker's name set, and the parent's single ``unlink`` on close
+    # balances them — workers never unregister (doing so would strip
+    # the parent's own registration from the shared tracker).
+    block = shared_memory.SharedMemory(name=name)
+    inputs, config = pickle.loads(bytes(block.buf[:size]))
+    block.close()
     set_context(inputs, config)
     mark_worker()
 
@@ -81,6 +143,36 @@ def run_chunk(
     return os.getpid(), end - start, results, obs
 
 
+def run_range_chunk(
+    name: str, lo: int, hi: int, fault: str | None = None
+) -> tuple[int, float, list, tuple]:
+    """Execute one ``(lo, hi)`` item range of a shardable kernel.
+
+    The worker slices the items out of its own process-global inputs
+    (see :data:`ITEM_SOURCES`) — the shard descriptor that traveled is
+    two ints.  Fault directives behave exactly like :func:`run_chunk`.
+    """
+    chunk_start = time.perf_counter()
+    if fault is not None:
+        if fault == CRASH:
+            raise InjectedWorkerCrash(
+                f"injected worker crash in kernel {name!r} (pid {os.getpid()})"
+            )
+        if fault.startswith(SLOW):
+            time.sleep(int(fault.split(":", 1)[1]) / 1000.0)
+    range_fn = RANGE_KERNELS.get(name)
+    if range_fn is not None:
+        start = time.perf_counter()
+        results = range_fn(lo, hi)
+    else:
+        items = list(ITEM_SOURCES[name]()[lo:hi])
+        start = time.perf_counter()
+        results = KERNELS[name](items)
+    end = time.perf_counter()
+    obs = (chunk_start, end, drain_worker_snapshot())
+    return os.getpid(), end - start, results, obs
+
+
 # -- the pipeline's kernels ----------------------------------------------------
 
 
@@ -92,6 +184,11 @@ def _deployment_kernel(domains: list[str]) -> list[list]:
     the compact int-tuple encoding — interned pool ids, not object
     graphs (see ``encode_domain_maps``).  The deployment stage decodes
     against the parent's table and reattaches the raw records there.
+
+    Domains with no in-period deployments encode as ``()``, not ``[]``:
+    the empty tuple is a shared singleton on both sides of the pickle,
+    so at population scale the parent's dense result list costs one
+    pointer per empty domain instead of a distinct empty-list object.
     """
     from repro.core.deployment import encode_domain_maps
 
@@ -99,8 +196,38 @@ def _deployment_kernel(domains: list[str]) -> list[list]:
         encode_domain_maps(
             _INPUTS.scan, domain, _INPUTS.periods, _CONFIG.max_gap_scans
         )
+        or ()
         for domain in domains
     ]
+
+
+@range_kernel("deployment")
+def _deployment_range_kernel(lo: int, hi: int) -> list:
+    """Shard fast path: sweep a domain-*ordinal* range of the CSR.
+
+    ``domains()[i]`` and CSR position ``i`` name the same domain, so the
+    sweep indexes ``csr_off`` directly and never decodes a domain string
+    — on a segment-backed table the worker faults only the CSR index
+    pages, not the domain pool, for the (overwhelming) majority of
+    domains whose encoding comes back empty.
+    """
+    from repro.core.deployment import encode_domain_maps_at
+
+    return [
+        encode_domain_maps_at(
+            _INPUTS.scan, index, _INPUTS.periods, _CONFIG.max_gap_scans
+        )
+        or ()
+        for index in range(lo, hi)
+    ]
+
+
+@item_source("deployment")
+def _deployment_items():
+    """The deployment kernel's items: every registered domain, in the
+    scan table's sorted domain order (a lazy pool view when the inputs
+    are segment-backed)."""
+    return _INPUTS.scan.domains()
 
 
 @kernel("classify")

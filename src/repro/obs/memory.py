@@ -46,6 +46,26 @@ def peak_rss_bytes() -> int | None:
     return int(peak) * 1024
 
 
+def current_rss_bytes() -> int | None:
+    """The process's resident set *right now*, in bytes; None off Linux.
+
+    Pool workers sample this at chunk boundaries and ship the reading
+    home in their metric snapshots (gauge ``workers.rss_bytes``).  The
+    instantaneous figure is the only honest one a forked worker has:
+    both ``ru_maxrss`` and ``VmHWM`` are inherited from the parent at
+    ``fork()``, so a slim worker forked from a fat parent reports the
+    parent's high-water mark through every peak-oriented interface.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - platform
+        pass
+    return None
+
+
 class MemorySampler:
     """Stage-boundary memory probe used by the executor.
 

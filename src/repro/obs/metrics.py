@@ -31,6 +31,11 @@ BUCKET_BOUNDS: tuple[float, ...] = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Gauges that are process high-water marks: :meth:`MetricsRegistry.merge`
+#: folds them in with ``max`` instead of last-write-wins, so the run-level
+#: value is the peak over every contributing worker.
+MAX_GAUGES: frozenset[str] = frozenset({"workers.rss_bytes"})
+
 
 class _Histogram:
     """Count/sum/min/max plus fixed exponential buckets."""
@@ -128,10 +133,14 @@ class MetricsRegistry:
 
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold another process's snapshot in: counters and histograms
-        add, gauges take the incoming value (last write wins)."""
+        add, gauges take the incoming value (last write wins, except
+        the high-water gauges in :data:`MAX_GAUGES`, which keep the
+        maximum seen across every contributing process)."""
         for name, n in snapshot.get("counters", {}).items():
             self.inc(name, n)
         for name, value in snapshot.get("gauges", {}).items():
+            if name in MAX_GAUGES:
+                value = max(value, self._gauges.get(name, value))
             self.set_gauge(name, value)
         for name, data in snapshot.get("histograms", {}).items():
             histogram = self._histograms.get(name)
@@ -199,9 +208,18 @@ def drain_worker_snapshot() -> dict[str, Any] | None:
     """Chunk-end hook: a worker's per-chunk metric deltas, else None.
 
     In the parent the chunk's counts already live in the run's registry,
-    so nothing ships and nothing is cleared.
+    so nothing ships and nothing is cleared.  Workers stamp each
+    snapshot with their instantaneous resident set (``workers.rss_bytes``,
+    a :data:`MAX_GAUGES` member) — at chunk end the chunk's results are
+    fully built, so the reading approximates the worker's working-set
+    peak without the fork-inherited bias of ``ru_maxrss``/``VmHWM``.
     """
     registry = get_registry()
     if not _DRAIN_DELTAS:
         return None
+    from repro.obs.memory import current_rss_bytes
+
+    rss = current_rss_bytes()
+    if rss is not None:
+        registry.set_gauge("workers.rss_bytes", rss)
     return registry.drain()

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import pickle
 import platform
 import sys
@@ -301,6 +302,112 @@ def measure_funnel_stages(inputs: Any, config: Any = None) -> dict[str, Any]:
     }
 
 
+def measure_segments(
+    n_domains: int,
+    baseline_domains: int | None = None,
+    *,
+    n_active: int = 200,
+    seed: int = 0,
+    jobs: int = 2,
+) -> dict[str, Any]:
+    """Segment data plane vs in-RAM: open latency and pooled peak RSS.
+
+    Builds one ``n_domains`` scale world, writes it as a segment bundle,
+    and measures the two quantities the segment format exists for:
+
+    * **open latency** — remapping the bundle versus unpickling the
+      in-RAM input bundle (the payload a pickle-shipping backend pays
+      per process);
+    * **pooled peak RSS** — a segment-backed shard-partitioned pool run
+      at ``n_domains`` versus an in-RAM pooled run at
+      ``baseline_domains`` (default: ``n_domains``), each probed in a
+      fresh interpreter via :mod:`repro.obs.rss_probe` so neither
+      inherits the other's high-water mark.
+
+    ``rss_within_baseline`` is the headline invariant CI floors on: a
+    segment-backed run at full scale must not out-consume the in-RAM
+    path at baseline scale.
+    """
+    import subprocess
+    import tempfile
+
+    import repro
+    from repro.segments import load_segment_inputs, write_segments
+    from repro.world.scale import scale_world
+
+    if baseline_domains is None:
+        baseline_domains = n_domains
+
+    env = dict(os.environ)
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+
+    def _probe(argv: list[str]) -> dict[str, Any]:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.rss_probe", *argv],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        return json.loads(proc.stdout)
+
+    with tempfile.TemporaryDirectory(prefix="repro-seg-bench-") as tmp:
+        directory = Path(tmp) / "segments"
+
+        t0 = time.perf_counter()
+        inputs = scale_world(n_domains, n_active=n_active, seed=seed)
+        build_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        paths = write_segments(inputs, directory)
+        write_seconds = time.perf_counter() - t0
+        segment_bytes = sum(path.stat().st_size for path in paths.values())
+
+        blob = pickle.dumps(inputs, protocol=5)
+        del inputs
+        gc.collect()
+        t0 = time.perf_counter()
+        pickle.loads(blob)
+        pickle_load_seconds = time.perf_counter() - t0
+        pickle_bytes = len(blob)
+        del blob
+        gc.collect()
+
+        t0 = time.perf_counter()
+        load_segment_inputs(directory)
+        open_seconds = time.perf_counter() - t0
+        gc.collect()
+
+        seg = _probe(
+            ["segment", "--dir", str(directory), "--jobs", str(jobs),
+             "--partition", "shard"]
+        )
+        inram = _probe(
+            ["inram", "--scale", str(baseline_domains),
+             "--active", str(n_active), "--seed", str(seed),
+             "--jobs", str(jobs)]
+        )
+
+    return {
+        "n_domains": n_domains,
+        "baseline_domains": baseline_domains,
+        "n_active": n_active,
+        "jobs": jobs,
+        "build_seconds": round(build_seconds, 6),
+        "write_seconds": round(write_seconds, 6),
+        "segment_bytes": segment_bytes,
+        "pickle_bytes": pickle_bytes,
+        "open_seconds": round(open_seconds, 6),
+        "pickle_load_seconds": round(pickle_load_seconds, 6),
+        "open_speedup": round(pickle_load_seconds / open_seconds, 2)
+        if open_seconds > 0
+        else None,
+        "segment_run": seg,
+        "inram_run": inram,
+        "rss_within_baseline": seg["peak_rss_bytes"] <= inram["peak_rss_bytes"],
+    }
+
+
 def measure_dataset(dataset: ScanDataset) -> dict[str, Any]:
     """Footprint of the scan dataset in both representations."""
     table = dataset.table
@@ -363,6 +470,15 @@ def perf_summary(
         # tracemalloc figures when the run traced allocations.
         if metrics.memory:
             summary["memory"] = dict(metrics.memory)
+    # The segment-vs-in-RAM section is opt-in by environment: building
+    # and probing a 10^5-10^6-domain scale world is a CI-budget decision,
+    # not something every `profile --json` should pay.
+    scale = os.environ.get("REPRO_SEGMENTS_SCALE")
+    if scale:
+        baseline = os.environ.get("REPRO_SEGMENTS_BASELINE")
+        summary["segments"] = measure_segments(
+            int(scale), int(baseline) if baseline else None
+        )
     return summary
 
 
@@ -376,6 +492,7 @@ __all__ = [
     "measure_deployment_kernel",
     "measure_dataset",
     "measure_funnel_stages",
+    "measure_segments",
     "perf_summary",
     "write_perf_summary",
 ]

@@ -38,8 +38,10 @@ class PassiveDNSDatabase:
     """Aggregation + query API over sensor observations."""
 
     def __init__(self) -> None:
-        # (rrname, rtype, rdata) -> [first_seen, last_seen, count]
-        self._rows: dict[tuple[str, RRType, str], list] = {}
+        # (rrname, rtype, rdata) -> [first_seen, last_seen, count].
+        # ``None`` marks a table-backed database whose row dicts have
+        # not been hydrated yet (see :meth:`from_table`).
+        self._rows: dict[tuple[str, RRType, str], list] | None = {}
         self._by_name: dict[str, set[tuple[str, RRType, str]]] = {}
         self._by_rdata: dict[str, set[tuple[str, RRType, str]]] = {}
         #: Columnar query path toggle; the linear reference stays behind
@@ -48,6 +50,36 @@ class PassiveDNSDatabase:
         self._version = 0
         self._table: PdnsTable | None = None
         self._table_version = -1
+
+    @classmethod
+    def from_table(cls, table: PdnsTable) -> PassiveDNSDatabase:
+        """Wrap a pre-built columnar table (segment-backed fast path).
+
+        The table's row stream must already be canonical — written from
+        :meth:`all_records` order — which every segment writer preserves.
+        Row dicts hydrate lazily, only if a linear/pivot query or a
+        derivation actually needs them.
+        """
+        database = cls()
+        database._table = table
+        database._table_version = database._version
+        database._rows = None
+        return database
+
+    def _ensure_rows(self) -> None:
+        """Hydrate the row dicts of a table-backed database on demand."""
+        if self._rows is not None:
+            return
+        table = self._table
+        assert table is not None
+        rows: dict[tuple[str, RRType, str], list] = {}
+        for row in range(len(table)):
+            record = table.record(row)
+            key = (record.rrname, record.rtype, record.rdata)
+            rows[key] = [record.first_seen, record.last_seen, record.count]
+            self._by_name.setdefault(record.rrname, set()).add(key)
+            self._by_rdata.setdefault(record.rdata, set()).add(key)
+        self._rows = rows
 
     @property
     def table(self) -> PdnsTable:
@@ -70,6 +102,7 @@ class PassiveDNSDatabase:
         rrname = rrname.lower().rstrip(".")
         rdata = rdata.lower().rstrip(".") if rtype is RRType.NS else rdata
         key = (rrname, rtype, rdata)
+        self._ensure_rows()
         self._version += 1
         row = self._rows.get(key)
         if row is None:
@@ -112,6 +145,7 @@ class PassiveDNSDatabase:
         window: DateInterval | None = None,
     ) -> list[PdnsRecord]:
         """Row-at-a-time reference for :meth:`query_name` (pre-lowered)."""
+        self._ensure_rows()
         records = [self._materialize(k) for k in self._by_name.get(rrname, ())]
         if rtype is not None:
             records = [r for r in records if r.rtype is rtype]
@@ -153,6 +187,7 @@ class PassiveDNSDatabase:
         self, base: str, window: DateInterval | None = None
     ) -> list[PdnsRecord]:
         """Row-at-a-time reference for :meth:`query_domain`."""
+        self._ensure_rows()
         records: list[PdnsRecord] = []
         for rrname, keys in self._by_name.items():
             if rrname == base or rrname.endswith("." + base):
@@ -176,6 +211,7 @@ class PassiveDNSDatabase:
     ) -> list[PdnsRecord]:
         """All rows whose rdata equals ``rdata`` (IP or NS hostname)."""
         rdata_key = rdata.lower().rstrip(".")
+        self._ensure_rows()
         keys = set(self._by_rdata.get(rdata_key, ()))
         if rtype is not RRType.NS:
             keys |= self._by_rdata.get(rdata, set())
@@ -220,6 +256,7 @@ class PassiveDNSDatabase:
         intervals must all have an end date.
         """
         windows = [w for w in blackouts if w.end is not None]
+        self._ensure_rows()
         derived = PassiveDNSDatabase()
         if not windows:
             for key, (first, last, count) in self._rows.items():
@@ -254,6 +291,11 @@ class PassiveDNSDatabase:
 
     def all_records(self) -> list[PdnsRecord]:
         """Every aggregated row, in (rrname, rtype, rdata) order."""
+        if self._rows is None:
+            # Table-backed: the row stream already is the canonical
+            # order, so the walk needs no hydrated dicts.
+            table = self._table
+            return [table.record(row) for row in range(len(table))]
         keys = sorted(self._rows, key=lambda k: (k[0], k[1].value, k[2]))
         return [self._materialize(k) for k in keys]
 
@@ -262,9 +304,12 @@ class PassiveDNSDatabase:
         # so a worker rebuilding it lazily interns identical ids — and
         # the payload stays one copy of the aggregates, not two.
         state = self.__dict__.copy()
-        state["_table"] = None
-        state["_table_version"] = -1
+        if state["_rows"] is not None:
+            state["_table"] = None
+            state["_table_version"] = -1
         return state
 
     def __len__(self) -> int:
+        if self._rows is None:
+            return len(self._table)
         return len(self._rows)

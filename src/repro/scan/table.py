@@ -251,6 +251,16 @@ class ScanTable:
 
     # -- the CSR index ---------------------------------------------------------
 
+    def domain_index(self, domain: str) -> int | None:
+        """The domain's ordinal into ``domains``/``csr_off``, or None.
+
+        ``domains[i]`` and CSR position ``i`` name the same domain, so
+        shard workers that walk an ordinal range can index the CSR
+        directly — no per-domain string lookup (and, on segment-backed
+        tables, no pool pages faulted for domains they only skip over).
+        """
+        return self._dom_index.get(domain)
+
     def domain_slice(self, domain: str) -> tuple[int, int]:
         """The domain's ``[lo, hi)`` range into the CSR arrays."""
         index = self._dom_index.get(domain)
@@ -264,7 +274,14 @@ class ScanTable:
         Rows are date-sorted within the domain, so the period is one
         bisect-found contiguous slice of the CSR arrays.
         """
-        lo, hi = self.domain_slice(domain)
+        index = self._dom_index.get(domain)
+        if index is None:
+            return (0, 0)
+        return self.period_slice_at(index, start, end)
+
+    def period_slice_at(self, index: int, start: date, end: date) -> tuple[int, int]:
+        """:meth:`period_slice` by domain ordinal instead of name."""
+        lo, hi = self.csr_off[index], self.csr_off[index + 1]
         if lo == hi:
             return (lo, lo)
         left = bisect_left(self.csr_dates, start.toordinal(), lo, hi)

@@ -1,0 +1,191 @@
+"""Lazy interned-pool views over segment blobs.
+
+In-RAM tables keep their pools as Python lists; a million-domain segment
+cannot afford to materialize a million strings (or tuples of strings) in
+every process that maps it.  These sequence views decode one item per
+``__getitem__`` straight off the mapping and deliberately do *not*
+memoize — a decoded value is transient, so iterating the whole pool
+costs allocations but never resident set.
+
+Pool ids are first-seen-order positions, identical to the in-RAM build,
+so a segment-backed table and its in-RAM twin agree on every interned
+id (the differential property suite pins this).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+from typing import Any
+
+from repro.segments.format import Segment, SegmentWriter
+
+
+class StrPool(Sequence):
+    """Lazy ``list[str]``: UTF-8 blob + (n+1) offsets."""
+
+    __slots__ = ("_offsets", "_blob")
+
+    def __init__(self, offsets, blob) -> None:
+        self._offsets = offsets
+        self._blob = blob
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1 if len(self._offsets) else 0
+
+    def __getitem__(self, index: int) -> str:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        lo, hi = self._offsets[index], self._offsets[index + 1]
+        return str(self._blob[lo:hi], "utf-8")
+
+    def __iter__(self):
+        blob = self._blob
+        offsets = self._offsets
+        for i in range(len(self)):
+            yield str(blob[offsets[i] : offsets[i + 1]], "utf-8")
+
+
+class TupleStrPool(Sequence):
+    """Lazy ``list[tuple[str, ...]]`` over a flattened :class:`StrPool`."""
+
+    __slots__ = ("_bounds", "_values")
+
+    def __init__(self, bounds, values: StrPool) -> None:
+        self._bounds = bounds
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._bounds) - 1 if len(self._bounds) else 0
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        lo, hi = self._bounds[index], self._bounds[index + 1]
+        values = self._values
+        return tuple(values[i] for i in range(lo, hi))
+
+
+class TupleIntPool(Sequence):
+    """Lazy ``list[tuple[int, ...]]`` over a flattened int column."""
+
+    __slots__ = ("_bounds", "_values")
+
+    def __init__(self, bounds, values) -> None:
+        self._bounds = bounds
+        self._values = values
+
+    def __len__(self) -> int:
+        return len(self._bounds) - 1 if len(self._bounds) else 0
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        lo, hi = self._bounds[index], self._bounds[index + 1]
+        return tuple(self._values[lo:hi])
+
+
+class SortedPoolIndex:
+    """``dict.get``-compatible lookup over a *sorted* lazy pool.
+
+    Segment-backed tables replace their ``{value: position}`` index dict
+    with a bisect over the (already sorted) pool: O(log n) transient
+    decodes per lookup instead of an n-entry resident dict per process.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self, pool) -> None:
+        self._pool = pool
+
+    def get(self, key, default=None):
+        pool = self._pool
+        lo, hi = 0, len(pool)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if pool[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(pool) and pool[lo] == key:
+            return lo
+        return default
+
+    def __getitem__(self, key):
+        position = self.get(key)
+        if position is None:
+            raise KeyError(key)
+        return position
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+
+# -- writer/reader helpers (pool layout convention over format blobs) ----------
+
+
+def _offsets(lengths) -> array:
+    out = array("Q", [0])
+    total = 0
+    for length in lengths:
+        total += length
+        out.append(total)
+    return out
+
+
+def write_str_pool(writer: SegmentWriter, name: str, values) -> None:
+    encoded = [value.encode("utf-8") for value in values]
+    writer.add_array(f"{name}.off", _offsets(len(e) for e in encoded))
+    writer.add_bytes(f"{name}.dat", b"".join(encoded))
+
+
+def read_str_pool(segment: Segment, name: str) -> StrPool:
+    return StrPool(segment.array(f"{name}.off"), segment.blob(f"{name}.dat"))
+
+
+def write_tuple_str_pool(writer: SegmentWriter, name: str, items) -> None:
+    items = list(items)
+    writer.add_array(f"{name}.idx", _offsets(len(item) for item in items))
+    flat = [value for item in items for value in item]
+    write_str_pool(writer, f"{name}.val", flat)
+
+
+def read_tuple_str_pool(segment: Segment, name: str) -> TupleStrPool:
+    return TupleStrPool(
+        segment.array(f"{name}.idx"), read_str_pool(segment, f"{name}.val")
+    )
+
+
+def write_tuple_int_pool(writer: SegmentWriter, name: str, items) -> None:
+    items = list(items)
+    writer.add_array(f"{name}.idx", _offsets(len(item) for item in items))
+    writer.add_array(
+        f"{name}.val", array("q", [value for item in items for value in item])
+    )
+
+
+def read_tuple_int_pool(segment: Segment, name: str) -> TupleIntPool:
+    return TupleIntPool(segment.array(f"{name}.idx"), segment.array(f"{name}.val"))
+
+
+__all__: list[Any] = [
+    "SortedPoolIndex",
+    "StrPool",
+    "TupleIntPool",
+    "TupleStrPool",
+    "read_str_pool",
+    "read_tuple_int_pool",
+    "read_tuple_str_pool",
+    "write_str_pool",
+    "write_tuple_int_pool",
+    "write_tuple_str_pool",
+]

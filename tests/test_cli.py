@@ -16,9 +16,12 @@ class TestParser:
         assert args.background == 150
         assert args.save is None
 
-    def test_hunt_requires_dir(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["hunt"])
+    def test_hunt_requires_exactly_one_input(self, tmp_path, capsys):
+        # No input source, and both at once, are each a usage error.
+        assert main(["hunt"]) == 2
+        assert main(["hunt", "--dir", str(tmp_path), "--segments", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "exactly one of" in err
 
 
 class TestCommands:

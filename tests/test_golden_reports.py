@@ -45,6 +45,11 @@ from repro.world.scenarios import paper_study
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
+#: Both worker start methods the pool backend supports.  Fork inherits
+#: the inputs copy-on-write; spawn ships them once through shared
+#: memory — the golden bytes must not depend on which one ran.
+START_METHODS = ("fork", "spawn")
+
 _STUDIES: dict[int, object] = {}
 
 
@@ -75,10 +80,25 @@ def test_serial_run_matches_golden(seed):
     assert encode_report(report) == _golden_text(seed)
 
 
+@pytest.mark.parametrize("start_method", START_METHODS)
 @pytest.mark.parametrize("seed", GOLDEN_SEEDS)
-def test_process_pool_run_matches_golden(seed):
-    report = _study(seed).run_pipeline(backend=ProcessPoolBackend(jobs=2))
+def test_process_pool_run_matches_golden(seed, start_method):
+    report = _study(seed).run_pipeline(
+        backend=ProcessPoolBackend(jobs=2, start_method=start_method)
+    )
     assert encode_report(report) == _golden_text(seed)
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_shard_partitioned_run_matches_golden(start_method):
+    """The shard scheduler — (lo, hi) ranges sliced worker-side — must
+    be invisible in the bytes, under either start method."""
+    report = _study(GOLDEN_SEEDS[0]).run_pipeline(
+        backend=ProcessPoolBackend(
+            jobs=2, start_method=start_method, partition="shard"
+        )
+    )
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
 
 
 @pytest.mark.parametrize(
@@ -188,11 +208,14 @@ def test_fault_degraded_run_matches_golden_serial():
     assert encode_report(report) == _fault_golden_text()
 
 
-def test_fault_degraded_run_matches_golden_process_pool():
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_fault_degraded_run_matches_golden_process_pool(start_method):
     """Degradation happens before fan-out, so the pooled funnel walks
-    the same degraded tables and must reproduce the pin byte for byte."""
+    the same degraded tables and must reproduce the pin byte for byte —
+    under fork and under spawn's shared-memory input transport alike."""
     report = _study(GOLDEN_FAULT_SEED).run_pipeline(
-        backend=ProcessPoolBackend(jobs=2), faults=_fault_plan()
+        backend=ProcessPoolBackend(jobs=2, start_method=start_method),
+        faults=_fault_plan(),
     )
     assert encode_report(report) == _fault_golden_text()
 
@@ -322,3 +345,58 @@ def test_fault_degraded_ledger_run_matches_golden_both_backends(tmp_path):
         assert encode_report(report) == _fault_golden_text()
         digests.append(ledger.load(ledger.latest().run_id).report_digest)
     assert digests[0] == digests[1]
+
+
+# -- segment-backed goldens ----------------------------------------------------
+
+
+def _segment_inputs(seed: int, directory: Path):
+    from repro.core.pipeline import PipelineInputs
+    from repro.segments import load_segment_inputs, write_segments
+
+    write_segments(PipelineInputs.from_study(_study(seed)), directory)
+    return load_segment_inputs(directory)
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_segment_backed_run_matches_golden_serial(seed, tmp_path):
+    """Storage is not semantics: the funnel over a mapped segment bundle
+    reproduces the in-RAM pinned bytes exactly."""
+    from repro.core.pipeline import HijackPipeline
+
+    inputs = _segment_inputs(seed, tmp_path / "segments")
+    report = HijackPipeline(inputs).run(SerialBackend())
+    assert encode_report(report) == _golden_text(seed)
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+def test_segment_backed_shard_pool_matches_golden(start_method, tmp_path):
+    """The full new data plane at once — mapped segments, shard ranges,
+    and (under spawn) shared-memory input transport — against the pin."""
+    from repro.core.pipeline import HijackPipeline
+
+    inputs = _segment_inputs(GOLDEN_SEEDS[0], tmp_path / "segments")
+    backend = ProcessPoolBackend(
+        jobs=2, start_method=start_method, partition="shard"
+    )
+    report = HijackPipeline(inputs).run(backend)
+    assert encode_report(report) == _golden_text(GOLDEN_SEEDS[0])
+
+
+def test_segment_backed_cold_then_warm_cache_matches_golden(tmp_path):
+    """Segment-backed inputs fingerprint identically to their in-RAM
+    source, so a cache filled by an in-RAM run satisfies a segment-backed
+    one (and the reports stay pinned)."""
+    from repro.cache import StageCache
+    from repro.core.pipeline import HijackPipeline
+
+    cache = StageCache(tmp_path / "cache")
+    golden = _golden_text(GOLDEN_SEEDS[0])
+    _study(GOLDEN_SEEDS[0]).run_pipeline(backend=SerialBackend(), cache=cache)
+    inputs = _segment_inputs(GOLDEN_SEEDS[0], tmp_path / "segments")
+    warm, metrics = HijackPipeline(inputs).profile(
+        SerialBackend(), cache=cache
+    )
+    assert encode_report(warm) == golden
+    assert metrics.cache["misses"] == 0
+    assert metrics.cache["hits"] > 0

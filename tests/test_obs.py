@@ -30,6 +30,7 @@ from repro.obs import (
     transitions_from_dicts,
     transitions_to_dicts,
 )
+from repro.obs.memory import current_rss_bytes
 from repro.obs.metrics import BUCKET_BOUNDS
 
 
@@ -195,7 +196,15 @@ class TestMetricsRegistry:
             get_registry().inc("chunk.items", 3)
             snapshot = drain_worker_snapshot()
             assert snapshot["counters"] == {"chunk.items": 3}
-            assert drain_worker_snapshot() is None  # deltas, not totals
+            # Counters are per-chunk deltas, never totals.  Each drain
+            # also stamps the worker's instantaneous resident set, so
+            # on Linux a quiet chunk still ships that one gauge.
+            second = drain_worker_snapshot()
+            if current_rss_bytes() is None:  # pragma: no cover - non-Linux
+                assert second is None
+            else:
+                assert second["counters"] == {}
+                assert set(second["gauges"]) == {"workers.rss_bytes"}
         finally:
             set_registry(previous)
 

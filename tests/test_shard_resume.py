@@ -1,0 +1,127 @@
+"""Crash/resume integration: per-shard products survive a killed run.
+
+A shard-partitioned pool run with ``--shard-cache`` streams each
+completed shard's products into the stage cache as it lands.  These
+tests kill such a run mid-stage with injected worker crashes (reusing
+:mod:`repro.faults`'s crash channel), then re-run clean against the
+same cache root and pin the recovery contract:
+
+* the final report is byte-identical to the pinned golden (the shards
+  banked by the dead run are semantically invisible);
+* the run's metrics — and the ledger record built from them — show
+  exactly the remaining shards recomputed (``shards.resumed`` +
+  ``shards.computed`` == ``shards.total``);
+* the resume manifest under the cache root maps ordinals to shard keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ResumeManifest, StageCache
+from repro.core.pipeline import HijackPipeline
+from repro.exec import ProcessPoolBackend
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.errors import RetryBudgetExceeded
+from repro.io.golden import encode_report
+
+from tests.test_golden_reports import _golden_text, _study
+
+#: Deterministic crash geometry: with this plan over the seed-7 golden
+#: study (8 deployment shards, 2 workers), shard 3 exhausts its single
+#: retry after three earlier shards have already been banked.
+CRASH_SPEC = FaultSpec(worker_crash=0.4, max_retries=1)
+CRASH_PLAN_SEED = 3
+STUDY_SEED = 7
+
+
+def _sharded_backend(**kwargs) -> ProcessPoolBackend:
+    return ProcessPoolBackend(
+        jobs=2, partition="shard", shard_cache=True, **kwargs
+    )
+
+
+def _crash_run(cache: StageCache) -> None:
+    plan = FaultPlan(spec=CRASH_SPEC, seed=CRASH_PLAN_SEED)
+    pipeline = HijackPipeline.from_study(_study(STUDY_SEED), faults=plan)
+    with pytest.raises(RetryBudgetExceeded):
+        pipeline.run(_sharded_backend(), cache=cache)
+
+
+def test_crashed_run_banks_completed_shards(tmp_path):
+    cache = StageCache(tmp_path / "cache")
+    _crash_run(cache)
+    assert cache.counters.stores > 0, "no shard products were banked"
+    # The resume directory exists and carries at least one manifest
+    # mapping shard ordinals to their cache keys.
+    manifests = list((tmp_path / "cache" / "resume").glob("*.json"))
+    assert manifests, "no resume manifest was written"
+
+
+def test_clean_rerun_resumes_and_matches_golden(tmp_path):
+    golden = _golden_text(STUDY_SEED)
+    cache = StageCache(tmp_path / "cache")
+    _crash_run(cache)
+    banked = cache.counters.stores
+
+    # Clean re-run (no worker faults) against the same cache root: the
+    # banked shards are resumed, only the remainder recomputed, and the
+    # report is byte-identical to the pinned golden.
+    rerun_cache = StageCache(tmp_path / "cache")
+    pipeline = HijackPipeline.from_study(_study(STUDY_SEED))
+    report, metrics = pipeline.profile(_sharded_backend(), cache=rerun_cache)
+    assert encode_report(report) == golden
+
+    counters = metrics.metrics["counters"]
+    assert counters["shards.resumed"] == banked
+    assert counters["shards.resumed"] > 0
+    assert (
+        counters["shards.computed"]
+        == counters["shards.total"] - counters["shards.resumed"]
+    )
+
+
+def test_ledger_records_resumed_shard_counters(tmp_path):
+    """The durable record of a resumed run carries the shard economics —
+    how much of the dead run's work was salvaged is auditable later."""
+    from repro.obs import RunLedger
+
+    cache = StageCache(tmp_path / "cache")
+    _crash_run(cache)
+
+    ledger = RunLedger(tmp_path / "ledger")
+    report, _metrics = HijackPipeline.from_study(_study(STUDY_SEED)).profile(
+        _sharded_backend(), cache=StageCache(tmp_path / "cache"), ledger=ledger
+    )
+    assert encode_report(report) == _golden_text(STUDY_SEED)
+
+    record = ledger.load(ledger.latest().run_id)
+    counters = record.metrics["counters"]
+    assert counters["shards.resumed"] > 0
+    assert (
+        counters["shards.computed"]
+        == counters["shards.total"] - counters["shards.resumed"]
+    )
+
+
+def test_resume_manifest_maps_ordinals_to_shard_keys(tmp_path):
+    cache = StageCache(tmp_path / "cache")
+    _crash_run(cache)
+    manifest = ResumeManifest(cache.root)
+    fingerprints = [p.stem for p in (cache.root / "resume").glob("*.json")]
+    assert fingerprints
+    completed = manifest.completed(fingerprints[0])
+    assert completed, "manifest holds no completed shards"
+    assert all(isinstance(k, int) for k in completed)
+    assert all(isinstance(v, str) and len(v) == 48 for v in completed.values())
+
+
+def test_spawn_pool_rebuild_survives_crashes_and_matches_golden(tmp_path):
+    """Under spawn, replacement workers after injected crashes reattach
+    to the parent's shared-memory input image (never a re-pickle), and
+    the retried run still reproduces the golden bytes."""
+    plan = FaultPlan(spec=FaultSpec(worker_crash=0.3, max_retries=6), seed=5)
+    pipeline = HijackPipeline.from_study(_study(STUDY_SEED), faults=plan)
+    backend = ProcessPoolBackend(jobs=2, partition="shard", start_method="spawn")
+    report = pipeline.run(backend)
+    assert encode_report(report) == _golden_text(STUDY_SEED)
