@@ -22,12 +22,15 @@ the golden files.
 
 from repro.cache.fingerprint import (
     CACHE_SALT,
+    SCAN_BLOCK_ROWS,
     RunKey,
     config_digest,
     derive_run_key,
+    extended_block_digests,
     inputs_digest,
     jsonable,
     plan_digest,
+    scan_block_digests,
     stage_fingerprint,
     value_digest,
 )
@@ -43,12 +46,15 @@ from repro.cache.store import (
 
 __all__ = [
     "CACHE_SALT",
+    "SCAN_BLOCK_ROWS",
     "RunKey",
     "config_digest",
     "derive_run_key",
+    "extended_block_digests",
     "inputs_digest",
     "jsonable",
     "plan_digest",
+    "scan_block_digests",
     "stage_fingerprint",
     "value_digest",
     "CacheCounters",

@@ -186,18 +186,57 @@ class StageCache:
                 pass
         return removed
 
+    def _pinned_fingerprints(self) -> set[str]:
+        """Fingerprints a resume manifest still references.
+
+        A killed sharded run banks per-shard products plus a manifest
+        naming them.  Those shard entries and their manifest are one
+        resume unit: evicting a shard product while the manifest still
+        lists it would make the resumed run silently recompute what the
+        operator believes is banked.  Gc therefore pins every shard key
+        (and the stage fingerprint itself) named by a live manifest —
+        the executor discards the manifest once the stage-level entry
+        lands, which is what unpins them.
+        """
+        from repro.cache.resume import ResumeManifest
+
+        manifest = ResumeManifest(self.root)
+        pinned: set[str] = set()
+        for path in manifest.root.glob("*.json"):
+            fingerprint = path.stem
+            data = manifest.load(fingerprint)
+            if not data:
+                continue
+            pinned.add(fingerprint)
+            shards = data.get("shards", {})
+            if isinstance(shards, dict):
+                pinned.update(str(key) for key in shards.values())
+        return pinned
+
     def gc(self, max_bytes: int) -> GCResult:
-        """Evict least-recently-used entries down to a byte budget."""
+        """Evict least-recently-used entries down to a byte budget.
+
+        Entries referenced by a live shard resume manifest are pinned:
+        they are kept (and counted against the budget) regardless of
+        age, so an interrupted run's banked shards survive until its
+        stage-level entry lands and the manifest is discarded.
+        """
+        pinned = self._pinned_fingerprints()
         entries = []
+        result = GCResult(removed=0, freed_bytes=0, kept=0, kept_bytes=0)
+        budget = 0
         for path in self._entry_paths():
             try:
                 stat = path.stat()
             except OSError:
                 continue
+            if path.stem in pinned:
+                budget += stat.st_size
+                result.kept += 1
+                result.kept_bytes += stat.st_size
+                continue
             entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort(reverse=True)  # newest (most recently used) first
-        result = GCResult(removed=0, freed_bytes=0, kept=0, kept_bytes=0)
-        budget = 0
         for mtime, size, path in entries:
             if budget + size <= max_bytes:
                 budget += size

@@ -28,6 +28,15 @@
         header summaries, or checksum a bundle (nonzero exit on
         corruption).  See docs/performance.md.
 
+    repro-hunt epoch {apply,status,delta}
+        Grow a segment bundle by epochs: ``apply DIR --delta FILE``
+        merges a ``repro-delta/1`` file onto the bundle as an id-stable
+        overlay and re-runs only the delta's dirty set (with ``--cache``
+        the clean domains' stage products are reused from the base
+        run); ``status DIR`` lists the bundle's applied-epoch history;
+        ``delta`` writes a deterministic scale-world delta file.  See
+        docs/performance.md.
+
     repro-hunt profile [--seed N] [--jobs N] [--out FILE] [--json FILE]
                        [--manifest FILE]
         Profile a paper-scenario run: per-stage wall time, funnel
@@ -760,6 +769,157 @@ def _cmd_segments(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+_EPOCH_STATE_SCHEMA = "repro.epochs.applied/1"
+
+
+def _epoch_state(directory: Path) -> dict:
+    import json
+
+    path = directory / "epochs.json"
+    if not path.exists():
+        return {"schema": _EPOCH_STATE_SCHEMA, "epochs": []}
+    data = json.loads(path.read_text())
+    if data.get("schema") != _EPOCH_STATE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported epoch-state schema {data.get('schema')!r}"
+        )
+    return data
+
+
+def _cmd_epoch(args: argparse.Namespace) -> int:
+    import json
+
+    if args.epoch_command == "delta":
+        from repro.epochs import write_delta
+        from repro.world.scale import make_delta, scale_world
+
+        logger.info(
+            "building %d-domain scale world (active=%d, seed=%d)...",
+            args.scale, args.active, args.seed,
+        )
+        inputs = scale_world(args.scale, n_active=args.active, seed=args.seed)
+        delta = make_delta(
+            inputs, seed=args.seed, fraction=args.fraction, epoch=args.epoch
+        )
+        path = write_delta(delta, args.out)
+        counts = delta.counts()
+        print(
+            f"wrote {path} (epoch {delta.epoch}: {counts['scan_rows']} scan "
+            f"rows, {counts['pdns_observations']} pdns, "
+            f"{counts['ct_entries']} ct, digest {delta.digest()[:12]})"
+        )
+        return 0
+
+    directory = Path(args.dir)
+
+    if args.epoch_command == "status":
+        try:
+            state = _epoch_state(directory)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        records = state["epochs"]
+        if not records:
+            print(f"bundle {directory}: no epochs applied")
+            return 0
+        print(f"bundle {directory}: {len(records)} epoch(s) applied")
+        for record in records:
+            print(
+                f"  epoch {record['epoch']:>3}  {record['applied_at']}  "
+                f"dirty {record['domains_dirty']:>6}/{record['domains']}  "
+                f"reused {record['domains_reused']:>6}  "
+                f"seeded {str(record['seeded']).lower():<5}  "
+                f"{record['label'] or record['digest'][:12]}"
+            )
+        return 0
+
+    # apply
+    from repro.epochs import merge_inputs, read_delta, run_epoch
+    from repro.segments import SegmentError, load_segment_inputs
+
+    try:
+        logger.info("mapping segments from %s/ ...", directory)
+        inputs = load_segment_inputs(directory)
+        state = _epoch_state(directory)
+        # Replay already-applied epochs so the new delta lands on the
+        # bundle's *current* state, not the original base segments.
+        for record in state["epochs"]:
+            prior = read_delta(directory / "deltas" / record["file"])
+            inputs = merge_inputs(inputs, prior)
+        delta = read_delta(args.delta)
+    except (SegmentError, ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    tracer = _make_tracer(args)
+    events = _make_events(args)
+    try:
+        report, metrics, dirty = run_epoch(
+            inputs, delta,
+            faults=_fault_plan(args),
+            backend=_make_backend(args),
+            cache=_make_cache(args),
+            tracer=tracer, events=events, ledger=_make_ledger(args),
+            label=f"epoch-{delta.epoch}",
+        )
+    finally:
+        _close_events(events)
+
+    _print_data_quality(metrics)
+    stats = metrics.epoch or {}
+    print(
+        f"epoch {delta.epoch} ({delta.label or 'unlabeled'}): "
+        f"{stats.get('domains_dirty', len(dirty.all_dirty))} dirty of "
+        f"{stats.get('domains', '?')} domains, "
+        f"{stats.get('domains_reused', 0)} reused"
+        + (
+            f" (reuse off: {stats['reuse_disabled']})"
+            if stats.get("reuse_disabled")
+            else ""
+        )
+    )
+    print()
+    print(format_funnel(report.funnel))
+    print()
+    print(format_findings_table(report.findings))
+    if args.out:
+        save_findings(report.findings, args.out)
+        logger.info("findings written to %s", args.out)
+    if args.profile:
+        metrics.write(args.profile)
+        logger.info("run manifest written to %s", args.profile)
+
+    # Bank the applied delta so the next apply (and a cold full replay)
+    # reconstructs the same merged state.
+    import shutil
+
+    deltas_dir = directory / "deltas"
+    deltas_dir.mkdir(parents=True, exist_ok=True)
+    digest = delta.digest()
+    filename = f"epoch-{len(state['epochs']) + 1:04d}-{digest[:12]}.delta"
+    shutil.copyfile(args.delta, deltas_dir / filename)
+    state["epochs"].append(
+        {
+            "epoch": delta.epoch,
+            "label": delta.label,
+            "file": filename,
+            "digest": digest,
+            "applied_at": datetime.now().isoformat(timespec="seconds"),
+            "counts": delta.counts(),
+            "domains": stats.get("domains"),
+            "domains_dirty": stats.get("domains_dirty"),
+            "domains_reused": stats.get("domains_reused", 0),
+            "seeded": stats.get("seeded", False),
+        }
+    )
+    (directory / "epochs.json").write_text(
+        json.dumps(state, indent=2, sort_keys=True) + "\n"
+    )
+    logger.info("epoch recorded in %s", directory / "epochs.json")
+    _write_trace(tracer, args)
+    return 0
+
+
 def _cmd_arena(args: argparse.Namespace) -> int:
     import repro.detect  # registers the built-in detectors
     from repro.detect import list_detectors
@@ -1172,6 +1332,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     segments_verify.add_argument("dir", help="segment bundle directory")
     segments_verify.set_defaults(func=_cmd_segments)
+
+    epoch = sub.add_parser(
+        "epoch", parents=[logging_flags],
+        help="apply epoch deltas incrementally over a segment bundle",
+    )
+    epoch_sub = epoch.add_subparsers(dest="epoch_command", required=True)
+
+    epoch_apply = epoch_sub.add_parser(
+        "apply", parents=[logging_flags],
+        help="merge one delta onto a bundle and re-run only its dirty set",
+    )
+    epoch_apply.add_argument("dir", help="segment bundle directory")
+    epoch_apply.add_argument(
+        "--delta", metavar="FILE", required=True,
+        help="repro-delta/1 file to apply (see 'repro-hunt epoch delta')",
+    )
+    epoch_apply.add_argument("--out", help="write findings JSONL here")
+    epoch_apply.add_argument(
+        "--profile", metavar="FILE",
+        help="write the per-stage run manifest (JSON, with the epoch section)",
+    )
+    _add_executor_args(epoch_apply)
+    _add_faults_args(epoch_apply)
+    _add_cache_args(epoch_apply)
+    _add_trace_arg(epoch_apply)
+    _add_obs_args(epoch_apply)
+    epoch_apply.set_defaults(func=_cmd_epoch)
+
+    epoch_status = epoch_sub.add_parser(
+        "status", parents=[logging_flags],
+        help="show a bundle's applied-epoch history",
+    )
+    epoch_status.add_argument("dir", help="segment bundle directory")
+    epoch_status.set_defaults(func=_cmd_epoch)
+
+    epoch_delta = epoch_sub.add_parser(
+        "delta", parents=[logging_flags],
+        help="generate a deterministic scale-world epoch delta file",
+    )
+    epoch_delta.add_argument(
+        "--out", metavar="FILE", required=True, help="delta file to write"
+    )
+    epoch_delta.add_argument(
+        "--scale", type=_positive_int, required=True, metavar="N",
+        help="population of the scale world the delta targets "
+        "(must match the bundle written with 'segments write --scale N')",
+    )
+    epoch_delta.add_argument(
+        "--active", type=_positive_int, default=200,
+        help="active domains of the target scale world (default: 200)",
+    )
+    epoch_delta.add_argument("--seed", type=int, default=0)
+    epoch_delta.add_argument(
+        "--fraction", type=float, default=0.01,
+        help="fraction of active domains the epoch churns (default: 0.01)",
+    )
+    epoch_delta.add_argument(
+        "--epoch", type=_positive_int, default=1,
+        help="epoch number (shifts the churn window; default: 1)",
+    )
+    epoch_delta.set_defaults(func=_cmd_epoch)
 
     cache = sub.add_parser(
         "cache", parents=[logging_flags], help="inspect or maintain the stage cache"

@@ -16,12 +16,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-MANIFEST_SCHEMA = "repro.exec.run-manifest/5"
+MANIFEST_SCHEMA = "repro.exec.run-manifest/6"
 
 #: Older manifests still load: /1 lacks ``data_quality``, /2 lacks the
 #: ``metrics`` registry section, /3 lacks the ``cache`` section and the
 #: per-stage ``cached`` flag, /4 lacks the run-level and per-stage
-#: ``memory`` sections (peak RSS + optional tracemalloc deltas).
+#: ``memory`` sections (peak RSS + optional tracemalloc deltas), /5
+#: lacks the ``epoch`` section (incremental-run accounting).
 _READABLE_SCHEMAS = frozenset(
     {
         MANIFEST_SCHEMA,
@@ -29,6 +30,7 @@ _READABLE_SCHEMAS = frozenset(
         "repro.exec.run-manifest/2",
         "repro.exec.run-manifest/3",
         "repro.exec.run-manifest/4",
+        "repro.exec.run-manifest/5",
     }
 )
 
@@ -163,6 +165,10 @@ class RunMetrics:
     #: ``tracemalloc`` flag, and final tracemalloc figures when
     #: allocation tracing was on); None for manifests before schema /5.
     memory: dict[str, Any] | None = None
+    #: Incremental-epoch accounting (delta identity, dirty-set counts,
+    #: domains reused vs recomputed — the shape ``run_epoch`` attaches);
+    #: None for ordinary full runs and manifests before schema /6.
+    epoch: dict[str, Any] | None = None
 
     def add_stage(
         self,
@@ -220,6 +226,7 @@ class RunMetrics:
             "metrics": self.metrics,
             "cache": self.cache,
             "memory": self.memory,
+            "epoch": self.epoch,
         }
 
     @classmethod
@@ -240,6 +247,7 @@ class RunMetrics:
             metrics=data.get("metrics"),
             cache=data.get("cache"),
             memory=data.get("memory"),
+            epoch=data.get("epoch"),
         )
 
     def write(self, path: str | Path) -> None:

@@ -408,6 +408,121 @@ def measure_segments(
     }
 
 
+def measure_epochs(
+    n_domains: int,
+    *,
+    n_active: int = 200,
+    seed: int = 0,
+    fraction: float = 0.01,
+) -> dict[str, Any]:
+    """Incremental epoch apply vs full cold rerun over the merged data.
+
+    Builds one ``n_domains`` scale world, runs it once against a stage
+    cache (the banked base products an operator would already have),
+    generates a deterministic ``fraction`` epoch delta, and measures
+    the two paths to the same merged-dataset report:
+
+    * ``epoch_seconds`` — :func:`repro.epochs.run_epoch` over the base
+      with the warm cache: overlay merge, dirty-set computation, cache
+      seeding from the base products, and the seeded pipeline run;
+    * ``full_seconds`` — the counterfactual without the epoch engine:
+      the merged table rebuilt from the full concatenated row stream
+      (interning + CSR indexing, what regenerating the dataset costs),
+      then a cold run against a fresh cache (cold fingerprints, every
+      stage recomputed and stored).  Row tuples are materialized
+      *outside* the timer — reading the source data is common to both
+      workflows, the rebuild and the cold run are not.
+
+    ``identical`` is the oracle (byte-identity of the two reports) and
+    ``speedup`` the CI-floored headline: a ≤1% delta must not pay for
+    the 99% it carried over.
+    """
+    import tempfile
+    from dataclasses import replace
+
+    from repro.cache import StageCache
+    from repro.core.pipeline import HijackPipeline
+    from repro.epochs import merge_inputs, run_epoch
+    from repro.io.golden import encode_report
+    from repro.scan.dataset import ScanDataset
+    from repro.scan.table import _SENSITIVE, _TRUSTED, ScanTable
+    from repro.world.scale import make_delta, scale_world
+
+    inputs = scale_world(n_domains, n_active=n_active, seed=seed)
+    delta = make_delta(inputs, seed=seed, fraction=fraction)
+
+    with tempfile.TemporaryDirectory(prefix="repro-epoch-bench-") as tmp:
+        cache = StageCache(tmp)
+        t0 = time.perf_counter()
+        HijackPipeline(inputs).profile(cache=cache)
+        base_seconds = time.perf_counter() - t0
+        gc.collect()
+
+        t0 = time.perf_counter()
+        report, metrics, _dirty = run_epoch(inputs, delta, cache=cache)
+        epoch_seconds = time.perf_counter() - t0
+    gc.collect()
+
+    merged = merge_inputs(inputs, delta)
+    table = merged.scan.table
+    rows = [
+        (
+            table.date_ord[r],
+            table.ips[table.ip_id[r]],
+            table.asns[table.asn_id[r]],
+            table.certs[table.cert_id[r]],
+            table.countries[table.country_id[r]],
+            table.port_sets[table.ports_id[r]],
+            table.name_sets[table.names_id[r]],
+            table.base_sets[table.bases_id[r]],
+            bool(table.flags[r] & _TRUSTED),
+            bool(table.flags[r] & _SENSITIVE),
+        )
+        for r in range(len(table.date_ord))
+    ]
+    gc.collect()
+
+    with tempfile.TemporaryDirectory(prefix="repro-epoch-bench-") as tmp:
+        t0 = time.perf_counter()
+        builder = ScanTable.build()
+        for row in rows:
+            builder.append_row(*row)
+        rebuilt = ScanDataset.from_table(
+            builder.finish(),
+            merged.scan.scan_dates,
+            known_missing_dates=merged.scan.known_missing_dates,
+        )
+        rebuild_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        full_report, _ = HijackPipeline(replace(merged, scan=rebuilt)).profile(
+            cache=StageCache(tmp)
+        )
+        full_run_seconds = time.perf_counter() - t0
+    full_seconds = rebuild_seconds + full_run_seconds
+    del rows
+    gc.collect()
+
+    stats = metrics.epoch or {}
+    return {
+        "n_domains": n_domains,
+        "n_active": n_active,
+        "fraction": fraction,
+        "delta": delta.counts(),
+        "base_seconds": round(base_seconds, 6),
+        "epoch_seconds": round(epoch_seconds, 6),
+        "rebuild_seconds": round(rebuild_seconds, 6),
+        "full_run_seconds": round(full_run_seconds, 6),
+        "full_seconds": round(full_seconds, 6),
+        "speedup": round(full_seconds / epoch_seconds, 2)
+        if epoch_seconds > 0
+        else None,
+        "domains_dirty": stats.get("domains_dirty"),
+        "domains_reused": stats.get("domains_reused"),
+        "seeded": stats.get("seeded"),
+        "identical": encode_report(report) == encode_report(full_report),
+    }
+
+
 def measure_dataset(dataset: ScanDataset) -> dict[str, Any]:
     """Footprint of the scan dataset in both representations."""
     table = dataset.table
@@ -479,6 +594,12 @@ def perf_summary(
         summary["segments"] = measure_segments(
             int(scale), int(baseline) if baseline else None
         )
+    # Likewise for the incremental-epoch comparison: one base run plus a
+    # full cold rerun at 10^5-10^6 domains is the expensive half of the
+    # measurement, so it only runs where CI budgets for it.
+    epochs_scale = os.environ.get("REPRO_EPOCHS_SCALE")
+    if epochs_scale:
+        summary["epochs"] = measure_epochs(int(epochs_scale))
     return summary
 
 
@@ -491,6 +612,7 @@ __all__ = [
     "legacy_domain_maps",
     "measure_deployment_kernel",
     "measure_dataset",
+    "measure_epochs",
     "measure_funnel_stages",
     "measure_segments",
     "perf_summary",

@@ -405,14 +405,16 @@ class ScanTable:
 
     # -- canonical row walk ----------------------------------------------------
 
-    def row_dicts(self) -> Iterator[dict[str, Any]]:
+    def row_dicts(self, start: int = 0) -> Iterator[dict[str, Any]]:
         """Canonical per-row dicts in dataset order (digest/export walk).
 
         Matches the shape :mod:`repro.cache.fingerprint` feeds its
         hasher, built straight from the columns — no record objects are
-        materialized.
+        materialized.  ``start`` begins the walk at that absolute row,
+        which is how the epoch overlay re-digests only the rows a delta
+        appended instead of the whole dataset.
         """
-        for row in range(len(self)):
+        for row in range(start, len(self)):
             yield {
                 "d": date.fromordinal(self.date_ord[row]).isoformat(),
                 "ip": self.ips[self.ip_id[row]],

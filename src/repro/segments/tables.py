@@ -121,13 +121,23 @@ def write_scan_table(
     scan_dates: Iterable[date] = (),
     known_missing: Iterable[date] = (),
 ) -> Path:
-    """Write one indexed :class:`ScanTable` (plus its dataset calendar)."""
+    """Write one indexed :class:`ScanTable` (plus its dataset calendar).
+
+    The header also carries the table's per-block row digests (see
+    :func:`repro.cache.fingerprint.scan_block_digests`): the write is
+    already an O(rows) walk, and persisting the digests makes the first
+    cache probe over the opened bundle O(1) instead of a full re-walk.
+    """
+    from repro.cache.fingerprint import SCAN_BLOCK_ROWS, scan_block_digests
+
     writer = SegmentWriter(
         "scan",
         meta={
             "n_rows": len(table),
             "scan_dates": sorted(d.toordinal() for d in scan_dates),
             "known_missing": sorted(d.toordinal() for d in known_missing),
+            "block_rows": SCAN_BLOCK_ROWS,
+            "block_digests": list(scan_block_digests(table)),
         },
     )
     for name in _SCAN_ARRAYS:
@@ -166,6 +176,14 @@ class SegmentScanTable(ScanTable):
         self.certs = segment.pickle("certs")
         self._dom_index = SortedPoolIndex(self.domains)
         self._rec_cache = [None] * len(self.date_ord)
+        digests = segment.meta.get("block_digests")
+        if digests:
+            from repro.cache.fingerprint import SCAN_BLOCK_ROWS
+
+            if int(segment.meta.get("block_rows", 0)) == SCAN_BLOCK_ROWS:
+                # Seed the digest memo from the header: the first cache
+                # probe over this bundle then costs no row walk at all.
+                self._repro_block_digests = (SCAN_BLOCK_ROWS, tuple(digests))
 
     def __reduce__(self):
         return (open_scan_table, (str(self.segment.path),))

@@ -173,6 +173,102 @@ def scale_world(
     )
 
 
+def make_delta(inputs, *, seed: int = 0, fraction: float = 0.01, epoch: int = 1):
+    """A deterministic epoch delta over a scale world.
+
+    Picks ``max(1, n_active * fraction)`` active domains (evenly strided,
+    rotated by ``(seed, epoch)``) and gives each one an epoch of churn:
+
+    * a **deployment transition** — a new scan row on the last in-period
+      scan date with a fresh IP, rotated ASN, and a delta-specific
+      certificate (so the domain's deployment map genuinely changes);
+    * a **new out-of-period scan date** (one week per epoch past the
+      base calendar) with the same new deployment, so the overlay's
+      calendar-extension path is exercised without shifting any study
+      period's scan indices;
+    * **pDNS churn** — an A observation to the new IP and an NS flip;
+    * a **CT entry** for the delta certificate (crt.sh id pre-stamped,
+      so split-log and merged-log layouts answer identically).
+
+    Deterministic in ``(world, seed, fraction, epoch)``: same arguments,
+    byte-identical delta files.
+    """
+    from repro.epochs.delta import EpochDelta
+
+    table = inputs.scan.table
+
+    def is_active(i: int) -> bool:
+        return table.domain_index(_active_domain(i)) is not None
+
+    if not is_active(0):
+        raise ValueError("not a scale world: no active-* domains found")
+    # Count the actives by probing the sorted domain pool (exponential
+    # then binary search) — never decoding the full million-name pool.
+    hi = 1
+    while is_active(hi):
+        hi *= 2
+    lo = hi // 2
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_active(mid):
+            lo = mid + 1
+        else:
+            hi = mid
+    n_active = lo
+
+    n_pick = max(1, min(n_active, int(n_active * fraction)))
+    offset = (seed * 7 + epoch * 3) % n_active
+    picked = sorted({(offset + (k * n_active) // n_pick) % n_active for k in range(n_pick)})
+
+    last_active = max(d for d in inputs.scan.scan_dates if d <= SCALE_END)
+    new_day = date(2020, 1, 7) + timedelta(days=7 * (epoch - 1))
+
+    rows = []
+    pdns_observations = []
+    ct_entries = []
+    for k, i in enumerate(picked):
+        domain = _active_domain(i)
+        new_ip = f"203.{1 + epoch % 8}.{(i >> 8) % 256}.{i % 256}"
+        asn = 64500 + (i + seed + epoch) % 8
+        cn = f"delta-{seed}-{epoch}-{k:03d}.example.org"
+        cert = Certificate(
+            serial=20_000 + epoch * 100 + k,
+            common_name=cn,
+            sans=(cn, domain),
+            issuer="Delta CA",
+            not_before=date(2019, 1, 1),
+            not_after=date(2020, 12, 31),
+            crtsh_id=200_000_000 + epoch * 10_000 + k,
+        )
+        names = (domain, f"www.{domain}")
+        for day in (last_active, new_day):
+            rows.append(
+                (
+                    day.toordinal(), new_ip, asn, cert, "US",
+                    (443,), names, (domain,), True, i % 10 == 0,
+                )
+            )
+        pdns_observations.append((domain, RRType.A, new_ip, last_active))
+        pdns_observations.append(
+            (
+                domain,
+                RRType.NS,
+                f"ns{1 + (i + epoch) % 2}.scale-dns.example.org",
+                new_day,
+            )
+        )
+        ct_entries.append((cert, date(2019, 12, 1) + timedelta(days=k % 20)))
+
+    return EpochDelta(
+        epoch=epoch,
+        label=f"scale-delta-seed{seed}-epoch{epoch}",
+        scan_rows=tuple(rows),
+        scan_dates=(new_day,),
+        pdns_observations=tuple(pdns_observations),
+        ct_entries=tuple(ct_entries),
+    )
+
+
 def write_scale_segments(
     n_domains: int,
     directory: str | Path,
@@ -190,6 +286,7 @@ def write_scale_segments(
 __all__ = [
     "SCALE_END",
     "SCALE_START",
+    "make_delta",
     "scale_world",
     "write_scale_segments",
 ]

@@ -115,6 +115,37 @@ class TestStore:
         assert result.removed == 1 and result.kept == 0
         assert cache.stats().entries == 0
 
+    def test_gc_pins_resume_manifest_units(self, tmp_path):
+        """A live resume manifest and its banked shard entries are one
+        unit: gc keeps them all regardless of age or budget, and they
+        become ordinary evictable entries once the manifest is
+        discarded."""
+        from repro.cache.resume import ResumeManifest
+
+        cache = StageCache(tmp_path)
+        manifest = ResumeManifest(cache.root)
+        base_fp = "ab" * 24
+        shard_keys = [f"{base_fp}-shard-{i}" for i in range(2)]
+        cache.put(base_fp, "deployment", StageStats(4, 0), {"partial": True})
+        for ordinal, key in enumerate(shard_keys):
+            cache.put(key, "deployment", StageStats(2, 0), {"results": [(), ()]})
+            manifest.record(base_fp, "deployment", 4, 2, ordinal, key)
+        cache.put("cd" * 24, "s", StageStats(1, 1), {"x": list(range(50))})
+        for path in _entry_files(cache):
+            os.utime(path, (1000, 1000))  # everything is ancient
+
+        result = cache.gc(max_bytes=0)
+        assert result.kept == 3  # fingerprint + both shard entries
+        assert result.removed == 1  # only the unpinned entry went
+        assert cache.get(base_fp) is not None
+        for key in shard_keys:
+            assert cache.get(key) is not None
+
+        manifest.discard(base_fp)
+        result = cache.gc(max_bytes=0)
+        assert result.kept == 0
+        assert cache.stats().entries == 0
+
 
 class TestRunWiring:
     def test_cold_then_warm_is_byte_identical(self, small_study, tmp_path):

@@ -4,8 +4,9 @@ The manifest is a long-lived artifact: profiles saved by older builds
 must keep loading.  Schema /1 predates the ``data_quality`` ledger,
 /2 predates the ``metrics`` registry section, /3 predates the ``cache``
 section and the per-stage ``cached`` flag, /4 predates the run-level
-and per-stage ``memory`` sections, and /5 is current; all five load,
-and /5 round-trips losslessly.
+and per-stage ``memory`` sections, /5 predates the ``epoch`` section
+(incremental-run accounting), and /6 is current; all six load, and /6
+round-trips losslessly.
 """
 
 from __future__ import annotations
@@ -66,6 +67,18 @@ def _manifest_dict(schema: str) -> dict:
             "tracemalloc_current_bytes": 2048,
             "tracemalloc_peak_bytes": 8192,
         }
+    if version >= 6:
+        data["epoch"] = {
+            "epoch": 1,
+            "label": "week-1",
+            "delta": "0" * 64,
+            "domains": 100,
+            "domains_dirty": 3,
+            "domains_reused": 97,
+            "calendar_changed": False,
+            "seeded": True,
+            "reuse_disabled": None,
+        }
     return data
 
 
@@ -98,14 +111,22 @@ def test_schema_4_manifest_loads_without_memory():
     assert metrics.stages[0].memory is None
 
 
-def test_schema_5_manifest_loads_memory_sections():
-    metrics = RunMetrics.from_dict(_manifest_dict(MANIFEST_SCHEMA))
+def test_schema_5_manifest_loads_without_epoch():
+    metrics = RunMetrics.from_dict(_manifest_dict("repro.exec.run-manifest/5"))
     assert metrics.memory["peak_rss_bytes"] == 51 * 1024 * 1024
     assert metrics.memory["tracemalloc"] is True
     assert metrics.stages[0].memory["tracemalloc_delta_bytes"] == 1024
+    assert metrics.epoch is None
 
 
-def test_schema_5_round_trip_is_lossless(tmp_path):
+def test_schema_6_manifest_loads_epoch_section():
+    metrics = RunMetrics.from_dict(_manifest_dict(MANIFEST_SCHEMA))
+    assert metrics.epoch["epoch"] == 1
+    assert metrics.epoch["domains_dirty"] == 3
+    assert metrics.epoch["seeded"] is True
+
+
+def test_schema_6_round_trip_is_lossless(tmp_path):
     metrics = RunMetrics(backend="serial", jobs=1, chunk_size=None)
     metrics.wall_seconds = 0.75
     metrics.add_stage(
@@ -141,6 +162,17 @@ def test_schema_5_round_trip_is_lossless(tmp_path):
         "tracemalloc_current_bytes": 1024,
         "tracemalloc_peak_bytes": 8192,
     }
+    metrics.epoch = {
+        "epoch": 2,
+        "label": "week-2",
+        "delta": "f" * 64,
+        "domains": 10,
+        "domains_dirty": 1,
+        "domains_reused": 9,
+        "calendar_changed": False,
+        "seeded": True,
+        "reuse_disabled": None,
+    }
     metrics.metrics = {
         "counters": {"inspection.inspected": 10},
         "gauges": {"report.findings": 4.0},
@@ -156,6 +188,7 @@ def test_schema_5_round_trip_is_lossless(tmp_path):
     loaded = RunMetrics.read(path)
     assert loaded.to_dict() == metrics.to_dict()
     assert loaded.to_dict()["schema"] == MANIFEST_SCHEMA
+    assert loaded.epoch == metrics.epoch
     assert loaded.metrics == metrics.metrics
     assert loaded.cache == metrics.cache
     assert loaded.memory == metrics.memory
